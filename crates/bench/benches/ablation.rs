@@ -1,0 +1,142 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * `k_sweep` — the bits-per-cycle trade the paper motivates ("The
+//!   smaller k is, the smaller the area … the number of computation cycles
+//!   increases, which in turn reduces the throughput"): evaluates the full
+//!   k range at the Fig. 6 geometry.
+//! * `optimizer_*` — NSGA-II against the baselines the paper's motivation
+//!   contrasts (random search with the same evaluation budget, the
+//!   weighted-sum single-objective reduction). The setup phase prints the
+//!   hypervolume comparison so the quality gap is recorded alongside the
+//!   runtime.
+//! * `tree_vs_serial` — the adder-tree structure against a serial
+//!   accumulation chain of the same arity.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sega_bench::quick_nsga_config;
+use sega_cells::{modules, Technology};
+use sega_dcim::explore::DcimProblem;
+use sega_dcim::UserSpec;
+use sega_estimator::{components, estimate, DcimDesign, OperatingConditions, Precision};
+use sega_moga::pareto::hypervolume;
+use sega_moga::{random_search, weighted_sum_ga, Nsga2, WeightedSumConfig};
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let tech = Technology::tsmc28();
+    let cond = OperatingConditions::paper_default();
+    let mut group = c.benchmark_group("ablation_k_sweep");
+    // Record the trade-off once, in the bench log.
+    for k in [1u32, 2, 4, 8] {
+        let d = DcimDesign::for_precision(Precision::Int8, 32, 128, 16, k).unwrap();
+        let e = estimate(&d, &tech, &cond);
+        eprintln!(
+            "k={k}: area {:.4} mm², {:.3} TOPS, {:.1} TOPS/W",
+            e.area_mm2,
+            e.tops,
+            e.tops_per_w()
+        );
+    }
+    group.bench_function("estimate_all_k", |b| {
+        b.iter(|| {
+            for k in 1..=8u32 {
+                let d = DcimDesign::for_precision(Precision::Int8, 32, 128, 16, k).unwrap();
+                black_box(estimate(&d, &tech, &cond));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let spec = UserSpec::new(16384, Precision::Int8).unwrap();
+    let tech = Technology::tsmc28();
+    let cond = OperatingConditions::paper_default();
+    let problem = DcimProblem::new(spec, tech, cond);
+    let cfg = quick_nsga_config(5);
+    let budget = cfg.population + cfg.population * cfg.generations;
+
+    // Quality comparison (printed once): hypervolume of each front against
+    // a common reference point.
+    let reference = vec![100.0, 100.0, 10_000.0, 0.0];
+    let nsga_front: Vec<Vec<f64>> = Nsga2::new(cfg.clone())
+        .run(&problem)
+        .front
+        .iter()
+        .map(|i| i.objectives.clone())
+        .collect();
+    let rs_front: Vec<Vec<f64>> = random_search(&problem, budget, 5)
+        .into_iter()
+        .map(|(_, o)| o)
+        .collect();
+    let ws_cfg = WeightedSumConfig {
+        population: cfg.population,
+        generations: cfg.generations,
+        seed: 5,
+        ..Default::default()
+    };
+    let ws_front: Vec<Vec<f64>> = [
+        [1.0, 0.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0, 0.0],
+        [0.0, 0.0, 1.0, 0.0],
+        [0.0, 0.0, 0.0, 1.0],
+        [0.25, 0.25, 0.25, 0.25],
+    ]
+    .iter()
+    .map(|w| weighted_sum_ga(&problem, w, &ws_cfg).1)
+    .collect();
+    eprintln!(
+        "hypervolume @ {budget} evals — NSGA-II: {:.3e}, random: {:.3e}, weighted-sum(5 runs): {:.3e}",
+        hypervolume(&nsga_front, &reference),
+        hypervolume(&rs_front, &reference),
+        hypervolume(&ws_front, &reference),
+    );
+
+    let mut group = c.benchmark_group("ablation_optimizers");
+    group.sample_size(10);
+    group.bench_function("nsga2", |b| {
+        b.iter(|| Nsga2::new(cfg.clone()).run(&problem))
+    });
+    group.bench_function("random_search", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            random_search(&problem, budget, seed)
+        })
+    });
+    group.bench_function("weighted_sum", |b| {
+        b.iter(|| weighted_sum_ga(&problem, &[0.25, 0.25, 0.25, 0.25], &ws_cfg))
+    });
+    group.finish();
+}
+
+fn bench_tree_vs_serial(c: &mut Criterion) {
+    // Structural ablation recorded in the log: the tree's delay advantage
+    // over a serial accumulation chain of H-1 adders.
+    for h in [16u32, 128, 1024] {
+        let tree = components::adder_tree(h, 4);
+        let serial: sega_cells::Cost = (0..h.saturating_sub(1))
+            .map(|i| modules::adder(4 + sega_cells::ceil_log2((i + 2) as u64)))
+            .fold(sega_cells::Cost::ZERO, |acc, a| acc.then(a));
+        eprintln!(
+            "H={h}: tree delay {:.0} vs serial {:.0} gate-delays ({}x), tree area {:.0} vs {:.0}",
+            tree.delay,
+            serial.delay,
+            (serial.delay / tree.delay).round(),
+            tree.area,
+            serial.area
+        );
+    }
+    let mut group = c.benchmark_group("ablation_tree_model");
+    group.bench_function("adder_tree_h2048", |b| {
+        b.iter(|| components::adder_tree(black_box(2048), 8))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_k_sweep,
+    bench_optimizers,
+    bench_tree_vs_serial
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: cost of one macro estimate — the inner loop of the
+//! design space explorer. The paper's 30-minute DSE budget assumes cheap
+//! estimation; this bench documents how cheap ours is.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sega_cells::Technology;
+use sega_estimator::{estimate, DcimDesign, OperatingConditions, Precision};
+
+fn bench_estimator(c: &mut Criterion) {
+    let tech = Technology::tsmc28();
+    let cond = OperatingConditions::paper_default();
+    let mut group = c.benchmark_group("estimate");
+
+    let cases = [
+        (
+            "int8_8k",
+            DcimDesign::for_precision(Precision::Int8, 32, 128, 16, 4).unwrap(),
+        ),
+        (
+            "bf16_8k",
+            DcimDesign::for_precision(Precision::Bf16, 32, 128, 16, 4).unwrap(),
+        ),
+        (
+            "int8_64k_tall",
+            DcimDesign::for_precision(Precision::Int8, 32, 2048, 8, 4).unwrap(),
+        ),
+        (
+            "fp32_64k",
+            DcimDesign::for_precision(Precision::Fp32, 96, 1024, 16, 4).unwrap(),
+        ),
+    ];
+    for (name, design) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| estimate(black_box(&design), &tech, &cond))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

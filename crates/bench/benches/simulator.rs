@@ -1,0 +1,38 @@
+//! Criterion bench: functional-simulation throughput for both
+//! architectures (MVM passes per second through the bit-accurate model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sega_bench::{fp_workload, int_workload};
+use sega_estimator::{FpParams, IntParams};
+use sega_sim::{fp::FpFormat, FpMacroSim, IntMacroSim};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+
+    // INT8 8K-weight macro, one pass.
+    let p = IntParams::new(32, 128, 16, 4, 8, 8).unwrap();
+    let weights = int_workload(p.wstore() as usize, p.bw, 1);
+    let sim = IntMacroSim::new(p, &weights).unwrap();
+    let inputs = int_workload(p.h as usize, p.bx, 2);
+    group.bench_function("int8_8k_mvm_pass", |b| {
+        b.iter(|| sim.mvm(&inputs, 0).unwrap())
+    });
+
+    // BF16 8K-weight macro, one pass.
+    let fp = FpParams::new(32, 128, 16, 4, 8, 8).unwrap();
+    let fweights = fp_workload(fp.wstore() as usize, 2.0, 3);
+    let fsim = FpMacroSim::new(fp, FpFormat::BF16, &fweights).unwrap();
+    let finputs = fp_workload(fp.h as usize, 2.0, 4);
+    group.bench_function("bf16_8k_mvm_pass", |b| {
+        b.iter(|| fsim.mvm(&finputs, 0).unwrap())
+    });
+
+    // Full 16-slot sweep (a complete stored-matrix MVM).
+    group.bench_function("int8_8k_full_mvm", |b| {
+        b.iter(|| sim.full_mvm(&inputs).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Regenerates the paper's **Fig. 6**: the layouts of two 8K-weight DCIM
+//! macros (INT8 and BF16, N=32, L=16, H=128), printing dimensions, the
+//! component-area breakdown, the generator-vs-estimator audit, and an
+//! ASCII rendering of each floorplan. Verilog and DEF artifacts are
+//! written to `target/fig6/`.
+
+use std::fs;
+use std::path::Path;
+
+use sega_dcim::Compiler;
+use sega_layout::congestion::{analyze_routing, DEFAULT_CAPACITY_BITS_PER_UM};
+use sega_layout::drc::check_placements;
+use sega_layout::export::{to_ascii, to_def};
+use sega_layout::place::place_module;
+use sega_layout::{LayoutOptions, RegionKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (int8, bf16) = sega_bench::fig6_designs();
+    let compiler = Compiler::new();
+    let out_dir = Path::new("target/fig6");
+    fs::create_dir_all(out_dir)?;
+
+    println!("Fig. 6 — layouts of the two 8K-weight DCIM macros\n");
+    let paper = [
+        ("INT8", 343.0, 229.0, 0.079, None),
+        ("BF16", 367.0, 231.0, 0.085, Some(0.006)),
+    ];
+    for ((label, pw, ph, parea, p_prealign), design) in paper.iter().zip([int8, bf16]) {
+        let compiled = compiler.compile_design(&design)?;
+        let layout = &compiled.layout;
+        println!("== {label}: {} ==", design);
+        println!(
+            "  dimensions : {:.0} µm × {:.0} µm   (paper: {pw:.0} µm × {ph:.0} µm)",
+            layout.width_um(),
+            layout.height_um()
+        );
+        println!(
+            "  area       : {:.3} mm²            (paper: {parea:.3} mm²)",
+            layout.area_mm2()
+        );
+        if let Some(pp) = p_prealign {
+            let pa = layout
+                .region(RegionKind::PreAlignment)
+                .map(|r| r.cell_area_um2 * 1e-6)
+                .unwrap_or(0.0);
+            println!("  pre-align  : {pa:.4} mm²           (paper: {pp:.3} mm²)");
+        }
+        println!(
+            "  audit      : netlist {:.0} vs estimator {:.0} gate-units (rel err {:.1e})",
+            compiled.audit.netlist_area,
+            compiled.audit.estimated_area,
+            compiled.audit.area_error()
+        );
+        println!("  region breakdown:");
+        for r in &layout.regions {
+            println!(
+                "    {:>14}: {:8.0} µm²  ({:4.1}% of die)",
+                r.kind.name(),
+                r.cell_area_um2,
+                100.0 * r.cell_area_um2 / (layout.die.area())
+            );
+        }
+        // Routing sanity of the floorplan.
+        let routing = analyze_routing(layout);
+        println!(
+            "  routing    : peak boundary density {:.1} bits/µm (capacity {:.0}) -> {}",
+            routing.peak_density,
+            DEFAULT_CAPACITY_BITS_PER_UM,
+            if routing.is_routable(DEFAULT_CAPACITY_BITS_PER_UM) {
+                "routable"
+            } else {
+                "CONGESTED"
+            }
+        );
+
+        // Detailed placement of the result-fusion cells into the periphery
+        // band (the signoff-grade step Innovus would run for every region).
+        let fusion_module = compiled
+            .netlist
+            .modules()
+            .iter()
+            .find(|m| m.name.starts_with("fuse_"))
+            .map(|m| m.name.clone());
+        let mut placements = Vec::new();
+        if let (Some(fusion), Some(periphery)) =
+            (fusion_module, layout.region(RegionKind::Periphery))
+        {
+            let placed = place_module(
+                &compiled.netlist,
+                &fusion,
+                periphery.rect,
+                compiler.technology(),
+                &LayoutOptions::default(),
+            )?;
+            let violations = check_placements(&placed.placements, periphery.rect);
+            println!(
+                "  placement  : {} cells of `{fusion}` legalized into the periphery band ({} rows, {} DRC violations)",
+                placed.placements.len(),
+                placed.rows_used,
+                violations.len()
+            );
+            assert!(
+                violations.is_empty(),
+                "detailed placement must be DRC-clean"
+            );
+            placements = placed.placements;
+        }
+
+        println!();
+        println!("{}", to_ascii(layout, 56));
+
+        let stem = label.to_lowercase();
+        fs::write(out_dir.join(format!("{stem}.v")), &compiled.verilog)?;
+        fs::write(
+            out_dir.join(format!("{stem}.def")),
+            to_def(layout, &placements),
+        )?;
+        println!(
+            "  artifacts  : target/fig6/{stem}.v ({} lines), target/fig6/{stem}.def ({} placed components)\n",
+            compiled.verilog.lines().count(),
+            placements.len()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Regenerates the paper's **Fig. 7**: the SEGA-DCIM design space at
+//! Wstore = 64K across the eight precisions — average area, energy, delay
+//! and throughput of each Pareto frontier, with the paper's reported
+//! trend anchors alongside.
+
+use sega_bench::{explore_point, FIG7_PRECISIONS};
+use sega_dcim::report::{markdown_table, summarize_design_space};
+use sega_dcim::{enumerate_design_space, UserSpec};
+use sega_estimator::OperatingConditions;
+
+fn main() {
+    const WSTORE: u64 = 65536;
+    println!("Fig. 7 — design space of SEGA-DCIM, Wstore = 64K\n");
+    println!("paper anchors: avg area 0.2 mm² (INT2) → 60 mm² (FP32); avg energy 0.3 nJ → 103 nJ;");
+    println!("               avg delay 1.2 ns → 10.9 ns; BF16 overhead ≈ INT8.\n");
+
+    let mut rows = Vec::new();
+    let mut summaries = Vec::new();
+    for (i, prec) in FIG7_PRECISIONS.iter().enumerate() {
+        let result = explore_point(WSTORE, *prec, 100 + i as u64);
+        let s = summarize_design_space(*prec, &result.solutions);
+        rows.push(vec![
+            prec.to_string(),
+            s.count.to_string(),
+            format!("{:.3}", s.avg_area_mm2),
+            format!("{:.3}", s.avg_energy_nj),
+            format!("{:.2}", s.avg_delay_ns),
+            format!("{:.2}", s.avg_tops),
+        ]);
+        summaries.push(s);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Precision",
+                "|front|",
+                "avg area (mm²)",
+                "avg energy (nJ/pass)",
+                "avg delay (ns)",
+                "avg TOPS",
+            ],
+            &rows
+        )
+    );
+
+    // The full design-space cloud (the scatter the paper's Fig. 7 plots),
+    // via exhaustive enumeration of every legal geometry.
+    println!("design-space cloud (exhaustive enumeration, every legal geometry):\n");
+    let mut cloud_rows = Vec::new();
+    for prec in FIG7_PRECISIONS {
+        let spec = UserSpec::new(WSTORE, prec).expect("Fig. 7 spec is valid");
+        let cloud = enumerate_design_space(
+            &spec,
+            &sega_cells::Technology::tsmc28(),
+            &OperatingConditions::paper_default(),
+        );
+        let min_max = |f: &dyn Fn(&sega_dcim::ParetoSolution) -> f64| {
+            let lo = cloud.iter().map(|s| f(s)).fold(f64::INFINITY, f64::min);
+            let hi = cloud.iter().map(|s| f(s)).fold(0.0f64, f64::max);
+            (lo, hi)
+        };
+        let (a_lo, a_hi) = min_max(&|s| s.estimate.area_mm2);
+        let (d_lo, d_hi) = min_max(&|s| s.estimate.delay_ns);
+        let (t_lo, t_hi) = min_max(&|s| s.estimate.tops);
+        cloud_rows.push(vec![
+            prec.to_string(),
+            cloud.len().to_string(),
+            format!("{a_lo:.3}–{a_hi:.1}"),
+            format!("{d_lo:.2}–{d_hi:.1}"),
+            format!("{t_lo:.2}–{t_hi:.0}"),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Precision",
+                "designs",
+                "area range (mm²)",
+                "delay range (ns)",
+                "TOPS range"
+            ],
+            &cloud_rows
+        )
+    );
+
+    // The trend checks the paper calls out in the text.
+    let area = |name: &str| {
+        summaries
+            .iter()
+            .find(|s| s.precision.name() == name)
+            .map(|s| s.avg_area_mm2)
+            .unwrap_or(0.0)
+    };
+    println!("trend checks:");
+    println!(
+        "  area growth INT2 → FP32 : {:.0}× (paper: ~300×)",
+        area("FP32") / area("INT2")
+    );
+    println!(
+        "  BF16 vs INT8 area       : {:+.1}% (paper: 'almost the same')",
+        100.0 * (area("BF16") - area("INT8")) / area("INT8")
+    );
+    let delay = |name: &str| {
+        summaries
+            .iter()
+            .find(|s| s.precision.name() == name)
+            .map(|s| s.avg_delay_ns)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "  delay growth INT2 → FP32: {:.1}× (paper: 1.2 ns → 10.9 ns ≈ 9×)",
+        delay("FP32") / delay("INT2")
+    );
+}

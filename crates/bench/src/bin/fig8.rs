@@ -1,0 +1,96 @@
+//! Regenerates the paper's **Fig. 8**: energy efficiency (TOPS/W) and area
+//! efficiency (TOPS/mm²) of SEGA-DCIM designs across the Wstore sweep, at
+//! 0.9 V and 10% sparsity, next to the SOTA literature anchors and the
+//! paper's own design A / design B points.
+
+use sega_bench::{explore_point, FIG8_WSTORE};
+use sega_dcim::distill::{distill, DistillStrategy};
+use sega_dcim::report::{
+    markdown_table, SotaPoint, PAPER_DESIGN_A, PAPER_DESIGN_B, SOTA_ISSCC23_BF16, SOTA_TSMC_INT8,
+};
+use sega_estimator::Precision;
+
+fn sweep(precision: Precision, seed: u64) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for (i, &wstore) in FIG8_WSTORE.iter().enumerate() {
+        let result = explore_point(wstore, precision, seed + i as u64);
+        // The paper picks one representative design per size ("we chose
+        // design A with 64K weights"); its (22 TOPS/W, 1.9 TOPS/mm²) point
+        // corresponds to the bit-serial k=1 end of the front, so we report
+        // that corner alongside the automatic knee and the best-efficiency
+        // corner.
+        let knee = distill(&result.solutions, &DistillStrategy::Knee);
+        let eff = distill(&result.solutions, &DistillStrategy::MaxEfficiency);
+        let replica = design_a_replica(precision, wstore);
+        if let (Some(knee), Some(eff)) = (knee, eff) {
+            rows.push(vec![
+                format!("{}K", wstore / 1024),
+                format!("{:.1}", replica.tops_per_w()),
+                format!("{:.2}", replica.tops_per_mm2()),
+                format!("{:.1}", knee.estimate.tops_per_w()),
+                format!("{:.2}", knee.estimate.tops_per_mm2()),
+                format!("{:.1}", eff.estimate.tops_per_w()),
+                format!("{:.2}", eff.estimate.tops_per_mm2()),
+            ]);
+        }
+    }
+    rows
+}
+
+/// The paper's chosen designs A/B sit at the bit-serial `k = 1` end of the
+/// front; this fixed-geometry replica (`N = 8·Bw`, `L = 8`,
+/// `H = Wstore/64`) reproduces their (TOPS/W, TOPS/mm²) operating point.
+fn design_a_replica(precision: Precision, wstore: u64) -> sega_estimator::MacroEstimate {
+    let bw = precision.weight_bits();
+    let n = 8 * bw;
+    let l = 8u32;
+    let h = (wstore / 64) as u32;
+    let design = sega_estimator::DcimDesign::for_precision(precision, n, h, l, 1)
+        .expect("replica geometry is valid for the Fig. 8 sweep");
+    assert_eq!(design.wstore(), wstore);
+    sega_estimator::estimate(
+        &design,
+        &sega_cells::Technology::tsmc28(),
+        &sega_estimator::OperatingConditions::paper_default(),
+    )
+}
+
+fn anchors(points: &[&SotaPoint]) {
+    for p in points {
+        println!(
+            "  {} ({}, {}K weights, {:.0} nm): {:.1} TOPS/W, {:.2} TOPS/mm²",
+            p.label,
+            p.source,
+            p.wstore / 1024,
+            p.node_nm,
+            p.tops_per_w,
+            p.tops_per_mm2
+        );
+    }
+}
+
+fn main() {
+    println!("Fig. 8 — efficiency comparison at 0.9 V, 10% sparsity\n");
+    let header = [
+        "Wstore",
+        "replica TOPS/W",
+        "replica TOPS/mm²",
+        "knee TOPS/W",
+        "knee TOPS/mm²",
+        "best TOPS/W",
+        "best TOPS/mm²",
+    ];
+
+    println!("(a) INT8 sweep:");
+    println!("{}", markdown_table(&header, &sweep(Precision::Int8, 800)));
+    println!("reference anchors:");
+    anchors(&[&PAPER_DESIGN_A, &SOTA_TSMC_INT8]);
+
+    println!("\n(b) BF16 sweep:");
+    println!("{}", markdown_table(&header, &sweep(Precision::Bf16, 900)));
+    println!("reference anchors:");
+    anchors(&[&PAPER_DESIGN_B, &SOTA_ISSCC23_BF16]);
+
+    println!("\nshape checks (paper): SEGA-DCIM beats the silicon anchors on TOPS/W but");
+    println!("trails them on TOPS/mm² (the anchors use foundry SRAM arrays / 22 nm).");
+}

@@ -1,0 +1,109 @@
+//! Regenerates the paper's **Tables II and III** (logic-module and
+//! standard-cell cost models) and spot-checks **Tables IV-VI** (component
+//! and macro models) at the Fig. 6 design point — all printed from the
+//! live `sega-cells` / `sega-estimator` models.
+
+use sega_cells::{modules, StandardCell, Technology, ALL_CELLS};
+use sega_dcim::report::markdown_table;
+use sega_estimator::{components, estimate, OperatingConditions};
+
+fn main() {
+    println!("Table III — Standard-cell cost model (NOR-gate units)\n");
+    let rows: Vec<Vec<String>> = ALL_CELLS
+        .iter()
+        .map(|&c| {
+            let cost = c.cost();
+            vec![
+                c.name().to_owned(),
+                format!("{:.1}", cost.area),
+                if c == StandardCell::Dff {
+                    "N/A".to_owned()
+                } else {
+                    format!("{:.1}", cost.delay)
+                },
+                format!("{:.1}", cost.energy),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["Cell", "Area", "Delay", "Power"], &rows)
+    );
+
+    println!("Table II — Logic-module cost model at N = 8 (NOR-gate units)\n");
+    let n = 8u32;
+    let mods: [(&str, sega_cells::Cost); 5] = [
+        ("1-bit*8-bit Multiplier", modules::multiplier(n)),
+        ("8-bit Adder", modules::adder(n)),
+        ("8:1 MUX", modules::selector(n)),
+        ("8-bit Shifter", modules::shifter(n)),
+        ("8-bit Comparator", modules::comparator(n)),
+    ];
+    let rows: Vec<Vec<String>> = mods
+        .iter()
+        .map(|(name, c)| {
+            vec![
+                (*name).to_owned(),
+                format!("{:.1}", c.area),
+                format!("{:.1}", c.delay),
+                format!("{:.1}", c.energy),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["Module", "Area", "Delay", "Power"], &rows)
+    );
+
+    println!("Table IV — Component cost model at the Fig. 6 geometry (H=128, k=4, Bx=8, Bw=8, BE=8, BM=8)\n");
+    let comps: [(&str, sega_cells::Cost); 5] = [
+        ("Adder tree", components::adder_tree(128, 4)),
+        ("Shift accumulator", components::shift_accumulator(8, 128)),
+        ("Result fusion", components::result_fusion(8, 8, 128)),
+        ("Pre-alignment", components::pre_alignment(128, 8, 8)),
+        (
+            "INT-to-FP converter",
+            components::int_to_fp_converter(23, 8),
+        ),
+    ];
+    let rows: Vec<Vec<String>> = comps
+        .iter()
+        .map(|(name, c)| {
+            vec![
+                (*name).to_owned(),
+                format!("{:.0}", c.area),
+                format!("{:.0}", c.delay),
+                format!("{:.0}", c.energy),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["Component", "Area", "Delay", "Energy"], &rows)
+    );
+
+    println!("Tables V/VI — whole-macro estimates at the Fig. 6 design points\n");
+    let (int8, bf16) = sega_bench::fig6_designs();
+    let tech = Technology::tsmc28();
+    let cond = OperatingConditions::paper_default();
+    let rows: Vec<Vec<String>> = [("MUL-CIM (INT8)", int8), ("FP-CIM (BF16)", bf16)]
+        .iter()
+        .map(|(name, d)| {
+            let e = estimate(d, &tech, &cond);
+            vec![
+                (*name).to_owned(),
+                format!("{:.4} mm²", e.area_mm2),
+                format!("{:.3} ns", e.delay_ns),
+                format!("{:.4} nJ/pass", e.energy_per_pass_nj),
+                format!("{:.3} TOPS", e.tops),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["Macro", "Area", "Delay", "Power(energy)", "Throughput"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,156 @@
+use crate::Cost;
+
+/// The standard cells of the paper's Table III, with costs normalized to the
+/// NOR gate of the target PDK.
+///
+/// The paper's modeling assumptions are preserved exactly:
+///
+/// * the DFF has no combinational delay entry (it bounds the cycle via
+///   setup/clk-q which the paper folds into the pipeline-stage maximum), so
+///   its delay here is zero;
+/// * the 6T SRAM cell has zero delay **and zero energy** because weights are
+///   hard-wired to the compute units (no precharge/read cycle) and leakage is
+///   neglected.
+///
+/// ```
+/// use sega_cells::StandardCell;
+///
+/// let fa = StandardCell::FullAdder.cost();
+/// assert_eq!(fa.area, 5.7);
+/// assert_eq!(fa.delay, 3.3);
+/// assert_eq!(fa.energy, 8.4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StandardCell {
+    /// 4T NOR gate — the normalization unit (1, 1, 1).
+    Nor,
+    /// OR gate.
+    Or,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// 1-bit half adder.
+    HalfAdder,
+    /// 1-bit full adder.
+    FullAdder,
+    /// D flip-flop (register bit).
+    Dff,
+    /// 6T SRAM bit cell.
+    Sram,
+}
+
+/// All standard cells, in Table III order.
+pub const ALL_CELLS: [StandardCell; 7] = [
+    StandardCell::Nor,
+    StandardCell::Or,
+    StandardCell::Mux2,
+    StandardCell::HalfAdder,
+    StandardCell::FullAdder,
+    StandardCell::Dff,
+    StandardCell::Sram,
+];
+
+impl StandardCell {
+    /// The Table III cost triple of this cell in NOR-gate units.
+    pub const fn cost(self) -> Cost {
+        match self {
+            StandardCell::Nor => Cost::new(1.0, 1.0, 1.0),
+            StandardCell::Or => Cost::new(1.3, 1.0, 2.3),
+            StandardCell::Mux2 => Cost::new(2.2, 2.2, 3.0),
+            StandardCell::HalfAdder => Cost::new(4.3, 2.5, 6.9),
+            StandardCell::FullAdder => Cost::new(5.7, 3.3, 8.4),
+            StandardCell::Dff => Cost::new(6.6, 0.0, 9.6),
+            StandardCell::Sram => Cost::new(2.2, 0.0, 0.0),
+        }
+    }
+
+    /// Canonical short name as used in netlists and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            StandardCell::Nor => "NOR",
+            StandardCell::Or => "OR",
+            StandardCell::Mux2 => "MUX2",
+            StandardCell::HalfAdder => "HA",
+            StandardCell::FullAdder => "FA",
+            StandardCell::Dff => "DFF",
+            StandardCell::Sram => "SRAM",
+        }
+    }
+
+    /// Looks a cell up by its canonical [`name`](StandardCell::name).
+    pub fn from_name(name: &str) -> Option<StandardCell> {
+        ALL_CELLS.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// True for cells that store state (and therefore have no combinational
+    /// delay contribution in the paper's model).
+    pub const fn is_sequential(self) -> bool {
+        matches!(self, StandardCell::Dff | StandardCell::Sram)
+    }
+}
+
+impl std::fmt::Display for StandardCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_values_match_paper() {
+        // (cell, area, delay, energy) straight out of Table III.
+        let expect = [
+            (StandardCell::Nor, 1.0, 1.0, 1.0),
+            (StandardCell::Or, 1.3, 1.0, 2.3),
+            (StandardCell::Mux2, 2.2, 2.2, 3.0),
+            (StandardCell::HalfAdder, 4.3, 2.5, 6.9),
+            (StandardCell::FullAdder, 5.7, 3.3, 8.4),
+            (StandardCell::Dff, 6.6, 0.0, 9.6),
+            (StandardCell::Sram, 2.2, 0.0, 0.0),
+        ];
+        for (cell, a, d, e) in expect {
+            let c = cell.cost();
+            assert_eq!(c.area, a, "{cell} area");
+            assert_eq!(c.delay, d, "{cell} delay");
+            assert_eq!(c.energy, e, "{cell} energy");
+        }
+    }
+
+    #[test]
+    fn nor_is_the_unit() {
+        assert_eq!(StandardCell::Nor.cost(), Cost::new(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn sram_is_free_to_read() {
+        let s = StandardCell::Sram.cost();
+        assert_eq!(s.delay, 0.0);
+        assert_eq!(s.energy, 0.0);
+        assert!(s.area > 0.0);
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for cell in ALL_CELLS {
+            assert_eq!(StandardCell::from_name(cell.name()), Some(cell));
+        }
+        assert_eq!(StandardCell::from_name("XNOR"), None);
+    }
+
+    #[test]
+    fn sequential_flags() {
+        assert!(StandardCell::Dff.is_sequential());
+        assert!(StandardCell::Sram.is_sequential());
+        assert!(!StandardCell::FullAdder.is_sequential());
+        assert!(!StandardCell::Nor.is_sequential());
+    }
+
+    #[test]
+    fn all_costs_valid() {
+        for cell in ALL_CELLS {
+            assert!(cell.cost().is_valid(), "{cell}");
+        }
+    }
+}

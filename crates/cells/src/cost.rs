@@ -1,0 +1,203 @@
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A hardware cost triple in NOR-gate units: area, delay and energy.
+///
+/// `Cost` values compose the way hardware composes:
+///
+/// * [`Cost::then`] chains two blocks in series (areas and energies add,
+///   delays add — the signal traverses both).
+/// * [`Cost::beside`] places two blocks in parallel (areas and energies add,
+///   delay is the maximum — the signal traverses the slower one).
+/// * `cost * n` replicates a block `n` times in parallel lanes that all
+///   switch (area and energy scale, delay is unchanged).
+///
+/// Delay is the *combinational* delay through the block. Sequential elements
+/// (DFF, SRAM) carry zero combinational delay per the paper's model.
+///
+/// # Example
+///
+/// ```
+/// use sega_cells::{modules, Cost};
+///
+/// // A 1x4-bit NOR multiplier feeding a 4-bit adder, replicated 8 times.
+/// let lane = modules::multiplier(4).then(modules::adder(4));
+/// let bank = lane * 8.0;
+/// assert_eq!(bank.delay, lane.delay);
+/// assert!((bank.area - 8.0 * lane.area).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Area in NOR-gate-area units.
+    pub area: f64,
+    /// Combinational delay in NOR-gate-delay units.
+    pub delay: f64,
+    /// Switching energy per operation in NOR-gate-energy units.
+    pub energy: f64,
+}
+
+impl Cost {
+    /// A zero-cost block (wire).
+    pub const ZERO: Cost = Cost {
+        area: 0.0,
+        delay: 0.0,
+        energy: 0.0,
+    };
+
+    /// Creates a cost triple from explicit area / delay / energy.
+    pub const fn new(area: f64, delay: f64, energy: f64) -> Self {
+        Cost {
+            area,
+            delay,
+            energy,
+        }
+    }
+
+    /// Composes `self` in series with `next`: the output of `self` drives
+    /// `next`, so delays add while area and energy accumulate.
+    #[must_use]
+    pub fn then(self, next: Cost) -> Cost {
+        Cost {
+            area: self.area + next.area,
+            delay: self.delay + next.delay,
+            energy: self.energy + next.energy,
+        }
+    }
+
+    /// Composes `self` in parallel with `other`: both blocks operate on the
+    /// same cycle, so the delay is the slower of the two while area and
+    /// energy accumulate.
+    #[must_use]
+    pub fn beside(self, other: Cost) -> Cost {
+        Cost {
+            area: self.area + other.area,
+            delay: self.delay.max(other.delay),
+            energy: self.energy + other.energy,
+        }
+    }
+
+    /// Adds area and energy only, leaving delay untouched. This models logic
+    /// that is off the critical path (e.g. extra storage rows behind a
+    /// selection mux).
+    #[must_use]
+    pub fn with_off_path(self, other: Cost) -> Cost {
+        Cost {
+            area: self.area + other.area,
+            delay: self.delay,
+            energy: self.energy + other.energy,
+        }
+    }
+
+    /// Returns true when every component is finite and non-negative — every
+    /// cost produced by a well-formed model must satisfy this.
+    pub fn is_valid(&self) -> bool {
+        let ok = |x: f64| x.is_finite() && x >= 0.0;
+        ok(self.area) && ok(self.delay) && ok(self.energy)
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    /// `+` is parallel composition ([`Cost::beside`]): areas and energies
+    /// add, delay is the max. Serial chains must be explicit via
+    /// [`Cost::then`].
+    fn add(self, rhs: Cost) -> Cost {
+        self.beside(rhs)
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<f64> for Cost {
+    type Output = Cost;
+
+    /// Replicates the block across `n` parallel lanes.
+    fn mul(self, n: f64) -> Cost {
+        Cost {
+            area: self.area * n,
+            delay: self.delay,
+            energy: self.energy * n,
+        }
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, |acc, c| acc + c)
+    }
+}
+
+impl std::fmt::Display for Cost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "A={:.1} D={:.1} E={:.1} (NOR units)",
+            self.area, self.delay, self.energy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(a: f64, d: f64, e: f64) -> Cost {
+        Cost::new(a, d, e)
+    }
+
+    #[test]
+    fn then_adds_all_three() {
+        let r = c(1.0, 2.0, 3.0).then(c(10.0, 20.0, 30.0));
+        assert_eq!(r, c(11.0, 22.0, 33.0));
+    }
+
+    #[test]
+    fn beside_takes_max_delay() {
+        let r = c(1.0, 2.0, 3.0).beside(c(10.0, 1.0, 30.0));
+        assert_eq!(r, c(11.0, 2.0, 33.0));
+    }
+
+    #[test]
+    fn add_is_beside() {
+        assert_eq!(c(1.0, 5.0, 1.0) + c(1.0, 3.0, 1.0), c(2.0, 5.0, 2.0));
+    }
+
+    #[test]
+    fn mul_replicates_lanes() {
+        let r = c(2.0, 7.0, 4.0) * 3.0;
+        assert_eq!(r, c(6.0, 7.0, 12.0));
+    }
+
+    #[test]
+    fn with_off_path_keeps_delay() {
+        let r = c(1.0, 2.0, 3.0).with_off_path(c(100.0, 99.0, 50.0));
+        assert_eq!(r, c(101.0, 2.0, 53.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = vec![c(1.0, 1.0, 1.0), c(2.0, 5.0, 2.0), c(3.0, 2.0, 3.0)];
+        let total: Cost = parts.into_iter().sum();
+        assert_eq!(total, c(6.0, 5.0, 6.0));
+    }
+
+    #[test]
+    fn zero_is_identity_for_both_compositions() {
+        let x = c(3.0, 4.0, 5.0);
+        assert_eq!(Cost::ZERO.then(x), x);
+        assert_eq!(Cost::ZERO.beside(x), x);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(c(0.0, 0.0, 0.0).is_valid());
+        assert!(!c(-1.0, 0.0, 0.0).is_valid());
+        assert!(!c(f64::NAN, 0.0, 0.0).is_valid());
+        assert!(!c(0.0, f64::INFINITY, 0.0).is_valid());
+    }
+}

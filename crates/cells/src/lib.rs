@@ -1,0 +1,85 @@
+//! # sega-cells — standard-cell and logic-module cost models
+//!
+//! This crate implements the bottom layer of the SEGA-DCIM performance
+//! estimation stack: the standard-cell cost library (paper Table III) and the
+//! digital logic-module cost models built on top of it (paper Table II).
+//!
+//! All costs are expressed in **NOR-gate units**, exactly as the paper does:
+//! one unit of area is the area of a NOR gate, one unit of delay is a NOR
+//! gate delay, and one unit of energy is the switching energy of a NOR gate.
+//! A [`Technology`] converts unit costs into physical quantities (µm², ns,
+//! fJ) using three calibrated constants, which is the only place a PDK enters
+//! the model (see `DESIGN.md` §3 for the calibration rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use sega_cells::{modules, Technology};
+//!
+//! // Cost of a 16-bit ripple-carry adder, in NOR-gate units.
+//! let adder = modules::adder(16);
+//! assert!(adder.area > 0.0);
+//!
+//! // Convert to physical units under the calibrated TSMC28-like technology.
+//! let tech = Technology::tsmc28();
+//! let phys = tech.realize(adder);
+//! assert!(phys.area_um2 > 0.0 && phys.delay_ns > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod cost;
+pub mod modules;
+mod technology;
+
+pub use cell::{StandardCell, ALL_CELLS};
+pub use cost::Cost;
+pub use technology::{PhysicalCost, Technology};
+
+/// Returns `ceil(log2(n))` as used throughout the paper's cost formulas
+/// (mux-tree depth, shifter stages, adder-tree depth).
+///
+/// By convention `ceil_log2(0) == 0` and `ceil_log2(1) == 0`: a 1:1 selection
+/// or a single-element tree needs no logic.
+///
+/// ```
+/// assert_eq!(sega_cells::ceil_log2(1), 0);
+/// assert_eq!(sega_cells::ceil_log2(2), 1);
+/// assert_eq!(sega_cells::ceil_log2(5), 3);
+/// assert_eq!(sega_cells::ceil_log2(1024), 10);
+/// ```
+pub fn ceil_log2(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_powers_of_two() {
+        for e in 0..32u32 {
+            assert_eq!(ceil_log2(1u64 << e), e);
+        }
+    }
+
+    #[test]
+    fn ceil_log2_non_powers() {
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(ceil_log2(1000), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn ceil_log2_degenerate() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+    }
+}

@@ -1,0 +1,216 @@
+use crate::Cost;
+
+/// A hardware cost in physical units, produced by [`Technology::realize`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhysicalCost {
+    /// Silicon area in µm².
+    pub area_um2: f64,
+    /// Combinational delay in ns.
+    pub delay_ns: f64,
+    /// Switching energy per operation in fJ.
+    pub energy_fj: f64,
+}
+
+impl PhysicalCost {
+    /// Area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.area_um2 * 1e-6
+    }
+
+    /// Energy in nJ.
+    pub fn energy_nj(&self) -> f64 {
+        self.energy_fj * 1e-6
+    }
+}
+
+/// The technology calibration: the only place absolute PDK numbers enter the
+/// SEGA-DCIM model.
+///
+/// The paper normalizes every cost to NOR-gate units "based on TSMC28 digital
+/// circuits PDK" and notes that "if the technology process changes, the cost
+/// will also be changed". We do not have the TSMC28 PDK, so the three
+/// per-gate constants below are **calibrated** so that the paper's headline
+/// physical results land in-band (Fig. 6 macro areas, Fig. 7 delay/energy
+/// ranges, Fig. 8 efficiency points); see `DESIGN.md` §3. Everything other
+/// than these three constants is PDK-independent.
+///
+/// # Example
+///
+/// ```
+/// use sega_cells::{modules, Technology};
+///
+/// let tech = Technology::tsmc28();
+/// let adder16 = tech.realize(modules::adder(16));
+/// assert!(adder16.area_um2 > 1.0);
+///
+/// // Derate the supply: energy drops quadratically, delay stretches.
+/// let lv = tech.at_voltage(0.72);
+/// assert!(lv.gate_energy_fj < tech.gate_energy_fj);
+/// assert!(lv.gate_delay_ns > tech.gate_delay_ns);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Human-readable node name, e.g. `"tsmc28-calibrated"`.
+    pub name: String,
+    /// Feature size in nm (28 for the paper's PDK).
+    pub node_nm: f64,
+    /// Area of one NOR-gate unit in µm², including placement/routing
+    /// overhead at realistic utilization.
+    pub gate_area_um2: f64,
+    /// Delay of one NOR-gate unit in ns at [`nominal_voltage`](Self::nominal_voltage).
+    pub gate_delay_ns: f64,
+    /// Switching energy of one NOR-gate unit in fJ at nominal voltage.
+    pub gate_energy_fj: f64,
+    /// Supply voltage at which `gate_delay_ns` / `gate_energy_fj` hold.
+    pub nominal_voltage: f64,
+}
+
+impl Technology {
+    /// The calibrated TSMC28-like technology used for every experiment in the
+    /// paper (0.9 V supply).
+    pub fn tsmc28() -> Technology {
+        Technology {
+            name: "tsmc28-calibrated".to_owned(),
+            node_nm: 28.0,
+            gate_area_um2: 0.18,
+            gate_delay_ns: 0.008,
+            gate_energy_fj: 0.4,
+            nominal_voltage: 0.9,
+        }
+    }
+
+    /// First-order scaling of this technology to a different node, used to
+    /// place the 22 nm SOTA literature points on a comparable footing: area
+    /// scales quadratically with feature size, delay and energy linearly.
+    #[must_use]
+    pub fn scaled_to_node(&self, node_nm: f64) -> Technology {
+        assert!(node_nm > 0.0, "node size must be positive");
+        let s = node_nm / self.node_nm;
+        Technology {
+            name: format!("{}-scaled-{node_nm:.0}nm", self.name),
+            node_nm,
+            gate_area_um2: self.gate_area_um2 * s * s,
+            gate_delay_ns: self.gate_delay_ns * s,
+            gate_energy_fj: self.gate_energy_fj * s,
+            nominal_voltage: self.nominal_voltage,
+        }
+    }
+
+    /// Derives the technology operating at supply `voltage` (V): dynamic
+    /// energy scales with `V²`, delay inversely with `V` (first-order
+    /// alpha-power model with α≈1 in the near-nominal regime).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltage` is not strictly positive.
+    #[must_use]
+    pub fn at_voltage(&self, voltage: f64) -> Technology {
+        assert!(voltage > 0.0, "supply voltage must be positive");
+        let r = voltage / self.nominal_voltage;
+        Technology {
+            name: format!("{}@{voltage:.2}V", self.name),
+            node_nm: self.node_nm,
+            gate_area_um2: self.gate_area_um2,
+            gate_delay_ns: self.gate_delay_ns / r,
+            gate_energy_fj: self.gate_energy_fj * r * r,
+            nominal_voltage: voltage,
+        }
+    }
+
+    /// Converts a unit-normalized [`Cost`] into physical units.
+    pub fn realize(&self, cost: Cost) -> PhysicalCost {
+        PhysicalCost {
+            area_um2: cost.area * self.gate_area_um2,
+            delay_ns: cost.delay * self.gate_delay_ns,
+            energy_fj: cost.energy * self.gate_energy_fj,
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::tsmc28()
+    }
+}
+
+impl std::fmt::Display for Technology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({}nm, {:.2}V): NOR = {:.3} µm² / {:.3} ns / {:.2} fJ",
+            self.name,
+            self.node_nm,
+            self.nominal_voltage,
+            self.gate_area_um2,
+            self.gate_delay_ns,
+            self.gate_energy_fj
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realize_scales_linearly() {
+        let t = Technology::tsmc28();
+        let c = Cost::new(100.0, 10.0, 1000.0);
+        let p = t.realize(c);
+        assert!((p.area_um2 - 100.0 * t.gate_area_um2).abs() < 1e-9);
+        assert!((p.delay_ns - 10.0 * t.gate_delay_ns).abs() < 1e-9);
+        assert!((p.energy_fj - 1000.0 * t.gate_energy_fj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let p = PhysicalCost {
+            area_um2: 2_000_000.0,
+            delay_ns: 1.0,
+            energy_fj: 3_000_000.0,
+        };
+        assert!((p.area_mm2() - 2.0).abs() < 1e-12);
+        assert!((p.energy_nj() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_scaling_directions() {
+        let t = Technology::tsmc28();
+        let low = t.at_voltage(0.6);
+        assert!(low.gate_energy_fj < t.gate_energy_fj);
+        assert!(low.gate_delay_ns > t.gate_delay_ns);
+        let high = t.at_voltage(1.1);
+        assert!(high.gate_energy_fj > t.gate_energy_fj);
+        assert!(high.gate_delay_ns < t.gate_delay_ns);
+    }
+
+    #[test]
+    fn voltage_scaling_is_quadratic_in_energy() {
+        let t = Technology::tsmc28();
+        let half = t.at_voltage(t.nominal_voltage / 2.0);
+        assert!((half.gate_energy_fj - t.gate_energy_fj / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_scaling() {
+        let t = Technology::tsmc28();
+        let t22 = t.scaled_to_node(22.0);
+        let s = 22.0 / 28.0;
+        assert!((t22.gate_area_um2 - t.gate_area_um2 * s * s).abs() < 1e-12);
+        assert!((t22.gate_delay_ns - t.gate_delay_ns * s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_voltage_round_trip_is_identity() {
+        let t = Technology::tsmc28();
+        let same = t.at_voltage(t.nominal_voltage);
+        assert!((same.gate_delay_ns - t.gate_delay_ns).abs() < 1e-12);
+        assert!((same.gate_energy_fj - t.gate_energy_fj).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "supply voltage must be positive")]
+    fn zero_voltage_panics() {
+        let _ = Technology::tsmc28().at_voltage(0.0);
+    }
+}

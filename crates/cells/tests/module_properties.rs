@@ -1,0 +1,84 @@
+//! Property-based tests of the Table II logic-module models.
+
+use proptest::prelude::*;
+use sega_cells::{ceil_log2, modules, StandardCell, Technology};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The adder model is exactly linear in width: (n−1)·FA + HA.
+    #[test]
+    fn adder_is_linear(n in 1u32..=128) {
+        let a = modules::adder(n);
+        let fa = StandardCell::FullAdder.cost();
+        let ha = StandardCell::HalfAdder.cost();
+        let m = (n - 1) as f64;
+        prop_assert!((a.area - (m * fa.area + ha.area)).abs() < 1e-9);
+        prop_assert!((a.delay - (m * fa.delay + ha.delay)).abs() < 1e-9);
+        prop_assert!((a.energy - (m * fa.energy + ha.energy)).abs() < 1e-9);
+    }
+
+    /// Selector area is exactly (n−1) MUX2 and its delay is the tree depth.
+    #[test]
+    fn selector_structure(n in 2u32..=256) {
+        let s = modules::selector(n);
+        prop_assert!((s.area - (n - 1) as f64 * 2.2).abs() < 1e-9);
+        prop_assert!((s.delay - ceil_log2(n as u64) as f64 * 2.2).abs() < 1e-9);
+    }
+
+    /// The shifter is n parallel selectors: area and energy scale by n,
+    /// delay does not.
+    #[test]
+    fn shifter_is_parallel_selectors(n in 2u32..=64) {
+        let sh = modules::shifter(n);
+        let sel = modules::selector(n);
+        prop_assert!((sh.area - n as f64 * sel.area).abs() < 1e-6);
+        prop_assert!((sh.energy - n as f64 * sel.energy).abs() < 1e-6);
+        prop_assert!((sh.delay - sel.delay).abs() < 1e-9);
+    }
+
+    /// All module costs are valid (finite, non-negative) across the full
+    /// width range the architecture uses.
+    #[test]
+    fn all_modules_valid(n in 1u32..=256) {
+        for c in [
+            modules::multiplier(n),
+            modules::adder(n),
+            modules::selector(n),
+            modules::shifter(n),
+            modules::comparator(n),
+            modules::register(n),
+        ] {
+            prop_assert!(c.is_valid(), "n={n}: {c}");
+        }
+    }
+
+    /// Physical realization is strictly linear: realize(a + b in series)
+    /// equals realize(a) + realize(b) componentwise.
+    #[test]
+    fn realization_is_linear(
+        a1 in 0.0f64..1e6, d1 in 0.0f64..1e4, e1 in 0.0f64..1e6,
+        a2 in 0.0f64..1e6, d2 in 0.0f64..1e4, e2 in 0.0f64..1e6,
+    ) {
+        let tech = Technology::tsmc28();
+        let x = sega_cells::Cost::new(a1, d1, e1);
+        let y = sega_cells::Cost::new(a2, d2, e2);
+        let lhs = tech.realize(x.then(y));
+        let rx = tech.realize(x);
+        let ry = tech.realize(y);
+        prop_assert!((lhs.area_um2 - (rx.area_um2 + ry.area_um2)).abs() < 1e-6);
+        prop_assert!((lhs.delay_ns - (rx.delay_ns + ry.delay_ns)).abs() < 1e-9);
+        prop_assert!((lhs.energy_fj - (rx.energy_fj + ry.energy_fj)).abs() < 1e-6);
+    }
+
+    /// Node scaling round-trips: scaling to X then back to 28 recovers the
+    /// original constants.
+    #[test]
+    fn node_scaling_round_trip(node in 5.0f64..90.0) {
+        let t = Technology::tsmc28();
+        let back = t.scaled_to_node(node).scaled_to_node(28.0);
+        prop_assert!((back.gate_area_um2 - t.gate_area_um2).abs() < 1e-12);
+        prop_assert!((back.gate_delay_ns - t.gate_delay_ns).abs() < 1e-15);
+        prop_assert!((back.gate_energy_fj - t.gate_energy_fj).abs() < 1e-12);
+    }
+}

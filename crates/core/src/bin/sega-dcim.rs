@@ -1,0 +1,243 @@
+//! The `sega-dcim` command-line compiler.
+//!
+//! ```text
+//! sega-dcim compile --wstore 8192 --precision int8 [--strategy knee]
+//!                   [--population 100] [--generations 120] [--seed N]
+//!                   [--out DIR]
+//! sega-dcim explore --wstore 8192 --precision bf16 [--csv]
+//! sega-dcim estimate --n 32 --h 128 --l 16 --k 4 --precision int8
+//! ```
+//!
+//! `compile` runs the full pipeline and writes `macro.v`, `macro.def` and
+//! `report.md` into `--out` (default `./sega-out`); `explore` prints the
+//! Pareto frontier; `estimate` prints the cost model for one design point.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sega_dcim::report::{csv_table, markdown_table};
+use sega_dcim::{Compiler, DistillStrategy, UserSpec};
+use sega_estimator::{estimate, DcimDesign, OperatingConditions, Precision};
+use sega_layout::export::to_ascii;
+use sega_moga::Nsga2Config;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sega-dcim compile  --wstore N --precision P [--strategy knee|min-area|max-throughput|max-efficiency]
+                     [--population N] [--generations N] [--seed N] [--out DIR]
+  sega-dcim explore  --wstore N --precision P [--csv]
+  sega-dcim estimate --n N --h H --l L --k K --precision P
+precisions: int2 int4 int8 int16 fp8 fp16 bf16 fp32";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "compile" => compile(&flags),
+        "explore" => explore(&flags),
+        "estimate" => estimate_cmd(&flags),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected `--flag`, got `{arg}`"))?;
+        // Boolean flags take no value.
+        if key == "csv" {
+            flags.insert(key.to_owned(), "true".to_owned());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag `--{key}` needs a value"))?;
+        flags.insert(key.to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get_u64(flags: &HashMap<String, String>, key: &str) -> Result<u64, String> {
+    flags
+        .get(key)
+        .ok_or_else(|| format!("missing --{key}"))?
+        .parse()
+        .map_err(|e| format!("--{key}: {e}"))
+}
+
+fn get_u32_opt(flags: &HashMap<String, String>, key: &str) -> Result<Option<u32>, String> {
+    flags
+        .get(key)
+        .map(|v| v.parse().map_err(|e| format!("--{key}: {e}")))
+        .transpose()
+}
+
+fn get_precision(flags: &HashMap<String, String>) -> Result<Precision, String> {
+    let raw = flags.get("precision").ok_or("missing --precision")?;
+    Precision::from_name(raw).ok_or_else(|| format!("unknown precision `{raw}`"))
+}
+
+fn get_strategy(flags: &HashMap<String, String>) -> Result<DistillStrategy, String> {
+    Ok(match flags.get("strategy").map(String::as_str) {
+        None | Some("knee") => DistillStrategy::Knee,
+        Some("min-area") => DistillStrategy::MinArea,
+        Some("max-throughput") => DistillStrategy::MaxThroughput,
+        Some("max-efficiency") => DistillStrategy::MaxEfficiency,
+        Some(other) => return Err(format!("unknown strategy `{other}`")),
+    })
+}
+
+fn compiler_from(flags: &HashMap<String, String>) -> Result<Compiler, String> {
+    let mut cfg = Nsga2Config::default();
+    if let Some(p) = get_u32_opt(flags, "population")? {
+        cfg.population = p as usize;
+    }
+    if let Some(g) = get_u32_opt(flags, "generations")? {
+        cfg.generations = g as usize;
+    }
+    if let Some(s) = flags.get("seed") {
+        cfg.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
+    }
+    Ok(Compiler::new().with_nsga_config(cfg))
+}
+
+fn compile(flags: &HashMap<String, String>) -> Result<(), String> {
+    let spec = UserSpec::new(get_u64(flags, "wstore")?, get_precision(flags)?)
+        .map_err(|e| e.to_string())?;
+    let strategy = get_strategy(flags)?;
+    let compiler = compiler_from(flags)?;
+    println!("compiling {spec} (strategy {strategy:?}) …");
+    let compiled = compiler
+        .compile(&spec, strategy)
+        .map_err(|e| e.to_string())?;
+
+    let out: PathBuf = flags
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("sega-out"));
+    fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    fs::write(out.join("macro.v"), &compiled.verilog).map_err(|e| e.to_string())?;
+    fs::write(out.join("macro.def"), &compiled.def).map_err(|e| e.to_string())?;
+
+    let mut report = String::new();
+    report.push_str(&format!("# SEGA-DCIM compile report\n\n"));
+    report.push_str(&format!("* specification: {spec}\n"));
+    report.push_str(&format!("* selected design: {}\n", compiled.design));
+    report.push_str(&format!("* estimate: {}\n", compiled.estimate));
+    report.push_str(&format!(
+        "* audit: area err {:.2e}, energy err {:.2e}\n\n",
+        compiled.audit.area_error(),
+        compiled.audit.energy_error()
+    ));
+    report.push_str("## Pareto frontier\n\n");
+    let rows: Vec<Vec<String>> = compiled
+        .frontier
+        .iter()
+        .map(|s| {
+            vec![
+                s.design.to_string(),
+                format!("{:.4}", s.estimate.area_mm2),
+                format!("{:.3}", s.estimate.delay_ns),
+                format!("{:.4}", s.estimate.energy_per_pass_nj),
+                format!("{:.3}", s.estimate.tops),
+            ]
+        })
+        .collect();
+    report.push_str(&markdown_table(
+        &["design", "area (mm²)", "delay (ns)", "energy (nJ)", "TOPS"],
+        &rows,
+    ));
+    fs::write(out.join("report.md"), &report).map_err(|e| e.to_string())?;
+
+    println!("selected: {}", compiled.design);
+    println!("estimate: {}", compiled.estimate);
+    println!();
+    println!("{}", to_ascii(&compiled.layout, 56));
+    println!("wrote {}/macro.v, macro.def, report.md", out.display());
+    Ok(())
+}
+
+fn explore(flags: &HashMap<String, String>) -> Result<(), String> {
+    let spec = UserSpec::new(get_u64(flags, "wstore")?, get_precision(flags)?)
+        .map_err(|e| e.to_string())?;
+    let compiler = compiler_from(flags)?;
+    let result = compiler.explore(&spec);
+    let rows: Vec<Vec<String>> = result
+        .solutions
+        .iter()
+        .map(|s| {
+            vec![
+                s.design.to_string(),
+                format!("{:.4}", s.estimate.area_mm2),
+                format!("{:.3}", s.estimate.delay_ns),
+                format!("{:.4}", s.estimate.energy_per_pass_nj),
+                format!("{:.3}", s.estimate.tops),
+                format!("{:.1}", s.estimate.tops_per_w()),
+            ]
+        })
+        .collect();
+    let header = [
+        "design",
+        "area_mm2",
+        "delay_ns",
+        "energy_nj",
+        "tops",
+        "tops_per_w",
+    ];
+    if flags.contains_key("csv") {
+        print!("{}", csv_table(&header, &rows));
+    } else {
+        println!(
+            "{} Pareto designs for {spec} ({} evaluations):\n",
+            result.solutions.len(),
+            result.evaluations
+        );
+        print!("{}", markdown_table(&header, &rows));
+    }
+    Ok(())
+}
+
+fn estimate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let n = get_u32_opt(flags, "n")?.ok_or("missing --n")?;
+    let h = get_u32_opt(flags, "h")?.ok_or("missing --h")?;
+    let l = get_u32_opt(flags, "l")?.ok_or("missing --l")?;
+    let k = get_u32_opt(flags, "k")?.ok_or("missing --k")?;
+    let precision = get_precision(flags)?;
+    let design = DcimDesign::for_precision(precision, n, h, l, k).map_err(|e| e.to_string())?;
+    let est = estimate(
+        &design,
+        &sega_cells::Technology::tsmc28(),
+        &OperatingConditions::paper_default(),
+    );
+    println!("design   : {design}");
+    println!("wstore   : {}", design.wstore());
+    println!("estimate : {est}");
+    println!("breakdown (NOR-gate area units):");
+    for (name, cost) in est.breakdown.iter() {
+        if cost.area > 0.0 {
+            println!(
+                "  {name:>18}: {:>12.0}  ({:4.1}%)",
+                cost.area,
+                100.0 * cost.area / est.unit.area
+            );
+        }
+    }
+    Ok(())
+}

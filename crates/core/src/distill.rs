@@ -1,0 +1,201 @@
+//! User distillation of the Pareto frontier (paper Fig. 4, "User
+//! Distillation (Optional)"): after the explorer returns the front, "the
+//! users can further select their preferred DCIM designs before the
+//! time-consuming generation step starts".
+
+use crate::explore::ParetoSolution;
+
+/// How to pick one design from the Pareto frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistillStrategy {
+    /// The knee point: the solution closest (in normalized objective
+    /// space) to the ideal point — the automatic default.
+    Knee,
+    /// The smallest-area solution.
+    MinArea,
+    /// The highest-throughput solution.
+    MaxThroughput,
+    /// The most energy-efficient solution (max TOPS/W).
+    MaxEfficiency,
+    /// Scalarized preference: minimize `Σ wᵢ·objᵢ` over the normalized
+    /// objectives `[area, delay, energy, −throughput]`.
+    Weighted([f64; 4]),
+}
+
+/// Picks one solution from a frontier according to the strategy.
+///
+/// Returns `None` only for an empty frontier.
+pub fn distill<'a>(
+    solutions: &'a [ParetoSolution],
+    strategy: &DistillStrategy,
+) -> Option<&'a ParetoSolution> {
+    if solutions.is_empty() {
+        return None;
+    }
+    match strategy {
+        DistillStrategy::Knee => knee_point(solutions),
+        DistillStrategy::MinArea => solutions
+            .iter()
+            .min_by(|a, b| cmp(a.estimate.area_mm2, b.estimate.area_mm2)),
+        DistillStrategy::MaxThroughput => solutions
+            .iter()
+            .max_by(|a, b| cmp(a.estimate.tops, b.estimate.tops)),
+        DistillStrategy::MaxEfficiency => solutions
+            .iter()
+            .max_by(|a, b| cmp(a.estimate.tops_per_w(), b.estimate.tops_per_w())),
+        DistillStrategy::Weighted(w) => weighted(solutions, w),
+    }
+}
+
+fn cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+/// Normalizes each objective across the front to `[0, 1]` and returns the
+/// per-solution normalized vectors.
+fn normalized(solutions: &[ParetoSolution]) -> Vec<[f64; 4]> {
+    let mut lo = [f64::INFINITY; 4];
+    let mut hi = [f64::NEG_INFINITY; 4];
+    for s in solutions {
+        for (d, &x) in s.objectives().iter().enumerate() {
+            lo[d] = lo[d].min(x);
+            hi[d] = hi[d].max(x);
+        }
+    }
+    solutions
+        .iter()
+        .map(|s| {
+            let o = s.objectives();
+            let mut n = [0.0; 4];
+            for d in 0..4 {
+                let span = hi[d] - lo[d];
+                n[d] = if span > 0.0 {
+                    (o[d] - lo[d]) / span
+                } else {
+                    0.0
+                };
+            }
+            n
+        })
+        .collect()
+}
+
+fn knee_point(solutions: &[ParetoSolution]) -> Option<&ParetoSolution> {
+    let norm = normalized(solutions);
+    let best = norm
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            let da: f64 = a.iter().map(|x| x * x).sum();
+            let db: f64 = b.iter().map(|x| x * x).sum();
+            cmp(da, db)
+        })
+        .map(|(i, _)| i)?;
+    solutions.get(best)
+}
+
+fn weighted<'a>(solutions: &'a [ParetoSolution], weights: &[f64; 4]) -> Option<&'a ParetoSolution> {
+    let norm = normalized(solutions);
+    let best = norm
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            let sa: f64 = a.iter().zip(weights).map(|(x, w)| x * w).sum();
+            let sb: f64 = b.iter().zip(weights).map(|(x, w)| x * w).sum();
+            cmp(sa, sb)
+        })
+        .map(|(i, _)| i)?;
+    solutions.get(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sega_cells::Technology;
+    use sega_estimator::{estimate, DcimDesign, OperatingConditions, Precision};
+
+    fn solution(n: u32, h: u32, l: u32, k: u32) -> ParetoSolution {
+        let design = DcimDesign::for_precision(Precision::Int8, n, h, l, k).unwrap();
+        let estimate = estimate(
+            &design,
+            &Technology::tsmc28(),
+            &OperatingConditions::paper_default(),
+        );
+        ParetoSolution { design, estimate }
+    }
+
+    /// Three 8K-weight designs spanning the area/throughput trade-off.
+    fn front() -> Vec<ParetoSolution> {
+        vec![
+            solution(32, 128, 16, 1), // small & slow
+            solution(32, 128, 16, 4), // middle
+            solution(64, 128, 8, 8),  // big & fast
+        ]
+    }
+
+    #[test]
+    fn min_area_picks_smallest() {
+        let f = front();
+        let pick = distill(&f, &DistillStrategy::MinArea).unwrap();
+        let min = f
+            .iter()
+            .map(|s| s.estimate.area_mm2)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(pick.estimate.area_mm2, min);
+    }
+
+    #[test]
+    fn max_throughput_picks_fastest() {
+        let f = front();
+        let pick = distill(&f, &DistillStrategy::MaxThroughput).unwrap();
+        let max = f.iter().map(|s| s.estimate.tops).fold(0.0, f64::max);
+        assert_eq!(pick.estimate.tops, max);
+    }
+
+    #[test]
+    fn knee_is_neither_extreme_on_spread_front() {
+        let f = front();
+        let knee = distill(&f, &DistillStrategy::Knee).unwrap();
+        // The knee of this three-point front is the middle design.
+        assert_eq!(knee.design, f[1].design);
+    }
+
+    #[test]
+    fn weighted_extremes_match_dedicated_strategies() {
+        let f = front();
+        let area_only = distill(&f, &DistillStrategy::Weighted([1.0, 0.0, 0.0, 0.0])).unwrap();
+        let min_area = distill(&f, &DistillStrategy::MinArea).unwrap();
+        assert_eq!(area_only.design, min_area.design);
+        let tput_only = distill(&f, &DistillStrategy::Weighted([0.0, 0.0, 0.0, 1.0])).unwrap();
+        let max_tput = distill(&f, &DistillStrategy::MaxThroughput).unwrap();
+        assert_eq!(tput_only.design, max_tput.design);
+    }
+
+    #[test]
+    fn max_efficiency_picks_best_tops_per_w() {
+        let f = front();
+        let pick = distill(&f, &DistillStrategy::MaxEfficiency).unwrap();
+        for s in &f {
+            assert!(pick.estimate.tops_per_w() >= s.estimate.tops_per_w());
+        }
+    }
+
+    #[test]
+    fn empty_front_yields_none() {
+        assert!(distill(&[], &DistillStrategy::Knee).is_none());
+    }
+
+    #[test]
+    fn singleton_front_always_picked() {
+        let f = vec![solution(32, 128, 16, 2)];
+        for strat in [
+            DistillStrategy::Knee,
+            DistillStrategy::MinArea,
+            DistillStrategy::MaxThroughput,
+            DistillStrategy::MaxEfficiency,
+            DistillStrategy::Weighted([0.25; 4]),
+        ] {
+            assert!(distill(&f, &strat).is_some(), "{strat:?}");
+        }
+    }
+}

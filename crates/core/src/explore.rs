@@ -1,0 +1,379 @@
+//! The MOGA-based design space explorer (paper §III-B).
+//!
+//! The genome is the array geometry `(log2 H, log2 L, k)`; the column count
+//! `N = Wstore·Bw / (H·L)` is *derived*, which keeps every individual on
+//! the capacity manifold `N·H·L/Bw = Wstore` by construction (Equations
+//! 2/3's equality constraint). A repair operator clamps the genome into the
+//! paper's exploration bounds (`N ≥ 4·Bw`, `L ≤ 64`, `H ≤ 2048`,
+//! `1 ≤ k ≤ Bx`), and NSGA-II evolves the four objectives
+//! `[area, delay, energy, −throughput]`.
+
+use rand::Rng;
+
+use sega_cells::Technology;
+use sega_estimator::{estimate, DcimDesign, MacroEstimate, OperatingConditions};
+use sega_moga::{Nsga2, Nsga2Config, Problem};
+
+use crate::spec::UserSpec;
+
+/// The explorer's genome: array geometry with powers-of-two `H` and `L`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// `log2 H` (column height).
+    pub log_h: u32,
+    /// `log2 L` (weights per compute unit).
+    pub log_l: u32,
+    /// Input bits per cycle.
+    pub k: u32,
+}
+
+/// One Pareto-optimal solution: the design point and its estimate.
+#[derive(Debug, Clone)]
+pub struct ParetoSolution {
+    /// The design point (architecture + parameters).
+    pub design: DcimDesign,
+    /// Its performance estimate.
+    pub estimate: MacroEstimate,
+}
+
+impl ParetoSolution {
+    /// The four objective values `[area, delay, energy, −throughput]`.
+    pub fn objectives(&self) -> [f64; 4] {
+        self.estimate.objectives()
+    }
+}
+
+impl std::fmt::Display for ParetoSolution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.design, self.estimate)
+    }
+}
+
+/// The outcome of a design space exploration.
+#[derive(Debug, Clone)]
+pub struct ExplorationResult {
+    /// The specification that was explored.
+    pub spec: UserSpec,
+    /// The Pareto frontier (non-dominated, deduplicated, sorted by area).
+    pub solutions: Vec<ParetoSolution>,
+    /// Objective-function evaluations spent.
+    pub evaluations: usize,
+}
+
+impl ExplorationResult {
+    /// Convenience: the objective vectors of all solutions.
+    pub fn objective_matrix(&self) -> Vec<Vec<f64>> {
+        self.solutions
+            .iter()
+            .map(|s| s.objectives().to_vec())
+            .collect()
+    }
+}
+
+/// The multi-objective problem NSGA-II evolves for one `(Wstore,
+/// precision)` specification.
+#[derive(Debug, Clone)]
+pub struct DcimProblem {
+    spec: UserSpec,
+    tech: Technology,
+    conditions: OperatingConditions,
+    /// log2 of `Wstore` (a power of two, validated by [`UserSpec`]).
+    log_wstore: u32,
+    /// Serial input width (`Bx` or `BM`): the upper bound of `k`.
+    serial_bits: u32,
+}
+
+impl DcimProblem {
+    /// Builds the problem for a specification under a technology and
+    /// operating conditions.
+    pub fn new(spec: UserSpec, tech: Technology, conditions: OperatingConditions) -> Self {
+        debug_assert!(spec.wstore.is_power_of_two(), "validated by UserSpec");
+        DcimProblem {
+            spec,
+            tech,
+            conditions,
+            log_wstore: spec.wstore.trailing_zeros(),
+            serial_bits: spec.precision.input_bits(),
+        }
+    }
+
+    /// Converts a (repaired) genome into a design point:
+    /// `N = (Wstore >> (log_h + log_l)) · Bw`, which keeps `N` a whole
+    /// multiple of the weight width for every precision, including the
+    /// non-power-of-two mantissa widths (FP16's 11 bits, FP32's 24).
+    ///
+    /// Returns `None` when the geometry is infeasible even after repair
+    /// (cannot happen for specs accepted by [`UserSpec::new`], but kept
+    /// total for safety).
+    pub fn design_of(&self, g: &Geometry) -> Option<DcimDesign> {
+        let denom = g.log_h + g.log_l;
+        if denom > self.log_wstore {
+            return None;
+        }
+        let bw = self.spec.weight_bits() as u64;
+        let n = (self.spec.wstore >> denom) * bw;
+        if n > u32::MAX as u64 {
+            return None;
+        }
+        DcimDesign::for_precision(
+            self.spec.precision,
+            n as u32,
+            1u32 << g.log_h,
+            1u32 << g.log_l,
+            g.k,
+        )
+        .ok()
+    }
+
+    /// The paper's exploration bounds as genome bounds:
+    /// `log_l ≤ log2(max_l)`, `min_h ≤ H ≤ max_h`, and
+    /// `log_h + log_l ≤ log2(Wstore / n_factor)` so that
+    /// `N ≥ n_factor·Bw`.
+    fn max_log_sum(&self) -> u32 {
+        let f = self.spec.limits.n_factor.next_power_of_two();
+        self.log_wstore.saturating_sub(f.trailing_zeros())
+    }
+}
+
+impl Problem for DcimProblem {
+    type Genome = Geometry;
+
+    fn objectives(&self) -> usize {
+        4
+    }
+
+    fn random_genome(&self, rng: &mut dyn rand::RngCore) -> Geometry {
+        let max_log_l = self.spec.limits.max_l.trailing_zeros();
+        let max_log_h = self.spec.limits.max_h.trailing_zeros();
+        let rng = rng;
+        Geometry {
+            log_h: rng.gen_range(1..=max_log_h),
+            log_l: rng.gen_range(0..=max_log_l),
+            k: rng.gen_range(1..=self.serial_bits),
+        }
+    }
+
+    fn evaluate(&self, genome: &Geometry) -> Vec<f64> {
+        match self.design_of(genome) {
+            Some(design) => estimate(&design, &self.tech, &self.conditions)
+                .objectives()
+                .to_vec(),
+            None => vec![f64::INFINITY; 4],
+        }
+    }
+
+    fn crossover(&self, a: &Geometry, b: &Geometry, rng: &mut dyn rand::RngCore) -> Geometry {
+        let rng = rng;
+        Geometry {
+            log_h: if rng.gen_bool(0.5) { a.log_h } else { b.log_h },
+            log_l: if rng.gen_bool(0.5) { a.log_l } else { b.log_l },
+            k: if rng.gen_bool(0.5) { a.k } else { b.k },
+        }
+    }
+
+    fn mutate(&self, genome: &mut Geometry, rng: &mut dyn rand::RngCore) {
+        let rng = rng;
+        match rng.gen_range(0..3u32) {
+            0 => genome.log_h = step(genome.log_h, rng.gen_bool(0.5), 1, 16),
+            1 => genome.log_l = step(genome.log_l, rng.gen_bool(0.5), 0, 16),
+            _ => genome.k = step(genome.k, rng.gen_bool(0.5), 1, self.serial_bits),
+        }
+    }
+
+    fn repair(&self, genome: &mut Geometry) {
+        let limits = &self.spec.limits;
+        let max_log_l = limits.max_l.trailing_zeros();
+        let min_log_h = limits.min_h.next_power_of_two().trailing_zeros();
+        let max_log_h = limits.max_h.trailing_zeros();
+        genome.log_l = genome.log_l.min(max_log_l);
+        genome.log_h = genome.log_h.clamp(min_log_h, max_log_h);
+        genome.k = genome.k.clamp(1, self.serial_bits);
+        // Keep N >= n_factor * Bw: shrink L first (cheapest), then H.
+        let max_sum = self.max_log_sum();
+        if genome.log_h + genome.log_l > max_sum {
+            genome.log_l = genome.log_l.min(max_sum.saturating_sub(genome.log_h));
+        }
+        if genome.log_h + genome.log_l > max_sum {
+            genome.log_h = max_sum
+                .saturating_sub(genome.log_l)
+                .clamp(min_log_h, max_log_h);
+        }
+    }
+}
+
+fn step(v: u32, up: bool, lo: u32, hi: u32) -> u32 {
+    if up {
+        (v + 1).min(hi)
+    } else {
+        v.saturating_sub(1).max(lo)
+    }
+}
+
+/// Runs the MOGA-based design space exploration for a specification and
+/// returns the Pareto frontier (paper Fig. 4, "MOGA-based Design Space
+/// Explorer").
+pub fn explore_pareto(
+    spec: &UserSpec,
+    tech: &Technology,
+    conditions: &OperatingConditions,
+    config: &Nsga2Config,
+) -> ExplorationResult {
+    let problem = DcimProblem::new(*spec, tech.clone(), *conditions);
+    let result = Nsga2::new(config.clone()).run(&problem);
+    let mut solutions: Vec<ParetoSolution> = result
+        .front
+        .iter()
+        .filter_map(|ind| {
+            let design = problem.design_of(&ind.genome)?;
+            let estimate = estimate(&design, tech, conditions);
+            estimate
+                .area_mm2
+                .is_finite()
+                .then_some(ParetoSolution { design, estimate })
+        })
+        .collect();
+    solutions.sort_by(|a, b| {
+        a.estimate
+            .area_mm2
+            .partial_cmp(&b.estimate.area_mm2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    solutions.dedup_by(|a, b| a.design == b.design);
+    ExplorationResult {
+        spec: *spec,
+        solutions,
+        evaluations: result.evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sega_estimator::Precision;
+
+    fn setup(precision: Precision, wstore: u64) -> DcimProblem {
+        let spec = UserSpec::new(wstore, precision).unwrap();
+        DcimProblem::new(
+            spec,
+            Technology::tsmc28(),
+            OperatingConditions::paper_default(),
+        )
+    }
+
+    fn small_config(seed: u64) -> Nsga2Config {
+        Nsga2Config {
+            population: 24,
+            generations: 15,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn repaired_genomes_are_always_feasible() {
+        let problem = setup(Precision::Int8, 65536);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let mut g = problem.random_genome(&mut rng);
+            problem.mutate(&mut g, &mut rng);
+            problem.mutate(&mut g, &mut rng);
+            problem.repair(&mut g);
+            let d = problem.design_of(&g).expect("repaired genome feasible");
+            d.validate().unwrap();
+            let (n, h, l, _) = d.geometry();
+            assert_eq!(d.wstore(), 65536, "capacity constraint violated");
+            assert!(l <= 64 && h <= 2048 && n >= 4 * 8, "paper bounds violated");
+        }
+    }
+
+    #[test]
+    fn exploration_returns_nonempty_front() {
+        for precision in [Precision::Int8, Precision::Bf16, Precision::Fp32] {
+            let spec = UserSpec::new(16384, precision).unwrap();
+            let r = explore_pareto(
+                &spec,
+                &Technology::tsmc28(),
+                &OperatingConditions::paper_default(),
+                &small_config(1),
+            );
+            assert!(!r.solutions.is_empty(), "{precision}");
+            for s in &r.solutions {
+                assert_eq!(s.design.wstore(), 16384);
+            }
+        }
+    }
+
+    #[test]
+    fn front_is_mutually_non_dominated() {
+        let spec = UserSpec::new(16384, Precision::Int8).unwrap();
+        let r = explore_pareto(
+            &spec,
+            &Technology::tsmc28(),
+            &OperatingConditions::paper_default(),
+            &small_config(2),
+        );
+        let objs = r.objective_matrix();
+        for a in &objs {
+            for b in &objs {
+                assert!(!sega_moga::pareto::dominates(a, b) || a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn front_spans_area_throughput_tradeoff() {
+        let spec = UserSpec::new(65536, Precision::Int8).unwrap();
+        let r = explore_pareto(
+            &spec,
+            &Technology::tsmc28(),
+            &OperatingConditions::paper_default(),
+            &Nsga2Config {
+                population: 48,
+                generations: 30,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        assert!(
+            r.solutions.len() >= 3,
+            "front too small: {}",
+            r.solutions.len()
+        );
+        let areas: Vec<f64> = r.solutions.iter().map(|s| s.estimate.area_mm2).collect();
+        let min = areas.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = areas.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max / min > 1.5,
+            "front should span a real area trade-off: {min}..{max}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = UserSpec::new(8192, Precision::Bf16).unwrap();
+        let run = || {
+            explore_pareto(
+                &spec,
+                &Technology::tsmc28(),
+                &OperatingConditions::paper_default(),
+                &small_config(42),
+            )
+            .objective_matrix()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fp_problem_respects_mantissa_bound_on_k() {
+        let problem = setup(Precision::Bf16, 8192);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let mut g = problem.random_genome(&mut rng);
+            g.k = 31; // force out of range
+            problem.repair(&mut g);
+            assert!(g.k <= 8, "k must be clamped to BM for BF16");
+        }
+    }
+}

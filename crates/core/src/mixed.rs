@@ -1,0 +1,182 @@
+//! Mixed-precision frontier merging (paper §III-B.2): "a classic NSGA-II
+//! algorithm is performed for multiple architectures respectively.
+//! Finally, a high-quality Pareto-frontier set containing both integer and
+//! floating-point solutions can be obtained".
+//!
+//! [`explore_mixed`] runs one exploration per candidate precision (each on
+//! its own architecture template) and Pareto-merges the per-precision
+//! frontiers into a single cross-architecture front, so an application
+//! that can tolerate either number format sees the genuinely best designs
+//! of both.
+
+use sega_cells::Technology;
+use sega_estimator::{OperatingConditions, Precision};
+use sega_moga::pareto::pareto_front_indices;
+use sega_moga::Nsga2Config;
+
+use crate::explore::{explore_pareto, ParetoSolution};
+use crate::spec::{SpecError, UserSpec};
+
+/// The merged outcome of a multi-architecture exploration.
+#[derive(Debug, Clone)]
+pub struct MixedExploration {
+    /// The cross-architecture Pareto frontier (sorted by area).
+    pub front: Vec<ParetoSolution>,
+    /// Per-precision frontier sizes before merging, in input order.
+    pub per_precision: Vec<(Precision, usize)>,
+    /// Total objective-function evaluations across all runs.
+    pub evaluations: usize,
+}
+
+impl MixedExploration {
+    /// How many merged-front members use each precision's architecture.
+    pub fn survivors_of(&self, precision: Precision) -> usize {
+        let bw = precision.weight_bits();
+        let is_float = precision.is_float();
+        self.front
+            .iter()
+            .filter(|s| {
+                s.design.is_float() == is_float
+                    && match s.design {
+                        sega_estimator::DcimDesign::Int(p) => p.bw == bw,
+                        sega_estimator::DcimDesign::Fp(p) => p.bm == bw,
+                    }
+            })
+            .count()
+    }
+}
+
+/// Explores each precision separately and merges the fronts into a single
+/// cross-architecture Pareto set.
+///
+/// # Errors
+///
+/// Returns the first [`SpecError`] if `wstore` is invalid for any of the
+/// requested precisions.
+pub fn explore_mixed(
+    wstore: u64,
+    precisions: &[Precision],
+    tech: &Technology,
+    conditions: &OperatingConditions,
+    config: &Nsga2Config,
+) -> Result<MixedExploration, SpecError> {
+    let mut pool: Vec<ParetoSolution> = Vec::new();
+    let mut per_precision = Vec::new();
+    let mut evaluations = 0;
+    for (i, &precision) in precisions.iter().enumerate() {
+        let spec = UserSpec::new(wstore, precision)?;
+        let mut cfg = config.clone();
+        cfg.seed = config.seed.wrapping_add(i as u64);
+        let result = explore_pareto(&spec, tech, conditions, &cfg);
+        per_precision.push((precision, result.solutions.len()));
+        evaluations += result.evaluations;
+        pool.extend(result.solutions);
+    }
+    // Cross-architecture Pareto merge.
+    let objs: Vec<Vec<f64>> = pool.iter().map(|s| s.objectives().to_vec()).collect();
+    let mut keep = pareto_front_indices(&objs);
+    keep.sort_unstable();
+    let mut front: Vec<ParetoSolution> = keep.into_iter().map(|i| pool[i].clone()).collect();
+    front.sort_by(|a, b| {
+        a.estimate
+            .area_mm2
+            .partial_cmp(&b.estimate.area_mm2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(MixedExploration {
+        front,
+        per_precision,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> Nsga2Config {
+        Nsga2Config {
+            population: 24,
+            generations: 15,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn run(precisions: &[Precision]) -> MixedExploration {
+        explore_mixed(
+            16384,
+            precisions,
+            &Technology::tsmc28(),
+            &OperatingConditions::paper_default(),
+            &cfg(1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn merged_front_is_non_dominated() {
+        let m = run(&[Precision::Int8, Precision::Bf16]);
+        assert!(!m.front.is_empty());
+        for a in &m.front {
+            for b in &m.front {
+                let (oa, ob) = (a.objectives(), b.objectives());
+                assert!(!sega_moga::pareto::dominates(&oa, &ob) || oa == ob);
+            }
+        }
+    }
+
+    #[test]
+    fn both_architectures_can_survive_the_merge() {
+        // INT8 and BF16 occupy nearby cost points with different
+        // throughput trade-offs, so a healthy merge keeps members of both.
+        let m = run(&[Precision::Int8, Precision::Bf16]);
+        let int_count = m.front.iter().filter(|s| !s.design.is_float()).count();
+        let fp_count = m.front.iter().filter(|s| s.design.is_float()).count();
+        assert!(int_count > 0, "merge lost every integer design");
+        assert!(fp_count > 0, "merge lost every floating-point design");
+        assert_eq!(m.survivors_of(Precision::Int8), int_count);
+        assert_eq!(m.survivors_of(Precision::Bf16), fp_count);
+    }
+
+    #[test]
+    fn narrow_precision_dominates_wide_on_cost_axes() {
+        // INT4 strictly beats INT16 on area/energy at equal Wstore, so in a
+        // merged INT4+INT16 front, the minimum-area member must be INT4.
+        let m = run(&[Precision::Int4, Precision::Int16]);
+        let min_area = m
+            .front
+            .iter()
+            .min_by(|a, b| {
+                a.estimate
+                    .area_mm2
+                    .partial_cmp(&b.estimate.area_mm2)
+                    .unwrap()
+            })
+            .unwrap();
+        match min_area.design {
+            sega_estimator::DcimDesign::Int(p) => assert_eq!(p.bw, 4),
+            sega_estimator::DcimDesign::Fp(_) => panic!("expected integer design"),
+        }
+    }
+
+    #[test]
+    fn evaluation_budget_accumulates() {
+        let m = run(&[Precision::Int8, Precision::Bf16, Precision::Fp8]);
+        // 3 runs × (24 + 24·15) evals.
+        assert_eq!(m.evaluations, 3 * (24 + 24 * 15));
+        assert_eq!(m.per_precision.len(), 3);
+    }
+
+    #[test]
+    fn invalid_wstore_propagates() {
+        let err = explore_mixed(
+            5000,
+            &[Precision::Int8],
+            &Technology::tsmc28(),
+            &OperatingConditions::paper_default(),
+            &cfg(1),
+        );
+        assert!(matches!(err, Err(SpecError::WstoreNotPowerOfTwo(5000))));
+    }
+}

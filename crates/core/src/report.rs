@@ -1,0 +1,268 @@
+//! Report generation: the data series and tables of the paper's evaluation
+//! (§IV), plus the literature reference points of Fig. 8.
+
+use sega_estimator::Precision;
+
+use crate::explore::ParetoSolution;
+
+/// A published state-of-the-art DCIM datapoint used as a fixed comparison
+/// anchor in Fig. 8 (these are literature constants, not re-measured
+/// systems — exactly how the paper uses them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SotaPoint {
+    /// Short label.
+    pub label: &'static str,
+    /// Venue/source.
+    pub source: &'static str,
+    /// Technology node in nm.
+    pub node_nm: f64,
+    /// Stored weights.
+    pub wstore: u64,
+    /// Precision of the reported mode.
+    pub precision: Precision,
+    /// Energy efficiency in TOPS/W.
+    pub tops_per_w: f64,
+    /// Area efficiency in TOPS/mm².
+    pub tops_per_mm2: f64,
+}
+
+/// TSMC's ISSCC'21 all-digital SRAM CIM macro as cited in Fig. 8(a)
+/// (64K weights, 22 nm, INT8 comparison point: 15 TOPS/W, 4.1 TOPS/mm²).
+pub const SOTA_TSMC_INT8: SotaPoint = SotaPoint {
+    label: "TSMC 22nm",
+    source: "ISSCC'21 16.4 [5]",
+    node_nm: 22.0,
+    wstore: 65536,
+    precision: Precision::Int8,
+    tops_per_w: 15.0,
+    tops_per_mm2: 4.1,
+};
+
+/// The ISSCC'23 floating-point CIM macro as cited in Fig. 8(b)
+/// (64K weights, 22 nm, BF16 comparison point: 14.1 TOPS/W, 2.05 TOPS/mm²).
+pub const SOTA_ISSCC23_BF16: SotaPoint = SotaPoint {
+    label: "ISSCC23-7.2 22nm",
+    source: "ISSCC'23 [7]",
+    node_nm: 22.0,
+    wstore: 65536,
+    precision: Precision::Bf16,
+    tops_per_w: 14.1,
+    tops_per_mm2: 2.05,
+};
+
+/// The paper's own chosen designs in Fig. 8 (design A: INT8 @64K; design
+/// B: BF16 @64K), for paper-vs-measured comparison in `EXPERIMENTS.md`.
+pub const PAPER_DESIGN_A: SotaPoint = SotaPoint {
+    label: "Design A (paper)",
+    source: "SEGA-DCIM Fig. 8(a)",
+    node_nm: 28.0,
+    wstore: 65536,
+    precision: Precision::Int8,
+    tops_per_w: 22.0,
+    tops_per_mm2: 1.9,
+};
+
+/// See [`PAPER_DESIGN_A`].
+pub const PAPER_DESIGN_B: SotaPoint = SotaPoint {
+    label: "Design B (paper)",
+    source: "SEGA-DCIM Fig. 8(b)",
+    node_nm: 28.0,
+    wstore: 65536,
+    precision: Precision::Bf16,
+    tops_per_w: 20.2,
+    tops_per_mm2: 1.8,
+};
+
+/// One row of the Table I flow comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowComparisonRow {
+    /// Comparison criterion.
+    pub entry: &'static str,
+    /// EasyACIM (DAC'24).
+    pub easyacim: &'static str,
+    /// AutoDCIM (DAC'23).
+    pub autodcim: &'static str,
+    /// SEGA-DCIM (this work).
+    pub sega_dcim: &'static str,
+}
+
+/// The paper's Table I: comparison with other CIM design flows.
+pub fn table1() -> Vec<FlowComparisonRow> {
+    vec![
+        FlowComparisonRow {
+            entry: "Design type",
+            easyacim: "Analog",
+            autodcim: "Digital",
+            sega_dcim: "Digital",
+        },
+        FlowComparisonRow {
+            entry: "Support precision",
+            easyacim: "INT",
+            autodcim: "INT",
+            sega_dcim: "INT & Float",
+        },
+        FlowComparisonRow {
+            entry: "Estimation model",
+            easyacim: "Yes",
+            autodcim: "No",
+            sega_dcim: "Yes",
+        },
+        FlowComparisonRow {
+            entry: "Design space",
+            easyacim: "Pareto frontier",
+            autodcim: "Unoptimized",
+            sega_dcim: "Pareto frontier",
+        },
+        FlowComparisonRow {
+            entry: "Determination of trade-offs",
+            easyacim: "Automatic",
+            autodcim: "User-defined",
+            sega_dcim: "Automatic",
+        },
+    ]
+}
+
+/// Summary statistics of one precision's design space (a Fig. 7 series):
+/// averages over the Pareto frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpaceSummary {
+    /// The precision.
+    pub precision: Precision,
+    /// Number of frontier designs.
+    pub count: usize,
+    /// Average area in mm².
+    pub avg_area_mm2: f64,
+    /// Average per-pass energy in nJ.
+    pub avg_energy_nj: f64,
+    /// Average clock period in ns.
+    pub avg_delay_ns: f64,
+    /// Average throughput in TOPS.
+    pub avg_tops: f64,
+}
+
+/// Computes the Fig. 7 summary for one precision's frontier.
+pub fn summarize_design_space(
+    precision: Precision,
+    solutions: &[ParetoSolution],
+) -> DesignSpaceSummary {
+    let n = solutions.len().max(1) as f64;
+    let sum = |f: &dyn Fn(&ParetoSolution) -> f64| -> f64 {
+        solutions.iter().map(|s| f(s)).sum::<f64>() / n
+    };
+    DesignSpaceSummary {
+        precision,
+        count: solutions.len(),
+        avg_area_mm2: sum(&|s| s.estimate.area_mm2),
+        avg_energy_nj: sum(&|s| s.estimate.energy_per_pass_nj),
+        avg_delay_ns: sum(&|s| s.estimate.delay_ns),
+        avg_tops: sum(&|s| s.estimate.tops),
+    }
+}
+
+/// Renders a slice of rows as a GitHub-flavored markdown table.
+///
+/// `header` and every row must have the same arity.
+///
+/// # Panics
+///
+/// Panics on arity mismatch (a report-construction bug).
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    out.push_str(&format!("|{}\n", "---|".repeat(header.len())));
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "table arity mismatch");
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Renders rows as CSV (no quoting needed for our numeric content).
+pub fn csv_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sega_cells::Technology;
+    use sega_estimator::{estimate, DcimDesign, OperatingConditions};
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[1].sega_dcim, "INT & Float");
+        assert_eq!(t[3].autodcim, "Unoptimized");
+        assert_eq!(t[4].sega_dcim, "Automatic");
+    }
+
+    #[test]
+    fn sota_points_match_paper_text() {
+        assert_eq!(SOTA_TSMC_INT8.tops_per_w, 15.0);
+        assert_eq!(SOTA_TSMC_INT8.tops_per_mm2, 4.1);
+        assert_eq!(SOTA_ISSCC23_BF16.tops_per_w, 14.1);
+        assert_eq!(PAPER_DESIGN_A.tops_per_w, 22.0);
+        assert_eq!(PAPER_DESIGN_B.tops_per_mm2, 1.8);
+    }
+
+    #[test]
+    fn summary_averages() {
+        let design = DcimDesign::for_precision(Precision::Int8, 32, 128, 16, 4).unwrap();
+        let est = estimate(
+            &design,
+            &Technology::tsmc28(),
+            &OperatingConditions::paper_default(),
+        );
+        let sols = vec![
+            ParetoSolution {
+                design,
+                estimate: est.clone(),
+            },
+            ParetoSolution {
+                design,
+                estimate: est.clone(),
+            },
+        ];
+        let s = summarize_design_space(Precision::Int8, &sols);
+        assert_eq!(s.count, 2);
+        assert!((s.avg_area_mm2 - est.area_mm2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = summarize_design_space(Precision::Fp8, &[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.avg_area_mm2, 0.0);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 3 | 4 |"));
+        assert_eq!(md.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = csv_table(&["x", "y"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(csv, "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn markdown_arity_checked() {
+        let _ = markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

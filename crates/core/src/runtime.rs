@@ -1,0 +1,152 @@
+//! Layer-level runtime/energy projection: combines the functional
+//! simulator's cycle accounting ([`sega_sim::nn::LayerStats`]) with the
+//! estimator's physical model ([`MacroEstimate`]) to answer the question a
+//! deployment engineer actually asks: *how long and how many µJ does this
+//! layer take on this macro?*
+
+use sega_estimator::MacroEstimate;
+use sega_sim::nn::LayerStats;
+
+/// Physical projection of one layer execution on a chosen macro design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerRuntime {
+    /// Macro images (weight tiles) the layer occupies.
+    pub macros_used: usize,
+    /// Array passes per forward.
+    pub passes: u64,
+    /// Latency of one forward in µs, with all tiles executing serially on
+    /// one physical macro (weights re-selected via slots, tiles swapped).
+    pub serial_latency_us: f64,
+    /// Latency of one forward in µs when every tile has its own physical
+    /// macro (full spatial parallelism; column tiles still accumulate
+    /// serially through the periphery in one extra pass).
+    pub parallel_latency_us: f64,
+    /// Dynamic energy per forward in nJ.
+    pub energy_nj: f64,
+    /// Average power during serial execution in mW.
+    pub serial_power_mw: f64,
+}
+
+/// Projects a layer's tiling statistics onto a macro estimate.
+///
+/// # Example
+///
+/// ```
+/// use sega_dcim::runtime::project_layer;
+/// use sega_estimator::{estimate, DcimDesign, IntParams, OperatingConditions};
+/// use sega_sim::nn::IntLayer;
+///
+/// let p = IntParams::new(8, 4, 2, 2, 4, 4)?;
+/// let weights = vec![1i64; 10 * 12];
+/// let layer = IntLayer::new(p, 10, 12, &weights)?;
+/// let est = estimate(
+///     &DcimDesign::Int(p),
+///     &sega_cells::Technology::tsmc28(),
+///     &OperatingConditions::paper_default(),
+/// );
+/// let rt = project_layer(&layer.stats(), &est);
+/// assert!(rt.serial_latency_us > 0.0);
+/// assert!(rt.parallel_latency_us <= rt.serial_latency_us);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn project_layer(stats: &LayerStats, estimate: &MacroEstimate) -> LayerRuntime {
+    let cycle_ns = estimate.delay_ns;
+    let serial_ns = stats.cycles_per_forward as f64 * cycle_ns;
+    // Fully parallel: each macro runs its own pass sequence concurrently;
+    // the longest single-tile sequence dominates.
+    let passes_per_macro = stats
+        .passes_per_forward
+        .div_ceil(stats.macros_used.max(1) as u64);
+    let cycles_per_pass = if stats.passes_per_forward > 0 {
+        stats.cycles_per_forward as f64 / stats.passes_per_forward as f64
+    } else {
+        0.0
+    };
+    let parallel_ns = passes_per_macro as f64 * cycles_per_pass * cycle_ns;
+    // Energy: one pass costs `cycles_per_pass × energy_per_cycle`
+    // regardless of scheduling.
+    let energy_nj = stats.cycles_per_forward as f64 * estimate.energy_per_cycle_nj;
+    let serial_power_mw = if serial_ns > 0.0 {
+        energy_nj / serial_ns * 1e3
+    } else {
+        0.0
+    };
+    LayerRuntime {
+        macros_used: stats.macros_used,
+        passes: stats.passes_per_forward,
+        serial_latency_us: serial_ns * 1e-3,
+        parallel_latency_us: parallel_ns * 1e-3,
+        energy_nj,
+        serial_power_mw,
+    }
+}
+
+impl std::fmt::Display for LayerRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} tiles, {} passes: {:.3} µs serial / {:.3} µs parallel, {:.2} nJ, {:.1} mW",
+            self.macros_used,
+            self.passes,
+            self.serial_latency_us,
+            self.parallel_latency_us,
+            self.energy_nj,
+            self.serial_power_mw
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sega_estimator::{estimate, DcimDesign, IntParams, OperatingConditions};
+    use sega_sim::nn::IntLayer;
+
+    fn setup(rows: usize, cols: usize) -> (LayerStats, MacroEstimate) {
+        let p = IntParams::new(8, 4, 2, 2, 4, 4).unwrap();
+        let weights = vec![1i64; rows * cols];
+        let layer = IntLayer::new(p, rows, cols, &weights).unwrap();
+        let est = estimate(
+            &DcimDesign::Int(p),
+            &sega_cells::Technology::tsmc28(),
+            &OperatingConditions::paper_default(),
+        );
+        (layer.stats(), est)
+    }
+
+    #[test]
+    fn parallel_never_slower_than_serial() {
+        for (rows, cols) in [(4, 4), (10, 12), (33, 17)] {
+            let (stats, est) = setup(rows, cols);
+            let rt = project_layer(&stats, &est);
+            assert!(rt.parallel_latency_us <= rt.serial_latency_us + 1e-12);
+            assert!(rt.energy_nj > 0.0);
+        }
+    }
+
+    #[test]
+    fn bigger_layers_cost_more() {
+        let (s_small, est) = setup(4, 4);
+        let (s_big, _) = setup(32, 32);
+        let small = project_layer(&s_small, &est);
+        let big = project_layer(&s_big, &est);
+        assert!(big.serial_latency_us > small.serial_latency_us);
+        assert!(big.energy_nj > small.energy_nj);
+        assert!(big.macros_used > small.macros_used);
+    }
+
+    #[test]
+    fn power_is_energy_over_time() {
+        let (stats, est) = setup(16, 16);
+        let rt = project_layer(&stats, &est);
+        let expect_mw = rt.energy_nj / (rt.serial_latency_us * 1e3) * 1e3;
+        assert!((rt.serial_power_mw - expect_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_tiles_and_energy() {
+        let (stats, est) = setup(10, 10);
+        let s = project_layer(&stats, &est).to_string();
+        assert!(s.contains("tiles") && s.contains("nJ"));
+    }
+}

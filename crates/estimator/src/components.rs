@@ -1,0 +1,297 @@
+//! Per-component DCIM cost models — the paper's Table IV.
+//!
+//! Table IV renders as an image in the paper source, so each formula here is
+//! reconstructed from the prose of §III-B.1, which fully specifies every
+//! component's inventory (how many registers, shifters, adders, comparators)
+//! and every bit-width. Each function documents its reconstruction.
+//!
+//! All costs are in NOR-gate units ([`Cost`]); widths follow the paper's
+//! symbol names (`H`, `k`, `Bx`, `Bw`, `BE`, `BM`).
+
+use sega_cells::{ceil_log2, modules, Cost};
+
+/// Adder tree summing `h` inputs of `k` bits each (paper: "The Adder Tree,
+/// consisting of tree-structured adders, is used to sum the outputs of a
+/// column of compute cells").
+///
+/// The tree is reduced pairwise: level `i` (1-based) contains `⌈h/2^i⌉`
+/// ripple adders of width `k + i − 1` (operand widths grow by one bit per
+/// level). Area and energy sum over all adders; delay sums the per-level
+/// ripple delays along the critical path. Non-power-of-two `h` is handled by
+/// carrying the odd element up a level unchanged.
+///
+/// ```
+/// use sega_estimator::components::adder_tree;
+///
+/// // 2 inputs of 4 bits: exactly one 4-bit adder.
+/// let t = adder_tree(2, 4);
+/// let a = sega_cells::modules::adder(4);
+/// assert_eq!(t, a);
+/// ```
+pub fn adder_tree(h: u32, k: u32) -> Cost {
+    if h <= 1 || k == 0 {
+        return Cost::ZERO;
+    }
+    let mut cost = Cost::ZERO;
+    let mut remaining = h;
+    let mut width = k;
+    while remaining > 1 {
+        let pairs = remaining / 2;
+        let level = modules::adder(width);
+        // `pairs` adders operate in parallel; the level as a whole sits in
+        // series with the previous level.
+        cost = cost.then(Cost::new(
+            pairs as f64 * level.area,
+            level.delay,
+            pairs as f64 * level.energy,
+        ));
+        remaining = pairs + (remaining % 2);
+        width += 1;
+    }
+    cost
+}
+
+/// Shift accumulator collecting partial sums across the `⌈Bx/k⌉` bit-serial
+/// cycles (paper: "it requires `(Bx + log2 H)` registers, one
+/// `(Bx + log2 H)`-bit shifter, and one `(Bx + log2 H)`-bit adder").
+///
+/// The register bank contributes area/energy only; the combinational path is
+/// shifter → adder.
+pub fn shift_accumulator(bx: u32, h: u32) -> Cost {
+    let w = accumulator_width(bx, h);
+    modules::register(w)
+        .then(modules::shifter(w))
+        .then(modules::adder(w))
+}
+
+/// Output width of the shift accumulator: `Bx + log2(H)`.
+pub fn accumulator_width(bx: u32, h: u32) -> u32 {
+    bx + ceil_log2(h as u64)
+}
+
+/// Result fusion unit combining the `Bw` single-bit weight columns into a
+/// full-precision result (paper: "perform a weighted summation of the
+/// results from `Bw` columns, and the bit-width of each result is
+/// `(Bx + log2 H)` bits").
+///
+/// Reconstruction: the weighted summation is a `Bw`-input adder tree whose
+/// operands are the accumulator outputs pre-shifted by their (fixed,
+/// hard-wired) bit positions, so the adders operate at the full fused width
+/// `Bx + log2(H) + Bw`; `Bw − 1` adders in a `log2(Bw)`-deep tree.
+pub fn result_fusion(bw: u32, bx: u32, h: u32) -> Cost {
+    if bw <= 1 {
+        return Cost::ZERO;
+    }
+    let w = fused_width(bw, bx, h);
+    let add = modules::adder(w);
+    Cost::new(
+        (bw - 1) as f64 * add.area,
+        ceil_log2(bw as u64) as f64 * add.delay,
+        (bw - 1) as f64 * add.energy,
+    )
+}
+
+/// Width of the fused full-precision result: `Bx + log2(H) + Bw`.
+pub fn fused_width(bw: u32, bx: u32, h: u32) -> u32 {
+    accumulator_width(bx, h) + bw
+}
+
+/// FP pre-alignment front end for `h` inputs with `be`-bit exponents and
+/// `bm`-bit mantissas (paper: "(1) A set of comparators is used to find the
+/// maximum exponent XEmax. (2) The subtractor is used to calculate the
+/// offset between each exponent and XEmax, and the shifter is used to shift
+/// the input's mantissa based on the offset").
+///
+/// Inventory: `h − 1` comparators of `be` bits in a `log2(h)`-deep max tree,
+/// then `h` parallel `be`-bit subtractors (modeled as adders, as the paper
+/// models comparators), then `h` parallel `bm`-bit barrel shifters.
+pub fn pre_alignment(h: u32, be: u32, bm: u32) -> Cost {
+    if h == 0 {
+        return Cost::ZERO;
+    }
+    let comp = modules::comparator(be);
+    let max_tree = Cost::new(
+        (h.saturating_sub(1)) as f64 * comp.area,
+        ceil_log2(h as u64) as f64 * comp.delay,
+        (h.saturating_sub(1)) as f64 * comp.energy,
+    );
+    let subtractors = modules::adder(be) * h as f64;
+    let shifters = modules::shifter(bm) * h as f64;
+    max_tree.then(subtractors).then(shifters)
+}
+
+/// INT-to-FP converter normalizing the `br`-bit integer array result into a
+/// floating-point output with a `be`-bit exponent (paper: "It shifts the
+/// long bit-width final result and calculates the exponent and sign bits").
+///
+/// Reconstruction: a leading-one detector over `br` bits (an OR-gate
+/// reduction tree, `br` gates / `log2(br)` levels), a `br`-bit normalizing
+/// barrel shifter, and a `(be + 1)`-bit exponent adder.
+pub fn int_to_fp_converter(br: u32, be: u32) -> Cost {
+    if br == 0 {
+        return Cost::ZERO;
+    }
+    let or = sega_cells::StandardCell::Or.cost();
+    let lzd = Cost::new(
+        br as f64 * or.area,
+        ceil_log2(br as u64) as f64 * or.delay,
+        br as f64 * or.energy,
+    );
+    lzd.then(modules::shifter(br)).then(modules::adder(be + 1))
+}
+
+/// Input buffer holding `h` serial inputs of `bx` bits and emitting
+/// `h·k` bits per cycle (paper Fig. 3: "The Input Buffer is used to buffer
+/// the aligned mantissa and send `(H·k)`-bits per cycle").
+///
+/// Inventory: an `h·bx`-bit register file plus, per emitted bit, a
+/// `⌈bx/k⌉`:1 selector that walks the stored chunks cycle by cycle.
+pub fn input_buffer(h: u32, bx: u32, k: u32) -> Cost {
+    if h == 0 || bx == 0 || k == 0 {
+        return Cost::ZERO;
+    }
+    let chunks = bx.div_ceil(k);
+    let storage = modules::register(h * bx);
+    let selects = modules::selector(chunks) * (h as f64 * k as f64);
+    storage.then(selects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sega_cells::modules::{adder, comparator, register, shifter};
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn adder_tree_two_inputs_is_one_adder() {
+        assert_eq!(adder_tree(2, 4), adder(4));
+    }
+
+    #[test]
+    fn adder_tree_power_of_two_structure() {
+        // H=8, k=2: levels of 4x add(2), 2x add(3), 1x add(4).
+        let t = adder_tree(8, 2);
+        let expect_area = 4.0 * adder(2).area + 2.0 * adder(3).area + adder(4).area;
+        let expect_delay = adder(2).delay + adder(3).delay + adder(4).delay;
+        let expect_energy = 4.0 * adder(2).energy + 2.0 * adder(3).energy + adder(4).energy;
+        assert!((t.area - expect_area).abs() < EPS);
+        assert!((t.delay - expect_delay).abs() < EPS);
+        assert!((t.energy - expect_energy).abs() < EPS);
+    }
+
+    #[test]
+    fn adder_tree_uses_h_minus_one_adders() {
+        // Count adders implicitly: for fixed width the area would be
+        // (h-1)*adder(w). With growing widths we just check the count via
+        // a width-1... instead verify for several h that area is between
+        // (h-1)*adder(k) and (h-1)*adder(k+log2 h).
+        for h in [2u32, 3, 5, 8, 17, 64, 100] {
+            let k = 4;
+            let t = adder_tree(h, k);
+            let lo = (h - 1) as f64 * adder(k).area;
+            let hi = (h - 1) as f64 * adder(k + ceil_log2(h as u64)).area;
+            assert!(t.area >= lo - EPS && t.area <= hi + EPS, "h={h}");
+        }
+    }
+
+    #[test]
+    fn adder_tree_degenerate() {
+        assert_eq!(adder_tree(1, 8), Cost::ZERO);
+        assert_eq!(adder_tree(0, 8), Cost::ZERO);
+        assert_eq!(adder_tree(8, 0), Cost::ZERO);
+    }
+
+    #[test]
+    fn adder_tree_odd_h() {
+        // H=3: one add(k) for the first pair, then one add(k+1) folding in
+        // the carried element.
+        let t = adder_tree(3, 4);
+        let expect = adder(4).then(adder(5));
+        assert!((t.area - expect.area).abs() < EPS);
+        assert!((t.delay - expect.delay).abs() < EPS);
+    }
+
+    #[test]
+    fn shift_accumulator_matches_prose() {
+        // Bx=8, H=128 -> width 15: 15 registers + 15-bit shifter + adder.
+        let c = shift_accumulator(8, 128);
+        let w = 15;
+        assert_eq!(accumulator_width(8, 128), w);
+        let expect = register(w).then(shifter(w)).then(adder(w));
+        assert_eq!(c, expect);
+        // Registers must not contribute combinational delay.
+        assert!((c.delay - (shifter(w).delay + adder(w).delay)).abs() < EPS);
+    }
+
+    #[test]
+    fn result_fusion_adder_count() {
+        let bw = 8;
+        let (bx, h) = (8, 128);
+        let f = result_fusion(bw, bx, h);
+        let w = fused_width(bw, bx, h);
+        assert_eq!(w, 8 + 7 + 8);
+        assert!((f.area - 7.0 * adder(w).area).abs() < EPS);
+        assert!((f.delay - 3.0 * adder(w).delay).abs() < EPS);
+    }
+
+    #[test]
+    fn result_fusion_single_bit_weights_need_no_fusion() {
+        assert_eq!(result_fusion(1, 8, 128), Cost::ZERO);
+    }
+
+    #[test]
+    fn pre_alignment_matches_prose() {
+        let (h, be, bm) = (128, 8, 8);
+        let c = pre_alignment(h, be, bm);
+        let expect_area =
+            127.0 * comparator(be).area + 128.0 * adder(be).area + 128.0 * shifter(bm).area;
+        assert!((c.area - expect_area).abs() < EPS);
+        let expect_delay = 7.0 * comparator(be).delay + adder(be).delay + shifter(bm).delay;
+        assert!((c.delay - expect_delay).abs() < EPS);
+    }
+
+    #[test]
+    fn fig6_pre_alignment_area_is_small() {
+        // Paper: the pre-aligned circuits of the BF16 macro occupy only
+        // ~0.006 mm². In gate units with the calibrated 0.18 µm²/gate this
+        // is ~33k gates; the model should land in that range.
+        let c = pre_alignment(128, 8, 8);
+        assert!(c.area > 15_000.0 && c.area < 45_000.0, "area={}", c.area);
+    }
+
+    #[test]
+    fn int_to_fp_converter_scales_with_result_width() {
+        let small = int_to_fp_converter(16, 8);
+        let large = int_to_fp_converter(32, 8);
+        assert!(large.area > small.area);
+        assert!(large.delay > small.delay);
+        assert_eq!(int_to_fp_converter(0, 8), Cost::ZERO);
+    }
+
+    #[test]
+    fn input_buffer_holds_all_bits() {
+        let c = input_buffer(128, 8, 4);
+        // At least the register file for 1024 bits.
+        assert!(c.area >= register(1024).area);
+        // k == bx needs no chunk selection: pure registers.
+        let c2 = input_buffer(128, 8, 8);
+        assert_eq!(c2, register(1024));
+    }
+
+    #[test]
+    fn all_components_valid_over_sweep() {
+        for h in [1u32, 2, 16, 128, 2048] {
+            for b in [1u32, 2, 8, 16, 24] {
+                assert!(adder_tree(h, b).is_valid());
+                assert!(shift_accumulator(b, h).is_valid());
+                assert!(result_fusion(b, b, h).is_valid());
+                assert!(pre_alignment(h, 8, b).is_valid());
+                assert!(int_to_fp_converter(2 * b + 11, 8).is_valid());
+                assert!(input_buffer(h, b, 1).is_valid());
+            }
+        }
+    }
+
+    use sega_cells::ceil_log2;
+}

@@ -1,0 +1,48 @@
+//! # sega-estimator — DCIM macro performance estimation
+//!
+//! Closed-form area / delay / power / throughput models for the two
+//! synthesizable DCIM architectures of the SEGA-DCIM paper:
+//!
+//! * the **multiplier-based integer** macro ([`IntParams`], paper Table V),
+//! * the **pre-aligned floating-point** macro ([`FpParams`], paper Table VI),
+//!
+//! built from the per-component models of paper Table IV
+//! (see [`components`]) on top of the [`sega_cells`] cost library.
+//!
+//! The estimator is the objective function of the design space explorer: a
+//! single [`estimate`] call is cheap (microseconds), which is what makes
+//! MOGA-based exploration over millions of candidate designs feasible.
+//!
+//! # Example
+//!
+//! ```
+//! use sega_estimator::{estimate, DcimDesign, IntParams, OperatingConditions};
+//! use sega_cells::Technology;
+//!
+//! // The INT8 macro of the paper's Fig. 6: N=32, L=16, H=128, 8K weights.
+//! let params = IntParams::new(32, 128, 16, 4, 8, 8)?;
+//! assert_eq!(params.wstore(), 8192);
+//!
+//! let est = estimate(
+//!     &DcimDesign::Int(params),
+//!     &Technology::tsmc28(),
+//!     &OperatingConditions::paper_default(),
+//! );
+//! // Paper: 0.079 mm². The calibrated model lands within a few percent.
+//! assert!((est.area_mm2 - 0.079).abs() < 0.01);
+//! # Ok::<(), sega_estimator::ParamError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+mod macro_model;
+mod metrics;
+mod params;
+mod precision;
+
+pub use macro_model::{estimate, ComponentBreakdown};
+pub use metrics::{MacroEstimate, OperatingConditions};
+pub use params::{DcimDesign, FpParams, IntParams, ParamError};
+pub use precision::Precision;

@@ -1,0 +1,455 @@
+use crate::Precision;
+
+/// Error returned when a parameter set does not describe a buildable DCIM
+/// macro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// A dimension (`N`, `H`, `L`, `k`, bit-width) was zero.
+    ZeroDimension(&'static str),
+    /// `k` exceeds the bit-serial input width (`k ≤ Bx` / `k ≤ BM`,
+    /// Equations 2 and 3 of the paper).
+    InputChunkTooWide {
+        /// Requested bits per cycle.
+        k: u32,
+        /// Total serial input width.
+        bits: u32,
+    },
+    /// The SRAM capacity `N·H·L` is not a whole multiple of the weight
+    /// width, so `Wstore` would be fractional.
+    CapacityNotDivisible {
+        /// `N·H·L` in bits.
+        capacity_bits: u64,
+        /// Weight width in bits.
+        weight_bits: u32,
+    },
+    /// The number of bit-columns `N` is not a multiple of the weight width,
+    /// so full-precision weights cannot be fused from whole column groups.
+    ColumnsNotDivisible {
+        /// Number of array columns.
+        n: u32,
+        /// Weight width in bits.
+        weight_bits: u32,
+    },
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::ZeroDimension(name) => {
+                write!(f, "dimension `{name}` must be nonzero")
+            }
+            ParamError::InputChunkTooWide { k, bits } => {
+                write!(f, "bits-per-cycle k={k} exceeds serial input width {bits}")
+            }
+            ParamError::CapacityNotDivisible {
+                capacity_bits,
+                weight_bits,
+            } => write!(
+                f,
+                "array capacity {capacity_bits} bits is not divisible by weight width {weight_bits}"
+            ),
+            ParamError::ColumnsNotDivisible { n, weight_bits } => write!(
+                f,
+                "column count {n} is not divisible by weight width {weight_bits}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Design parameters of the multiplier-based integer DCIM (paper Eq. 2).
+///
+/// * `n` — number of SRAM bit-columns (each with its own adder tree),
+/// * `h` — column height: compute units (and adder-tree inputs) per column,
+/// * `l` — weights bits sharing one compute unit through an `L:1` selector,
+/// * `k` — input bits processed per cycle (`1 ≤ k ≤ bx`),
+/// * `bw` — weight bit-width,
+/// * `bx` — input bit-width (streamed over `⌈bx/k⌉` cycles).
+///
+/// Derived: `wstore() = n·h·l / bw` weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntParams {
+    /// Number of SRAM bit-columns.
+    pub n: u32,
+    /// Column height (compute units per column).
+    pub h: u32,
+    /// Weight bits sharing one compute unit.
+    pub l: u32,
+    /// Input bits per cycle.
+    pub k: u32,
+    /// Weight bit-width `Bw`.
+    pub bw: u32,
+    /// Input bit-width `Bx`.
+    pub bx: u32,
+}
+
+impl IntParams {
+    /// Validates and constructs integer-macro parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] if any dimension is zero, `k > bx`,
+    /// `n·h·l` is not divisible by `bw`, or `n` is not divisible by `bw`.
+    pub fn new(n: u32, h: u32, l: u32, k: u32, bw: u32, bx: u32) -> Result<Self, ParamError> {
+        let p = IntParams { n, h, l, k, bw, bx };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Re-checks the structural invariants (used after genetic mutation).
+    pub fn validate(&self) -> Result<(), ParamError> {
+        for (v, name) in [
+            (self.n, "n"),
+            (self.h, "h"),
+            (self.l, "l"),
+            (self.k, "k"),
+            (self.bw, "bw"),
+            (self.bx, "bx"),
+        ] {
+            if v == 0 {
+                return Err(ParamError::ZeroDimension(name));
+            }
+        }
+        if self.k > self.bx {
+            return Err(ParamError::InputChunkTooWide {
+                k: self.k,
+                bits: self.bx,
+            });
+        }
+        let capacity = self.capacity_bits();
+        if capacity % self.bw as u64 != 0 {
+            return Err(ParamError::CapacityNotDivisible {
+                capacity_bits: capacity,
+                weight_bits: self.bw,
+            });
+        }
+        if self.n % self.bw != 0 {
+            return Err(ParamError::ColumnsNotDivisible {
+                n: self.n,
+                weight_bits: self.bw,
+            });
+        }
+        Ok(())
+    }
+
+    /// SRAM capacity `N·H·L` in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.n as u64 * self.h as u64 * self.l as u64
+    }
+
+    /// Number of stored weights `Wstore = N·H·L / Bw`.
+    pub fn wstore(&self) -> u64 {
+        self.capacity_bits() / self.bw as u64
+    }
+
+    /// Cycles needed to stream one full input vector: `⌈Bx/k⌉`.
+    pub fn cycles_per_pass(&self) -> u32 {
+        self.bx.div_ceil(self.k)
+    }
+
+    /// Full-precision MACs completed per pass: `(N/Bw)·H` (one weight of the
+    /// `L` stored per compute unit is active).
+    pub fn macs_per_pass(&self) -> u64 {
+        (self.n / self.bw) as u64 * self.h as u64
+    }
+}
+
+/// Design parameters of the pre-aligned floating-point DCIM (paper Eq. 3).
+///
+/// The array stores and MACs aligned mantissas, so the roles of `Bw`/`Bx`
+/// are both played by the mantissa width `bm`; `be` sizes the exponent
+/// periphery (pre-alignment and INT-to-FP conversion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FpParams {
+    /// Number of SRAM bit-columns.
+    pub n: u32,
+    /// Column height (compute units per column).
+    pub h: u32,
+    /// Weight bits sharing one compute unit.
+    pub l: u32,
+    /// Mantissa bits per cycle.
+    pub k: u32,
+    /// Exponent width `BE`.
+    pub be: u32,
+    /// Mantissa width `BM` (including the hidden bit).
+    pub bm: u32,
+}
+
+impl FpParams {
+    /// Validates and constructs floating-point-macro parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] under the same conditions as
+    /// [`IntParams::new`], with `BM` playing the role of the weight width.
+    pub fn new(n: u32, h: u32, l: u32, k: u32, be: u32, bm: u32) -> Result<Self, ParamError> {
+        let p = FpParams { n, h, l, k, be, bm };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Re-checks the structural invariants.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        for (v, name) in [
+            (self.n, "n"),
+            (self.h, "h"),
+            (self.l, "l"),
+            (self.k, "k"),
+            (self.be, "be"),
+            (self.bm, "bm"),
+        ] {
+            if v == 0 {
+                return Err(ParamError::ZeroDimension(name));
+            }
+        }
+        if self.k > self.bm {
+            return Err(ParamError::InputChunkTooWide {
+                k: self.k,
+                bits: self.bm,
+            });
+        }
+        let capacity = self.capacity_bits();
+        if capacity % self.bm as u64 != 0 {
+            return Err(ParamError::CapacityNotDivisible {
+                capacity_bits: capacity,
+                weight_bits: self.bm,
+            });
+        }
+        if self.n % self.bm != 0 {
+            return Err(ParamError::ColumnsNotDivisible {
+                n: self.n,
+                weight_bits: self.bm,
+            });
+        }
+        Ok(())
+    }
+
+    /// SRAM capacity `N·H·L` in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.n as u64 * self.h as u64 * self.l as u64
+    }
+
+    /// Number of stored weights `Wstore = N·H·L / BM`.
+    pub fn wstore(&self) -> u64 {
+        self.capacity_bits() / self.bm as u64
+    }
+
+    /// Cycles needed to stream one input mantissa: `⌈BM/k⌉`.
+    pub fn cycles_per_pass(&self) -> u32 {
+        self.bm.div_ceil(self.k)
+    }
+
+    /// Full-precision MACs completed per pass: `(N/BM)·H`.
+    pub fn macs_per_pass(&self) -> u64 {
+        (self.n / self.bm) as u64 * self.h as u64
+    }
+
+    /// Width of the raw integer array result before FP conversion:
+    /// `Br = Bw + BM + log2(H)` with `Bw = BM` for symmetric mantissas.
+    pub fn result_bits(&self) -> u32 {
+        2 * self.bm + sega_cells::ceil_log2(self.h as u64)
+    }
+}
+
+/// A complete DCIM design point: architecture choice plus its parameters.
+///
+/// This is what the design space explorer evolves and what the generator
+/// consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DcimDesign {
+    /// Multiplier-based integer architecture.
+    Int(IntParams),
+    /// Pre-aligned floating-point architecture.
+    Fp(FpParams),
+}
+
+impl DcimDesign {
+    /// Builds the design point matching a [`Precision`] with explicit array
+    /// geometry, picking the architecture automatically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parameter validation errors of the chosen
+    /// architecture.
+    pub fn for_precision(
+        precision: Precision,
+        n: u32,
+        h: u32,
+        l: u32,
+        k: u32,
+    ) -> Result<Self, ParamError> {
+        match (precision.exponent_bits(), precision.mantissa_bits()) {
+            (Some(be), Some(bm)) => Ok(DcimDesign::Fp(FpParams::new(n, h, l, k, be, bm)?)),
+            _ => {
+                let bw = precision.weight_bits();
+                Ok(DcimDesign::Int(IntParams::new(n, h, l, k, bw, bw)?))
+            }
+        }
+    }
+
+    /// Number of stored weights.
+    pub fn wstore(&self) -> u64 {
+        match self {
+            DcimDesign::Int(p) => p.wstore(),
+            DcimDesign::Fp(p) => p.wstore(),
+        }
+    }
+
+    /// SRAM capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        match self {
+            DcimDesign::Int(p) => p.capacity_bits(),
+            DcimDesign::Fp(p) => p.capacity_bits(),
+        }
+    }
+
+    /// Array geometry `(N, H, L, k)`.
+    pub fn geometry(&self) -> (u32, u32, u32, u32) {
+        match self {
+            DcimDesign::Int(p) => (p.n, p.h, p.l, p.k),
+            DcimDesign::Fp(p) => (p.n, p.h, p.l, p.k),
+        }
+    }
+
+    /// True for the floating-point architecture.
+    pub fn is_float(&self) -> bool {
+        matches!(self, DcimDesign::Fp(_))
+    }
+
+    /// Re-checks structural invariants.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        match self {
+            DcimDesign::Int(p) => p.validate(),
+            DcimDesign::Fp(p) => p.validate(),
+        }
+    }
+}
+
+impl std::fmt::Display for DcimDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DcimDesign::Int(p) => write!(
+                f,
+                "INT[N={} H={} L={} k={} Bw={} Bx={}]",
+                p.n, p.h, p.l, p.k, p.bw, p.bx
+            ),
+            DcimDesign::Fp(p) => write!(
+                f,
+                "FP[N={} H={} L={} k={} BE={} BM={}]",
+                p.n, p.h, p.l, p.k, p.be, p.bm
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_int8_parameters() {
+        // Fig. 6(a): N=32, L=16, H=128, Wstore=8K, SRAM=64Kbit, INT8.
+        let p = IntParams::new(32, 128, 16, 4, 8, 8).unwrap();
+        assert_eq!(p.capacity_bits(), 65536);
+        assert_eq!(p.wstore(), 8192);
+        assert_eq!(p.cycles_per_pass(), 2);
+        assert_eq!(p.macs_per_pass(), 4 * 128);
+    }
+
+    #[test]
+    fn fig6_bf16_parameters() {
+        // Fig. 6(b): same geometry, BF16 (BE=8, BM=8).
+        let p = FpParams::new(32, 128, 16, 4, 8, 8).unwrap();
+        assert_eq!(p.wstore(), 8192);
+        assert_eq!(p.result_bits(), 2 * 8 + 7);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert_eq!(
+            IntParams::new(0, 128, 16, 4, 8, 8),
+            Err(ParamError::ZeroDimension("n"))
+        );
+        assert_eq!(
+            FpParams::new(32, 128, 16, 0, 8, 8),
+            Err(ParamError::ZeroDimension("k"))
+        );
+    }
+
+    #[test]
+    fn k_bounded_by_serial_width() {
+        assert!(matches!(
+            IntParams::new(32, 128, 16, 9, 8, 8),
+            Err(ParamError::InputChunkTooWide { k: 9, bits: 8 })
+        ));
+        assert!(IntParams::new(32, 128, 16, 8, 8, 8).is_ok());
+        assert!(matches!(
+            FpParams::new(32, 128, 16, 12, 5, 11),
+            Err(ParamError::InputChunkTooWide { k: 12, bits: 11 })
+        ));
+    }
+
+    #[test]
+    fn divisibility_constraints() {
+        // N=30 not divisible by Bw=8.
+        assert!(matches!(
+            IntParams::new(30, 128, 16, 4, 8, 8),
+            Err(ParamError::ColumnsNotDivisible { .. })
+        ));
+        // Capacity 3*5*7=105 not divisible by Bw=2 -> capacity error first.
+        assert!(matches!(
+            IntParams::new(3, 5, 7, 1, 2, 2),
+            Err(ParamError::CapacityNotDivisible { .. })
+        ));
+    }
+
+    #[test]
+    fn cycles_round_up() {
+        let p = IntParams::new(16, 64, 8, 3, 8, 8).unwrap();
+        assert_eq!(p.cycles_per_pass(), 3); // ceil(8/3)
+    }
+
+    #[test]
+    fn design_for_precision_picks_architecture() {
+        let d = DcimDesign::for_precision(Precision::Int8, 32, 128, 16, 4).unwrap();
+        assert!(!d.is_float());
+        let d = DcimDesign::for_precision(Precision::Bf16, 32, 128, 16, 4).unwrap();
+        assert!(d.is_float());
+        assert_eq!(d.wstore(), 8192);
+        let d = DcimDesign::for_precision(Precision::Fp16, 44, 128, 16, 4).unwrap();
+        match d {
+            DcimDesign::Fp(p) => {
+                assert_eq!(p.be, 5);
+                assert_eq!(p.bm, 11);
+            }
+            DcimDesign::Int(_) => panic!("expected FP"),
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let d = DcimDesign::for_precision(Precision::Int8, 32, 128, 16, 4).unwrap();
+        let s = d.to_string();
+        assert!(s.contains("N=32") && s.contains("Bw=8"));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs: Vec<ParamError> = vec![
+            ParamError::ZeroDimension("n"),
+            ParamError::InputChunkTooWide { k: 9, bits: 8 },
+            ParamError::CapacityNotDivisible {
+                capacity_bits: 105,
+                weight_bits: 2,
+            },
+            ParamError::ColumnsNotDivisible {
+                n: 30,
+                weight_bits: 8,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,207 @@
+/// The computing precisions evaluated in the paper (§IV: "INT2, INT4, INT8,
+/// INT16, FP8, FP16, FP32, and BF16").
+///
+/// For floating-point formats, `mantissa_bits()` counts the bits that
+/// actually enter the in-array integer MAC: the stored fraction bits **plus
+/// the implicit hidden bit**. This is the `BM` of the paper's FP cost model
+/// and of the FP capacity constraint `N·H·L/BM = Wstore` (for BF16 this gives
+/// `BM = 8`, consistent with the Fig. 6 BF16 macro storing 8K weights in a
+/// 64 Kbit array).
+///
+/// ```
+/// use sega_estimator::Precision;
+///
+/// assert_eq!(Precision::Bf16.mantissa_bits(), Some(8));
+/// assert_eq!(Precision::Bf16.exponent_bits(), Some(8));
+/// assert_eq!(Precision::Int8.weight_bits(), 8);
+/// assert!(Precision::Fp32.is_float());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// 2-bit integer.
+    Int2,
+    /// 4-bit integer.
+    Int4,
+    /// 8-bit integer.
+    Int8,
+    /// 16-bit integer.
+    Int16,
+    /// FP8 in E4M3 layout (1 sign, 4 exponent, 3 fraction).
+    Fp8,
+    /// IEEE-754 half precision, E5M10.
+    Fp16,
+    /// bfloat16, E8M7.
+    Bf16,
+    /// IEEE-754 single precision, E8M23.
+    Fp32,
+}
+
+/// All precisions in the order the paper sweeps them (Fig. 7 x-axis:
+/// integer widths ascending, then FP formats by mantissa width).
+pub const ALL_PRECISIONS: [Precision; 8] = [
+    Precision::Int2,
+    Precision::Int4,
+    Precision::Int8,
+    Precision::Int16,
+    Precision::Fp8,
+    Precision::Bf16,
+    Precision::Fp16,
+    Precision::Fp32,
+];
+
+impl Precision {
+    /// True for floating-point formats.
+    pub const fn is_float(self) -> bool {
+        matches!(
+            self,
+            Precision::Fp8 | Precision::Fp16 | Precision::Bf16 | Precision::Fp32
+        )
+    }
+
+    /// Total encoded width in bits (storage format).
+    pub const fn total_bits(self) -> u32 {
+        match self {
+            Precision::Int2 => 2,
+            Precision::Int4 => 4,
+            Precision::Int8 => 8,
+            Precision::Int16 => 16,
+            Precision::Fp8 => 8,
+            Precision::Fp16 => 16,
+            Precision::Bf16 => 16,
+            Precision::Fp32 => 32,
+        }
+    }
+
+    /// Exponent field width `BE`, or `None` for integer formats.
+    pub const fn exponent_bits(self) -> Option<u32> {
+        match self {
+            Precision::Fp8 => Some(4),
+            Precision::Fp16 => Some(5),
+            Precision::Bf16 => Some(8),
+            Precision::Fp32 => Some(8),
+            _ => None,
+        }
+    }
+
+    /// Stored fraction width (without the hidden bit), or `None` for integer
+    /// formats.
+    pub const fn fraction_bits(self) -> Option<u32> {
+        match self {
+            Precision::Fp8 => Some(3),
+            Precision::Fp16 => Some(10),
+            Precision::Bf16 => Some(7),
+            Precision::Fp32 => Some(23),
+            _ => None,
+        }
+    }
+
+    /// The MAC mantissa width `BM` = fraction bits + hidden bit, or `None`
+    /// for integer formats.
+    pub const fn mantissa_bits(self) -> Option<u32> {
+        match self.fraction_bits() {
+            Some(f) => Some(f + 1),
+            None => None,
+        }
+    }
+
+    /// The weight bit-width that occupies SRAM columns: `Bw` for integers,
+    /// `BM` for floating point (only the aligned mantissa is stored in the
+    /// array; sign and shared exponent live in the periphery).
+    pub const fn weight_bits(self) -> u32 {
+        match self.mantissa_bits() {
+            Some(m) => m,
+            None => self.total_bits(),
+        }
+    }
+
+    /// The input bit-width that is streamed bit-serially: `Bx` for integers
+    /// (taken equal to the weight width, as in the paper's symmetric-precision
+    /// experiments), `BM` for floating point.
+    pub const fn input_bits(self) -> u32 {
+        self.weight_bits()
+    }
+
+    /// Short display name matching the paper's labels.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Precision::Int2 => "INT2",
+            Precision::Int4 => "INT4",
+            Precision::Int8 => "INT8",
+            Precision::Int16 => "INT16",
+            Precision::Fp8 => "FP8",
+            Precision::Fp16 => "FP16",
+            Precision::Bf16 => "BF16",
+            Precision::Fp32 => "FP32",
+        }
+    }
+
+    /// Parses a paper-style label (case-insensitive), e.g. `"bf16"`.
+    pub fn from_name(s: &str) -> Option<Precision> {
+        let up = s.to_ascii_uppercase();
+        ALL_PRECISIONS.iter().copied().find(|p| p.name() == up)
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_widths() {
+        assert_eq!(Precision::Int2.weight_bits(), 2);
+        assert_eq!(Precision::Int4.weight_bits(), 4);
+        assert_eq!(Precision::Int8.weight_bits(), 8);
+        assert_eq!(Precision::Int16.weight_bits(), 16);
+        for p in [
+            Precision::Int2,
+            Precision::Int4,
+            Precision::Int8,
+            Precision::Int16,
+        ] {
+            assert!(!p.is_float());
+            assert_eq!(p.exponent_bits(), None);
+            assert_eq!(p.mantissa_bits(), None);
+        }
+    }
+
+    #[test]
+    fn fp_field_layouts() {
+        // (format, BE, fraction, BM with hidden bit, total)
+        let expect = [
+            (Precision::Fp8, 4, 3, 4, 8),
+            (Precision::Fp16, 5, 10, 11, 16),
+            (Precision::Bf16, 8, 7, 8, 16),
+            (Precision::Fp32, 8, 23, 24, 32),
+        ];
+        for (p, be, fr, bm, total) in expect {
+            assert_eq!(p.exponent_bits(), Some(be), "{p} BE");
+            assert_eq!(p.fraction_bits(), Some(fr), "{p} fraction");
+            assert_eq!(p.mantissa_bits(), Some(bm), "{p} BM");
+            assert_eq!(p.total_bits(), total, "{p} total");
+            // sign + exponent + fraction == total
+            assert_eq!(1 + be + fr, total, "{p} field sum");
+        }
+    }
+
+    #[test]
+    fn bf16_stores_like_int8() {
+        // The key architectural claim behind Fig. 6: a BF16 weight occupies
+        // the same 8 array bits as an INT8 weight.
+        assert_eq!(Precision::Bf16.weight_bits(), Precision::Int8.weight_bits());
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for p in ALL_PRECISIONS {
+            assert_eq!(Precision::from_name(p.name()), Some(p));
+            assert_eq!(Precision::from_name(&p.name().to_lowercase()), Some(p));
+        }
+        assert_eq!(Precision::from_name("INT3"), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests of the estimation model: physical sanity
+//! (monotonicity, positivity, conservation) over randomized geometries.
+
+use proptest::prelude::*;
+use sega_cells::Technology;
+use sega_estimator::{components, estimate, DcimDesign, FpParams, IntParams, OperatingConditions};
+
+fn int_geometry() -> impl Strategy<Value = IntParams> {
+    (1u32..=4, 1u32..=8, 0u32..=5, 1u32..=2).prop_flat_map(|(log_g, log_h, log_l, log_bw)| {
+        let bw = 1u32 << (log_bw + 1); // 4 or 8
+        let _ = log_bw;
+        (1u32..=bw).prop_map(move |k| {
+            IntParams::new((1 << log_g) * bw, 1 << log_h, 1 << log_l, k, bw, bw)
+                .expect("valid by construction")
+        })
+    })
+}
+
+fn setup() -> (Technology, OperatingConditions) {
+    (Technology::tsmc28(), OperatingConditions::paper_default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every estimate is physically sane: positive area/delay/energy,
+    /// finite throughput, consistent derived metrics.
+    #[test]
+    fn estimates_are_physical(p in int_geometry()) {
+        let (tech, cond) = setup();
+        let e = estimate(&DcimDesign::Int(p), &tech, &cond);
+        prop_assert!(e.area_mm2 > 0.0 && e.area_mm2.is_finite());
+        prop_assert!(e.delay_ns > 0.0 && e.delay_ns.is_finite());
+        prop_assert!(e.energy_per_cycle_nj > 0.0);
+        prop_assert!(e.tops > 0.0);
+        prop_assert!(e.tops_per_w() > 0.0);
+        prop_assert!(e.tops_per_mm2() > 0.0);
+        // Derived-metric consistency.
+        let p_w = e.energy_per_cycle_nj * e.freq_ghz();
+        prop_assert!((e.power_w() - p_w).abs() < 1e-12);
+        prop_assert!(
+            (e.energy_per_pass_nj - e.energy_per_cycle_nj * e.cycles_per_pass as f64).abs()
+                < 1e-12
+        );
+    }
+
+    /// Doubling H at fixed everything-else increases area, energy and
+    /// capacity.
+    #[test]
+    fn taller_columns_cost_more(
+        log_h in 1u32..=7,
+        log_l in 0u32..=4,
+        k in 1u32..=4,
+    ) {
+        let (tech, cond) = setup();
+        let mk = |h: u32| {
+            estimate(
+                &DcimDesign::Int(IntParams::new(16, h, 1 << log_l, k, 4, 4).unwrap()),
+                &tech,
+                &cond,
+            )
+        };
+        let small = mk(1 << log_h);
+        let tall = mk(1 << (log_h + 1));
+        prop_assert!(tall.area_mm2 > small.area_mm2);
+        prop_assert!(tall.unit.energy > small.unit.energy);
+        prop_assert!(tall.macs_per_pass == 2 * small.macs_per_pass);
+    }
+
+    /// More slots per compute unit (L) buys capacity almost for free in
+    /// area (SRAM + selector only) but never increases throughput.
+    #[test]
+    fn deeper_slots_trade_capacity_for_throughput(
+        log_l in 0u32..=5,
+    ) {
+        let (tech, cond) = setup();
+        let mk = |l: u32| {
+            let p = IntParams::new(16, 32, l, 2, 4, 4).unwrap();
+            (p.wstore(), estimate(&DcimDesign::Int(p), &tech, &cond))
+        };
+        let (w1, e1) = mk(1 << log_l);
+        let (w2, e2) = mk(1 << (log_l + 1));
+        prop_assert_eq!(w2, 2 * w1, "capacity doubles with L");
+        prop_assert!(e2.area_mm2 > e1.area_mm2);
+        prop_assert!((e2.tops - e1.tops).abs() / e1.tops < 0.35,
+            "throughput nearly unchanged by L: {} vs {}", e1.tops, e2.tops);
+    }
+
+    /// The FP macro always costs more than the integer macro of the same
+    /// array geometry (it adds pre-alignment and converters), but the
+    /// overhead stays modest — the paper's efficiency claim.
+    #[test]
+    fn fp_overhead_is_positive_and_modest(
+        log_h in 3u32..=8,
+        log_l in 0u32..=3,
+        k in 1u32..=4,
+    ) {
+        let (tech, cond) = setup();
+        let h = 1 << log_h;
+        let l = 1 << log_l;
+        let int8 = estimate(
+            &DcimDesign::Int(IntParams::new(32, h, l, k, 8, 8).unwrap()),
+            &tech,
+            &cond,
+        );
+        let bf16 = estimate(
+            &DcimDesign::Fp(FpParams::new(32, h, l, k, 8, 8).unwrap()),
+            &tech,
+            &cond,
+        );
+        let overhead = (bf16.area_mm2 - int8.area_mm2) / int8.area_mm2;
+        prop_assert!(overhead > 0.0, "FP must cost more");
+        prop_assert!(overhead < 0.6, "FP overhead {overhead:.2} too large");
+    }
+
+    /// The accumulator width formula covers the adder-tree output for any
+    /// k <= bx (no silent truncation in the architecture).
+    #[test]
+    fn accumulator_always_fits_tree_output(
+        log_h in 1u32..=11,
+        bx in 1u32..=16,
+    ) {
+        let h = 1u32 << log_h;
+        for k in 1..=bx {
+            let tree_out = k + sega_cells::ceil_log2(h as u64);
+            let acc = components::accumulator_width(bx, h);
+            prop_assert!(acc >= tree_out, "h={h} bx={bx} k={k}");
+        }
+    }
+
+    /// Voltage scaling: lower V always lowers power and throughput, and
+    /// (to first order) raises TOPS/W.
+    #[test]
+    fn voltage_derating_direction(p in int_geometry()) {
+        let tech = Technology::tsmc28();
+        let base = estimate(
+            &DcimDesign::Int(p),
+            &tech,
+            &OperatingConditions { voltage: 0.9, ..OperatingConditions::paper_default() },
+        );
+        let low = estimate(
+            &DcimDesign::Int(p),
+            &tech,
+            &OperatingConditions { voltage: 0.7, ..OperatingConditions::paper_default() },
+        );
+        prop_assert!(low.power_w() < base.power_w());
+        prop_assert!(low.tops < base.tops);
+        prop_assert!(low.tops_per_w() > base.tops_per_w());
+        prop_assert!((low.area_mm2 - base.area_mm2).abs() < 1e-12, "area is voltage-independent");
+    }
+}
+
+#[test]
+fn throughput_formula_closed_form() {
+    // T = 2 · (N/Bw) · H · f / ⌈Bx/k⌉, checked against the estimate.
+    let (tech, cond) = setup();
+    let p = IntParams::new(32, 128, 16, 4, 8, 8).unwrap();
+    let e = estimate(&DcimDesign::Int(p), &tech, &cond);
+    let f_ghz = 1.0 / e.delay_ns;
+    let expected_tops = 2.0 * (32.0 / 8.0) * 128.0 * f_ghz / 2.0 / 1e3;
+    assert!((e.tops - expected_tops).abs() < 1e-12);
+}

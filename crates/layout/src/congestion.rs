@@ -1,0 +1,185 @@
+//! Routing-demand analysis of a floorplanned macro.
+//!
+//! After floorplanning, the signoff question Innovus answers is whether
+//! the inter-region buses route in the available channel width. The bus
+//! widths crossing each band boundary follow directly from the design
+//! parameters (paper Fig. 3's datapath), so the crossing density — bits
+//! per µm of boundary — is computable without a router, and flags
+//! geometries that would congest (tall narrow dies with wide fusion
+//! buses).
+
+use crate::floorplan::{MacroLayout, RegionKind};
+use sega_cells::ceil_log2;
+use sega_estimator::DcimDesign;
+
+/// One band-boundary crossing: a bus between two floorplan regions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundaryCrossing {
+    /// Source region.
+    pub from: RegionKind,
+    /// Destination region.
+    pub to: RegionKind,
+    /// Total signal bits crossing the boundary.
+    pub bits: u32,
+    /// Crossing density in bits per µm of boundary length.
+    pub bits_per_um: f64,
+}
+
+/// The routing report of a floorplanned macro.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingReport {
+    /// All band crossings, in datapath order.
+    pub crossings: Vec<BoundaryCrossing>,
+    /// The densest crossing (bits/µm).
+    pub peak_density: f64,
+}
+
+impl RoutingReport {
+    /// True when every crossing stays under `capacity_bits_per_um` — a
+    /// per-technology routing-channel capacity (tracks per µm across the
+    /// boundary, summed over the usable metal layers).
+    pub fn is_routable(&self, capacity_bits_per_um: f64) -> bool {
+        self.peak_density <= capacity_bits_per_um
+    }
+}
+
+/// Default routing capacity for the calibrated 28 nm technology:
+/// ~10 horizontal tracks/µm/layer × 4 usable signal layers × 50% routing
+/// utilization.
+pub const DEFAULT_CAPACITY_BITS_PER_UM: f64 = 20.0;
+
+/// Computes the inter-band bus widths of the design and their crossing
+/// densities on the floorplan.
+pub fn analyze_routing(layout: &MacroLayout) -> RoutingReport {
+    let (n, h, _l, k) = layout.design.geometry();
+    let width = layout.width_um();
+    let mut crossings = Vec::new();
+    let mut push = |from: RegionKind, to: RegionKind, bits: u32| {
+        if layout.region(from).is_some() && layout.region(to).is_some() && bits > 0 {
+            crossings.push(BoundaryCrossing {
+                from,
+                to,
+                bits,
+                bits_per_um: bits as f64 / width,
+            });
+        }
+    };
+
+    match layout.design {
+        DcimDesign::Int(p) => {
+            // Input buffer (periphery) -> compute: H·k product bits per
+            // cycle, broadcast to all N columns (one physical bus, tapped).
+            push(RegionKind::Periphery, RegionKind::Compute, h * k);
+            // Memory -> compute: the selected weight bit per compute unit.
+            push(RegionKind::MemoryArray, RegionKind::Compute, n * h);
+            // Compute (accumulators) -> periphery (fusion): N columns of
+            // (Bx + log2 H) bits.
+            let qw = p.bx + ceil_log2(h as u64);
+            push(RegionKind::Compute, RegionKind::Periphery, n * qw);
+        }
+        DcimDesign::Fp(p) => {
+            // Pre-alignment -> periphery (input buffer): aligned mantissas.
+            push(RegionKind::PreAlignment, RegionKind::Periphery, h * p.bm);
+            push(RegionKind::Periphery, RegionKind::Compute, h * k);
+            push(RegionKind::MemoryArray, RegionKind::Compute, n * h);
+            let qw = p.bm + ceil_log2(h as u64);
+            push(RegionKind::Compute, RegionKind::Periphery, n * qw);
+        }
+    }
+
+    let peak_density = crossings.iter().map(|c| c.bits_per_um).fold(0.0, f64::max);
+    RoutingReport {
+        crossings,
+        peak_density,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::floorplan_macro;
+    use crate::LayoutOptions;
+    use sega_cells::Technology;
+    use sega_estimator::Precision;
+
+    fn layout(precision: Precision) -> MacroLayout {
+        let d = DcimDesign::for_precision(precision, 32, 128, 16, 4).unwrap();
+        floorplan_macro(&d, &Technology::tsmc28(), &LayoutOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn fig6_designs_are_routable() {
+        for precision in [Precision::Int8, Precision::Bf16] {
+            let r = analyze_routing(&layout(precision));
+            assert!(!r.crossings.is_empty(), "{precision}");
+            assert!(
+                r.is_routable(DEFAULT_CAPACITY_BITS_PER_UM),
+                "{precision}: peak density {:.1} bits/µm",
+                r.peak_density
+            );
+        }
+    }
+
+    #[test]
+    fn fp_layout_has_prealign_crossing() {
+        let r = analyze_routing(&layout(Precision::Bf16));
+        assert!(r
+            .crossings
+            .iter()
+            .any(|c| c.from == RegionKind::PreAlignment));
+        let int_r = analyze_routing(&layout(Precision::Int8));
+        assert!(!int_r
+            .crossings
+            .iter()
+            .any(|c| c.from == RegionKind::PreAlignment));
+    }
+
+    #[test]
+    fn crossing_widths_follow_parameters() {
+        let l = layout(Precision::Int8);
+        let r = analyze_routing(&l);
+        // Memory -> compute: N·H selected weight bits = 32·128.
+        let mem = r
+            .crossings
+            .iter()
+            .find(|c| c.from == RegionKind::MemoryArray)
+            .unwrap();
+        assert_eq!(mem.bits, 32 * 128);
+        // Periphery -> compute: H·k = 128·4.
+        let inp = r
+            .crossings
+            .iter()
+            .find(|c| c.from == RegionKind::Periphery && c.to == RegionKind::Compute)
+            .unwrap();
+        assert_eq!(inp.bits, 512);
+    }
+
+    #[test]
+    fn peak_density_is_max_over_crossings() {
+        let r = analyze_routing(&layout(Precision::Int8));
+        let max = r
+            .crossings
+            .iter()
+            .map(|c| c.bits_per_um)
+            .fold(0.0, f64::max);
+        assert_eq!(r.peak_density, max);
+    }
+
+    #[test]
+    fn tall_narrow_die_congests() {
+        // Squeeze the same design into a 10:1 aspect (narrow boundary):
+        // crossing density grows inversely with width.
+        let d = DcimDesign::for_precision(Precision::Int8, 32, 128, 16, 4).unwrap();
+        let narrow = floorplan_macro(
+            &d,
+            &Technology::tsmc28(),
+            &LayoutOptions {
+                aspect: 0.05,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let wide = layout(Precision::Int8);
+        assert!(analyze_routing(&narrow).peak_density > analyze_routing(&wide).peak_density * 4.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! DRC-lite: the geometric legality checks a signoff flow would run.
+//!
+//! Real DRC decks check hundreds of process rules; the quantities that
+//! matter to the paper's evaluation are purely geometric, so this module
+//! checks exactly those: placements stay on the die, nothing overlaps,
+//! regions tile without collision, and utilization stays physical.
+
+use crate::floorplan::MacroLayout;
+use crate::geometry::Rect;
+use crate::place::Placement;
+
+/// One DRC violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DrcViolation {
+    /// A placement or region escapes its enclosing boundary.
+    OutOfBounds {
+        /// Offender name.
+        name: String,
+        /// Offending rectangle.
+        rect: Rect,
+        /// The boundary it must stay inside.
+        boundary: Rect,
+    },
+    /// Two rectangles overlap.
+    Overlap {
+        /// First offender.
+        a: String,
+        /// Second offender.
+        b: String,
+    },
+    /// A region claims more cell area than physically fits.
+    OverUtilized {
+        /// Region name.
+        name: String,
+        /// Claimed utilization (> 1).
+        utilization: f64,
+    },
+}
+
+impl std::fmt::Display for DrcViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DrcViolation::OutOfBounds {
+                name,
+                rect,
+                boundary,
+            } => {
+                write!(f, "`{name}` at {rect} escapes {boundary}")
+            }
+            DrcViolation::Overlap { a, b } => write!(f, "`{a}` overlaps `{b}`"),
+            DrcViolation::OverUtilized { name, utilization } => {
+                write!(f, "`{name}` over-utilized: {utilization:.3}")
+            }
+        }
+    }
+}
+
+/// Checks a floorplan: every region inside the die, no two regions
+/// overlapping, no region over-utilized.
+pub fn check_floorplan(layout: &MacroLayout) -> Vec<DrcViolation> {
+    let mut violations = Vec::new();
+    for region in &layout.regions {
+        if !layout.die.contains(&region.rect) {
+            violations.push(DrcViolation::OutOfBounds {
+                name: region.kind.name().to_owned(),
+                rect: region.rect,
+                boundary: layout.die,
+            });
+        }
+        if region.utilization() > 1.0 + 1e-9 {
+            violations.push(DrcViolation::OverUtilized {
+                name: region.kind.name().to_owned(),
+                utilization: region.utilization(),
+            });
+        }
+    }
+    for (i, a) in layout.regions.iter().enumerate() {
+        for b in &layout.regions[i + 1..] {
+            if a.rect.overlaps(&b.rect) {
+                violations.push(DrcViolation::Overlap {
+                    a: a.kind.name().to_owned(),
+                    b: b.kind.name().to_owned(),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Checks a detailed placement: every cell inside `boundary`, no two cells
+/// overlapping. Overlap checking uses an X-sorted sweep, so large
+/// placements stay near-linear.
+pub fn check_placements(placements: &[Placement], boundary: Rect) -> Vec<DrcViolation> {
+    let mut violations = Vec::new();
+    for p in placements {
+        if !boundary.contains(&p.rect) {
+            violations.push(DrcViolation::OutOfBounds {
+                name: p.name.clone(),
+                rect: p.rect,
+                boundary,
+            });
+        }
+    }
+    let mut order: Vec<usize> = (0..placements.len()).collect();
+    order.sort_by(|&a, &b| {
+        placements[a]
+            .rect
+            .x
+            .partial_cmp(&placements[b].rect.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for (pos, &i) in order.iter().enumerate() {
+        let a = &placements[i];
+        for &j in &order[pos + 1..] {
+            let b = &placements[j];
+            if b.rect.x >= a.rect.x + a.rect.w - 1e-9 {
+                break; // sweep: no later cell can overlap `a`.
+            }
+            if a.rect.overlaps(&b.rect) {
+                violations.push(DrcViolation::Overlap {
+                    a: a.name.clone(),
+                    b: b.name.clone(),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::floorplan_macro;
+    use crate::LayoutOptions;
+    use sega_cells::{StandardCell, Technology};
+    use sega_estimator::{DcimDesign, Precision};
+
+    #[test]
+    fn clean_floorplan_passes() {
+        for prec in [Precision::Int8, Precision::Bf16] {
+            let d = DcimDesign::for_precision(prec, 32, 128, 16, 4).unwrap();
+            let l = floorplan_macro(&d, &Technology::tsmc28(), &LayoutOptions::default()).unwrap();
+            assert!(check_floorplan(&l).is_empty(), "{prec}");
+        }
+    }
+
+    fn cell_at(name: &str, x: f64, y: f64, w: f64) -> Placement {
+        Placement {
+            name: name.to_owned(),
+            cell: StandardCell::Nor,
+            rect: Rect::new(x, y, w, 1.0),
+        }
+    }
+
+    #[test]
+    fn detects_out_of_bounds() {
+        let boundary = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let v = check_placements(&[cell_at("c0", 9.5, 0.0, 1.0)], boundary);
+        assert!(matches!(v[0], DrcViolation::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn detects_overlap() {
+        let boundary = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let cells = [cell_at("c0", 0.0, 0.0, 2.0), cell_at("c1", 1.0, 0.0, 2.0)];
+        let v = check_placements(&cells, boundary);
+        assert!(v.iter().any(|x| matches!(x, DrcViolation::Overlap { .. })));
+    }
+
+    #[test]
+    fn abutting_cells_are_legal() {
+        let boundary = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let cells = [cell_at("c0", 0.0, 0.0, 2.0), cell_at("c1", 2.0, 0.0, 2.0)];
+        assert!(check_placements(&cells, boundary).is_empty());
+    }
+
+    #[test]
+    fn sweep_matches_quadratic_reference() {
+        // Random-ish grid with a few injected overlaps.
+        let boundary = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let mut cells = Vec::new();
+        for i in 0..50 {
+            let x = (i % 10) as f64 * 3.0;
+            let y = (i / 10) as f64 * 2.0;
+            cells.push(cell_at(&format!("g{i}"), x, y, 2.5));
+        }
+        cells.push(cell_at("bad", 1.0, 0.5, 2.0)); // overlaps grid cells
+        let sweep = check_placements(&cells, boundary);
+        let mut quad = 0usize;
+        for (i, a) in cells.iter().enumerate() {
+            for b in &cells[i + 1..] {
+                if a.rect.overlaps(&b.rect) {
+                    quad += 1;
+                }
+            }
+        }
+        let sweep_overlaps = sweep
+            .iter()
+            .filter(|v| matches!(v, DrcViolation::Overlap { .. }))
+            .count();
+        assert_eq!(sweep_overlaps, quad);
+    }
+}

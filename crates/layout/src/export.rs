@@ -1,0 +1,181 @@
+//! Layout export: DEF-like text for downstream tooling and an ASCII
+//! rendering of the floorplan (our Fig. 6).
+
+use std::fmt::Write as _;
+
+use crate::floorplan::MacroLayout;
+use crate::place::Placement;
+
+/// Renders the floorplan as a DEF-like text file: die area, region
+/// definitions, and (optionally) placed components. Coordinates are in DEF
+/// database units (1000 per µm, the usual LEF/DEF convention).
+pub fn to_def(layout: &MacroLayout, placements: &[Placement]) -> String {
+    const DBU: f64 = 1000.0;
+    let mut out = String::new();
+    let _ = writeln!(out, "VERSION 5.8 ;");
+    let _ = writeln!(out, "DESIGN {} ;", design_name(layout));
+    let _ = writeln!(out, "UNITS DISTANCE MICRONS {DBU} ;");
+    let _ = writeln!(
+        out,
+        "DIEAREA ( 0 0 ) ( {} {} ) ;",
+        (layout.die.w * DBU) as i64,
+        (layout.die.h * DBU) as i64
+    );
+    let _ = writeln!(out, "REGIONS {} ;", layout.regions.len());
+    for r in &layout.regions {
+        let _ = writeln!(
+            out,
+            "- {} ( {} {} ) ( {} {} ) ;",
+            r.kind.name(),
+            (r.rect.x * DBU) as i64,
+            (r.rect.y * DBU) as i64,
+            ((r.rect.x + r.rect.w) * DBU) as i64,
+            ((r.rect.y + r.rect.h) * DBU) as i64
+        );
+    }
+    let _ = writeln!(out, "END REGIONS");
+    let _ = writeln!(out, "COMPONENTS {} ;", placements.len());
+    for p in placements {
+        let _ = writeln!(
+            out,
+            "- {} {} + PLACED ( {} {} ) N ;",
+            p.name,
+            p.cell.name(),
+            (p.rect.x * DBU) as i64,
+            (p.rect.y * DBU) as i64
+        );
+    }
+    let _ = writeln!(out, "END COMPONENTS");
+    let _ = writeln!(out, "END DESIGN");
+    out
+}
+
+fn design_name(layout: &MacroLayout) -> String {
+    let (n, h, l, k) = layout.design.geometry();
+    let kind = if layout.design.is_float() {
+        "fp"
+    } else {
+        "int"
+    };
+    format!("dcim_{kind}_n{n}_h{h}_l{l}_k{k}")
+}
+
+/// Renders the floorplan as ASCII art (the textual Fig. 6): one row of
+/// characters per band slice, with the band's name, dimensions and
+/// utilization annotated.
+pub fn to_ascii(layout: &MacroLayout, width_chars: usize) -> String {
+    let width_chars = width_chars.max(20);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}  —  {:.0} µm × {:.0} µm = {:.3} mm²",
+        design_name(layout),
+        layout.width_um(),
+        layout.height_um(),
+        layout.area_mm2()
+    );
+    let border = format!("+{}+", "-".repeat(width_chars));
+    let _ = writeln!(out, "{border}");
+    // Top-down: regions sorted by descending y.
+    let mut regions: Vec<_> = layout.regions.iter().collect();
+    regions.sort_by(|a, b| {
+        b.rect
+            .y
+            .partial_cmp(&a.rect.y)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for r in regions {
+        let frac = r.rect.h / layout.die.h;
+        let rows = ((frac * 12.0).round() as usize).max(1);
+        let label = format!(
+            " {} ({:.0} µm², {:.0}% util) ",
+            r.kind.name(),
+            r.rect.area(),
+            r.utilization() * 100.0
+        );
+        for row in 0..rows {
+            if row == rows / 2 {
+                let pad = width_chars.saturating_sub(label.len());
+                let left = pad / 2;
+                let fill_l = "#".repeat(left);
+                let fill_r = "#".repeat(pad - left);
+                let _ = writeln!(
+                    out,
+                    "|{fill_l}{label:.width$}{fill_r}|",
+                    width = width_chars
+                );
+            } else {
+                let _ = writeln!(out, "|{}|", "#".repeat(width_chars));
+            }
+        }
+        let _ = writeln!(out, "{border}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::floorplan_macro;
+    use crate::LayoutOptions;
+    use sega_cells::Technology;
+    use sega_estimator::{DcimDesign, Precision};
+
+    fn layout(prec: Precision) -> MacroLayout {
+        let d = DcimDesign::for_precision(prec, 32, 128, 16, 4).unwrap();
+        floorplan_macro(&d, &Technology::tsmc28(), &LayoutOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn def_contains_required_sections() {
+        let l = layout(Precision::Int8);
+        let def = to_def(&l, &[]);
+        for needle in [
+            "VERSION 5.8",
+            "DIEAREA",
+            "REGIONS 3",
+            "memory_array",
+            "compute",
+            "periphery",
+            "END DESIGN",
+        ] {
+            assert!(def.contains(needle), "missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn fp_def_has_prealign_region() {
+        let def = to_def(&layout(Precision::Bf16), &[]);
+        assert!(def.contains("REGIONS 4"));
+        assert!(def.contains("pre_alignment"));
+    }
+
+    #[test]
+    fn def_coordinates_scale_to_dbu() {
+        let l = layout(Precision::Int8);
+        let def = to_def(&l, &[]);
+        let expect = format!(
+            "( {} {} ) ;",
+            (l.die.w * 1000.0) as i64,
+            (l.die.h * 1000.0) as i64
+        );
+        assert!(def.contains(&expect));
+    }
+
+    #[test]
+    fn ascii_renders_all_regions() {
+        let art = to_ascii(&layout(Precision::Bf16), 60);
+        for name in ["memory_array", "compute", "periphery", "pre_alignment"] {
+            assert!(art.contains(name), "missing {name} in:\n{art}");
+        }
+        assert!(art.contains("mm²"));
+    }
+
+    #[test]
+    fn ascii_memory_band_is_first() {
+        let art = to_ascii(&layout(Precision::Int8), 60);
+        let mem = art.find("memory_array").unwrap();
+        let per = art.find("periphery").unwrap();
+        assert!(mem < per, "memory band must render on top");
+    }
+}

@@ -1,0 +1,261 @@
+//! Die floorplanning: turns a DCIM design point into the region-level
+//! layout of paper Fig. 6.
+//!
+//! The paper's generator distinguishes exactly three generated parts — the
+//! memory array, the DCIM compute components, and the digital peripherals —
+//! and the Fig. 6 BF16 die adds the FP pre-alignment strip. The floorplanner
+//! stacks these as full-width horizontal bands (memory on top, compute in
+//! the middle, peripherals at the bottom, pre-alignment below that), sizing
+//! each band from the same component gate counts the estimator and netlist
+//! generator agree on, at the die aspect ratio of the Fig. 6 layouts.
+
+use crate::geometry::Rect;
+use crate::{LayoutError, LayoutOptions};
+use sega_cells::Technology;
+use sega_estimator::{estimate, DcimDesign, OperatingConditions};
+
+/// The three generated parts of the paper's §III-C, plus the FP front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// SRAM memory array.
+    MemoryArray,
+    /// DCIM compute components (compute units, adder trees, shift
+    /// accumulators).
+    Compute,
+    /// Digital peripherals (input buffer, result fusion, INT-to-FP
+    /// converters).
+    Periphery,
+    /// FP pre-alignment strip (floating-point macros only).
+    PreAlignment,
+}
+
+impl RegionKind {
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            RegionKind::MemoryArray => "memory_array",
+            RegionKind::Compute => "compute",
+            RegionKind::Periphery => "periphery",
+            RegionKind::PreAlignment => "pre_alignment",
+        }
+    }
+}
+
+impl std::fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One floorplan region: a die band dedicated to a [`RegionKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// What the region holds.
+    pub kind: RegionKind,
+    /// The band geometry.
+    pub rect: Rect,
+    /// Standard-cell area to be placed in the band, µm².
+    pub cell_area_um2: f64,
+}
+
+impl Region {
+    /// Achieved utilization of the band.
+    pub fn utilization(&self) -> f64 {
+        self.cell_area_um2 / self.rect.area()
+    }
+}
+
+/// A floorplanned DCIM macro: the die outline and its region bands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroLayout {
+    /// The design point this layout realizes.
+    pub design: DcimDesign,
+    /// Die outline (lower-left at the origin).
+    pub die: Rect,
+    /// Region bands, bottom to top.
+    pub regions: Vec<Region>,
+}
+
+impl MacroLayout {
+    /// Die width in µm.
+    pub fn width_um(&self) -> f64 {
+        self.die.w
+    }
+
+    /// Die height in µm.
+    pub fn height_um(&self) -> f64 {
+        self.die.h
+    }
+
+    /// Die area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.die.area() * 1e-6
+    }
+
+    /// The region of the given kind, if present.
+    pub fn region(&self, kind: RegionKind) -> Option<&Region> {
+        self.regions.iter().find(|r| r.kind == kind)
+    }
+
+    /// Overall cell-area utilization of the die.
+    pub fn utilization(&self) -> f64 {
+        let cells: f64 = self.regions.iter().map(|r| r.cell_area_um2).sum();
+        cells / self.die.area()
+    }
+}
+
+/// Floorplans a DCIM design point under a technology: computes per-region
+/// cell areas from the estimator's component breakdown and stacks the
+/// region bands at the configured aspect ratio.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::BadOptions`] for invalid options and
+/// [`LayoutError::EmptyDesign`] if the design has no area.
+pub fn floorplan_macro(
+    design: &DcimDesign,
+    tech: &Technology,
+    options: &LayoutOptions,
+) -> Result<MacroLayout, LayoutError> {
+    options.validate()?;
+    let est = estimate(design, tech, &OperatingConditions::paper_default());
+    let b = &est.breakdown;
+    let gate = tech.gate_area_um2;
+
+    let memory = b.sram.area * gate;
+    let compute = (b.compute_units.area + b.adder_trees.area + b.shift_accumulators.area) * gate;
+    let periphery = (b.input_buffer.area + b.result_fusion.area + b.converters.area) * gate;
+    let prealign = b.pre_alignment.area * gate;
+    let total = memory + compute + periphery + prealign;
+    if total <= 0.0 {
+        return Err(LayoutError::EmptyDesign);
+    }
+
+    let die_area = total / options.utilization;
+    let width = (die_area * options.aspect).sqrt();
+    let height = die_area / width;
+
+    // Stack bands bottom-up: pre-alignment, periphery, compute, memory.
+    let mut regions = Vec::new();
+    let mut y = 0.0;
+    let mut push = |kind: RegionKind, cell_area: f64, y: &mut f64| {
+        if cell_area <= 0.0 {
+            return;
+        }
+        let band_h = (cell_area / options.utilization) / width;
+        regions.push(Region {
+            kind,
+            rect: Rect::new(0.0, *y, width, band_h),
+            cell_area_um2: cell_area,
+        });
+        *y += band_h;
+    };
+    push(RegionKind::PreAlignment, prealign, &mut y);
+    push(RegionKind::Periphery, periphery, &mut y);
+    push(RegionKind::Compute, compute, &mut y);
+    push(RegionKind::MemoryArray, memory, &mut y);
+
+    Ok(MacroLayout {
+        design: *design,
+        die: Rect::new(0.0, 0.0, width, height),
+        regions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sega_estimator::Precision;
+
+    fn fig6_int8() -> MacroLayout {
+        let d = DcimDesign::for_precision(Precision::Int8, 32, 128, 16, 4).unwrap();
+        floorplan_macro(&d, &Technology::tsmc28(), &LayoutOptions::default()).unwrap()
+    }
+
+    fn fig6_bf16() -> MacroLayout {
+        let d = DcimDesign::for_precision(Precision::Bf16, 32, 128, 16, 4).unwrap();
+        floorplan_macro(&d, &Technology::tsmc28(), &LayoutOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn fig6a_dimensions_match_paper() {
+        // Paper: DCIM width 343 µm, height 229 µm, 0.079 mm².
+        let l = fig6_int8();
+        assert!(
+            (l.width_um() - 343.0).abs() < 25.0,
+            "width {} vs paper 343",
+            l.width_um()
+        );
+        assert!(
+            (l.height_um() - 229.0).abs() < 20.0,
+            "height {} vs paper 229",
+            l.height_um()
+        );
+        assert!((l.area_mm2() - 0.079).abs() < 0.012);
+    }
+
+    #[test]
+    fn fig6b_dimensions_match_paper() {
+        // Paper: 367 µm × 231 µm, 0.085 mm²; pre-align ≈ 0.006 mm².
+        let l = fig6_bf16();
+        assert!((l.area_mm2() - 0.085).abs() < 0.015, "{}", l.area_mm2());
+        let pa = l.region(RegionKind::PreAlignment).expect("FP has prealign");
+        let pa_mm2 = pa.cell_area_um2 * 1e-6;
+        assert!((pa_mm2 - 0.006).abs() < 0.004, "prealign {pa_mm2} mm²");
+    }
+
+    #[test]
+    fn int_macro_has_no_prealign_region() {
+        let l = fig6_int8();
+        assert!(l.region(RegionKind::PreAlignment).is_none());
+        assert!(l.region(RegionKind::MemoryArray).is_some());
+        assert!(l.region(RegionKind::Compute).is_some());
+        assert!(l.region(RegionKind::Periphery).is_some());
+    }
+
+    #[test]
+    fn regions_tile_the_die() {
+        for l in [fig6_int8(), fig6_bf16()] {
+            // Bands are disjoint, inside the die, and cover its full area
+            // (utilization 1.0 by default).
+            let total: f64 = l.regions.iter().map(|r| r.rect.area()).sum();
+            assert!((total - l.die.area()).abs() / l.die.area() < 1e-9);
+            for (i, a) in l.regions.iter().enumerate() {
+                assert!(l.die.contains(&a.rect), "region {i} escapes the die");
+                for b in &l.regions[i + 1..] {
+                    assert!(!a.rect.overlaps(&b.rect), "bands overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_the_top_band() {
+        let l = fig6_int8();
+        let mem = l.region(RegionKind::MemoryArray).unwrap();
+        let top = l.regions.iter().map(|r| r.rect.y).fold(0.0, f64::max);
+        assert_eq!(mem.rect.y, top);
+    }
+
+    #[test]
+    fn utilization_honored() {
+        let d = DcimDesign::for_precision(Precision::Int8, 32, 128, 16, 4).unwrap();
+        let opts = LayoutOptions {
+            utilization: 0.8,
+            ..Default::default()
+        };
+        let l = floorplan_macro(&d, &Technology::tsmc28(), &opts).unwrap();
+        assert!((l.utilization() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aspect_honored() {
+        let d = DcimDesign::for_precision(Precision::Int8, 32, 128, 16, 4).unwrap();
+        let opts = LayoutOptions {
+            aspect: 2.0,
+            ..Default::default()
+        };
+        let l = floorplan_macro(&d, &Technology::tsmc28(), &opts).unwrap();
+        assert!((l.width_um() / l.height_um() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+/// A point in µm.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate in µm.
+    pub x: f64,
+    /// Y coordinate in µm.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+}
+
+/// An axis-aligned rectangle in µm, defined by its lower-left corner and
+/// size.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Lower-left X in µm.
+    pub x: f64,
+    /// Lower-left Y in µm.
+    pub y: f64,
+    /// Width in µm (non-negative).
+    pub w: f64,
+    /// Height in µm (non-negative).
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from lower-left corner and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative width or height.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Rect {
+        assert!(w >= 0.0 && h >= 0.0, "rect size must be non-negative");
+        Rect { x, y, w, h }
+    }
+
+    /// Area in µm².
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Upper-right corner.
+    pub fn top_right(&self) -> Point {
+        Point::new(self.x + self.w, self.y + self.h)
+    }
+
+    /// True when the interiors of `self` and `other` intersect (touching
+    /// edges do not count — abutted cells are legal).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-9;
+        self.x + EPS < other.x + other.w
+            && other.x + EPS < self.x + self.w
+            && self.y + EPS < other.y + other.h
+            && other.y + EPS < self.y + self.h
+    }
+
+    /// True when `other` lies entirely inside `self` (boundaries allowed).
+    pub fn contains(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-6;
+        other.x >= self.x - EPS
+            && other.y >= self.y - EPS
+            && other.x + other.w <= self.x + self.w + EPS
+            && other.y + other.h <= self.y + self.h + EPS
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({:.2}, {:.2}) {:.2}×{:.2} µm",
+            self.x, self.y, self.w, self.h
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_corners() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.top_right(), Point::new(4.0, 6.0));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::new(2.0, 0.0, 2.0, 2.0); // abuts a
+        let d = Rect::new(5.0, 5.0, 1.0, 1.0);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c), "abutment is not overlap");
+        assert!(!a.overlaps(&d));
+    }
+
+    #[test]
+    fn containment() {
+        let die = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(die.contains(&Rect::new(0.0, 0.0, 10.0, 10.0)));
+        assert!(die.contains(&Rect::new(2.0, 2.0, 3.0, 3.0)));
+        assert!(!die.contains(&Rect::new(8.0, 8.0, 3.0, 3.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_size_panics() {
+        let _ = Rect::new(0.0, 0.0, -1.0, 1.0);
+    }
+}

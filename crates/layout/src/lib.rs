@@ -1,0 +1,182 @@
+//! # sega-layout — physical design substrate (the Innovus stand-in)
+//!
+//! The paper generates final layouts with a commercial P&R tool (Innovus)
+//! driven by predefined constraints (§III-C). We do not have Innovus, so
+//! this crate implements the geometric part of that step deterministically
+//! (see `DESIGN.md` §3 for why this substitution preserves the evaluated
+//! quantities):
+//!
+//! * [`floorplan`] — partitions the die into the three regions the paper's
+//!   generator distinguishes (memory array, DCIM compute components,
+//!   digital peripherals, plus the FP pre-alignment strip), sized from the
+//!   same gate counts the estimator/netlist agree on;
+//! * [`place`] — row-based standard-cell placement of a module's cells
+//!   into a region;
+//! * [`drc`] — DRC-lite checks (overlaps, bounds, row alignment);
+//! * [`export`] — DEF-like text export and an ASCII floorplan rendering
+//!   (our Fig. 6).
+//!
+//! # Example
+//!
+//! ```
+//! use sega_estimator::{DcimDesign, Precision};
+//! use sega_layout::{floorplan::floorplan_macro, LayoutOptions};
+//! use sega_cells::Technology;
+//!
+//! // The paper's Fig. 6(a) macro: 8K weights, INT8.
+//! let d = DcimDesign::for_precision(Precision::Int8, 32, 128, 16, 4)?;
+//! let layout = floorplan_macro(&d, &Technology::tsmc28(), &LayoutOptions::default())?;
+//! // Paper: 343 µm × 229 µm, 0.079 mm².
+//! assert!((layout.area_mm2() - 0.079).abs() < 0.012);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod congestion;
+pub mod drc;
+pub mod export;
+pub mod floorplan;
+mod geometry;
+pub mod place;
+
+pub use floorplan::{MacroLayout, Region, RegionKind};
+pub use geometry::{Point, Rect};
+pub use place::Placement;
+
+/// Options steering the floorplanner and placer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutOptions {
+    /// Die aspect ratio (width / height). The paper's Fig. 6 macros are
+    /// close to 1.5.
+    pub aspect: f64,
+    /// Placement-row height in µm (standard-cell row pitch).
+    pub row_height_um: f64,
+    /// Target cell-area utilization of each region. The calibrated
+    /// NOR-gate area already folds in average routing overhead, so the
+    /// default is 1.0; lower it to reserve explicit whitespace.
+    pub utilization: f64,
+}
+
+impl Default for LayoutOptions {
+    fn default() -> Self {
+        LayoutOptions {
+            aspect: 1.5,
+            row_height_um: 1.2,
+            utilization: 1.0,
+        }
+    }
+}
+
+/// Errors produced by the physical-design substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayoutError {
+    /// Options are out of range (non-positive aspect, row height or
+    /// utilization above 1).
+    BadOptions(String),
+    /// The design has no area (empty netlist / zero-gate module).
+    EmptyDesign,
+    /// The cells do not fit the region at the requested utilization.
+    RegionOverflow {
+        /// Region name.
+        region: String,
+        /// Required cell area in µm².
+        required_um2: f64,
+        /// Available area in µm².
+        available_um2: f64,
+    },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::BadOptions(msg) => write!(f, "bad layout options: {msg}"),
+            LayoutError::EmptyDesign => write!(f, "design has zero area"),
+            LayoutError::RegionOverflow {
+                region,
+                required_um2,
+                available_um2,
+            } => write!(
+                f,
+                "region `{region}` overflow: need {required_um2:.1} µm², have {available_um2:.1} µm²"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+impl LayoutOptions {
+    /// Validates the option ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::BadOptions`] for non-positive aspect/row
+    /// height or utilization outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), LayoutError> {
+        if !(self.aspect > 0.0 && self.aspect.is_finite()) {
+            return Err(LayoutError::BadOptions(format!(
+                "aspect must be positive, got {}",
+                self.aspect
+            )));
+        }
+        if !(self.row_height_um > 0.0 && self.row_height_um.is_finite()) {
+            return Err(LayoutError::BadOptions(format!(
+                "row height must be positive, got {}",
+                self.row_height_um
+            )));
+        }
+        if !(self.utilization > 0.0 && self.utilization <= 1.0) {
+            return Err(LayoutError::BadOptions(format!(
+                "utilization must be in (0, 1], got {}",
+                self.utilization
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_valid() {
+        LayoutOptions::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_options_rejected() {
+        for bad in [
+            LayoutOptions {
+                aspect: 0.0,
+                ..Default::default()
+            },
+            LayoutOptions {
+                row_height_um: -1.0,
+                ..Default::default()
+            },
+            LayoutOptions {
+                utilization: 1.5,
+                ..Default::default()
+            },
+            LayoutOptions {
+                utilization: 0.0,
+                ..Default::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = LayoutError::RegionOverflow {
+            region: "sram".into(),
+            required_um2: 10.0,
+            available_um2: 5.0,
+        };
+        assert!(e.to_string().contains("sram"));
+    }
+}

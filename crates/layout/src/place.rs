@@ -1,0 +1,207 @@
+//! Row-based standard-cell placement inside a floorplan region.
+//!
+//! The placer is the deterministic core of what Innovus would do with the
+//! paper's "predefined constraints": cells are legalized into horizontal
+//! rows of fixed height, packed left to right, row by row. Cell footprints
+//! come from the Table III areas under the calibrated technology, with each
+//! cell occupying `area / row_height` of row width.
+
+use crate::geometry::Rect;
+use crate::{LayoutError, LayoutOptions};
+use sega_cells::{StandardCell, Technology};
+use sega_netlist::stats::cell_counts_of_module;
+use sega_netlist::Design;
+
+/// One placed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Instance name (synthesized, unique within the placement).
+    pub name: String,
+    /// The placed cell type.
+    pub cell: StandardCell,
+    /// Footprint rectangle in die coordinates (µm).
+    pub rect: Rect,
+}
+
+/// The result of placing a module's cells into a region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionPlacement {
+    /// The region that was filled.
+    pub region: Rect,
+    /// All placed cells.
+    pub placements: Vec<Placement>,
+    /// Number of rows used.
+    pub rows_used: usize,
+    /// Achieved utilization (cell area / region area).
+    pub utilization: f64,
+}
+
+/// Places every standard cell under `module` (of `design`) into `region`
+/// as packed rows.
+///
+/// Larger cells are placed first (greedy decreasing), which keeps row
+/// fragmentation minimal for the small discrete cell library.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::RegionOverflow`] when the cells cannot fit the
+/// region at the requested utilization, and propagates netlist traversal
+/// errors as [`LayoutError::BadOptions`] (dangling module name).
+pub fn place_module(
+    design: &Design,
+    module: &str,
+    region: Rect,
+    tech: &Technology,
+    options: &LayoutOptions,
+) -> Result<RegionPlacement, LayoutError> {
+    options.validate()?;
+    let counts = cell_counts_of_module(design, module)
+        .map_err(|e| LayoutError::BadOptions(format!("netlist error: {e}")))?;
+
+    // Expand counts into a placement list, big cells first.
+    let mut kinds: Vec<(StandardCell, u64)> = counts.into_iter().collect();
+    kinds.sort_by(|a, b| {
+        b.0.cost()
+            .area
+            .partial_cmp(&a.0.cost().area)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+
+    let row_h = options.row_height_um;
+    let total_cell_area: f64 = kinds
+        .iter()
+        .map(|(c, n)| c.cost().area * tech.gate_area_um2 * *n as f64)
+        .sum();
+    let available = region.area() * options.utilization;
+    if total_cell_area > available {
+        return Err(LayoutError::RegionOverflow {
+            region: module.to_owned(),
+            required_um2: total_cell_area,
+            available_um2: available,
+        });
+    }
+
+    let rows = (region.h / row_h).floor() as usize;
+    if rows == 0 {
+        return Err(LayoutError::RegionOverflow {
+            region: module.to_owned(),
+            required_um2: total_cell_area,
+            available_um2: 0.0,
+        });
+    }
+
+    let mut placements = Vec::new();
+    let mut row = 0usize;
+    let mut cursor_x = region.x;
+    let mut rows_used = 1usize;
+    let mut seq = 0u64;
+    for (cell, n) in kinds {
+        let w = cell.cost().area * tech.gate_area_um2 / row_h;
+        for _ in 0..n {
+            if cursor_x + w > region.x + region.w + 1e-9 {
+                row += 1;
+                if row >= rows {
+                    return Err(LayoutError::RegionOverflow {
+                        region: module.to_owned(),
+                        required_um2: total_cell_area,
+                        available_um2: available,
+                    });
+                }
+                rows_used = rows_used.max(row + 1);
+                cursor_x = region.x;
+            }
+            placements.push(Placement {
+                name: format!("{}_{}", cell.name().to_lowercase(), seq),
+                cell,
+                rect: Rect::new(cursor_x, region.y + row as f64 * row_h, w, row_h),
+            });
+            seq += 1;
+            cursor_x += w;
+        }
+    }
+
+    let placed_area: f64 = placements.iter().map(|p| p.rect.area()).sum();
+    Ok(RegionPlacement {
+        region,
+        placements,
+        rows_used,
+        utilization: placed_area / region.area(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sega_netlist::generators::ensure_adder;
+
+    fn adder_design(w: u32) -> (Design, String) {
+        let mut d = Design::new();
+        let name = ensure_adder(&mut d, w).unwrap();
+        d.set_top(name.clone()).unwrap();
+        (d, name)
+    }
+
+    fn tech() -> Technology {
+        Technology::tsmc28()
+    }
+
+    #[test]
+    fn places_all_cells() {
+        let (d, name) = adder_design(8);
+        let region = Rect::new(0.0, 0.0, 20.0, 12.0);
+        let p = place_module(&d, &name, region, &tech(), &LayoutOptions::default()).unwrap();
+        // 8-bit adder: 1 HA + 7 FA.
+        assert_eq!(p.placements.len(), 8);
+    }
+
+    #[test]
+    fn placements_stay_inside_region_and_do_not_overlap() {
+        let (d, name) = adder_design(16);
+        let region = Rect::new(5.0, 3.0, 12.0, 10.0);
+        let p = place_module(&d, &name, region, &tech(), &LayoutOptions::default()).unwrap();
+        for (i, a) in p.placements.iter().enumerate() {
+            assert!(region.contains(&a.rect), "cell {i} escapes region");
+            for b in &p.placements[i + 1..] {
+                assert!(!a.rect.overlaps(&b.rect), "cells overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn area_is_preserved() {
+        let (d, name) = adder_design(12);
+        let region = Rect::new(0.0, 0.0, 30.0, 12.0);
+        let p = place_module(&d, &name, region, &tech(), &LayoutOptions::default()).unwrap();
+        let placed: f64 = p.placements.iter().map(|q| q.rect.area()).sum();
+        let expect = (11.0 * 5.7 + 4.3) * tech().gate_area_um2;
+        assert!((placed - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let (d, name) = adder_design(32);
+        let tiny = Rect::new(0.0, 0.0, 2.0, 2.4);
+        let err = place_module(&d, &name, tiny, &tech(), &LayoutOptions::default()).unwrap_err();
+        assert!(matches!(err, LayoutError::RegionOverflow { .. }));
+    }
+
+    #[test]
+    fn big_cells_first() {
+        let (d, name) = adder_design(4);
+        let region = Rect::new(0.0, 0.0, 20.0, 12.0);
+        let p = place_module(&d, &name, region, &tech(), &LayoutOptions::default()).unwrap();
+        // FAs (5.7) precede the HA (4.3) in placement order.
+        assert_eq!(p.placements.first().unwrap().cell, StandardCell::FullAdder);
+        assert_eq!(p.placements.last().unwrap().cell, StandardCell::HalfAdder);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (d, name) = adder_design(8);
+        let region = Rect::new(0.0, 0.0, 20.0, 12.0);
+        let a = place_module(&d, &name, region, &tech(), &LayoutOptions::default()).unwrap();
+        let b = place_module(&d, &name, region, &tech(), &LayoutOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

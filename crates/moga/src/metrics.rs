@@ -1,0 +1,146 @@
+//! Front-quality indicators beyond hypervolume: inverted generational
+//! distance (IGD) against a reference front, and the spread/extent of a
+//! front — used by the ablation benches to quantify how close the NSGA-II
+//! explorer gets to the exhaustive ground truth.
+
+/// Euclidean distance between two objective vectors.
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Inverted generational distance: the average distance from each
+/// reference-front point to its nearest approximation point. Zero means
+/// the approximation covers the reference front exactly; smaller is
+/// better.
+///
+/// Returns `f64::INFINITY` when the approximation is empty and `0.0` when
+/// the reference is empty.
+///
+/// ```
+/// use sega_moga::metrics::igd;
+/// let truth = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+/// assert_eq!(igd(&truth, &truth), 0.0);
+/// let weak = vec![vec![2.0, 2.0]];
+/// assert!(igd(&weak, &truth) > 1.0);
+/// ```
+pub fn igd(approximation: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
+    if reference.is_empty() {
+        return 0.0;
+    }
+    if approximation.is_empty() {
+        return f64::INFINITY;
+    }
+    let total: f64 = reference
+        .iter()
+        .map(|r| {
+            approximation
+                .iter()
+                .map(|a| dist(a, r))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    total / reference.len() as f64
+}
+
+/// The extent of a front: the per-objective span `max − min`, a cheap
+/// proxy for whether the optimizer kept the trade-off's corners.
+///
+/// Returns an empty vector for an empty front.
+pub fn extent(front: &[Vec<f64>]) -> Vec<f64> {
+    let m = match front.first() {
+        Some(p) => p.len(),
+        None => return Vec::new(),
+    };
+    (0..m)
+        .map(|d| {
+            let lo = front.iter().map(|p| p[d]).fold(f64::INFINITY, f64::min);
+            let hi = front.iter().map(|p| p[d]).fold(f64::NEG_INFINITY, f64::max);
+            hi - lo
+        })
+        .collect()
+}
+
+/// Schott's spacing metric: the standard deviation of nearest-neighbor
+/// distances within a front. Zero means perfectly uniform spacing; smaller
+/// is better for diversity.
+///
+/// Fronts with fewer than two points have spacing `0.0`.
+pub fn spacing(front: &[Vec<f64>]) -> f64 {
+    let n = front.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nearest: Vec<f64> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| dist(&front[i], &front[j]))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let mean = nearest.iter().sum::<f64>() / n as f64;
+    (nearest.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn igd_of_identical_fronts_is_zero() {
+        let f = vec![vec![0.0, 3.0], vec![1.0, 1.0], vec![3.0, 0.0]];
+        assert_eq!(igd(&f, &f), 0.0);
+    }
+
+    #[test]
+    fn igd_penalizes_missing_regions() {
+        let truth = vec![vec![0.0, 3.0], vec![1.0, 1.0], vec![3.0, 0.0]];
+        let partial = vec![vec![0.0, 3.0]]; // covers one corner only
+        let full = truth.clone();
+        assert!(igd(&partial, &truth) > igd(&full, &truth));
+    }
+
+    #[test]
+    fn igd_degenerate_cases() {
+        let truth = vec![vec![0.0, 0.0]];
+        assert_eq!(igd(&[], &truth), f64::INFINITY);
+        assert_eq!(igd(&truth, &[]), 0.0);
+    }
+
+    #[test]
+    fn igd_is_monotone_under_refinement() {
+        let truth: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 9.0 - i as f64]).collect();
+        let coarse: Vec<Vec<f64>> = truth.iter().step_by(4).cloned().collect();
+        let fine: Vec<Vec<f64>> = truth.iter().step_by(2).cloned().collect();
+        assert!(igd(&fine, &truth) < igd(&coarse, &truth));
+    }
+
+    #[test]
+    fn extent_measures_spans() {
+        let f = vec![vec![0.0, 10.0], vec![4.0, 2.0]];
+        assert_eq!(extent(&f), vec![4.0, 8.0]);
+        assert!(extent(&[]).is_empty());
+    }
+
+    #[test]
+    fn spacing_zero_for_uniform_fronts() {
+        let uniform: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, -(i as f64)]).collect();
+        assert!(spacing(&uniform) < 1e-12);
+    }
+
+    #[test]
+    fn spacing_positive_for_clustered_fronts() {
+        let clustered = vec![vec![0.0, 0.0], vec![0.1, -0.1], vec![10.0, -10.0]];
+        assert!(spacing(&clustered) > 1.0);
+    }
+
+    #[test]
+    fn spacing_degenerate() {
+        assert_eq!(spacing(&[]), 0.0);
+        assert_eq!(spacing(&[vec![1.0, 2.0]]), 0.0);
+    }
+}

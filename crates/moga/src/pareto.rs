@@ -1,0 +1,365 @@
+//! Pareto-dominance machinery: dominance tests, fast non-dominated sorting,
+//! crowding distance, front extraction and hypervolume.
+//!
+//! Everything here operates on plain objective vectors (`&[f64]`, all
+//! minimized), so it is reusable outside the GA (the paper's Fig. 7 design
+//! spaces are filtered with [`pareto_front_indices`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Returns true when `a` Pareto-dominates `b` in a minimization context
+/// (paper Eq. 1): `a` is no worse in every objective and strictly better in
+/// at least one.
+///
+/// `NaN` objective entries never dominate and are always dominated.
+///
+/// ```
+/// use sega_moga::pareto::dominates;
+/// assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+/// assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+/// assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+/// ```
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal length");
+    let mut strictly_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x.is_nan() || x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Fast non-dominated sort (Deb et al. 2002): partitions the points into
+/// fronts `F1, F2, …` where `F1` is the Pareto front, `F2` is the Pareto
+/// front of the remainder, and so on. Returns fronts as index lists.
+///
+/// Complexity `O(M·N²)` for `N` points and `M` objectives.
+pub fn non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // dominated_by[i]: indices that i dominates; domination_count[i]: how
+    // many points dominate i.
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut domination_count = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&points[i], &points[j]) {
+                dominated_by[i].push(j);
+                domination_count[j] += 1;
+            } else if dominates(&points[j], &points[i]) {
+                dominated_by[j].push(i);
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// Indices of the Pareto-optimal points (the first front).
+pub fn pareto_front_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    non_dominated_sort(points)
+        .into_iter()
+        .next()
+        .unwrap_or_default()
+}
+
+/// Crowding distance of each member of `front` (indices into `points`),
+/// returned in `front` order. Boundary points get `f64::INFINITY`.
+///
+/// The distance is the normalized objective-space perimeter of the cuboid
+/// spanned by each point's nearest neighbors — NSGA-II's diversity
+/// criterion.
+pub fn crowding_distances(points: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
+    let m = match front.first() {
+        Some(&i) => points[i].len(),
+        None => return Vec::new(),
+    };
+    let n = front.len();
+    let mut dist = vec![0.0f64; n];
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    for obj in 0..m {
+        order.sort_by(|&a, &b| {
+            points[front[a]][obj]
+                .partial_cmp(&points[front[b]][obj])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let lo = points[front[order[0]]][obj];
+        let hi = points[front[order[n - 1]]][obj];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[n - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 || !span.is_finite() {
+            continue;
+        }
+        for w in 1..(n - 1) {
+            let prev = points[front[order[w - 1]]][obj];
+            let next = points[front[order[w + 1]]][obj];
+            dist[order[w]] += (next - prev) / span;
+        }
+    }
+    dist
+}
+
+/// Hypervolume (S-metric) of a point set against a reference point that
+/// every point must weakly dominate — the standard front-quality indicator
+/// used by the ablation benches to compare NSGA-II against the baselines.
+///
+/// Exact sweep for 2 objectives; deterministic Monte-Carlo estimate
+/// (fixed-seed, 200k samples) for 3+ objectives.
+///
+/// Points that do not dominate the reference contribute nothing.
+///
+/// # Panics
+///
+/// Panics if `reference` has a different arity than the points.
+pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let pts: Vec<&Vec<f64>> = points
+        .iter()
+        .filter(|p| {
+            assert_eq!(p.len(), reference.len(), "arity mismatch");
+            p.iter().zip(reference).all(|(&x, &r)| x <= r)
+        })
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    if reference.len() == 2 {
+        return hypervolume_2d(&pts, reference);
+    }
+    hypervolume_mc(&pts, reference)
+}
+
+fn hypervolume_2d(pts: &[&Vec<f64>], reference: &[f64]) -> f64 {
+    // Keep only the front, sweep by x ascending (y then descends).
+    let objs: Vec<Vec<f64>> = pts.iter().map(|p| (*p).clone()).collect();
+    let front = pareto_front_indices(&objs);
+    let mut front_pts: Vec<&Vec<f64>> = front.iter().map(|&i| pts[i]).collect();
+    front_pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut hv = 0.0;
+    let mut prev_y = reference[1];
+    for p in front_pts {
+        hv += (reference[0] - p[0]) * (prev_y - p[1]);
+        prev_y = p[1];
+    }
+    hv
+}
+
+fn hypervolume_mc(pts: &[&Vec<f64>], reference: &[f64]) -> f64 {
+    let m = reference.len();
+    // Bounding box: [min per objective, reference].
+    let mut lo = vec![f64::INFINITY; m];
+    for p in pts {
+        for (l, &x) in lo.iter_mut().zip(p.iter()) {
+            *l = l.min(x);
+        }
+    }
+    let volume: f64 = lo
+        .iter()
+        .zip(reference)
+        .map(|(&l, &r)| (r - l).max(0.0))
+        .product();
+    if volume == 0.0 {
+        return 0.0;
+    }
+    const SAMPLES: usize = 200_000;
+    let mut rng = StdRng::seed_from_u64(0x5E6A_DC13);
+    let mut hits = 0usize;
+    let mut sample = vec![0.0f64; m];
+    for _ in 0..SAMPLES {
+        for d in 0..m {
+            sample[d] = rng.gen_range(lo[d]..=reference[d]);
+        }
+        if pts
+            .iter()
+            .any(|p| p.iter().zip(&sample).all(|(&x, &s)| x <= s))
+        {
+            hits += 1;
+        }
+    }
+    volume * hits as f64 / SAMPLES as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[0.0, 0.0], &[1.0, 1.0]));
+        assert!(dominates(&[0.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[0.0, 2.0], &[1.0, 1.0]));
+        assert!(!dominates(&[2.0, 0.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn dominance_with_nan() {
+        // A NaN objective can never dominate…
+        assert!(!dominates(&[f64::NAN, 0.0], &[1.0, 1.0]));
+        // …and is treated as worst, so a finite vector that is strictly
+        // better somewhere dominates it.
+        assert!(dominates(&[0.0, 0.0], &[f64::NAN, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn dominance_arity_mismatch_panics() {
+        dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sort_splits_fronts_correctly() {
+        // Front 1: (0,3), (1,1), (3,0). Front 2: (2,2), (4,1). Front 3: (4,4).
+        let pts = vec![
+            vec![0.0, 3.0],
+            vec![1.0, 1.0],
+            vec![3.0, 0.0],
+            vec![2.0, 2.0],
+            vec![4.0, 1.0],
+            vec![4.0, 4.0],
+        ];
+        let fronts = non_dominated_sort(&pts);
+        assert_eq!(fronts.len(), 3);
+        let mut f0 = fronts[0].clone();
+        f0.sort_unstable();
+        assert_eq!(f0, vec![0, 1, 2]);
+        let mut f1 = fronts[1].clone();
+        f1.sort_unstable();
+        assert_eq!(f1, vec![3, 4]);
+        assert_eq!(fronts[2], vec![5]);
+    }
+
+    #[test]
+    fn sort_of_empty_and_singleton() {
+        assert!(non_dominated_sort(&[]).is_empty());
+        let fronts = non_dominated_sort(&[vec![1.0, 2.0]]);
+        assert_eq!(fronts, vec![vec![0]]);
+    }
+
+    #[test]
+    fn every_point_lands_in_exactly_one_front() {
+        let pts: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let x = (i * 37 % 50) as f64;
+                vec![x, ((i * 13) % 50) as f64, ((i * 7) % 50) as f64]
+            })
+            .collect();
+        let fronts = non_dominated_sort(&pts);
+        let mut seen: Vec<usize> = fronts.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_front_is_mutually_non_dominated() {
+        let pts: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 7) as f64, (i % 11) as f64])
+            .collect();
+        let front = pareto_front_indices(&pts);
+        for &i in &front {
+            for &j in &front {
+                assert!(!dominates(&pts[i], &pts[j]), "{i} dominates {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_boundary_points_are_infinite() {
+        let pts = vec![
+            vec![0.0, 4.0],
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![4.0, 0.0],
+        ];
+        let front = vec![0, 1, 2, 3];
+        let d = crowding_distances(&pts, &front);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite() && d[2] > 0.0);
+    }
+
+    #[test]
+    fn crowding_rewards_isolation() {
+        // Middle points: one crowded, one isolated.
+        let pts = vec![
+            vec![0.0, 10.0],
+            vec![1.0, 9.0], // crowded: neighbors at 0 and 1.1
+            vec![1.1, 8.9],
+            vec![5.0, 3.0], // isolated
+            vec![10.0, 0.0],
+        ];
+        let front = vec![0, 1, 2, 3, 4];
+        let d = crowding_distances(&pts, &front);
+        assert!(d[3] > d[1], "isolated point must have larger crowding");
+        assert!(d[3] > d[2]);
+    }
+
+    #[test]
+    fn crowding_small_fronts_all_infinite() {
+        let pts = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let d = crowding_distances(&pts, &[0, 1]);
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn hypervolume_2d_exact() {
+        // Two points vs ref (4,4): (1,3) contributes (4-1)*(4-3)=3,
+        // (2,1): (4-2)*(3-1)=4 -> 7.
+        let pts = vec![vec![1.0, 3.0], vec![2.0, 1.0]];
+        let hv = hypervolume(&pts, &[4.0, 4.0]);
+        assert!((hv - 7.0).abs() < 1e-12, "hv={hv}");
+    }
+
+    #[test]
+    fn hypervolume_dominated_points_add_nothing() {
+        let alone = hypervolume(&[vec![1.0, 1.0]], &[4.0, 4.0]);
+        let with_dominated = hypervolume(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[4.0, 4.0]);
+        assert!((alone - with_dominated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_outside_reference_is_zero() {
+        assert_eq!(hypervolume(&[vec![5.0, 5.0]], &[4.0, 4.0]), 0.0);
+        assert_eq!(hypervolume(&[], &[4.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_mc_matches_analytic_box() {
+        // Single 3-D point at origin vs ref (1,1,1): exact volume 1.
+        let hv = hypervolume(&[vec![0.0, 0.0, 0.0]], &[1.0, 1.0, 1.0]);
+        assert!((hv - 1.0).abs() < 0.01, "hv={hv}");
+    }
+
+    #[test]
+    fn hypervolume_monotone_in_front_quality() {
+        let weak = vec![vec![3.0, 3.0, 3.0]];
+        let strong = vec![vec![3.0, 3.0, 3.0], vec![1.0, 1.0, 4.5]];
+        let r = [5.0, 5.0, 5.0];
+        assert!(hypervolume(&strong, &r) > hypervolume(&weak, &r));
+    }
+}

@@ -1,0 +1,36 @@
+use rand::RngCore;
+
+/// A multi-objective optimization problem over an arbitrary genome type.
+///
+/// All objectives are minimized. Implementations provide the genetic
+/// operators; the algorithms in this crate provide selection, sorting and
+/// elitism. The optional [`repair`](Problem::repair) hook is how SEGA-DCIM
+/// keeps every individual on the `N·H·L/Bw = Wstore` capacity manifold: it
+/// is called after construction, crossover and mutation, and may rewrite the
+/// genome into the nearest feasible point.
+pub trait Problem {
+    /// The decision-variable encoding.
+    type Genome: Clone;
+
+    /// Number of objective values [`evaluate`](Problem::evaluate) returns.
+    fn objectives(&self) -> usize;
+
+    /// Samples a fresh random genome.
+    fn random_genome(&self, rng: &mut dyn RngCore) -> Self::Genome;
+
+    /// Evaluates a genome into its objective vector (all minimized).
+    ///
+    /// Must return exactly [`objectives`](Problem::objectives) finite values
+    /// for feasible genomes; `f64::INFINITY` entries mark infeasibility that
+    /// [`repair`](Problem::repair) could not fix.
+    fn evaluate(&self, genome: &Self::Genome) -> Vec<f64>;
+
+    /// Recombines two parents into one child.
+    fn crossover(&self, a: &Self::Genome, b: &Self::Genome, rng: &mut dyn RngCore) -> Self::Genome;
+
+    /// Mutates a genome in place.
+    fn mutate(&self, genome: &mut Self::Genome, rng: &mut dyn RngCore);
+
+    /// Projects a genome back onto the feasible set (default: no-op).
+    fn repair(&self, _genome: &mut Self::Genome) {}
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the Pareto machinery against brute-force
+//! references.
+
+use proptest::prelude::*;
+use sega_moga::pareto::{
+    crowding_distances, dominates, hypervolume, non_dominated_sort, pareto_front_indices,
+};
+
+fn points(max_len: usize, dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(0.0f64..100.0, dims..=dims),
+        1..=max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dominance is irreflexive and antisymmetric.
+    #[test]
+    fn dominance_axioms(p in points(12, 3)) {
+        for a in &p {
+            prop_assert!(!dominates(a, a), "irreflexive");
+            for b in &p {
+                prop_assert!(
+                    !(dominates(a, b) && dominates(b, a)),
+                    "antisymmetric: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    /// Dominance is transitive.
+    #[test]
+    fn dominance_transitive(p in points(10, 3)) {
+        for a in &p {
+            for b in &p {
+                for c in &p {
+                    if dominates(a, b) && dominates(b, c) {
+                        prop_assert!(dominates(a, c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The fast non-dominated sort partitions the points, the first front
+    /// equals the brute-force Pareto set, and front ranks are consistent:
+    /// nothing in front i is dominated by anything in front >= i.
+    #[test]
+    fn sort_matches_brute_force(p in points(30, 4)) {
+        let fronts = non_dominated_sort(&p);
+        // Partition.
+        let mut all: Vec<usize> = fronts.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..p.len()).collect::<Vec<_>>());
+        // First front = brute force.
+        let brute: Vec<usize> = (0..p.len())
+            .filter(|&i| !(0..p.len()).any(|j| dominates(&p[j], &p[i])))
+            .collect();
+        let mut first = fronts[0].clone();
+        first.sort_unstable();
+        prop_assert_eq!(first, brute);
+        // Rank consistency.
+        for (rank, front) in fronts.iter().enumerate() {
+            for &i in front {
+                for later in &fronts[rank..] {
+                    for &j in later {
+                        prop_assert!(
+                            !dominates(&p[j], &p[i]),
+                            "front {rank} member {i} dominated by later member {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removing a point never grows the hypervolume; adding one never
+    /// shrinks it (2-D exact case).
+    #[test]
+    fn hypervolume_monotone(p in points(10, 2)) {
+        let reference = vec![101.0, 101.0];
+        let full = hypervolume(&p, &reference);
+        for skip in 0..p.len() {
+            let reduced: Vec<Vec<f64>> = p
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, v)| v.clone())
+                .collect();
+            prop_assert!(hypervolume(&reduced, &reference) <= full + 1e-9);
+        }
+    }
+
+    /// Crowding distances are non-negative and the extremes of every
+    /// objective get infinity.
+    #[test]
+    fn crowding_properties(p in points(12, 3)) {
+        let front: Vec<usize> = pareto_front_indices(&p);
+        let d = crowding_distances(&p, &front);
+        prop_assert_eq!(d.len(), front.len());
+        for &x in &d {
+            prop_assert!(x >= 0.0);
+        }
+        if front.len() > 2 {
+            for obj in 0..3 {
+                let min_idx = front
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        p[front[a.0]][obj].partial_cmp(&p[front[b.0]][obj]).unwrap()
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap();
+                prop_assert!(
+                    d[min_idx].is_infinite(),
+                    "objective {obj} minimum must be a boundary point"
+                );
+            }
+        }
+    }
+
+    /// The Pareto front of a set never contains a dominated member even
+    /// after shuffling/duplication of inputs.
+    #[test]
+    fn front_stable_under_duplication(p in points(10, 3)) {
+        let mut doubled = p.clone();
+        doubled.extend(p.iter().cloned());
+        let front = pareto_front_indices(&doubled);
+        for &i in &front {
+            for q in &doubled {
+                prop_assert!(!dominates(q, &doubled[i]));
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Port definitions and behavioral Verilog bodies for the Table III leaf
+//! cells, so emitted netlists are self-contained and simulatable.
+
+use crate::ir::Dir;
+use sega_cells::StandardCell;
+
+/// The port list of a standard cell: `(name, width, direction)`.
+///
+/// The SRAM bit cell is modeled with its hard-wired read port only (`q`,
+/// plus write port `d`/`we`/`wl`): the paper's architecture never precharges
+/// a read bitline, weights are "hard-wired from the SRAM cell to the Compute
+/// Unit".
+pub fn cell_ports(cell: StandardCell) -> &'static [(&'static str, u32, Dir)] {
+    use Dir::{Input, Output};
+    match cell {
+        StandardCell::Nor | StandardCell::Or => {
+            &[("a", 1, Input), ("b", 1, Input), ("y", 1, Output)]
+        }
+        StandardCell::Mux2 => &[
+            ("a", 1, Input),
+            ("b", 1, Input),
+            ("sel", 1, Input),
+            ("y", 1, Output),
+        ],
+        StandardCell::HalfAdder => &[
+            ("a", 1, Input),
+            ("b", 1, Input),
+            ("sum", 1, Output),
+            ("cout", 1, Output),
+        ],
+        StandardCell::FullAdder => &[
+            ("a", 1, Input),
+            ("b", 1, Input),
+            ("cin", 1, Input),
+            ("sum", 1, Output),
+            ("cout", 1, Output),
+        ],
+        StandardCell::Dff => &[("d", 1, Input), ("clk", 1, Input), ("q", 1, Output)],
+        StandardCell::Sram => &[("d", 1, Input), ("wl", 1, Input), ("q", 1, Output)],
+    }
+}
+
+/// Behavioral Verilog body for a leaf cell, emitted once per used cell so
+/// the generated netlist is a complete, simulatable design.
+pub fn cell_verilog(cell: StandardCell) -> &'static str {
+    match cell {
+        StandardCell::Nor => "module NOR(input a, input b, output y);\n  assign y = ~(a | b);\nendmodule\n",
+        StandardCell::Or => "module OR(input a, input b, output y);\n  assign y = a | b;\nendmodule\n",
+        StandardCell::Mux2 => "module MUX2(input a, input b, input sel, output y);\n  assign y = sel ? b : a;\nendmodule\n",
+        StandardCell::HalfAdder => "module HA(input a, input b, output sum, output cout);\n  assign sum = a ^ b;\n  assign cout = a & b;\nendmodule\n",
+        StandardCell::FullAdder => "module FA(input a, input b, input cin, output sum, output cout);\n  assign sum = a ^ b ^ cin;\n  assign cout = (a & b) | (cin & (a ^ b));\nendmodule\n",
+        StandardCell::Dff => "module DFF(input d, input clk, output reg q);\n  always @(posedge clk) q <= d;\nendmodule\n",
+        StandardCell::Sram => "module SRAM(input d, input wl, output q);\n  reg mem;\n  always @(wl or d) if (wl) mem <= d;\n  assign q = mem;\nendmodule\n",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sega_cells::ALL_CELLS;
+
+    #[test]
+    fn every_cell_has_ports_and_verilog() {
+        for cell in ALL_CELLS {
+            assert!(!cell_ports(cell).is_empty(), "{cell}");
+            let v = cell_verilog(cell);
+            assert!(v.contains(&format!("module {}", cell.name())), "{cell}");
+            assert!(v.ends_with("endmodule\n"), "{cell}");
+        }
+    }
+
+    #[test]
+    fn every_cell_has_exactly_one_output_except_adders() {
+        for cell in ALL_CELLS {
+            let outs = cell_ports(cell)
+                .iter()
+                .filter(|(_, _, d)| *d == Dir::Output)
+                .count();
+            match cell {
+                StandardCell::HalfAdder | StandardCell::FullAdder => assert_eq!(outs, 2),
+                _ => assert_eq!(outs, 1, "{cell}"),
+            }
+        }
+    }
+
+    #[test]
+    fn port_names_match_verilog_declaration() {
+        for cell in ALL_CELLS {
+            let v = cell_verilog(cell);
+            for (port, _, _) in cell_ports(cell) {
+                assert!(v.contains(port), "{cell} missing port {port} in Verilog");
+            }
+        }
+    }
+}

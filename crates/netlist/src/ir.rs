@@ -1,0 +1,698 @@
+use std::collections::HashMap;
+
+use crate::cells::cell_ports;
+use sega_cells::StandardCell;
+
+/// Errors produced while building or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// Two modules share a name.
+    DuplicateModule(String),
+    /// An instance references a module that is not in the design.
+    UnknownModule(String),
+    /// A net name collides inside a module.
+    DuplicateNet {
+        /// Containing module.
+        module: String,
+        /// Offending net name.
+        net: String,
+    },
+    /// A signal references a net that does not exist in its module.
+    UnknownNet {
+        /// Containing module.
+        module: String,
+        /// Missing net name.
+        net: String,
+    },
+    /// A connection references a port the target does not have.
+    UnknownPort {
+        /// Instance name.
+        instance: String,
+        /// Target cell/module name.
+        target: String,
+        /// Missing port name.
+        port: String,
+    },
+    /// A connected signal's width does not match the target port width.
+    WidthMismatch {
+        /// Instance name.
+        instance: String,
+        /// Port name.
+        port: String,
+        /// Expected (port) width.
+        expected: u32,
+        /// Actual (signal) width.
+        actual: u32,
+    },
+    /// A bit/slice index exceeds the referenced net's width.
+    IndexOutOfRange {
+        /// Containing module.
+        module: String,
+        /// Referenced net.
+        net: String,
+        /// Offending index.
+        index: u32,
+        /// Net width.
+        width: u32,
+    },
+    /// The design has no top module set.
+    NoTop,
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetlistError::DuplicateModule(m) => write!(f, "duplicate module `{m}`"),
+            NetlistError::UnknownModule(m) => write!(f, "unknown module `{m}`"),
+            NetlistError::DuplicateNet { module, net } => {
+                write!(f, "duplicate net `{net}` in module `{module}`")
+            }
+            NetlistError::UnknownNet { module, net } => {
+                write!(f, "unknown net `{net}` in module `{module}`")
+            }
+            NetlistError::UnknownPort {
+                instance,
+                target,
+                port,
+            } => write!(
+                f,
+                "instance `{instance}`: target `{target}` has no port `{port}`"
+            ),
+            NetlistError::WidthMismatch {
+                instance,
+                port,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "instance `{instance}` port `{port}`: expected width {expected}, got {actual}"
+            ),
+            NetlistError::IndexOutOfRange {
+                module,
+                net,
+                index,
+                width,
+            } => write!(
+                f,
+                "module `{module}`: index {index} out of range for net `{net}` of width {width}"
+            ),
+            NetlistError::NoTop => write!(f, "design has no top module"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Module input.
+    Input,
+    /// Module output.
+    Output,
+}
+
+/// A module port: a named, directed bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Bus width in bits.
+    pub width: u32,
+    /// Direction.
+    pub dir: Dir,
+}
+
+/// An internal wire: a named bus local to a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wire {
+    /// Wire name.
+    pub name: String,
+    /// Bus width in bits.
+    pub width: u32,
+}
+
+/// What an instance instantiates: a leaf standard cell or a child module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceTarget {
+    /// A Table III standard cell.
+    Cell(StandardCell),
+    /// A child module, by name.
+    Module(String),
+}
+
+impl InstanceTarget {
+    /// Display name of the target.
+    pub fn name(&self) -> &str {
+        match self {
+            InstanceTarget::Cell(c) => c.name(),
+            InstanceTarget::Module(m) => m,
+        }
+    }
+}
+
+/// A cell or module instantiation with named port connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Instance name (unique within the parent module).
+    pub name: String,
+    /// What is instantiated.
+    pub target: InstanceTarget,
+    /// `(port name, connected signal)` pairs.
+    pub connections: Vec<(String, Signal)>,
+}
+
+/// A signal expression connecting instance ports: a whole net, a bit, a
+/// slice, a constant, or a concatenation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Signal {
+    /// A whole named net (port or wire).
+    Net(String),
+    /// One bit of a net: `net[bit]`.
+    Bit(String, u32),
+    /// An inclusive slice: `net[msb:lsb]`.
+    Slice {
+        /// Net name.
+        net: String,
+        /// Most significant bit (inclusive).
+        msb: u32,
+        /// Least significant bit (inclusive).
+        lsb: u32,
+    },
+    /// A literal: `width'd value`.
+    Const {
+        /// Bit width of the literal.
+        width: u32,
+        /// Value (must fit in `width` bits).
+        value: u64,
+    },
+    /// A concatenation, most significant part first (Verilog `{a, b}`).
+    Concat(Vec<Signal>),
+}
+
+impl Signal {
+    /// Convenience constructor for a whole net.
+    pub fn net(name: impl Into<String>) -> Signal {
+        Signal::Net(name.into())
+    }
+
+    /// Convenience constructor for a single bit.
+    pub fn bit(name: impl Into<String>, bit: u32) -> Signal {
+        Signal::Bit(name.into(), bit)
+    }
+
+    /// Convenience constructor for an inclusive slice `[msb:lsb]`.
+    pub fn slice(name: impl Into<String>, msb: u32, lsb: u32) -> Signal {
+        assert!(msb >= lsb, "slice msb must be >= lsb");
+        Signal::Slice {
+            net: name.into(),
+            msb,
+            lsb,
+        }
+    }
+
+    /// A `width`-bit zero.
+    pub fn zeros(width: u32) -> Signal {
+        Signal::Const { width, value: 0 }
+    }
+
+    /// The width of this signal in the context of `module`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] / [`NetlistError::IndexOutOfRange`]
+    /// for dangling or out-of-range references.
+    pub fn width(&self, module: &Module) -> Result<u32, NetlistError> {
+        match self {
+            Signal::Net(name) => module
+                .net_width(name)
+                .ok_or_else(|| NetlistError::UnknownNet {
+                    module: module.name.clone(),
+                    net: name.clone(),
+                }),
+            Signal::Bit(name, bit) => {
+                let w = module
+                    .net_width(name)
+                    .ok_or_else(|| NetlistError::UnknownNet {
+                        module: module.name.clone(),
+                        net: name.clone(),
+                    })?;
+                if *bit >= w {
+                    return Err(NetlistError::IndexOutOfRange {
+                        module: module.name.clone(),
+                        net: name.clone(),
+                        index: *bit,
+                        width: w,
+                    });
+                }
+                Ok(1)
+            }
+            Signal::Slice { net, msb, lsb } => {
+                let w = module
+                    .net_width(net)
+                    .ok_or_else(|| NetlistError::UnknownNet {
+                        module: module.name.clone(),
+                        net: net.clone(),
+                    })?;
+                if *msb >= w {
+                    return Err(NetlistError::IndexOutOfRange {
+                        module: module.name.clone(),
+                        net: net.clone(),
+                        index: *msb,
+                        width: w,
+                    });
+                }
+                Ok(msb - lsb + 1)
+            }
+            Signal::Const { width, .. } => Ok(*width),
+            Signal::Concat(parts) => {
+                let mut total = 0;
+                for p in parts {
+                    total += p.width(module)?;
+                }
+                Ok(total)
+            }
+        }
+    }
+}
+
+/// A netlist module: ports, internal wires, instances and continuous
+/// assignments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name (unique within a [`Design`]).
+    pub name: String,
+    /// Port list, in declaration order.
+    pub ports: Vec<Port>,
+    /// Internal wires.
+    pub wires: Vec<Wire>,
+    /// Cell and module instances.
+    pub instances: Vec<Instance>,
+    /// Continuous assignments `(lhs, rhs)`.
+    pub assigns: Vec<(Signal, Signal)>,
+    net_widths: HashMap<String, u32>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            ports: Vec::new(),
+            wires: Vec::new(),
+            instances: Vec::new(),
+            assigns: Vec::new(),
+            net_widths: HashMap::new(),
+        }
+    }
+
+    fn add_net(&mut self, name: &str, width: u32) -> Result<(), NetlistError> {
+        if self.net_widths.insert(name.to_owned(), width).is_some() {
+            return Err(NetlistError::DuplicateNet {
+                module: self.name.clone(),
+                net: name.to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Declares an input port.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name collides with an existing net.
+    pub fn add_input(&mut self, name: impl Into<String>, width: u32) -> Result<(), NetlistError> {
+        let name = name.into();
+        self.add_net(&name, width)?;
+        self.ports.push(Port {
+            name,
+            width,
+            dir: Dir::Input,
+        });
+        Ok(())
+    }
+
+    /// Declares an output port.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name collides with an existing net.
+    pub fn add_output(&mut self, name: impl Into<String>, width: u32) -> Result<(), NetlistError> {
+        let name = name.into();
+        self.add_net(&name, width)?;
+        self.ports.push(Port {
+            name,
+            width,
+            dir: Dir::Output,
+        });
+        Ok(())
+    }
+
+    /// Declares an internal wire.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name collides with an existing net.
+    pub fn add_wire(&mut self, name: impl Into<String>, width: u32) -> Result<(), NetlistError> {
+        let name = name.into();
+        self.add_net(&name, width)?;
+        self.wires.push(Wire { name, width });
+        Ok(())
+    }
+
+    /// Instantiates a standard cell with named connections.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        cell: StandardCell,
+        connections: Vec<(&str, Signal)>,
+    ) {
+        self.instances.push(Instance {
+            name: name.into(),
+            target: InstanceTarget::Cell(cell),
+            connections: connections
+                .into_iter()
+                .map(|(p, s)| (p.to_owned(), s))
+                .collect(),
+        });
+    }
+
+    /// Instantiates a child module with named connections.
+    pub fn add_instance(
+        &mut self,
+        name: impl Into<String>,
+        module: impl Into<String>,
+        connections: Vec<(&str, Signal)>,
+    ) {
+        self.instances.push(Instance {
+            name: name.into(),
+            target: InstanceTarget::Module(module.into()),
+            connections: connections
+                .into_iter()
+                .map(|(p, s)| (p.to_owned(), s))
+                .collect(),
+        });
+    }
+
+    /// Adds a continuous assignment `lhs = rhs`.
+    pub fn add_assign(&mut self, lhs: Signal, rhs: Signal) {
+        self.assigns.push((lhs, rhs));
+    }
+
+    /// Width of a named net (port or wire), if it exists.
+    pub fn net_width(&self, name: &str) -> Option<u32> {
+        self.net_widths.get(name).copied()
+    }
+
+    /// The port with the given name, if any.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+}
+
+/// A complete hierarchical design: a set of modules and a designated top.
+#[derive(Debug, Clone, Default)]
+pub struct Design {
+    modules: Vec<Module>,
+    index: HashMap<String, usize>,
+    top: Option<String>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new() -> Design {
+        Design::default()
+    }
+
+    /// Adds a module.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`NetlistError::DuplicateModule`] on a name collision.
+    pub fn add_module(&mut self, module: Module) -> Result<(), NetlistError> {
+        if self.index.contains_key(&module.name) {
+            return Err(NetlistError::DuplicateModule(module.name));
+        }
+        self.index.insert(module.name.clone(), self.modules.len());
+        self.modules.push(module);
+        Ok(())
+    }
+
+    /// True when a module with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Looks a module up by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.index.get(name).map(|&i| &self.modules[i])
+    }
+
+    /// All modules, in insertion (dependency) order.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// Sets the top module.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`NetlistError::UnknownModule`] if absent.
+    pub fn set_top(&mut self, name: impl Into<String>) -> Result<(), NetlistError> {
+        let name = name.into();
+        if !self.contains(&name) {
+            return Err(NetlistError::UnknownModule(name));
+        }
+        self.top = Some(name);
+        Ok(())
+    }
+
+    /// The top module.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`NetlistError::NoTop`] if no top has been set.
+    pub fn top(&self) -> Result<&Module, NetlistError> {
+        let name = self.top.as_deref().ok_or(NetlistError::NoTop)?;
+        Ok(self.module(name).expect("top name is always indexed"))
+    }
+
+    /// Structurally validates the whole design: every instance target
+    /// exists, every connection names a real port, and every connected
+    /// signal's width matches the port width.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        self.top()?;
+        for module in &self.modules {
+            for inst in &module.instances {
+                let port_widths: Vec<(String, u32)> = match &inst.target {
+                    InstanceTarget::Cell(cell) => cell_ports(*cell)
+                        .iter()
+                        .map(|(n, w, _)| ((*n).to_owned(), *w))
+                        .collect(),
+                    InstanceTarget::Module(name) => {
+                        let child = self
+                            .module(name)
+                            .ok_or_else(|| NetlistError::UnknownModule(name.clone()))?;
+                        child
+                            .ports
+                            .iter()
+                            .map(|p| (p.name.clone(), p.width))
+                            .collect()
+                    }
+                };
+                for (port, signal) in &inst.connections {
+                    let expected = port_widths
+                        .iter()
+                        .find(|(n, _)| n == port)
+                        .map(|(_, w)| *w)
+                        .ok_or_else(|| NetlistError::UnknownPort {
+                            instance: inst.name.clone(),
+                            target: inst.target.name().to_owned(),
+                            port: port.clone(),
+                        })?;
+                    let actual = signal.width(module)?;
+                    if actual != expected {
+                        return Err(NetlistError::WidthMismatch {
+                            instance: inst.name.clone(),
+                            port: port.clone(),
+                            expected,
+                            actual,
+                        });
+                    }
+                }
+            }
+            for (lhs, rhs) in &module.assigns {
+                let lw = lhs.width(module)?;
+                let rw = rhs.width(module)?;
+                if lw != rw {
+                    return Err(NetlistError::WidthMismatch {
+                        instance: format!("assign in `{}`", module.name),
+                        port: String::new(),
+                        expected: lw,
+                        actual: rw,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_module() -> Module {
+        let mut m = Module::new("tiny");
+        m.add_input("a", 4).unwrap();
+        m.add_input("b", 4).unwrap();
+        m.add_output("y", 1).unwrap();
+        m.add_wire("t", 2).unwrap();
+        m
+    }
+
+    #[test]
+    fn net_widths_are_tracked() {
+        let m = tiny_module();
+        assert_eq!(m.net_width("a"), Some(4));
+        assert_eq!(m.net_width("t"), Some(2));
+        assert_eq!(m.net_width("nope"), None);
+    }
+
+    #[test]
+    fn duplicate_net_rejected() {
+        let mut m = tiny_module();
+        assert!(matches!(
+            m.add_wire("a", 1),
+            Err(NetlistError::DuplicateNet { .. })
+        ));
+    }
+
+    #[test]
+    fn signal_widths() {
+        let m = tiny_module();
+        assert_eq!(Signal::net("a").width(&m).unwrap(), 4);
+        assert_eq!(Signal::bit("a", 3).width(&m).unwrap(), 1);
+        assert_eq!(Signal::slice("a", 3, 1).width(&m).unwrap(), 3);
+        assert_eq!(Signal::zeros(7).width(&m).unwrap(), 7);
+        let cat = Signal::Concat(vec![Signal::net("t"), Signal::bit("a", 0)]);
+        assert_eq!(cat.width(&m).unwrap(), 3);
+    }
+
+    #[test]
+    fn signal_out_of_range() {
+        let m = tiny_module();
+        assert!(matches!(
+            Signal::bit("a", 4).width(&m),
+            Err(NetlistError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Signal::net("ghost").width(&m),
+            Err(NetlistError::UnknownNet { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_correct_cell_wiring() {
+        let mut m = Module::new("norbuf");
+        m.add_input("a", 1).unwrap();
+        m.add_output("y", 1).unwrap();
+        m.add_cell(
+            "u0",
+            StandardCell::Nor,
+            vec![
+                ("a", Signal::net("a")),
+                ("b", Signal::net("a")),
+                ("y", Signal::net("y")),
+            ],
+        );
+        let mut d = Design::new();
+        d.add_module(m).unwrap();
+        d.set_top("norbuf").unwrap();
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_width_mismatch() {
+        let mut m = Module::new("bad");
+        m.add_input("a", 2).unwrap();
+        m.add_output("y", 1).unwrap();
+        m.add_cell(
+            "u0",
+            StandardCell::Nor,
+            vec![
+                ("a", Signal::net("a")), // 2 bits into a 1-bit port
+                ("b", Signal::bit("a", 0)),
+                ("y", Signal::net("y")),
+            ],
+        );
+        let mut d = Design::new();
+        d.add_module(m).unwrap();
+        d.set_top("bad").unwrap();
+        assert!(matches!(
+            d.validate(),
+            Err(NetlistError::WidthMismatch {
+                expected: 1,
+                actual: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_unknown_port_and_module() {
+        let mut m = Module::new("m");
+        m.add_output("y", 1).unwrap();
+        m.add_cell("u0", StandardCell::Nor, vec![("q", Signal::net("y"))]);
+        let mut d = Design::new();
+        d.add_module(m).unwrap();
+        d.set_top("m").unwrap();
+        assert!(matches!(
+            d.validate(),
+            Err(NetlistError::UnknownPort { .. })
+        ));
+
+        let mut m2 = Module::new("m2");
+        m2.add_output("y", 1).unwrap();
+        m2.add_instance("c0", "ghost", vec![]);
+        let mut d2 = Design::new();
+        d2.add_module(m2).unwrap();
+        d2.set_top("m2").unwrap();
+        assert!(matches!(d2.validate(), Err(NetlistError::UnknownModule(_))));
+    }
+
+    #[test]
+    fn duplicate_module_rejected() {
+        let mut d = Design::new();
+        d.add_module(Module::new("x")).unwrap();
+        assert!(matches!(
+            d.add_module(Module::new("x")),
+            Err(NetlistError::DuplicateModule(_))
+        ));
+    }
+
+    #[test]
+    fn no_top_is_an_error() {
+        let d = Design::new();
+        assert!(matches!(d.validate(), Err(NetlistError::NoTop)));
+    }
+
+    #[test]
+    fn error_messages_are_nonempty() {
+        let errs = [
+            NetlistError::DuplicateModule("m".into()),
+            NetlistError::NoTop,
+            NetlistError::UnknownNet {
+                module: "m".into(),
+                net: "n".into(),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Numerical-accuracy evaluation of the FP datapath across formats.
+//!
+//! The paper motivates DCIM with full-precision digital computation and
+//! multi-precision support for "high-precision tasks such as model
+//! training". This module quantifies that story: it runs randomized MVM
+//! workloads through the pre-aligned FP datapath and reports error
+//! statistics per format, so a user can pick the cheapest precision that
+//! meets an accuracy target.
+
+use crate::fp::FpFormat;
+use crate::{FpMacroSim, SimError};
+use sega_estimator::FpParams;
+
+/// Error statistics of the FP datapath on a randomized workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyStats {
+    /// Number of MVM outputs sampled.
+    pub samples: usize,
+    /// Mean relative error versus the exact (f64) product of the
+    /// *quantized* operands — isolates the datapath's alignment error.
+    pub mean_rel_error: f64,
+    /// Worst relative error observed.
+    pub max_rel_error: f64,
+    /// Mean relative error versus the unquantized f64 reference —
+    /// end-to-end error including input quantization.
+    pub mean_end_to_end_error: f64,
+}
+
+/// Runs `trials` randomized MVM passes through an FP macro of the given
+/// format and geometry and collects error statistics.
+///
+/// `scale` sets the operand magnitude range (uniform in `[-scale, scale]`);
+/// `seed` makes the workload reproducible.
+///
+/// # Errors
+///
+/// Propagates simulator construction errors.
+///
+/// # Panics
+///
+/// Panics if the format does not match the parameters (caller bug).
+pub fn evaluate_accuracy(
+    params: FpParams,
+    format: FpFormat,
+    scale: f64,
+    trials: u32,
+    seed: u64,
+) -> Result<AccuracyStats, SimError> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = |s: f64| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) * s
+    };
+
+    let mut samples = 0usize;
+    let mut sum_rel = 0.0;
+    let mut max_rel: f64 = 0.0;
+    let mut sum_e2e = 0.0;
+    for _ in 0..trials {
+        let weights: Vec<f64> = (0..params.wstore()).map(|_| next(scale)).collect();
+        let inputs: Vec<f64> = (0..params.h).map(|_| next(scale)).collect();
+        let sim = FpMacroSim::new(params, format, &weights)?;
+        let out = sim.mvm(&inputs, 0)?;
+
+        let wq = sim.quantized_weights();
+        let xq: Vec<f64> = inputs.iter().map(|&x| format.quantize(x)).collect();
+        let groups = (params.n / params.bm) as usize;
+        let h = params.h as usize;
+        for (g, &got) in out.values.iter().enumerate() {
+            let exact_q: f64 = (0..h).map(|r| wq[g * h + r] * xq[r]).sum();
+            let exact: f64 = (0..h).map(|r| weights[g * h + r] * inputs[r]).sum();
+            let denom = exact_q.abs().max(1e-30);
+            let rel = (got - exact_q).abs() / denom;
+            sum_rel += rel;
+            max_rel = max_rel.max(rel);
+            sum_e2e += (got - exact).abs() / exact.abs().max(1e-30);
+            samples += 1;
+        }
+        let _ = groups;
+    }
+    Ok(AccuracyStats {
+        samples,
+        mean_rel_error: sum_rel / samples as f64,
+        max_rel_error: max_rel,
+        mean_end_to_end_error: sum_e2e / samples as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params_for(fmt: FpFormat) -> FpParams {
+        let bm = fmt.mantissa_bits();
+        FpParams::new(bm, 16, 1, 1, fmt.exp_bits, bm).unwrap()
+    }
+
+    fn stats_for(fmt: FpFormat) -> AccuracyStats {
+        evaluate_accuracy(params_for(fmt), fmt, 1.5, 20, 42).unwrap()
+    }
+
+    #[test]
+    fn wider_mantissas_are_monotonically_more_accurate() {
+        // The multi-precision motivation, as an invariant: FP8 > BF16 >
+        // FP16 > FP32 on mean relative error.
+        let ladder = [
+            FpFormat::FP8_E4M3,
+            FpFormat::BF16,
+            FpFormat::FP16,
+            FpFormat::FP32,
+        ];
+        let errs: Vec<f64> = ladder
+            .iter()
+            .map(|&f| stats_for(f).mean_rel_error)
+            .collect();
+        for w in errs.windows(2) {
+            assert!(
+                w[1] < w[0],
+                "accuracy must improve down the ladder: {errs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fp32_datapath_error_is_tiny() {
+        let s = stats_for(FpFormat::FP32);
+        assert!(
+            s.mean_rel_error < 1e-4,
+            "FP32 mean rel err {} too large",
+            s.mean_rel_error
+        );
+    }
+
+    #[test]
+    fn end_to_end_error_includes_quantization() {
+        // For narrow formats the end-to-end error (vs unquantized inputs)
+        // must be at least comparable to the datapath-only error.
+        let s = stats_for(FpFormat::FP8_E4M3);
+        assert!(s.mean_end_to_end_error > 0.0);
+        assert!(s.samples > 0);
+        assert!(s.max_rel_error >= s.mean_rel_error);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = evaluate_accuracy(params_for(FpFormat::BF16), FpFormat::BF16, 1.0, 5, 7).unwrap();
+        let b = evaluate_accuracy(params_for(FpFormat::BF16), FpFormat::BF16, 1.0, 5, 7).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,312 @@
+//! Minifloat codecs for the formats the paper evaluates: FP8 (E4M3), FP16,
+//! BF16 and FP32.
+//!
+//! [`FpFormat`] describes a sign/exponent/fraction layout;
+//! [`FpFormat::encode`] quantizes an `f64` to the nearest representable
+//! value (round-to-nearest-even, saturating at the format's maximum finite
+//! value), and [`FpValue`] carries the decomposed fields the pre-alignment
+//! hardware operates on.
+
+use sega_estimator::Precision;
+
+/// A binary floating-point layout: 1 sign bit, `exp_bits` exponent bits,
+/// `frac_bits` stored fraction bits (hidden leading one, IEEE-style bias).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FpFormat {
+    /// Exponent field width `BE`.
+    pub exp_bits: u32,
+    /// Stored fraction width (without the hidden bit).
+    pub frac_bits: u32,
+}
+
+/// A decomposed floating-point value in some [`FpFormat`]:
+/// `(-1)^sign · mantissa · 2^(exp − bias − frac_bits)` with
+/// `mantissa = frac | hidden`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpValue {
+    /// Sign bit.
+    pub sign: bool,
+    /// Biased exponent field (0 = subnormal/zero).
+    pub exp: u32,
+    /// Stored fraction field.
+    pub frac: u64,
+}
+
+impl FpFormat {
+    /// FP8 in E4M3 layout.
+    pub const FP8_E4M3: FpFormat = FpFormat {
+        exp_bits: 4,
+        frac_bits: 3,
+    };
+    /// IEEE half precision (E5M10).
+    pub const FP16: FpFormat = FpFormat {
+        exp_bits: 5,
+        frac_bits: 10,
+    };
+    /// bfloat16 (E8M7).
+    pub const BF16: FpFormat = FpFormat {
+        exp_bits: 8,
+        frac_bits: 7,
+    };
+    /// IEEE single precision (E8M23).
+    pub const FP32: FpFormat = FpFormat {
+        exp_bits: 8,
+        frac_bits: 23,
+    };
+
+    /// The format matching a floating-point [`Precision`], or `None` for
+    /// integer precisions.
+    pub fn from_precision(p: Precision) -> Option<FpFormat> {
+        match p {
+            Precision::Fp8 => Some(Self::FP8_E4M3),
+            Precision::Fp16 => Some(Self::FP16),
+            Precision::Bf16 => Some(Self::BF16),
+            Precision::Fp32 => Some(Self::FP32),
+            _ => None,
+        }
+    }
+
+    /// Exponent bias `2^(BE−1) − 1`.
+    pub const fn bias(&self) -> i32 {
+        (1 << (self.exp_bits - 1)) - 1
+    }
+
+    /// MAC mantissa width `BM` = fraction + hidden bit.
+    pub const fn mantissa_bits(&self) -> u32 {
+        self.frac_bits + 1
+    }
+
+    /// Largest finite representable magnitude.
+    pub fn max_value(&self) -> f64 {
+        let max_exp = (1u32 << self.exp_bits) - 1; // all-ones reserved? we saturate below it
+        let exp = max_exp as i32 - 1 - self.bias();
+        let frac = (1u64 << self.frac_bits) - 1;
+        let mant = ((1u64 << self.frac_bits) | frac) as f64;
+        mant * 2f64.powi(exp - self.frac_bits as i32)
+    }
+
+    /// Quantizes `x` to the nearest representable value
+    /// (round-to-nearest-even), saturating at `±max_value()`. Zero,
+    /// subnormal-range values flush to zero (the paper's hardware aligns
+    /// against `XEmax` and has no subnormal path).
+    pub fn encode(&self, x: f64) -> FpValue {
+        let sign = x.is_sign_negative();
+        let mag = x.abs();
+        if !mag.is_finite() || mag >= self.max_value() {
+            let max_exp = (1u32 << self.exp_bits) - 2;
+            return FpValue {
+                sign,
+                exp: max_exp,
+                frac: (1u64 << self.frac_bits) - 1,
+            };
+        }
+        if mag == 0.0 {
+            return FpValue {
+                sign,
+                exp: 0,
+                frac: 0,
+            };
+        }
+        // Unbiased exponent of the leading one.
+        let e = mag.log2().floor() as i32;
+        let biased = e + self.bias();
+        if biased <= 0 {
+            // Subnormal range: flush to zero.
+            return FpValue {
+                sign,
+                exp: 0,
+                frac: 0,
+            };
+        }
+        // Round the mantissa to frac_bits fractional bits.
+        let scaled = mag * 2f64.powi(self.frac_bits as i32 - e);
+        let mut mant = round_ties_even(scaled);
+        let mut biased = biased as u32;
+        if mant >= (1u64 << (self.frac_bits + 1)) {
+            mant >>= 1;
+            biased += 1;
+            let max_exp = (1u32 << self.exp_bits) - 2;
+            if biased > max_exp {
+                return FpValue {
+                    sign,
+                    exp: max_exp,
+                    frac: (1u64 << self.frac_bits) - 1,
+                };
+            }
+        }
+        FpValue {
+            sign,
+            exp: biased,
+            frac: mant & ((1u64 << self.frac_bits) - 1),
+        }
+    }
+
+    /// Decodes a value back to `f64`.
+    pub fn decode(&self, v: FpValue) -> f64 {
+        let mag = if v.exp == 0 {
+            0.0
+        } else {
+            let mant = ((1u64 << self.frac_bits) | v.frac) as f64;
+            mant * 2f64.powi(v.exp as i32 - self.bias() - self.frac_bits as i32)
+        };
+        if v.sign {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Quantizes `x` through an encode/decode round trip — the value the
+    /// hardware actually sees.
+    pub fn quantize(&self, x: f64) -> f64 {
+        self.decode(self.encode(x))
+    }
+
+    /// The full mantissa (hidden bit included) of an encoded value; zero
+    /// for zero/flushed values.
+    pub fn mantissa(&self, v: FpValue) -> u64 {
+        if v.exp == 0 {
+            0
+        } else {
+            (1u64 << self.frac_bits) | v.frac
+        }
+    }
+}
+
+fn round_ties_even(x: f64) -> u64 {
+    let floor = x.floor();
+    let diff = x - floor;
+    let f = floor as u64;
+    if diff > 0.5 {
+        f + 1
+    } else if diff < 0.5 {
+        f
+    } else if f % 2 == 0 {
+        f
+    } else {
+        f + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FORMATS: [FpFormat; 4] = [
+        FpFormat::FP8_E4M3,
+        FpFormat::FP16,
+        FpFormat::BF16,
+        FpFormat::FP32,
+    ];
+
+    #[test]
+    fn biases_match_ieee() {
+        assert_eq!(FpFormat::FP8_E4M3.bias(), 7);
+        assert_eq!(FpFormat::FP16.bias(), 15);
+        assert_eq!(FpFormat::BF16.bias(), 127);
+        assert_eq!(FpFormat::FP32.bias(), 127);
+    }
+
+    #[test]
+    fn mantissa_widths_match_estimator() {
+        assert_eq!(FpFormat::FP8_E4M3.mantissa_bits(), 4);
+        assert_eq!(FpFormat::FP16.mantissa_bits(), 11);
+        assert_eq!(FpFormat::BF16.mantissa_bits(), 8);
+        assert_eq!(FpFormat::FP32.mantissa_bits(), 24);
+    }
+
+    #[test]
+    fn exact_values_round_trip() {
+        for fmt in FORMATS {
+            for x in [0.0, 1.0, -1.0, 0.5, 2.0, -3.5, 14.0, -0.25] {
+                assert_eq!(fmt.quantize(x), x, "{fmt:?} {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp32_round_trips_f32_values() {
+        for x in [1.234_567_f32, -9.75, 3.0e8, 1.5e-3] {
+            let q = FpFormat::FP32.quantize(x as f64);
+            assert_eq!(q as f32, x, "{x}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        for fmt in FORMATS {
+            let ulp_rel = 2f64.powi(-(fmt.frac_bits as i32));
+            // Sweep within the format's normal range only (subnormals flush).
+            let mut x = 2f64.powi(1 - fmt.bias()) * 1.1;
+            while x < 100.0 {
+                let q = fmt.quantize(x);
+                let rel = ((q - x) / x).abs();
+                assert!(
+                    rel <= ulp_rel / 2.0 * 1.0001,
+                    "{fmt:?}: quantize({x}) = {q}, rel err {rel}"
+                );
+                x *= 1.7;
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_at_max() {
+        for fmt in FORMATS {
+            let max = fmt.max_value();
+            assert_eq!(fmt.quantize(max * 8.0), max);
+            assert_eq!(fmt.quantize(-max * 8.0), -max);
+            assert_eq!(fmt.quantize(f64::INFINITY), max);
+        }
+    }
+
+    #[test]
+    fn subnormals_flush_to_zero() {
+        let fmt = FpFormat::FP8_E4M3;
+        // Smallest normal for E4M3: 2^(1-7) = 2^-6.
+        let tiny = 2f64.powi(-9);
+        assert_eq!(fmt.quantize(tiny), 0.0);
+        assert_eq!(fmt.quantize(2f64.powi(-6)), 2f64.powi(-6));
+    }
+
+    #[test]
+    fn sign_is_preserved() {
+        for fmt in FORMATS {
+            let v = fmt.encode(-2.5);
+            assert!(v.sign);
+            assert!(fmt.decode(v) < 0.0);
+        }
+    }
+
+    #[test]
+    fn mantissa_has_hidden_bit() {
+        let fmt = FpFormat::BF16;
+        let v = fmt.encode(1.0);
+        assert_eq!(fmt.mantissa(v), 1 << fmt.frac_bits);
+        assert_eq!(fmt.mantissa(fmt.encode(0.0)), 0);
+    }
+
+    #[test]
+    fn round_ties_even_behaviour() {
+        assert_eq!(round_ties_even(2.5), 2);
+        assert_eq!(round_ties_even(3.5), 4);
+        assert_eq!(round_ties_even(2.4), 2);
+        assert_eq!(round_ties_even(2.6), 3);
+    }
+
+    #[test]
+    fn from_precision_mapping() {
+        assert_eq!(
+            FpFormat::from_precision(Precision::Bf16),
+            Some(FpFormat::BF16)
+        );
+        assert_eq!(FpFormat::from_precision(Precision::Int8), None);
+    }
+
+    #[test]
+    fn e4m3_max_value() {
+        // E4M3 with our saturate-below-all-ones convention: max biased
+        // exponent 14 -> 2^7, mantissa 1.875 -> 240.
+        assert_eq!(FpFormat::FP8_E4M3.max_value(), 240.0);
+    }
+}

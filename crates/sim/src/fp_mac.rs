@@ -1,0 +1,415 @@
+//! Bit-accurate simulation of the pre-aligned floating-point DCIM macro.
+//!
+//! The FP datapath of paper Fig. 3 is simulated step by step:
+//!
+//! 1. **offline**: weight mantissas are aligned to the macro's maximum
+//!    weight exponent `WEmax` and pre-stored ("the weight's mantissa is
+//!    offline aligned and pre-stored in the DCIM array");
+//! 2. **online**: the comparison tree finds the input exponent maximum
+//!    `XEmax`, each input mantissa is right-shifted by `XEmax − XE`
+//!    (truncating — exactly what the barrel shifter does);
+//! 3. the aligned mantissas run the integer MAC of the array;
+//! 4. the INT-to-FP converter normalizes the wide integer result back into
+//!    the output floating-point format.
+//!
+//! Truncation during alignment is the *only* error source; the tests bound
+//! it analytically and check exactness when no truncation occurs.
+
+use crate::fp::FpFormat;
+use crate::SimError;
+use sega_estimator::FpParams;
+
+/// The outcome of one floating-point MVM pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpMvmOutput {
+    /// Exact values of the array results (fixed-point result scaled by the
+    /// shared exponents), before output-format rounding.
+    pub values: Vec<f64>,
+    /// Results after INT-to-FP conversion into the macro's format (what
+    /// the hardware emits).
+    pub converted: Vec<f64>,
+    /// Raw integer array results (the fusion-unit outputs).
+    pub int_results: Vec<i64>,
+    /// Cycles consumed: `⌈BM/k⌉` streaming cycles plus the 4-stage pipeline
+    /// (pre-alignment, adder tree, shift accumulator, fusion/convert).
+    pub cycles: u64,
+}
+
+/// Bit-accurate simulator of one pre-aligned floating-point DCIM macro.
+#[derive(Debug, Clone)]
+pub struct FpMacroSim {
+    params: FpParams,
+    format: FpFormat,
+    /// Signed aligned weight mantissas, `|v| < 2^BM`.
+    aligned_weights: Vec<i64>,
+    /// Maximum biased weight exponent the mantissas are aligned to.
+    wemax: i32,
+    /// The weights after format quantization (for reference computations).
+    quantized_weights: Vec<f64>,
+}
+
+impl FpMacroSim {
+    /// Encodes and offline-aligns `weights` (exactly `Wstore` values) for a
+    /// macro with the given parameters and number format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WrongWeightCount`] for a malformed weight set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format's mantissa/exponent widths disagree with the
+    /// design parameters — that is a caller bug, not a data error.
+    pub fn new(params: FpParams, format: FpFormat, weights: &[f64]) -> Result<Self, SimError> {
+        assert_eq!(
+            format.mantissa_bits(),
+            params.bm,
+            "format mantissa width must match the design's BM"
+        );
+        assert_eq!(
+            format.exp_bits, params.be,
+            "format exponent width must match the design's BE"
+        );
+        let wstore = params.wstore();
+        if weights.len() as u64 != wstore {
+            return Err(SimError::WrongWeightCount {
+                got: weights.len(),
+                expected: wstore,
+            });
+        }
+        let encoded: Vec<_> = weights.iter().map(|&w| format.encode(w)).collect();
+        let wemax = encoded.iter().map(|v| v.exp as i32).max().unwrap_or(0);
+        let aligned_weights = encoded
+            .iter()
+            .map(|v| {
+                let shift = wemax - v.exp as i32;
+                let mag = if v.exp == 0 || shift >= params.bm as i32 {
+                    0
+                } else {
+                    (format.mantissa(*v) >> shift) as i64
+                };
+                if v.sign {
+                    -mag
+                } else {
+                    mag
+                }
+            })
+            .collect();
+        let quantized_weights = encoded.iter().map(|&v| format.decode(v)).collect();
+        Ok(FpMacroSim {
+            params,
+            format,
+            aligned_weights,
+            wemax,
+            quantized_weights,
+        })
+    }
+
+    /// The macro parameters.
+    pub fn params(&self) -> &FpParams {
+        &self.params
+    }
+
+    /// The format-quantized weights actually stored (after encode/decode).
+    pub fn quantized_weights(&self) -> &[f64] {
+        &self.quantized_weights
+    }
+
+    /// The effective weight values after offline alignment — the numbers
+    /// the array genuinely multiplies by (alignment may truncate small
+    /// weights).
+    pub fn aligned_weight_values(&self) -> Vec<f64> {
+        let scale = self.weight_scale();
+        self.aligned_weights
+            .iter()
+            .map(|&m| m as f64 * scale)
+            .collect()
+    }
+
+    fn weight_scale(&self) -> f64 {
+        2f64.powi(self.wemax - self.format.bias() - self.format.frac_bits as i32)
+    }
+
+    /// Runs one MVM pass against the weights in `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] variants for malformed inputs or slot index.
+    pub fn mvm(&self, inputs: &[f64], slot: u32) -> Result<FpMvmOutput, SimError> {
+        let p = &self.params;
+        if slot >= p.l {
+            return Err(SimError::BadSlot { slot, l: p.l });
+        }
+        if inputs.len() != p.h as usize {
+            return Err(SimError::WrongInputCount {
+                got: inputs.len(),
+                expected: p.h,
+            });
+        }
+        let fmt = &self.format;
+        let encoded: Vec<_> = inputs.iter().map(|&x| fmt.encode(x)).collect();
+        // Comparison tree: XEmax.
+        let xemax = encoded.iter().map(|v| v.exp as i32).max().unwrap_or(0);
+        // Input alignment: XMA = XM >> (XEmax - XE), sign applied.
+        let aligned_inputs: Vec<i64> = encoded
+            .iter()
+            .map(|v| {
+                let shift = xemax - v.exp as i32;
+                let mag = if v.exp == 0 || shift >= p.bm as i32 {
+                    0
+                } else {
+                    (fmt.mantissa(*v) >> shift) as i64
+                };
+                if v.sign {
+                    -mag
+                } else {
+                    mag
+                }
+            })
+            .collect();
+
+        // Integer mantissa MAC in the array.
+        let groups = (p.n / p.bm) as usize;
+        let h = p.h as usize;
+        let base = slot as usize * groups * h;
+        let int_results: Vec<i64> = (0..groups)
+            .map(|g| {
+                (0..h)
+                    .map(|r| self.aligned_weights[base + g * h + r] * aligned_inputs[r])
+                    .sum()
+            })
+            .collect();
+
+        // Shared output scale: both operands carry 2^(Emax - bias - frac).
+        let input_scale = 2f64.powi(xemax - fmt.bias() - fmt.frac_bits as i32);
+        let scale = self.weight_scale() * input_scale;
+        let values: Vec<f64> = int_results.iter().map(|&v| v as f64 * scale).collect();
+        // INT-to-FP conversion: normalize into the macro's output format.
+        let converted: Vec<f64> = values.iter().map(|&v| fmt.quantize(v)).collect();
+        Ok(FpMvmOutput {
+            values,
+            converted,
+            int_results,
+            cycles: p.cycles_per_pass() as u64 + 4,
+        })
+    }
+
+    /// Runs a full MVM across all `L` slots.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`mvm`](Self::mvm).
+    pub fn full_mvm(&self, inputs: &[f64]) -> Result<FpMvmOutput, SimError> {
+        let mut values = Vec::new();
+        let mut converted = Vec::new();
+        let mut int_results = Vec::new();
+        let mut cycles = 0;
+        for slot in 0..self.params.l {
+            let pass = self.mvm(inputs, slot)?;
+            values.extend(pass.values);
+            converted.extend(pass.converted);
+            int_results.extend(pass.int_results);
+            cycles += pass.cycles;
+        }
+        Ok(FpMvmOutput {
+            values,
+            converted,
+            int_results,
+            cycles,
+        })
+    }
+
+    /// Analytic bound on the absolute alignment-truncation error of one
+    /// output, given the quantized operands: each aligned operand loses at
+    /// most one ULP at the shared-exponent scale.
+    pub fn alignment_error_bound(&self, quantized_inputs: &[f64], slot: u32) -> f64 {
+        let p = &self.params;
+        let fmt = &self.format;
+        let encoded: Vec<_> = quantized_inputs.iter().map(|&x| fmt.encode(x)).collect();
+        let xemax = encoded.iter().map(|v| v.exp as i32).max().unwrap_or(0);
+        let ex = 2f64.powi(xemax - fmt.bias() - fmt.frac_bits as i32);
+        let ew = self.weight_scale();
+        let groups = (p.n / p.bm) as usize;
+        let h = p.h as usize;
+        let base = slot as usize * groups * h;
+        // Σ_r |w|·ex + |x|·ew + ex·ew, maximized over groups.
+        (0..groups)
+            .map(|g| {
+                (0..h)
+                    .map(|r| {
+                        let w = self.quantized_weights[base + g * h + r].abs();
+                        let x = quantized_inputs[r].abs();
+                        w * ex + x * ew + ex * ew
+                    })
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_fp_mvm;
+
+    fn bf16_params() -> FpParams {
+        FpParams::new(16, 8, 2, 2, 8, 8).unwrap()
+    }
+
+    fn ramp(n: u64, scale: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let sign = if i % 3 == 0 { -1.0 } else { 1.0 };
+                sign * scale * (1.0 + (i as f64 * 0.37) % 7.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_when_no_truncation_occurs() {
+        // All operands share one exponent and have short mantissas: the
+        // alignment shifts are zero and the datapath must be exact.
+        let p = bf16_params();
+        let fmt = FpFormat::BF16;
+        let w: Vec<f64> = (0..p.wstore())
+            .map(|i| ((i % 5) as f64 - 2.0) * 0.25 + 1.0)
+            .collect();
+        // values in [0.5, 1.5]... keep all in [1, 2): same exponent.
+        let w: Vec<f64> = w.iter().map(|x| 1.0 + (x - x.floor()) * 0.875).collect();
+        let x: Vec<f64> = (0..p.h).map(|i| 1.0 + (i as f64) * 0.125).collect();
+        let sim = FpMacroSim::new(p, fmt, &w).unwrap();
+        let out = sim.mvm(&x, 0).unwrap();
+        let expect = reference_fp_mvm(&p, sim.quantized_weights(), &x, 0);
+        for (got, want) in out.values.iter().zip(&expect) {
+            assert!(
+                (got - want).abs() < 1e-12,
+                "exact case mismatch: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_within_alignment_bound() {
+        for fmt in [FpFormat::FP8_E4M3, FpFormat::BF16, FpFormat::FP16] {
+            let bm = fmt.mantissa_bits();
+            let p = FpParams::new(2 * bm, 8, 2, 1, fmt.exp_bits, bm).unwrap();
+            let w = ramp(p.wstore(), 0.5);
+            let x = ramp(p.h as u64, 2.0);
+            let sim = FpMacroSim::new(p, fmt, &w).unwrap();
+            let xq: Vec<f64> = x.iter().map(|&v| fmt.quantize(v)).collect();
+            let out = sim.mvm(&x, 0).unwrap();
+            let expect = reference_fp_mvm(&p, sim.quantized_weights(), &xq, 0);
+            let bound = sim.alignment_error_bound(&xq, 0);
+            for (got, want) in out.values.iter().zip(&expect) {
+                assert!(
+                    (got - want).abs() <= bound,
+                    "{fmt:?}: |{got} - {want}| > bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wider_mantissas_are_more_accurate() {
+        // FP32 must beat FP8 on the same workload — the paper's motivation
+        // for multi-precision support.
+        let h = 8u32;
+        let rel_err = |fmt: FpFormat| {
+            let bm = fmt.mantissa_bits();
+            let p = FpParams::new(bm, h, 2, 1, fmt.exp_bits, bm).unwrap();
+            let w = ramp(p.wstore(), 0.3);
+            let x = ramp(h as u64, 1.7);
+            let sim = FpMacroSim::new(p, fmt, &w).unwrap();
+            let out = sim.mvm(&x, 0).unwrap();
+            let exact: f64 = (0..h as usize).map(|r| w[r] * x[r]).sum();
+            ((out.values[0] - exact) / exact).abs()
+        };
+        let e8 = rel_err(FpFormat::FP8_E4M3);
+        let e32 = rel_err(FpFormat::FP32);
+        assert!(
+            e32 < e8,
+            "FP32 rel err {e32} should be below FP8 rel err {e8}"
+        );
+    }
+
+    #[test]
+    fn converted_results_are_format_values() {
+        let p = bf16_params();
+        let fmt = FpFormat::BF16;
+        let w = ramp(p.wstore(), 1.0);
+        let x = ramp(p.h as u64, 1.0);
+        let sim = FpMacroSim::new(p, fmt, &w).unwrap();
+        let out = sim.mvm(&x, 1).unwrap();
+        for &c in &out.converted {
+            assert_eq!(
+                fmt.quantize(c),
+                c,
+                "converted value {c} must be representable"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_inputs_give_zero_outputs() {
+        let p = bf16_params();
+        let sim = FpMacroSim::new(p, FpFormat::BF16, &ramp(p.wstore(), 1.0)).unwrap();
+        let out = sim.mvm(&vec![0.0; p.h as usize], 0).unwrap();
+        assert!(out.values.iter().all(|&v| v == 0.0));
+        assert!(out.int_results.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn full_mvm_covers_all_slots() {
+        let p = bf16_params();
+        let sim = FpMacroSim::new(p, FpFormat::BF16, &ramp(p.wstore(), 1.0)).unwrap();
+        let x = ramp(p.h as u64, 1.0);
+        let full = sim.full_mvm(&x).unwrap();
+        assert_eq!(full.values.len(), (p.l * p.n / p.bm) as usize);
+    }
+
+    #[test]
+    fn cycles_follow_mantissa_serial_schedule() {
+        let p = bf16_params(); // BM=8, k=2 -> 4 chunks.
+        let sim = FpMacroSim::new(p, FpFormat::BF16, &ramp(p.wstore(), 1.0)).unwrap();
+        let out = sim.mvm(&ramp(p.h as u64, 1.0), 0).unwrap();
+        assert_eq!(out.cycles, 4 + 4);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let p = bf16_params();
+        assert!(matches!(
+            FpMacroSim::new(p, FpFormat::BF16, &[1.0, 2.0]),
+            Err(SimError::WrongWeightCount { .. })
+        ));
+        let sim = FpMacroSim::new(p, FpFormat::BF16, &ramp(p.wstore(), 1.0)).unwrap();
+        assert!(matches!(
+            sim.mvm(&[1.0], 0),
+            Err(SimError::WrongInputCount { .. })
+        ));
+        assert!(matches!(
+            sim.mvm(&ramp(p.h as u64, 1.0), 99),
+            Err(SimError::BadSlot { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "mantissa width")]
+    fn format_parameter_mismatch_panics() {
+        let p = bf16_params(); // BM = 8
+        let _ = FpMacroSim::new(p, FpFormat::FP16, &[]); // BM = 11
+    }
+
+    #[test]
+    fn aligned_weight_values_reflect_truncation() {
+        // A tiny weight next to a huge one gets truncated to zero by the
+        // offline alignment (shift >= BM).
+        let p = FpParams::new(8, 2, 1, 1, 8, 8).unwrap(); // wstore = 2
+        let fmt = FpFormat::BF16;
+        let w = vec![1.0e20, 1.0e-20];
+        let sim = FpMacroSim::new(p, fmt, &w).unwrap();
+        let vals = sim.aligned_weight_values();
+        assert!(vals[0] > 0.0);
+        assert_eq!(vals[1], 0.0, "tiny weight must truncate away");
+    }
+}

@@ -1,0 +1,356 @@
+//! Bit-accurate simulation of the multiplier-based integer DCIM macro.
+//!
+//! The simulator walks the exact dataflow of paper Fig. 3/Fig. 5:
+//!
+//! 1. weights are decomposed into `Bw` single-bit columns (two's
+//!    complement: the MSB column carries weight `−2^(Bw−1)`);
+//! 2. each cycle the input buffer emits a `k`-bit chunk per row, MSB chunk
+//!    first; the selection gate picks one of the `L` stored weight bits and
+//!    the NOR gates form the 1-bit × k-bit products;
+//! 3. the per-column adder tree sums the `H` products;
+//! 4. the shift accumulator folds the chunk partial sums
+//!    (`acc = (acc << k) + partial`), giving each column's full
+//!    `Σ_r w_bit[r]·x[r]`;
+//! 5. the results fusion unit weights the `Bw` column sums by bit position
+//!    (MSB negative) into the final two's-complement MACs.
+//!
+//! The result is **exactly** `Σ_r w[r]·x[r]` for every weight group — no
+//! approximation anywhere, which the property tests assert against an
+//! `i64` reference.
+
+use crate::{fits_signed, SimError};
+use sega_estimator::IntParams;
+
+/// The outcome of one matrix-vector multiplication pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MvmOutput {
+    /// One result per weight group (`N/Bw` values).
+    pub outputs: Vec<i64>,
+    /// Cycles consumed: `⌈Bx/k⌉` streaming cycles plus the 3-stage
+    /// pipeline drain (adder tree, shift accumulator, fusion).
+    pub cycles: u64,
+}
+
+/// Bit-accurate simulator of one integer DCIM macro.
+///
+/// Weights are loaded row-major per slot: `weights[slot·G·H + g·H + r]` is
+/// the weight of group `g`, row `r`, slot `slot`, where `G = N/Bw`.
+#[derive(Debug, Clone)]
+pub struct IntMacroSim {
+    params: IntParams,
+    /// Weight bit planes: `bit_planes[col][slot·H + r]` is the selected
+    /// weight bit for array column `col`.
+    bit_planes: Vec<Vec<u8>>,
+    weights: Vec<i64>,
+}
+
+impl IntMacroSim {
+    /// Loads `weights` (exactly `Wstore`, each within the signed `Bw`-bit
+    /// range) into a macro with the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WrongWeightCount`] / [`SimError::WeightOutOfRange`]
+    /// for malformed weight sets.
+    pub fn new(params: IntParams, weights: &[i64]) -> Result<Self, SimError> {
+        let wstore = params.wstore();
+        if weights.len() as u64 != wstore {
+            return Err(SimError::WrongWeightCount {
+                got: weights.len(),
+                expected: wstore,
+            });
+        }
+        for (index, &value) in weights.iter().enumerate() {
+            if !fits_signed(value, params.bw) {
+                return Err(SimError::WeightOutOfRange {
+                    index,
+                    value,
+                    bits: params.bw,
+                });
+            }
+        }
+        // Decompose into bit planes: column g*Bw + j stores bit j of the
+        // weights of group g (the paper maps each weight bit to its own
+        // column).
+        let groups = (params.n / params.bw) as usize;
+        let h = params.h as usize;
+        let l = params.l as usize;
+        let mut bit_planes = vec![vec![0u8; l * h]; params.n as usize];
+        for g in 0..groups {
+            for slot in 0..l {
+                for r in 0..h {
+                    let w = weights[slot * groups * h + g * h + r];
+                    let u = (w as u64) & ((1u64 << params.bw) - 1); // two's complement field
+                    for j in 0..params.bw as usize {
+                        bit_planes[g * params.bw as usize + j][slot * h + r] = ((u >> j) & 1) as u8;
+                    }
+                }
+            }
+        }
+        Ok(IntMacroSim {
+            params,
+            bit_planes,
+            weights: weights.to_vec(),
+        })
+    }
+
+    /// The macro parameters.
+    pub fn params(&self) -> &IntParams {
+        &self.params
+    }
+
+    /// The loaded weights (row-major per slot, as passed to [`new`](Self::new)).
+    pub fn weights(&self) -> &[i64] {
+        &self.weights
+    }
+
+    /// Runs one MVM pass against the weights in `slot`, streaming `inputs`
+    /// (exactly `H` signed `Bx`-bit values) bit-serially.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] variants for malformed inputs or slot index.
+    pub fn mvm(&self, inputs: &[i64], slot: u32) -> Result<MvmOutput, SimError> {
+        let p = &self.params;
+        if slot >= p.l {
+            return Err(SimError::BadSlot { slot, l: p.l });
+        }
+        if inputs.len() != p.h as usize {
+            return Err(SimError::WrongInputCount {
+                got: inputs.len(),
+                expected: p.h,
+            });
+        }
+        for (index, &value) in inputs.iter().enumerate() {
+            if !fits_signed(value, p.bx) {
+                return Err(SimError::InputOutOfRange {
+                    index,
+                    value,
+                    bits: p.bx,
+                });
+            }
+        }
+
+        let chunks = p.cycles_per_pass();
+        let h = p.h as usize;
+        let slot_base = slot as usize * h;
+
+        // Shift accumulators, one per column.
+        let mut acc = vec![0i64; p.n as usize];
+        // MSB-chunk-first streaming: acc = (acc << k) + partial.
+        for c in (0..chunks).rev() {
+            for (col, plane) in self.bit_planes.iter().enumerate() {
+                // Adder tree input: one 1-bit × k-bit product per row.
+                let mut tree_sum = 0i64;
+                for (r, &x) in inputs.iter().enumerate() {
+                    let wbit = plane[slot_base + r] as i64;
+                    if wbit == 0 {
+                        continue;
+                    }
+                    tree_sum += signed_chunk(x, c, p.k, p.bx);
+                }
+                acc[col] = (acc[col] << p.k) + tree_sum;
+            }
+        }
+
+        // Results fusion: weight columns by bit position; the MSB column is
+        // negative (two's complement).
+        let groups = (p.n / p.bw) as usize;
+        let mut outputs = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let mut y = 0i64;
+            for j in 0..p.bw as usize {
+                let col_sum = acc[g * p.bw as usize + j];
+                let weight = 1i64 << j;
+                if j as u32 == p.bw - 1 {
+                    y -= weight * col_sum;
+                } else {
+                    y += weight * col_sum;
+                }
+            }
+            outputs.push(y);
+        }
+        Ok(MvmOutput {
+            outputs,
+            cycles: chunks as u64 + 3,
+        })
+    }
+
+    /// Runs a full MVM across all `L` slots: `y = W·x` where the stored
+    /// matrix `W` has `L·N/Bw` rows of `H` weights.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`mvm`](Self::mvm).
+    pub fn full_mvm(&self, inputs: &[i64]) -> Result<MvmOutput, SimError> {
+        let mut outputs = Vec::new();
+        let mut cycles = 0;
+        for slot in 0..self.params.l {
+            let pass = self.mvm(inputs, slot)?;
+            outputs.extend(pass.outputs);
+            cycles += pass.cycles;
+        }
+        Ok(MvmOutput { outputs, cycles })
+    }
+}
+
+/// The signed contribution of chunk `c` of the two's-complement `bx`-bit
+/// value `x` when split into `k`-bit chunks: the chunk's bits at their
+/// positions, with bit `bx−1` (the sign bit) carrying negative weight.
+/// The chunk value is normalized to the chunk's own LSB (the shift
+/// accumulator restores the position).
+fn signed_chunk(x: i64, c: u32, k: u32, bx: u32) -> i64 {
+    let u = (x as u64) & ((1u64 << bx) - 1);
+    let mut v = 0i64;
+    for j in 0..k {
+        let bit_pos = c * k + j;
+        if bit_pos >= bx {
+            break;
+        }
+        let bit = ((u >> bit_pos) & 1) as i64;
+        if bit_pos == bx - 1 {
+            v -= bit << j;
+        } else {
+            v += bit << j;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_int_mvm;
+
+    fn ramp_weights(p: &IntParams) -> Vec<i64> {
+        let lo = -(1i64 << (p.bw - 1));
+        let hi = (1i64 << (p.bw - 1)) - 1;
+        let span = hi - lo + 1;
+        (0..p.wstore())
+            .map(|i| lo + (i as i64 * 7 + 3) % span)
+            .collect()
+    }
+
+    fn ramp_inputs(p: &IntParams) -> Vec<i64> {
+        let lo = -(1i64 << (p.bx - 1));
+        let hi = (1i64 << (p.bx - 1)) - 1;
+        let span = hi - lo + 1;
+        (0..p.h as i64).map(|i| lo + (i * 13 + 5) % span).collect()
+    }
+
+    #[test]
+    fn signed_chunk_reassembles_value() {
+        // Σ_c chunk(c) << (c·k) must equal x for all signed x.
+        for bx in [2u32, 4, 8] {
+            for k in 1..=bx {
+                let lo = -(1i64 << (bx - 1));
+                let hi = (1i64 << (bx - 1)) - 1;
+                for x in lo..=hi {
+                    let chunks = bx.div_ceil(k);
+                    let mut v = 0i64;
+                    for c in 0..chunks {
+                        v += signed_chunk(x, c, k, bx) << (c * k);
+                    }
+                    assert_eq!(v, x, "bx={bx} k={k} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mvm_is_exact_for_int8() {
+        let p = IntParams::new(16, 8, 4, 2, 8, 8).unwrap();
+        let w = ramp_weights(&p);
+        let x = ramp_inputs(&p);
+        let sim = IntMacroSim::new(p, &w).unwrap();
+        for slot in 0..p.l {
+            let got = sim.mvm(&x, slot).unwrap();
+            let expect = reference_int_mvm(&p, &w, &x, slot);
+            assert_eq!(got.outputs, expect, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn mvm_is_exact_across_precisions_and_k() {
+        for (bw, n) in [(2u32, 8u32), (4, 8), (8, 16), (16, 32)] {
+            for k in [1u32, 2, bw] {
+                let p = IntParams::new(n, 8, 2, k, bw, bw).unwrap();
+                let w = ramp_weights(&p);
+                let x = ramp_inputs(&p);
+                let sim = IntMacroSim::new(p, &w).unwrap();
+                let got = sim.mvm(&x, 1).unwrap();
+                let expect = reference_int_mvm(&p, &w, &x, 1);
+                assert_eq!(got.outputs, expect, "bw={bw} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_values_are_exact() {
+        let p = IntParams::new(8, 4, 2, 3, 8, 8).unwrap();
+        // All weights at the negative extreme, inputs at both extremes.
+        let w = vec![-128i64; p.wstore() as usize];
+        let x = vec![-128, 127, -128, 127];
+        let sim = IntMacroSim::new(p, &w).unwrap();
+        let got = sim.mvm(&x, 0).unwrap();
+        assert_eq!(got.outputs, reference_int_mvm(&p, &w, &x, 0));
+    }
+
+    #[test]
+    fn full_mvm_covers_all_slots() {
+        let p = IntParams::new(8, 4, 4, 2, 4, 4).unwrap();
+        let w = ramp_weights(&p);
+        let x = ramp_inputs(&p);
+        let sim = IntMacroSim::new(p, &w).unwrap();
+        let full = sim.full_mvm(&x).unwrap();
+        assert_eq!(full.outputs.len(), (p.l * p.n / p.bw) as usize);
+        let mut expect = Vec::new();
+        for slot in 0..p.l {
+            expect.extend(reference_int_mvm(&p, &w, &x, slot));
+        }
+        assert_eq!(full.outputs, expect);
+    }
+
+    #[test]
+    fn cycle_count_follows_bit_serial_schedule() {
+        let p = IntParams::new(8, 4, 2, 2, 8, 8).unwrap();
+        let w = ramp_weights(&p);
+        let sim = IntMacroSim::new(p, &w).unwrap();
+        let out = sim.mvm(&[1, 2, 3, 4], 0).unwrap();
+        assert_eq!(out.cycles, 4 + 3); // ceil(8/2) streaming + 3 pipeline
+    }
+
+    #[test]
+    fn input_validation() {
+        let p = IntParams::new(8, 4, 2, 2, 4, 4).unwrap();
+        let w = ramp_weights(&p);
+        let sim = IntMacroSim::new(p, &w).unwrap();
+        assert!(matches!(
+            sim.mvm(&[1, 2, 3], 0),
+            Err(SimError::WrongInputCount { .. })
+        ));
+        assert!(matches!(
+            sim.mvm(&[1, 2, 3, 99], 0),
+            Err(SimError::InputOutOfRange { .. })
+        ));
+        assert!(matches!(
+            sim.mvm(&[1, 2, 3, 4], 9),
+            Err(SimError::BadSlot { .. })
+        ));
+    }
+
+    #[test]
+    fn weight_validation() {
+        let p = IntParams::new(8, 4, 2, 2, 4, 4).unwrap();
+        assert!(matches!(
+            IntMacroSim::new(p, &[0; 3]),
+            Err(SimError::WrongWeightCount { .. })
+        ));
+        let mut w = ramp_weights(&p);
+        w[5] = 8; // out of signed 4-bit range
+        assert!(matches!(
+            IntMacroSim::new(p, &w),
+            Err(SimError::WeightOutOfRange { index: 5, .. })
+        ));
+    }
+}

@@ -1,0 +1,152 @@
+//! # sega-sim — bit-accurate functional simulation of DCIM macros
+//!
+//! The paper's central correctness claim for DCIM is *full-precision digital
+//! computation* ("DCIM uses digital logic circuits … which dramatically
+//! improves the reliability and accuracy"). This crate proves that property
+//! for the architectures SEGA-DCIM generates, by simulating the exact
+//! dataflow of paper Fig. 3 at bit granularity:
+//!
+//! * [`IntMacroSim`] — the multiplier-based integer macro: per-cycle `k`-bit
+//!   input chunks through the selection gates and NOR multipliers, adder
+//!   trees, shift accumulators (two's-complement-correct), and the results
+//!   fusion unit with a negatively weighted MSB column. Integer MVM results
+//!   are **exactly** equal to the `i64` reference (property-tested).
+//! * [`FpMacroSim`] — the pre-aligned floating-point macro: offline weight
+//!   mantissa alignment, online exponent max-tree and input alignment,
+//!   integer mantissa MAC, and INT-to-FP conversion. Results match a
+//!   fixed-point golden model exactly and the `f64` reference within the
+//!   alignment-truncation error bound.
+//! * [`fp`] — minifloat codecs (FP8-E4M3, FP16, BF16, FP32) used by both
+//!   the FP simulator and the workload generators.
+//!
+//! # Example
+//!
+//! ```
+//! use sega_estimator::IntParams;
+//! use sega_sim::IntMacroSim;
+//!
+//! // A small INT4 macro: 2 weight groups of 4 rows, L=2 slots.
+//! let params = IntParams::new(8, 4, 2, 2, 4, 4)?;
+//! let weights: Vec<i64> = (0..params.wstore()).map(|i| (i as i64 % 15) - 7).collect();
+//! let sim = IntMacroSim::new(params, &weights)?;
+//! let out = sim.mvm(&[1, -2, 3, -4], 0)?;
+//! assert_eq!(out.outputs.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod fp;
+mod fp_mac;
+mod int_mac;
+pub mod nn;
+mod reference;
+
+pub use fp_mac::{FpMacroSim, FpMvmOutput};
+pub use int_mac::{IntMacroSim, MvmOutput};
+pub use reference::{reference_fp_mvm, reference_int_mvm};
+
+/// Errors returned by the simulators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The weight slice does not hold exactly `Wstore` values.
+    WrongWeightCount {
+        /// Provided count.
+        got: usize,
+        /// Required `Wstore`.
+        expected: u64,
+    },
+    /// A weight exceeds the representable signed range of its bit-width.
+    WeightOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Offending value.
+        value: i64,
+        /// Bit width.
+        bits: u32,
+    },
+    /// The input vector does not hold exactly `H` values.
+    WrongInputCount {
+        /// Provided count.
+        got: usize,
+        /// Required `H`.
+        expected: u32,
+    },
+    /// An input exceeds the representable signed range of its bit-width.
+    InputOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Offending value.
+        value: i64,
+        /// Bit width.
+        bits: u32,
+    },
+    /// The weight-slot index is not below `L`.
+    BadSlot {
+        /// Requested slot.
+        slot: u32,
+        /// Available slots `L`.
+        l: u32,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::WrongWeightCount { got, expected } => {
+                write!(f, "expected {expected} weights, got {got}")
+            }
+            SimError::WeightOutOfRange { index, value, bits } => {
+                write!(
+                    f,
+                    "weight[{index}] = {value} exceeds signed {bits}-bit range"
+                )
+            }
+            SimError::WrongInputCount { got, expected } => {
+                write!(f, "expected {expected} inputs, got {got}")
+            }
+            SimError::InputOutOfRange { index, value, bits } => {
+                write!(
+                    f,
+                    "input[{index}] = {value} exceeds signed {bits}-bit range"
+                )
+            }
+            SimError::BadSlot { slot, l } => {
+                write!(f, "weight slot {slot} out of range (L = {l})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Checks that `value` fits a signed `bits`-bit two's-complement field.
+pub(crate) fn fits_signed(value: i64, bits: u32) -> bool {
+    let lo = -(1i64 << (bits - 1));
+    let hi = (1i64 << (bits - 1)) - 1;
+    (lo..=hi).contains(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_range_checks() {
+        assert!(fits_signed(-8, 4));
+        assert!(fits_signed(7, 4));
+        assert!(!fits_signed(8, 4));
+        assert!(!fits_signed(-9, 4));
+        assert!(fits_signed(0, 1));
+        assert!(fits_signed(-1, 1));
+        assert!(!fits_signed(1, 1));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SimError::BadSlot { slot: 5, l: 4 };
+        assert!(e.to_string().contains('5'));
+    }
+}

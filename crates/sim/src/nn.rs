@@ -1,0 +1,521 @@
+//! Neural-network layers on DCIM macros: tiling arbitrary-size matrices
+//! onto fixed-geometry arrays.
+//!
+//! The paper motivates SEGA-DCIM with "versatile applications —
+//! Transformer, CNN, GNN"; real layers are larger than one macro, so this
+//! module implements the standard tiling scheme: the weight matrix
+//! `W ∈ rows×cols` is cut into tiles of `H` columns (the array height) and
+//! `G·L` rows (`G = N/Bw` groups × `L` slots), each tile is loaded into its
+//! own macro image, and the digital periphery accumulates partial sums
+//! across column tiles. Convolutions lower onto the same machinery through
+//! im2col ([`im2col`], [`conv_weight_matrix`]).
+//!
+//! Everything stays bit-accurate: an [`IntLayer`] forward pass equals the
+//! plain `i64` matrix-vector product exactly (tested), and an [`FpLayer`]
+//! obeys the summed per-tile alignment bounds.
+
+use crate::fp::FpFormat;
+use crate::{FpMacroSim, IntMacroSim, SimError};
+use sega_estimator::{FpParams, IntParams};
+
+/// Cost accounting of one tiled forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerStats {
+    /// Number of macro images (weight tiles) the layer occupies.
+    pub macros_used: usize,
+    /// Array passes per forward (one per tile × slot actually used).
+    pub passes_per_forward: u64,
+    /// Total cycles per forward at one pass in flight (no inter-macro
+    /// parallelism assumed).
+    pub cycles_per_forward: u64,
+}
+
+/// A fully-connected layer `y = W·x` tiled across integer DCIM macros.
+#[derive(Debug, Clone)]
+pub struct IntLayer {
+    params: IntParams,
+    rows: usize,
+    cols: usize,
+    /// One simulator per (row-tile, col-tile), row-major in tiles.
+    tiles: Vec<IntMacroSim>,
+    row_tiles: usize,
+    col_tiles: usize,
+    /// Slots actually carrying weights in the last row tile.
+    stats: LayerStats,
+}
+
+impl IntLayer {
+    /// Loads a `rows × cols` weight matrix (row-major rows of `cols`
+    /// values) into as many macro tiles as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WeightOutOfRange`] if any weight exceeds the
+    /// signed `Bw`-bit range (index within the flattened matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != rows * cols` — that is a caller bug.
+    pub fn new(
+        params: IntParams,
+        rows: usize,
+        cols: usize,
+        weights: &[i64],
+    ) -> Result<Self, SimError> {
+        assert_eq!(weights.len(), rows * cols, "weight matrix shape mismatch");
+        for (index, &value) in weights.iter().enumerate() {
+            if !crate::fits_signed(value, params.bw) {
+                return Err(SimError::WeightOutOfRange {
+                    index,
+                    value,
+                    bits: params.bw,
+                });
+            }
+        }
+        let h = params.h as usize;
+        let groups = (params.n / params.bw) as usize;
+        let rows_per_tile = groups * params.l as usize;
+        let row_tiles = rows.div_ceil(rows_per_tile);
+        let col_tiles = cols.div_ceil(h);
+
+        let mut tiles = Vec::with_capacity(row_tiles * col_tiles);
+        for rt in 0..row_tiles {
+            for ct in 0..col_tiles {
+                // Macro image layout: weights[slot * groups * h + g * h + r].
+                let mut image = vec![0i64; params.wstore() as usize];
+                for slot in 0..params.l as usize {
+                    for g in 0..groups {
+                        let row = rt * rows_per_tile + slot * groups + g;
+                        if row >= rows {
+                            continue;
+                        }
+                        for r in 0..h {
+                            let col = ct * h + r;
+                            if col >= cols {
+                                continue;
+                            }
+                            image[slot * groups * h + g * h + r] = weights[row * cols + col];
+                        }
+                    }
+                }
+                tiles.push(IntMacroSim::new(params, &image)?);
+            }
+        }
+
+        let slots_last = rows
+            .saturating_sub((row_tiles - 1) * rows_per_tile)
+            .div_ceil(groups) as u64;
+        let passes = ((row_tiles as u64 - 1) * params.l as u64 + slots_last) * col_tiles as u64;
+        let cycles_per_pass = params.cycles_per_pass() as u64 + 3;
+        Ok(IntLayer {
+            params,
+            rows,
+            cols,
+            tiles,
+            row_tiles,
+            col_tiles,
+            stats: LayerStats {
+                macros_used: row_tiles * col_tiles,
+                passes_per_forward: passes,
+                cycles_per_forward: passes * cycles_per_pass,
+            },
+        })
+    }
+
+    /// Tiling statistics.
+    pub fn stats(&self) -> LayerStats {
+        self.stats
+    }
+
+    /// Output dimension.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Input dimension.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Computes `y = W·x` exactly through the tiled macros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WrongInputCount`] / [`SimError::InputOutOfRange`]
+    /// for malformed inputs.
+    pub fn forward(&self, x: &[i64]) -> Result<Vec<i64>, SimError> {
+        if x.len() != self.cols {
+            return Err(SimError::WrongInputCount {
+                got: x.len(),
+                expected: self.cols as u32,
+            });
+        }
+        let p = &self.params;
+        let h = p.h as usize;
+        let groups = (p.n / p.bw) as usize;
+        let rows_per_tile = groups * p.l as usize;
+        let mut y = vec![0i64; self.rows];
+        for ct in 0..self.col_tiles {
+            // Input tile, zero-padded to H.
+            let mut xin = vec![0i64; h];
+            for r in 0..h {
+                let col = ct * h + r;
+                if col < self.cols {
+                    xin[r] = x[col];
+                }
+            }
+            for rt in 0..self.row_tiles {
+                let tile = &self.tiles[rt * self.col_tiles + ct];
+                for slot in 0..p.l {
+                    let base_row = rt * rows_per_tile + slot as usize * groups;
+                    if base_row >= self.rows {
+                        break;
+                    }
+                    let out = tile.mvm(&xin, slot)?;
+                    for (g, &v) in out.outputs.iter().enumerate() {
+                        let row = base_row + g;
+                        if row < self.rows {
+                            // Digital periphery: cross-tile accumulation.
+                            y[row] += v;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(y)
+    }
+}
+
+/// A fully-connected layer `y = W·x` tiled across pre-aligned FP macros.
+#[derive(Debug, Clone)]
+pub struct FpLayer {
+    params: FpParams,
+    format: FpFormat,
+    rows: usize,
+    cols: usize,
+    tiles: Vec<FpMacroSim>,
+    row_tiles: usize,
+    col_tiles: usize,
+    stats: LayerStats,
+}
+
+impl FpLayer {
+    /// Loads a `rows × cols` floating-point weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates macro-construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a matrix shape mismatch or a format/parameter mismatch.
+    pub fn new(
+        params: FpParams,
+        format: FpFormat,
+        rows: usize,
+        cols: usize,
+        weights: &[f64],
+    ) -> Result<Self, SimError> {
+        assert_eq!(weights.len(), rows * cols, "weight matrix shape mismatch");
+        let h = params.h as usize;
+        let groups = (params.n / params.bm) as usize;
+        let rows_per_tile = groups * params.l as usize;
+        let row_tiles = rows.div_ceil(rows_per_tile);
+        let col_tiles = cols.div_ceil(h);
+
+        let mut tiles = Vec::with_capacity(row_tiles * col_tiles);
+        for rt in 0..row_tiles {
+            for ct in 0..col_tiles {
+                let mut image = vec![0f64; params.wstore() as usize];
+                for slot in 0..params.l as usize {
+                    for g in 0..groups {
+                        let row = rt * rows_per_tile + slot * groups + g;
+                        if row >= rows {
+                            continue;
+                        }
+                        for r in 0..h {
+                            let col = ct * h + r;
+                            if col >= cols {
+                                continue;
+                            }
+                            image[slot * groups * h + g * h + r] = weights[row * cols + col];
+                        }
+                    }
+                }
+                tiles.push(FpMacroSim::new(params, format, &image)?);
+            }
+        }
+        let passes = row_tiles as u64 * params.l as u64 * col_tiles as u64;
+        let cycles_per_pass = params.cycles_per_pass() as u64 + 4;
+        Ok(FpLayer {
+            params,
+            format,
+            rows,
+            cols,
+            tiles,
+            row_tiles,
+            col_tiles,
+            stats: LayerStats {
+                macros_used: row_tiles * col_tiles,
+                passes_per_forward: passes,
+                cycles_per_forward: passes * cycles_per_pass,
+            },
+        })
+    }
+
+    /// Tiling statistics.
+    pub fn stats(&self) -> LayerStats {
+        self.stats
+    }
+
+    /// Computes `y ≈ W·x` through the tiled macros (periphery accumulates
+    /// tile partials in full precision).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WrongInputCount`] for malformed inputs.
+    pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>, SimError> {
+        if x.len() != self.cols {
+            return Err(SimError::WrongInputCount {
+                got: x.len(),
+                expected: self.cols as u32,
+            });
+        }
+        let p = &self.params;
+        let h = p.h as usize;
+        let groups = (p.n / p.bm) as usize;
+        let rows_per_tile = groups * p.l as usize;
+        let mut y = vec![0f64; self.rows];
+        for ct in 0..self.col_tiles {
+            let mut xin = vec![0f64; h];
+            for r in 0..h {
+                let col = ct * h + r;
+                if col < self.cols {
+                    xin[r] = x[col];
+                }
+            }
+            for rt in 0..self.row_tiles {
+                let tile = &self.tiles[rt * self.col_tiles + ct];
+                for slot in 0..p.l {
+                    let base_row = rt * rows_per_tile + slot as usize * groups;
+                    if base_row >= self.rows {
+                        break;
+                    }
+                    let out = tile.mvm(&xin, slot)?;
+                    for (g, &v) in out.values.iter().enumerate() {
+                        let row = base_row + g;
+                        if row < self.rows {
+                            y[row] += v;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// The effective (quantized + aligned) weight the datapath multiplies
+    /// by, for error analysis.
+    pub fn format(&self) -> FpFormat {
+        self.format
+    }
+}
+
+/// Lowers a `[out_ch][in_ch][kh][kw]` convolution kernel into the
+/// `out_ch × (in_ch·kh·kw)` matrix that [`IntLayer`]/[`FpLayer`] consume.
+pub fn conv_weight_matrix<T: Copy>(
+    kernel: &[T],
+    out_ch: usize,
+    in_ch: usize,
+    kh: usize,
+    kw: usize,
+) -> Vec<T> {
+    assert_eq!(
+        kernel.len(),
+        out_ch * in_ch * kh * kw,
+        "kernel shape mismatch"
+    );
+    // Already stored in the right order: each output channel's taps are
+    // contiguous.
+    kernel.to_vec()
+}
+
+/// im2col patch extraction: for a `[in_ch][height][width]` feature map and
+/// a `kh × kw` window at (valid) output position `(oy, ox)`, returns the
+/// `in_ch·kh·kw` input column matching [`conv_weight_matrix`]'s row layout.
+///
+/// # Panics
+///
+/// Panics if the window does not fit at the requested position.
+pub fn im2col<T: Copy>(
+    fmap: &[T],
+    in_ch: usize,
+    height: usize,
+    width: usize,
+    kh: usize,
+    kw: usize,
+    oy: usize,
+    ox: usize,
+) -> Vec<T> {
+    assert_eq!(fmap.len(), in_ch * height * width, "feature map shape");
+    assert!(
+        oy + kh <= height && ox + kw <= width,
+        "window out of bounds"
+    );
+    let mut col = Vec::with_capacity(in_ch * kh * kw);
+    for c in 0..in_ch {
+        for dy in 0..kh {
+            for dx in 0..kw {
+                col.push(fmap[c * height * width + (oy + dy) * width + (ox + dx)]);
+            }
+        }
+    }
+    col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> IntParams {
+        // 2 groups × 4 rows per pass, 2 slots -> 4x... rows_per_tile = 4.
+        IntParams::new(8, 4, 2, 2, 4, 4).unwrap()
+    }
+
+    fn ramp(n: usize, m: i64) -> Vec<i64> {
+        (0..n).map(|i| ((i as i64 * 5 + 1) % (2 * m)) - m).collect()
+    }
+
+    fn golden(w: &[i64], x: &[i64], rows: usize, cols: usize) -> Vec<i64> {
+        (0..rows)
+            .map(|r| (0..cols).map(|c| w[r * cols + c] * x[c]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn exact_when_matrix_fits_one_macro() {
+        let p = params();
+        let (rows, cols) = (4usize, 4usize);
+        let w = ramp(rows * cols, 7);
+        let x = ramp(cols, 7);
+        let layer = IntLayer::new(p, rows, cols, &w).unwrap();
+        assert_eq!(layer.stats().macros_used, 1);
+        assert_eq!(layer.forward(&x).unwrap(), golden(&w, &x, rows, cols));
+    }
+
+    #[test]
+    fn exact_with_column_tiling() {
+        // cols = 10 > H = 4 -> 3 column tiles with padding.
+        let p = params();
+        let (rows, cols) = (4usize, 10usize);
+        let w = ramp(rows * cols, 7);
+        let x = ramp(cols, 7);
+        let layer = IntLayer::new(p, rows, cols, &w).unwrap();
+        assert_eq!(layer.stats().macros_used, 3);
+        assert_eq!(layer.forward(&x).unwrap(), golden(&w, &x, rows, cols));
+    }
+
+    #[test]
+    fn exact_with_row_and_column_tiling() {
+        // rows = 11 > rows_per_tile = 4, cols = 9 > 4.
+        let p = params();
+        let (rows, cols) = (11usize, 9usize);
+        let w = ramp(rows * cols, 7);
+        let x = ramp(cols, 7);
+        let layer = IntLayer::new(p, rows, cols, &w).unwrap();
+        assert_eq!(layer.stats().macros_used, 3 * 3);
+        assert_eq!(layer.forward(&x).unwrap(), golden(&w, &x, rows, cols));
+    }
+
+    #[test]
+    fn stats_count_passes() {
+        let p = params(); // L=2, cycles/pass = 2+3
+        let layer = IntLayer::new(p, 8, 8, &ramp(64, 7)).unwrap();
+        // row_tiles=2, col_tiles=2; all slots used -> passes = 2*2*2 = 8.
+        let s = layer.stats();
+        assert_eq!(s.macros_used, 4);
+        assert_eq!(s.passes_per_forward, 8);
+        assert_eq!(s.cycles_per_forward, 8 * 5);
+    }
+
+    #[test]
+    fn input_length_checked() {
+        let p = params();
+        let layer = IntLayer::new(p, 4, 4, &ramp(16, 7)).unwrap();
+        assert!(matches!(
+            layer.forward(&[1, 2, 3]),
+            Err(SimError::WrongInputCount { .. })
+        ));
+    }
+
+    #[test]
+    fn weight_range_checked_with_matrix_index() {
+        let p = params();
+        let mut w = ramp(16, 7);
+        w[9] = 99;
+        assert!(matches!(
+            IntLayer::new(p, 4, 4, &w),
+            Err(SimError::WeightOutOfRange { index: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn fp_layer_tracks_reference_within_tile_bounds() {
+        let p = FpParams::new(8, 4, 2, 2, 8, 8).unwrap();
+        let (rows, cols) = (3usize, 10usize);
+        let w: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i % 9) as f64 - 4.0) * 0.25)
+            .collect();
+        let x: Vec<f64> = (0..cols).map(|i| (i as f64 - 5.0) * 0.5).collect();
+        let layer = FpLayer::new(p, FpFormat::BF16, rows, cols, &w).unwrap();
+        let y = layer.forward(&x).unwrap();
+        // Reference on quantized operands.
+        let q = |v: f64| FpFormat::BF16.quantize(v);
+        let golden: Vec<f64> = (0..rows)
+            .map(|r| (0..cols).map(|c| q(w[r * cols + c]) * q(x[c])).sum())
+            .collect();
+        for (got, want) in y.iter().zip(&golden) {
+            // Generous bound: a few ULPs at the operand scale per term.
+            assert!(
+                (got - want).abs() <= 0.1 * (1.0 + want.abs()),
+                "{got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_lowering_matches_direct_convolution() {
+        // 2 output channels, 1 input channel, 2x2 kernel over a 3x3 map.
+        let (out_ch, in_ch, kh, kw) = (2usize, 1usize, 2usize, 2usize);
+        let kernel: Vec<i64> = vec![1, 2, 3, -4, -1, 0, 2, 1];
+        let fmap: Vec<i64> = (-4..=4).collect();
+        let wmat = conv_weight_matrix(&kernel, out_ch, in_ch, kh, kw);
+
+        let p = params();
+        let layer = IntLayer::new(p, out_ch, in_ch * kh * kw, &wmat).unwrap();
+        for oy in 0..2 {
+            for ox in 0..2 {
+                let col = im2col(&fmap, in_ch, 3, 3, kh, kw, oy, ox);
+                let y = layer.forward(&col).unwrap();
+                // Direct convolution.
+                for (o, y_o) in y.iter().enumerate() {
+                    let mut acc = 0i64;
+                    for dy in 0..kh {
+                        for dx in 0..kw {
+                            acc += kernel[o * kh * kw + dy * kw + dx]
+                                * fmap[(oy + dy) * 3 + (ox + dx)];
+                        }
+                    }
+                    assert_eq!(*y_o, acc, "channel {o} at ({oy},{ox})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_window_bounds_checked() {
+        let fmap: Vec<i64> = (0..9).collect();
+        let result = std::panic::catch_unwind(|| im2col(&fmap, 1, 3, 3, 2, 2, 2, 2));
+        assert!(result.is_err(), "out-of-bounds window must panic");
+    }
+}

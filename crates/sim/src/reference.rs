@@ -1,0 +1,77 @@
+//! Golden reference models the simulators are verified against.
+
+use sega_estimator::{FpParams, IntParams};
+
+/// Plain `i64` matrix-vector reference for the integer macro: output `g` is
+/// `Σ_r w[slot·G·H + g·H + r] · x[r]` with `G = N/Bw`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the parameters (the simulator
+/// validates before calling this in tests).
+pub fn reference_int_mvm(p: &IntParams, weights: &[i64], inputs: &[i64], slot: u32) -> Vec<i64> {
+    assert_eq!(weights.len() as u64, p.wstore());
+    assert_eq!(inputs.len(), p.h as usize);
+    assert!(slot < p.l);
+    let groups = (p.n / p.bw) as usize;
+    let h = p.h as usize;
+    let base = slot as usize * groups * h;
+    (0..groups)
+        .map(|g| (0..h).map(|r| weights[base + g * h + r] * inputs[r]).sum())
+        .collect()
+}
+
+/// Plain `f64` matrix-vector reference for the floating-point macro,
+/// computed on the *quantized* operand values (so it isolates the
+/// alignment/truncation error of the DCIM datapath from the input
+/// quantization error).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the parameters.
+pub fn reference_fp_mvm(
+    p: &FpParams,
+    quantized_weights: &[f64],
+    quantized_inputs: &[f64],
+    slot: u32,
+) -> Vec<f64> {
+    assert_eq!(quantized_weights.len() as u64, p.wstore());
+    assert_eq!(quantized_inputs.len(), p.h as usize);
+    assert!(slot < p.l);
+    let groups = (p.n / p.bm) as usize;
+    let h = p.h as usize;
+    let base = slot as usize * groups * h;
+    (0..groups)
+        .map(|g| {
+            (0..h)
+                .map(|r| quantized_weights[base + g * h + r] * quantized_inputs[r])
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_reference_shape() {
+        let p = IntParams::new(8, 2, 2, 1, 4, 4).unwrap();
+        // G = 2 groups, H = 2, L = 2 -> 8 weights.
+        let w = vec![1, 2, 3, 4, 5, 6, 7, -8];
+        let x = vec![10, 100];
+        let y0 = reference_int_mvm(&p, &w, &x, 0);
+        assert_eq!(y0, vec![1 * 10 + 2 * 100, 3 * 10 + 4 * 100]);
+        let y1 = reference_int_mvm(&p, &w, &x, 1);
+        assert_eq!(y1, vec![5 * 10 + 6 * 100, 7 * 10 - 8 * 100]);
+    }
+
+    #[test]
+    fn fp_reference_shape() {
+        let p = FpParams::new(8, 2, 1, 1, 4, 4).unwrap();
+        let w = vec![0.5, 2.0, -1.0, 4.0];
+        let x = vec![1.0, 3.0];
+        let y = reference_fp_mvm(&p, &w, &x, 0);
+        assert_eq!(y, vec![0.5 + 6.0, -1.0 + 12.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based verification of the DCIM datapaths: the integer path is
+//! exact everywhere, the FP path is bounded everywhere, and the codecs
+//! agree with IEEE semantics where the formats overlap.
+
+use proptest::prelude::*;
+use sega_estimator::{FpParams, IntParams};
+use sega_sim::fp::FpFormat;
+use sega_sim::{reference_fp_mvm, reference_int_mvm, FpMacroSim, IntMacroSim};
+
+fn int_params() -> impl Strategy<Value = IntParams> {
+    (
+        1u32..=2,
+        1u32..=4,
+        0u32..=2,
+        prop_oneof![Just(2u32), Just(4), Just(8), Just(16)],
+    )
+        .prop_flat_map(|(log_g, log_h, log_l, bw)| {
+            (1u32..=bw).prop_map(move |k| {
+                IntParams::new((1 << log_g) * bw, 1 << log_h, 1 << log_l, k, bw, bw)
+                    .expect("valid by construction")
+            })
+        })
+}
+
+fn signed_vec(len: usize, bits: u32) -> impl Strategy<Value = Vec<i64>> {
+    let lo = -(1i64 << (bits - 1));
+    let hi = (1i64 << (bits - 1)) - 1;
+    prop::collection::vec(lo..=hi, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exactness of the integer datapath over random geometry, weights,
+    /// inputs and slot.
+    #[test]
+    fn int_mvm_exact(
+        (params, weights, inputs, slot) in int_params().prop_flat_map(|p| {
+            let w = signed_vec(p.wstore() as usize, p.bw);
+            let x = signed_vec(p.h as usize, p.bx);
+            let slot = 0..p.l;
+            (Just(p), w, x, slot)
+        })
+    ) {
+        let sim = IntMacroSim::new(params, &weights).unwrap();
+        let got = sim.mvm(&inputs, slot).unwrap();
+        let want = reference_int_mvm(&params, &weights, &inputs, slot);
+        prop_assert_eq!(got.outputs, want);
+    }
+
+    /// Linearity of the hardware: mvm(x1) + mvm(x2) == mvm-by-reference of
+    /// the summed weights path (exercises fusion sign handling).
+    #[test]
+    fn int_mvm_additive_in_inputs(
+        (params, weights, x1, x2) in int_params().prop_flat_map(|p| {
+            // Halve the ranges so x1 + x2 still fits the input width.
+            let w = signed_vec(p.wstore() as usize, p.bw);
+            let x1 = signed_vec(p.h as usize, p.bx - 1);
+            let x2 = signed_vec(p.h as usize, p.bx - 1);
+            (Just(p), w, x1, x2)
+        })
+    ) {
+        prop_assume!(params.bx >= 2);
+        let sim = IntMacroSim::new(params, &weights).unwrap();
+        let y1 = sim.mvm(&x1, 0).unwrap().outputs;
+        let y2 = sim.mvm(&x2, 0).unwrap().outputs;
+        let xs: Vec<i64> = x1.iter().zip(&x2).map(|(a, b)| a + b).collect();
+        let ys = sim.mvm(&xs, 0).unwrap().outputs;
+        for ((a, b), s) in y1.iter().zip(&y2).zip(&ys) {
+            prop_assert_eq!(a + b, *s);
+        }
+    }
+
+    /// The FP datapath never exceeds its analytic alignment error bound.
+    #[test]
+    fn fp_mvm_bounded(
+        seed in 0u64..10_000,
+        scale_exp in -3i32..6,
+    ) {
+        let fmt = FpFormat::BF16;
+        let params = FpParams::new(16, 8, 2, 2, 8, 8).unwrap();
+        let scale = 2f64.powi(scale_exp);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) * scale
+        };
+        let weights: Vec<f64> = (0..params.wstore()).map(|_| next()).collect();
+        let inputs: Vec<f64> = (0..params.h).map(|_| next()).collect();
+        let sim = FpMacroSim::new(params, fmt, &weights).unwrap();
+        let out = sim.mvm(&inputs, 0).unwrap();
+        let inputs_q: Vec<f64> = inputs.iter().map(|&x| fmt.quantize(x)).collect();
+        let golden = reference_fp_mvm(&params, sim.quantized_weights(), &inputs_q, 0);
+        let bound = sim.alignment_error_bound(&inputs_q, 0);
+        for (got, want) in out.values.iter().zip(&golden) {
+            prop_assert!((got - want).abs() <= bound,
+                "|{got} - {want}| > {bound} at scale 2^{scale_exp}");
+        }
+    }
+
+    /// FP32 codec round-trips every finite f32 exactly.
+    #[test]
+    fn fp32_codec_matches_ieee(bits in any::<u32>()) {
+        let x = f32::from_bits(bits);
+        prop_assume!(x.is_finite());
+        let q = FpFormat::FP32.quantize(x as f64);
+        // Flushed subnormals are the one documented deviation.
+        if x.is_normal() || x == 0.0 {
+            prop_assert_eq!(q as f32, x);
+        } else {
+            prop_assert_eq!(q, 0.0);
+        }
+    }
+
+    /// Quantization is idempotent and monotone for every format.
+    #[test]
+    fn quantization_idempotent_and_monotone(
+        a in -1e4f64..1e4,
+        b in -1e4f64..1e4,
+    ) {
+        for fmt in [FpFormat::FP8_E4M3, FpFormat::FP16, FpFormat::BF16, FpFormat::FP32] {
+            let qa = fmt.quantize(a);
+            prop_assert_eq!(fmt.quantize(qa), qa, "{:?} idempotent", fmt);
+            let qb = fmt.quantize(b);
+            if a <= b {
+                prop_assert!(qa <= qb, "{fmt:?} monotone: q({a})={qa} > q({b})={qb}");
+            }
+        }
+    }
+
+    /// Scaling all inputs by a power of two scales the FP result by the
+    /// same factor exactly (exponent arithmetic is lossless).
+    #[test]
+    fn fp_mvm_scales_exactly_by_powers_of_two(
+        seed in 0u64..10_000,
+        shift in 1i32..4,
+    ) {
+        let fmt = FpFormat::BF16;
+        let params = FpParams::new(8, 4, 1, 2, 8, 8).unwrap();
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) + 0.5 // in [0.5, 1.5]
+        };
+        let weights: Vec<f64> = (0..params.wstore()).map(|_| next()).collect();
+        let inputs: Vec<f64> = (0..params.h).map(|_| next()).collect();
+        let sim = FpMacroSim::new(params, fmt, &weights).unwrap();
+        let base = sim.mvm(&inputs, 0).unwrap();
+        let factor = 2f64.powi(shift);
+        let scaled_in: Vec<f64> = inputs.iter().map(|&x| x * factor).collect();
+        let scaled = sim.mvm(&scaled_in, 0).unwrap();
+        for (b, s) in base.values.iter().zip(&scaled.values) {
+            prop_assert!((s - b * factor).abs() < 1e-12 * factor.abs().max(1.0),
+                "{s} != {b} * 2^{shift}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! GNN scenario: graph-convolution neighbor aggregation on an INT8 DCIM
+//! macro — the third of the paper's Fig. 1 application domains
+//! (Transformer / CNN / GNN).
+//!
+//! ```sh
+//! cargo run --release -p sega-dcim --example gnn_aggregation
+//! ```
+//!
+//! A GCN layer computes `H' = Â · H · W`: a feature transform (dense MVM,
+//! same as the CNN/transformer cases) followed by neighborhood aggregation
+//! with the normalized adjacency `Â`. The aggregation is also an MVM —
+//! just a sparse, graph-shaped one — so it maps onto the same macro by
+//! storing each node's quantized adjacency row as weights. This example
+//! runs both halves bit-exactly on the tiled simulator and projects the
+//! physical runtime.
+
+use sega_dcim::runtime::project_layer;
+use sega_dcim::{Compiler, DistillStrategy, UserSpec};
+use sega_estimator::{DcimDesign, Precision};
+use sega_sim::nn::IntLayer;
+
+/// Deterministic pseudo-random generator for the synthetic graph.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn signed(&mut self, bits: u32) -> i64 {
+        let lo = -(1i64 << (bits - 1));
+        lo + (self.next() % (1u64 << bits)) as i64
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== GNN layer: GCN aggregation on an INT8 DCIM macro ==\n");
+
+    // A small citation-style graph: 64 nodes, ~8 neighbors each.
+    const NODES: usize = 64;
+    const FEATURES: usize = 32;
+    let mut rng = Rng(0xD1A6);
+    let mut adjacency = vec![0i64; NODES * NODES];
+    for u in 0..NODES {
+        adjacency[u * NODES + u] = 16; // self loop (fixed-point 16 = 1.0 in Q4)
+        for _ in 0..8 {
+            let v = (rng.next() as usize) % NODES;
+            // Quantized normalized edge weight in Q4 fixed point (1..7).
+            adjacency[u * NODES + v] = 1 + (rng.next() % 7) as i64;
+        }
+    }
+    let edges = adjacency.iter().filter(|&&w| w != 0).count();
+    println!("graph           : {NODES} nodes, {edges} weighted edges (Q4 fixed point)");
+
+    // Compile one INT8 macro and reuse it for both layer halves.
+    let spec = UserSpec::new(4096, Precision::Int8)?;
+    let compiled = Compiler::new()
+        .with_exploration_budget(40, 25)
+        .compile(&spec, DistillStrategy::Knee)?;
+    let params = match compiled.design {
+        DcimDesign::Int(p) => p,
+        DcimDesign::Fp(_) => unreachable!("INT8 compiles to the integer architecture"),
+    };
+    println!("macro           : {}", compiled.design);
+    println!("estimate        : {}\n", compiled.estimate);
+
+    // Half 1: feature transform X·Wᵀ (dense), one node's feature vector.
+    let weight_matrix: Vec<i64> = (0..FEATURES * FEATURES).map(|_| rng.signed(8)).collect();
+    let transform = IntLayer::new(params, FEATURES, FEATURES, &weight_matrix)?;
+    let features: Vec<i64> = (0..FEATURES).map(|_| rng.signed(8)).collect();
+    let transformed = transform.forward(&features)?;
+    let golden: Vec<i64> = (0..FEATURES)
+        .map(|r| {
+            (0..FEATURES)
+                .map(|c| weight_matrix[r * FEATURES + c] * features[c])
+                .sum()
+        })
+        .collect();
+    assert_eq!(transformed, golden, "feature transform must be bit-exact");
+    println!(
+        "transform       : {FEATURES}×{FEATURES} dense MVM bit-exact ({})",
+        project_layer(&transform.stats(), &compiled.estimate)
+    );
+
+    // Half 2: neighborhood aggregation Â·Z — the adjacency rows become the
+    // stored weights (graph-shaped MVM on the same hardware).
+    let aggregate = IntLayer::new(params, NODES, NODES, &adjacency)?;
+    // Aggregate one transformed feature channel across all nodes.
+    let channel: Vec<i64> = (0..NODES).map(|_| rng.signed(8)).collect();
+    let aggregated = aggregate.forward(&channel)?;
+    let golden_agg: Vec<i64> = (0..NODES)
+        .map(|u| {
+            (0..NODES)
+                .map(|v| adjacency[u * NODES + v] * channel[v])
+                .sum()
+        })
+        .collect();
+    assert_eq!(aggregated, golden_agg, "aggregation must be bit-exact");
+    let agg_rt = project_layer(&aggregate.stats(), &compiled.estimate);
+    println!("aggregation     : {NODES}-node GCN gather bit-exact ({agg_rt})");
+
+    // Sparsity observation: most adjacency weights are zero, which is
+    // exactly the input-sparsity regime the paper's Fig. 8 measures at.
+    let zero_frac = 1.0 - edges as f64 / (NODES * NODES) as f64;
+    println!(
+        "\nsparsity        : {:.0}% of adjacency entries are zero — DCIM power scales with",
+        zero_frac * 100.0
+    );
+    println!("                  switching activity, so sparse graphs run well below the dense");
+    println!("                  power envelope (the paper reports efficiency at 10% sparsity).");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: compile an 8K-weight INT8 DCIM macro end to end.
+//!
+//! ```sh
+//! cargo run --release -p sega-dcim --example quickstart
+//! ```
+//!
+//! This walks the whole paper flow on the Fig. 6(a) scenario: design space
+//! exploration, automatic knee-point distillation, template-based netlist
+//! generation, floorplanning, and the generator-vs-estimator audit.
+
+use sega_dcim::{Compiler, DistillStrategy, UserSpec};
+use sega_estimator::Precision;
+use sega_layout::export::to_ascii;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. What we want: an 8K-weight INT8 macro.
+    let spec = UserSpec::new(8192, Precision::Int8)?;
+    println!("specification: {spec}\n");
+
+    // 2. Explore + distill + generate in one call.
+    let compiler = Compiler::new().with_exploration_budget(60, 40);
+    let compiled = compiler.compile(&spec, DistillStrategy::Knee)?;
+
+    // 3. What we got.
+    println!("Pareto frontier: {} designs", compiled.frontier.len());
+    for s in compiled.frontier.iter().take(5) {
+        println!("  {s}");
+    }
+    if compiled.frontier.len() > 5 {
+        println!("  … and {} more", compiled.frontier.len() - 5);
+    }
+    println!("\nselected (knee): {}", compiled.design);
+    println!("estimate       : {}", compiled.estimate);
+    println!(
+        "audit          : netlist matches estimator within {:.1e} relative error",
+        compiled
+            .audit
+            .area_error()
+            .max(compiled.audit.energy_error())
+    );
+    println!(
+        "verilog        : {} lines of structural Verilog",
+        compiled.verilog.lines().count()
+    );
+    println!();
+    println!("{}", to_ascii(&compiled.layout, 56));
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! Cross-model consistency: property-based tests proving that the three
+//! independent views of a DCIM design — the closed-form estimator, the
+//! template-generated netlist, and the floorplanned layout — agree, and
+//! that the simulated hardware is arithmetically correct, over randomized
+//! design points.
+
+use proptest::prelude::*;
+
+use sega_cells::Technology;
+use sega_estimator::{estimate, DcimDesign, IntParams, OperatingConditions, Precision};
+use sega_layout::floorplan::floorplan_macro;
+use sega_layout::LayoutOptions;
+use sega_netlist::generators::generate_macro;
+use sega_netlist::stats::audit;
+use sega_sim::{reference_int_mvm, IntMacroSim};
+
+/// Strategy: a random valid integer design point (kept small so netlist
+/// generation stays fast under proptest's case count).
+fn int_design() -> impl Strategy<Value = IntParams> {
+    (
+        1u32..=3,                                  // log2 of groups -> n = groups * bw
+        1u32..=5,                                  // log2 h
+        0u32..=3,                                  // log2 l
+        prop_oneof![Just(2u32), Just(4), Just(8)], // bw
+    )
+        .prop_flat_map(|(log_g, log_h, log_l, bw)| {
+            let k = 1u32..=bw;
+            (Just((log_g, log_h, log_l, bw)), k)
+        })
+        .prop_map(|((log_g, log_h, log_l, bw), k)| {
+            IntParams::new((1 << log_g) * bw, 1 << log_h, 1 << log_l, k, bw, bw)
+                .expect("constructed parameters are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The netlist generator and the estimator agree *exactly* on area and
+    /// energy for any valid design point.
+    #[test]
+    fn netlist_always_matches_estimator(params in int_design()) {
+        let design = DcimDesign::Int(params);
+        let netlist = generate_macro(&design).unwrap();
+        let est = estimate(
+            &design,
+            &Technology::tsmc28(),
+            &OperatingConditions::paper_default(),
+        );
+        let a = audit(&netlist, &est).unwrap();
+        prop_assert!(a.is_consistent(1e-9), "area err {:.3e}, energy err {:.3e}",
+            a.area_error(), a.energy_error());
+    }
+
+    /// The floorplan realizes exactly the estimator's area at utilization 1.
+    #[test]
+    fn layout_area_matches_estimator(params in int_design()) {
+        let design = DcimDesign::Int(params);
+        let tech = Technology::tsmc28();
+        let est = estimate(&design, &tech, &OperatingConditions::paper_default());
+        let layout = floorplan_macro(&design, &tech, &LayoutOptions::default()).unwrap();
+        let rel = (layout.area_mm2() - est.area_mm2).abs() / est.area_mm2;
+        prop_assert!(rel < 1e-9, "layout {} vs estimate {}", layout.area_mm2(), est.area_mm2);
+    }
+
+    /// The bit-serial integer datapath is exact for random weights/inputs
+    /// on random geometries.
+    #[test]
+    fn int_simulation_always_exact(
+        params in int_design(),
+        seed in 0u64..1000,
+    ) {
+        let lo = -(1i64 << (params.bw - 1));
+        let hi = (1i64 << (params.bw - 1)) - 1;
+        let span = (hi - lo + 1) as u64;
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            lo + (state % span) as i64
+        };
+        let weights: Vec<i64> = (0..params.wstore()).map(|_| next()).collect();
+        let inputs: Vec<i64> = (0..params.h).map(|_| next()).collect();
+        let sim = IntMacroSim::new(params, &weights).unwrap();
+        for slot in 0..params.l.min(2) {
+            let got = sim.mvm(&inputs, slot).unwrap();
+            let want = reference_int_mvm(&params, &weights, &inputs, slot);
+            prop_assert_eq!(&got.outputs, &want, "slot {}", slot);
+        }
+    }
+
+    /// Estimator monotonicity: throughput never decreases and area never
+    /// decreases when k grows at fixed geometry.
+    #[test]
+    fn estimator_monotone_in_k(
+        log_h in 2u32..=6,
+        log_l in 0u32..=3,
+    ) {
+        let tech = Technology::tsmc28();
+        let cond = OperatingConditions::paper_default();
+        let mut prev_area = 0.0f64;
+        let mut prev_tops = 0.0f64;
+        for k in 1..=8u32 {
+            let d = DcimDesign::for_precision(
+                Precision::Int8, 32, 1 << log_h, 1 << log_l, k).unwrap();
+            let e = estimate(&d, &tech, &cond);
+            prop_assert!(e.area_mm2 >= prev_area);
+            prop_assert!(e.tops >= prev_tops);
+            prev_area = e.area_mm2;
+            prev_tops = e.tops;
+        }
+    }
+}
+
+#[test]
+fn fig6_designs_cross_check_all_three_models() {
+    // The headline designs, checked across estimator / netlist / layout.
+    let tech = Technology::tsmc28();
+    let cond = OperatingConditions::paper_default();
+    for precision in [Precision::Int8, Precision::Bf16] {
+        let design = DcimDesign::for_precision(precision, 32, 128, 16, 4).unwrap();
+        let est = estimate(&design, &tech, &cond);
+        let netlist = generate_macro(&design).unwrap();
+        let a = audit(&netlist, &est).unwrap();
+        assert!(a.is_consistent(1e-9), "{precision}");
+        let layout = floorplan_macro(&design, &tech, &LayoutOptions::default()).unwrap();
+        assert!(
+            (layout.area_mm2() - est.area_mm2).abs() < 1e-9,
+            "{precision}"
+        );
+    }
+}
+
+#[test]
+fn verilog_line_count_tracks_gate_count() {
+    // A structural sanity link between emission and statistics: bigger
+    // macros emit more Verilog.
+    let small = DcimDesign::for_precision(Precision::Int4, 8, 8, 2, 2).unwrap();
+    let large = DcimDesign::for_precision(Precision::Int4, 16, 32, 4, 4).unwrap();
+    let v_small = sega_netlist::verilog::emit(&generate_macro(&small).unwrap()).unwrap();
+    let v_large = sega_netlist::verilog::emit(&generate_macro(&large).unwrap()).unwrap();
+    assert!(v_large.lines().count() > v_small.lines().count());
+}

@@ -1,0 +1,169 @@
+//! Experiment-shape regression tests: small-budget versions of the
+//! paper's Fig. 6 / Fig. 7 / Fig. 8 claims, asserted as invariants so the
+//! reproduction cannot silently drift.
+
+use sega_cells::Technology;
+use sega_dcim::distill::{distill, DistillStrategy};
+use sega_dcim::report::{summarize_design_space, PAPER_DESIGN_A, SOTA_TSMC_INT8};
+use sega_dcim::{explore_pareto, UserSpec};
+use sega_estimator::{estimate, DcimDesign, OperatingConditions, Precision};
+use sega_moga::Nsga2Config;
+
+fn cfg(seed: u64) -> Nsga2Config {
+    Nsga2Config {
+        population: 32,
+        generations: 20,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn tech() -> Technology {
+    Technology::tsmc28()
+}
+
+fn cond() -> OperatingConditions {
+    OperatingConditions::paper_default()
+}
+
+#[test]
+fn fig6_areas_and_dimensions() {
+    // Fig. 6(a): INT8 8K at 0.079 mm², 343×229 µm.
+    let int8 = DcimDesign::for_precision(Precision::Int8, 32, 128, 16, 4).unwrap();
+    let e = estimate(&int8, &tech(), &cond());
+    assert!(
+        (e.area_mm2 - 0.079).abs() < 0.012,
+        "INT8 area {}",
+        e.area_mm2
+    );
+
+    // Fig. 6(b): BF16 8K at 0.085 mm², pre-align ≈ 0.006 mm².
+    let bf16 = DcimDesign::for_precision(Precision::Bf16, 32, 128, 16, 4).unwrap();
+    let e = estimate(&bf16, &tech(), &cond());
+    assert!(
+        (e.area_mm2 - 0.085).abs() < 0.015,
+        "BF16 area {}",
+        e.area_mm2
+    );
+    let prealign_mm2 = e.breakdown.pre_alignment.area * tech().gate_area_um2 * 1e-6;
+    assert!(
+        prealign_mm2 > 0.002 && prealign_mm2 < 0.010,
+        "pre-align {prealign_mm2} mm² (paper 0.006)"
+    );
+}
+
+#[test]
+fn fig7_average_metrics_grow_with_precision() {
+    // Fig. 7: at fixed Wstore, area/energy/delay all grow from INT2 to
+    // INT16 and from FP8 to FP32, and throughput falls.
+    const WSTORE: u64 = 16384; // scaled down for test runtime; trends are size-independent
+    let summarize = |precision: Precision, seed: u64| {
+        let spec = UserSpec::new(WSTORE, precision).unwrap();
+        let r = explore_pareto(&spec, &tech(), &cond(), &cfg(seed));
+        assert!(!r.solutions.is_empty(), "{precision}: empty front");
+        summarize_design_space(precision, &r.solutions)
+    };
+    let ints = [
+        summarize(Precision::Int2, 1),
+        summarize(Precision::Int4, 2),
+        summarize(Precision::Int8, 3),
+        summarize(Precision::Int16, 4),
+    ];
+    for pair in ints.windows(2) {
+        assert!(
+            pair[1].avg_area_mm2 > pair[0].avg_area_mm2,
+            "{} -> {}: area must grow",
+            pair[0].precision,
+            pair[1].precision
+        );
+        assert!(pair[1].avg_energy_nj > pair[0].avg_energy_nj);
+        assert!(pair[1].avg_tops < pair[0].avg_tops);
+    }
+    let fps = [
+        summarize(Precision::Fp8, 5),
+        summarize(Precision::Bf16, 6),
+        summarize(Precision::Fp16, 7),
+        summarize(Precision::Fp32, 8),
+    ];
+    for pair in fps.windows(2) {
+        assert!(pair[1].avg_area_mm2 > pair[0].avg_area_mm2);
+    }
+}
+
+#[test]
+fn fig7_bf16_tracks_int8() {
+    // The paper's headline: "the overhead of BF16 is almost the same
+    // compared to INT8". Averages over the two frontiers stay within 35%.
+    const WSTORE: u64 = 16384;
+    let run = |precision: Precision, seed: u64| {
+        let spec = UserSpec::new(WSTORE, precision).unwrap();
+        let r = explore_pareto(&spec, &tech(), &cond(), &cfg(seed));
+        summarize_design_space(precision, &r.solutions)
+    };
+    let int8 = run(Precision::Int8, 11);
+    let bf16 = run(Precision::Bf16, 12);
+    let rel = (bf16.avg_area_mm2 - int8.avg_area_mm2).abs() / int8.avg_area_mm2;
+    assert!(rel < 0.35, "BF16 vs INT8 area gap {rel:.2} too large");
+}
+
+#[test]
+fn fig8_design_a_replica_matches_paper_point() {
+    // The fixed-geometry replica of the paper's design A (64K, INT8, k=1)
+    // must land near (22 TOPS/W, 1.9 TOPS/mm²).
+    let d = DcimDesign::for_precision(Precision::Int8, 64, 1024, 8, 1).unwrap();
+    assert_eq!(d.wstore(), 65536);
+    let e = estimate(&d, &tech(), &cond());
+    let tw = e.tops_per_w();
+    let ta = e.tops_per_mm2();
+    assert!(
+        (tw - PAPER_DESIGN_A.tops_per_w).abs() / PAPER_DESIGN_A.tops_per_w < 0.25,
+        "TOPS/W {tw} vs paper {}",
+        PAPER_DESIGN_A.tops_per_w
+    );
+    assert!(
+        (ta - PAPER_DESIGN_A.tops_per_mm2).abs() / PAPER_DESIGN_A.tops_per_mm2 < 0.25,
+        "TOPS/mm² {ta} vs paper {}",
+        PAPER_DESIGN_A.tops_per_mm2
+    );
+}
+
+#[test]
+fn fig8_shape_beats_sota_on_energy_efficiency() {
+    // The paper: "Our design achieves a higher energy efficiency but with a
+    // lower area efficiency than TSMC's work." The best-efficiency corner
+    // of our 64K INT8 front must beat the TSMC anchor on TOPS/W.
+    let spec = UserSpec::new(65536, Precision::Int8).unwrap();
+    let r = explore_pareto(&spec, &tech(), &cond(), &cfg(21));
+    let best = distill(&r.solutions, &DistillStrategy::MaxEfficiency).unwrap();
+    assert!(
+        best.estimate.tops_per_w() > SOTA_TSMC_INT8.tops_per_w,
+        "best {} TOPS/W must beat TSMC {}",
+        best.estimate.tops_per_w(),
+        SOTA_TSMC_INT8.tops_per_w
+    );
+    // And the paper-like k=1 replica trails TSMC on area efficiency.
+    let replica = DcimDesign::for_precision(Precision::Int8, 64, 1024, 8, 1).unwrap();
+    let e = estimate(&replica, &tech(), &cond());
+    assert!(
+        e.tops_per_mm2() < SOTA_TSMC_INT8.tops_per_mm2,
+        "replica {} TOPS/mm² should trail TSMC {}",
+        e.tops_per_mm2(),
+        SOTA_TSMC_INT8.tops_per_mm2
+    );
+}
+
+#[test]
+fn dse_runtime_is_far_under_paper_budget() {
+    // Paper: DSE per (size, precision) finishes in 30 minutes. Ours must
+    // finish the same logical job in seconds; assert a generous 60 s cap
+    // so CI flags pathological regressions.
+    let start = std::time::Instant::now();
+    let spec = UserSpec::new(65536, Precision::Bf16).unwrap();
+    let r = explore_pareto(&spec, &tech(), &cond(), &cfg(33));
+    assert!(!r.solutions.is_empty());
+    assert!(
+        start.elapsed().as_secs() < 60,
+        "DSE took {:?}",
+        start.elapsed()
+    );
+}

@@ -1,0 +1,180 @@
+//! End-to-end integration tests: specification → exploration →
+//! distillation → generation → physical design → functional simulation,
+//! across both architectures.
+
+use sega_dcim::{Compiler, DistillStrategy, UserSpec};
+use sega_estimator::{DcimDesign, Precision};
+use sega_layout::drc::check_floorplan;
+use sega_sim::{fp::FpFormat, reference_int_mvm, FpMacroSim, IntMacroSim};
+
+fn fast_compiler() -> Compiler {
+    Compiler::new().with_exploration_budget(24, 12)
+}
+
+#[test]
+fn int8_spec_to_simulated_macro() {
+    // The full journey for an INT8 macro: compile, then run the compiled
+    // geometry through the bit-accurate simulator against the reference.
+    let spec = UserSpec::new(4096, Precision::Int8).unwrap();
+    let compiled = fast_compiler()
+        .compile(&spec, DistillStrategy::Knee)
+        .unwrap();
+
+    // The artifacts exist and agree.
+    assert!(compiled.verilog.contains("module dcim_int"));
+    assert!(compiled.audit.is_consistent(1e-9));
+    assert!(check_floorplan(&compiled.layout).is_empty());
+    assert_eq!(compiled.design.wstore(), 4096);
+
+    // The compiled geometry computes exactly.
+    let params = match compiled.design {
+        DcimDesign::Int(p) => p,
+        DcimDesign::Fp(_) => panic!("INT8 must compile to the integer architecture"),
+    };
+    let weights: Vec<i64> = (0..params.wstore())
+        .map(|i| ((i as i64 * 37 + 11) % 255) - 127)
+        .collect();
+    let inputs: Vec<i64> = (0..params.h as i64)
+        .map(|i| ((i * 31) % 255) - 127)
+        .collect();
+    let sim = IntMacroSim::new(params, &weights).unwrap();
+    let out = sim.mvm(&inputs, 0).unwrap();
+    assert_eq!(
+        out.outputs,
+        reference_int_mvm(&params, &weights, &inputs, 0)
+    );
+}
+
+#[test]
+fn bf16_spec_to_simulated_macro() {
+    let spec = UserSpec::new(4096, Precision::Bf16).unwrap();
+    let compiled = fast_compiler()
+        .compile(&spec, DistillStrategy::MaxEfficiency)
+        .unwrap();
+    assert!(compiled.verilog.contains("module dcim_fp"));
+    assert!(compiled.audit.is_consistent(1e-9));
+
+    let params = match compiled.design {
+        DcimDesign::Fp(p) => p,
+        DcimDesign::Int(_) => panic!("BF16 must compile to the FP architecture"),
+    };
+    let weights: Vec<f64> = (0..params.wstore())
+        .map(|i| ((i % 17) as f64 - 8.0) * 0.125)
+        .collect();
+    let inputs: Vec<f64> = (0..params.h)
+        .map(|i| (i % 13) as f64 * 0.25 - 1.5)
+        .collect();
+    let sim = FpMacroSim::new(params, FpFormat::BF16, &weights).unwrap();
+    let out = sim.mvm(&inputs, 0).unwrap();
+    // Error within the analytic alignment bound.
+    let inputs_q: Vec<f64> = inputs.iter().map(|&x| FpFormat::BF16.quantize(x)).collect();
+    let golden = sega_sim::reference_fp_mvm(&params, sim.quantized_weights(), &inputs_q, 0);
+    let bound = sim.alignment_error_bound(&inputs_q, 0);
+    for (got, want) in out.values.iter().zip(&golden) {
+        assert!((got - want).abs() <= bound, "|{got} - {want}| > {bound}");
+    }
+}
+
+#[test]
+fn every_precision_compiles() {
+    // The paper's whole precision matrix must go end to end.
+    let compiler = Compiler::new().with_exploration_budget(16, 6);
+    for precision in [
+        Precision::Int2,
+        Precision::Int4,
+        Precision::Int8,
+        Precision::Int16,
+        Precision::Fp8,
+        Precision::Fp16,
+        Precision::Bf16,
+        Precision::Fp32,
+    ] {
+        let spec = UserSpec::new(8192, precision).unwrap();
+        let compiled = compiler
+            .compile(&spec, DistillStrategy::Knee)
+            .unwrap_or_else(|e| panic!("{precision}: {e}"));
+        assert!(
+            compiled.audit.is_consistent(1e-9),
+            "{precision}: audit failed"
+        );
+        assert!(
+            check_floorplan(&compiled.layout).is_empty(),
+            "{precision}: DRC failed"
+        );
+    }
+}
+
+#[test]
+fn wstore_sweep_compiles() {
+    // The paper's Fig. 8 size range (generation stage only, fixed design).
+    for wstore in [4096u64, 16384, 65536, 131072] {
+        let h = (wstore / 64) as u32;
+        let d = DcimDesign::for_precision(Precision::Int8, 64, h, 8, 2).unwrap();
+        assert_eq!(d.wstore(), wstore);
+        let compiled = Compiler::new().compile_design(&d).unwrap();
+        assert!(compiled.audit.is_consistent(1e-9), "wstore={wstore}");
+        // Area scales roughly linearly with capacity.
+        assert!(compiled.layout.area_mm2() > 0.0);
+    }
+}
+
+#[test]
+fn deterministic_compilation() {
+    let spec = UserSpec::new(4096, Precision::Int4).unwrap();
+    let a = fast_compiler()
+        .compile(&spec, DistillStrategy::Knee)
+        .unwrap();
+    let b = fast_compiler()
+        .compile(&spec, DistillStrategy::Knee)
+        .unwrap();
+    assert_eq!(a.design, b.design);
+    assert_eq!(a.verilog, b.verilog);
+    assert_eq!(a.def, b.def);
+}
+
+#[test]
+fn distillation_strategies_cover_the_front() {
+    let spec = UserSpec::new(16384, Precision::Int8).unwrap();
+    let compiler = Compiler::new().with_exploration_budget(48, 30);
+    let exploration = compiler.explore(&spec);
+    assert!(exploration.solutions.len() >= 3);
+
+    use sega_dcim::distill::distill;
+    let min_area = distill(&exploration.solutions, &DistillStrategy::MinArea).unwrap();
+    let max_tput = distill(&exploration.solutions, &DistillStrategy::MaxThroughput).unwrap();
+    // The corners differ and order correctly.
+    assert!(min_area.estimate.area_mm2 <= max_tput.estimate.area_mm2);
+    assert!(max_tput.estimate.tops >= min_area.estimate.tops);
+}
+
+#[test]
+fn asymmetric_precision_goes_end_to_end() {
+    // The integer architecture supports Bx != Bw (e.g. INT8 weights with
+    // INT4 activations, a common quantized-inference deployment). The
+    // estimator, generator, audit and simulator must all handle it.
+    use sega_estimator::{estimate, IntParams, OperatingConditions};
+
+    let p = IntParams::new(16, 16, 4, 2, 8, 4).unwrap(); // Bw=8, Bx=4
+    assert_eq!(p.cycles_per_pass(), 2);
+    let d = DcimDesign::Int(p);
+
+    // Generation + audit.
+    let compiled = Compiler::new().compile_design(&d).unwrap();
+    assert!(compiled.audit.is_consistent(1e-9));
+
+    // The narrower input stream shrinks the accumulator and buffer versus
+    // the symmetric design.
+    let sym = estimate(
+        &DcimDesign::Int(IntParams::new(16, 16, 4, 2, 8, 8).unwrap()),
+        &sega_cells::Technology::tsmc28(),
+        &OperatingConditions::paper_default(),
+    );
+    assert!(compiled.estimate.area_mm2 < sym.area_mm2);
+
+    // Bit-exact simulation with INT4 inputs against INT8 weights.
+    let weights: Vec<i64> = (0..p.wstore()).map(|i| ((i as i64 * 11) % 255) - 127).collect();
+    let inputs: Vec<i64> = (0..p.h as i64).map(|i| ((i * 3) % 15) - 7).collect();
+    let sim = IntMacroSim::new(p, &weights).unwrap();
+    let out = sim.mvm(&inputs, 2).unwrap();
+    assert_eq!(out.outputs, reference_int_mvm(&p, &weights, &inputs, 2));
+}
