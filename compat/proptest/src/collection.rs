@@ -1,0 +1,85 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size range for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let (lo, hi) = r.into_inner();
+        assert!(lo <= hi, "empty size range");
+        SizeRange { lo, hi }
+    }
+}
+
+/// A strategy producing `Vec`s of `element` values with a length drawn
+/// from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..=self.size.hi);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_length_and_elements_in_bounds() {
+        let mut rng = TestRng::for_case(1, 0);
+        let s = vec(0.0f64..10.0, 2..=5);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| (0.0..10.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn nested_vec_strategies() {
+        let mut rng = TestRng::for_case(2, 0);
+        let s = vec(vec(0u32..4, 3..=3), 1..=4);
+        let v = s.sample(&mut rng);
+        assert!(!v.is_empty() && v.iter().all(|row| row.len() == 3));
+    }
+}

@@ -1,0 +1,114 @@
+//! Offline stand-in for the parts of the `proptest` crate this workspace
+//! uses: the [`proptest!`] macro, [`Strategy`] combinators
+//! (`prop_map`/`prop_flat_map`), range/tuple/`Just`/`any` strategies,
+//! [`prop::collection::vec`], [`prop_oneof!`], and the
+//! `prop_assert*`/`prop_assume!` assertion macros.
+//!
+//! Differences from crates.io `proptest`, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the sampled inputs via the
+//!   ordinary panic message (all workspace properties format their inputs
+//!   into their assertion messages already).
+//! * **Deterministic seeding.** Cases are derived from a fixed per-test
+//!   seed (FNV-1a of the test name) plus the case index, so failures
+//!   always reproduce. Set `PROPTEST_CASES` to override the case count
+//!   globally.
+//! * `prop_assume!` skips the remaining body of the current case instead
+//!   of resampling a replacement case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the property tests import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property body (panics with the formatted
+/// message on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the remainder of the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strategy),+])
+    };
+}
+
+/// Declares property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` that samples the strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`] — one test function per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
+            let base = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(base, case);
+                $(let $pat = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
+                // A closure so `prop_assume!` can skip the rest of the case.
+                (|| $body)();
+            }
+        }
+        $crate::__proptest_each!{ ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,183 @@
+//! Criterion bench: the batched evaluation pipeline, serial vs parallel
+//! vs cached — the refactor's receipts.
+//!
+//! Four configurations explore the same spec with the same seed (the
+//! fronts are bit-identical by construction, asserted in the setup
+//! phase):
+//!
+//! * `serial_uncached` — the pre-refactor behaviour: one `estimate()` per
+//!   genome evaluation, single-threaded.
+//! * `parallel_uncached` — batch fan-out across all hardware threads,
+//!   no memoization.
+//! * `cached_serial` — memoized estimates, single-threaded.
+//! * `cached_parallel` — the default pipeline: memoized + parallel.
+//!
+//! The setup also prints the evaluation accounting at the default
+//! `Nsga2Config` budget, where the discrete geometry space collapses
+//! 12k+ genome evaluations into a few hundred distinct estimates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sega_bench::{quick_nsga_config, FIG7_PRECISIONS};
+use sega_cells::Technology;
+use sega_dcim::{explore_mixed_with, explore_pareto_with, PipelineOptions, UserSpec};
+use sega_estimator::{OperatingConditions, Precision};
+use sega_moga::Nsga2Config;
+
+fn pipeline_configs() -> [(&'static str, PipelineOptions); 4] {
+    [
+        ("serial_uncached", PipelineOptions::serial_uncached()),
+        (
+            // min_batch_per_worker: 1 so the fan-out genuinely engages at
+            // GA batch sizes; otherwise "parallel" would measure the
+            // serial fast path.
+            "parallel_uncached",
+            PipelineOptions {
+                threads: 0,
+                cache: false,
+                min_batch_per_worker: 1,
+            },
+        ),
+        (
+            "cached_serial",
+            PipelineOptions {
+                threads: 1,
+                cache: true,
+                ..PipelineOptions::default()
+            },
+        ),
+        (
+            "cached_parallel",
+            PipelineOptions {
+                threads: 0,
+                cache: true,
+                min_batch_per_worker: 1,
+            },
+        ),
+    ]
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let spec = UserSpec::new(65536, Precision::Int8).unwrap();
+    let tech = Technology::tsmc28();
+    let cond = OperatingConditions::paper_default();
+
+    // Receipts, printed once: identical fronts, and the cache's
+    // evaluation accounting at the paper-scale default budget.
+    let default_cfg = Nsga2Config::default();
+    let runs: Vec<_> = pipeline_configs()
+        .iter()
+        .map(|&(name, pipeline)| {
+            (
+                name,
+                explore_pareto_with(&spec, &tech, &cond, &default_cfg, pipeline),
+            )
+        })
+        .collect();
+    let reference = runs[0].1.objective_matrix();
+    for (name, run) in &runs {
+        assert_eq!(
+            run.objective_matrix(),
+            reference,
+            "{name} must reproduce the serial front bit-identically"
+        );
+        eprintln!(
+            "{name:<18}: {} evaluations -> {} distinct estimates ({} cache hits, {:.1}x fewer estimator calls)",
+            run.evaluations,
+            run.distinct_evaluations,
+            run.cache_hits,
+            run.evaluations as f64 / run.distinct_evaluations as f64
+        );
+    }
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for (name, pipeline) in pipeline_configs() {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                explore_pareto_with(&spec, &tech, &cond, &quick_nsga_config(seed), pipeline)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_fanout(c: &mut Criterion) {
+    // The per-spec loop of the mixed-precision explorer is where the
+    // thread budget buys wall-clock: eight independent seeded runs, one
+    // per precision, fanned out concurrently.
+    let tech = Technology::tsmc28();
+    let cond = OperatingConditions::paper_default();
+    let cfg = quick_nsga_config(7);
+
+    let serial = explore_mixed_with(
+        16384,
+        &FIG7_PRECISIONS,
+        &tech,
+        &cond,
+        &cfg,
+        PipelineOptions {
+            threads: 1,
+            cache: true,
+            ..PipelineOptions::default()
+        },
+    )
+    .unwrap();
+    let parallel = explore_mixed_with(
+        16384,
+        &FIG7_PRECISIONS,
+        &tech,
+        &cond,
+        &cfg,
+        PipelineOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        serial
+            .front
+            .iter()
+            .map(|s| s.objectives().to_vec())
+            .collect::<Vec<_>>(),
+        parallel
+            .front
+            .iter()
+            .map(|s| s.objectives().to_vec())
+            .collect::<Vec<_>>(),
+        "mixed fronts must be identical for every thread budget"
+    );
+
+    let mut group = c.benchmark_group("mixed_fanout");
+    group.sample_size(10);
+    for (name, pipeline) in [
+        (
+            "serial",
+            PipelineOptions {
+                threads: 1,
+                cache: true,
+                ..PipelineOptions::default()
+            },
+        ),
+        ("parallel", PipelineOptions::default()),
+    ] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                explore_mixed_with(
+                    16384,
+                    &FIG7_PRECISIONS,
+                    &tech,
+                    &cond,
+                    &quick_nsga_config(seed),
+                    pipeline,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_mixed_fanout);
+criterion_main!(benches);

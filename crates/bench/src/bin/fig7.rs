@@ -3,7 +3,7 @@
 //! and throughput of each Pareto frontier, with the paper's reported
 //! trend anchors alongside.
 
-use sega_bench::{explore_point, FIG7_PRECISIONS};
+use sega_bench::{explore_sweep, FIG7_PRECISIONS};
 use sega_dcim::report::{markdown_table, summarize_design_space};
 use sega_dcim::{enumerate_design_space, UserSpec};
 use sega_estimator::OperatingConditions;
@@ -14,10 +14,16 @@ fn main() {
     println!("paper anchors: avg area 0.2 mm² (INT2) → 60 mm² (FP32); avg energy 0.3 nJ → 103 nJ;");
     println!("               avg delay 1.2 ns → 10.9 ns; BF16 overhead ≈ INT8.\n");
 
+    let points: Vec<_> = FIG7_PRECISIONS
+        .iter()
+        .enumerate()
+        .map(|(i, &prec)| (WSTORE, prec, 100 + i as u64))
+        .collect();
+    let results = explore_sweep(&points);
+
     let mut rows = Vec::new();
     let mut summaries = Vec::new();
-    for (i, prec) in FIG7_PRECISIONS.iter().enumerate() {
-        let result = explore_point(WSTORE, *prec, 100 + i as u64);
+    for (prec, result) in FIG7_PRECISIONS.iter().zip(&results) {
         let s = summarize_design_space(*prec, &result.solutions);
         rows.push(vec![
             prec.to_string(),
@@ -56,8 +62,8 @@ fn main() {
             &OperatingConditions::paper_default(),
         );
         let min_max = |f: &dyn Fn(&sega_dcim::ParetoSolution) -> f64| {
-            let lo = cloud.iter().map(|s| f(s)).fold(f64::INFINITY, f64::min);
-            let hi = cloud.iter().map(|s| f(s)).fold(0.0f64, f64::max);
+            let lo = cloud.iter().map(f).fold(f64::INFINITY, f64::min);
+            let hi = cloud.iter().map(f).fold(0.0f64, f64::max);
             (lo, hi)
         };
         let (a_lo, a_hi) = min_max(&|s| s.estimate.area_mm2);

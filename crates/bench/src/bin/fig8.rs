@@ -3,7 +3,7 @@
 //! 0.9 V and 10% sparsity, next to the SOTA literature anchors and the
 //! paper's own design A / design B points.
 
-use sega_bench::{explore_point, FIG8_WSTORE};
+use sega_bench::{explore_sweep, FIG8_WSTORE};
 use sega_dcim::distill::{distill, DistillStrategy};
 use sega_dcim::report::{
     markdown_table, SotaPoint, PAPER_DESIGN_A, PAPER_DESIGN_B, SOTA_ISSCC23_BF16, SOTA_TSMC_INT8,
@@ -11,9 +11,15 @@ use sega_dcim::report::{
 use sega_estimator::Precision;
 
 fn sweep(precision: Precision, seed: u64) -> Vec<Vec<String>> {
+    let points: Vec<_> = FIG8_WSTORE
+        .iter()
+        .enumerate()
+        .map(|(i, &wstore)| (wstore, precision, seed + i as u64))
+        .collect();
+    let results = explore_sweep(&points);
+
     let mut rows = Vec::new();
-    for (i, &wstore) in FIG8_WSTORE.iter().enumerate() {
-        let result = explore_point(wstore, precision, seed + i as u64);
+    for (&wstore, result) in FIG8_WSTORE.iter().zip(&results) {
         // The paper picks one representative design per size ("we chose
         // design A with 64K weights"); its (22 TOPS/W, 1.9 TOPS/mm²) point
         // corresponds to the bit-serial k=1 end of the front, so we report

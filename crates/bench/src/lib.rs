@@ -14,9 +14,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sega_dcim::{explore_pareto, ExplorationResult, UserSpec};
+use sega_dcim::{explore_pareto_with, ExplorationResult, PipelineOptions, UserSpec};
 use sega_estimator::{DcimDesign, OperatingConditions, Precision};
 use sega_moga::Nsga2Config;
+use sega_parallel::par_map;
 
 /// The two Fig. 6 design points (N=32, L=16, H=128, 8K weights), INT8 and
 /// BF16 — `k = 4` balances the area/throughput trade at the paper's
@@ -67,13 +68,36 @@ pub fn quick_nsga_config(seed: u64) -> Nsga2Config {
 
 /// Explores one `(wstore, precision)` point at the experiment budget.
 pub fn explore_point(wstore: u64, precision: Precision, seed: u64) -> ExplorationResult {
+    explore_point_with(wstore, precision, seed, PipelineOptions::default())
+}
+
+/// [`explore_point`] with explicit [`PipelineOptions`].
+pub fn explore_point_with(
+    wstore: u64,
+    precision: Precision,
+    seed: u64,
+    pipeline: PipelineOptions,
+) -> ExplorationResult {
     let spec = UserSpec::new(wstore, precision).expect("experiment specs are valid");
-    explore_pareto(
+    explore_pareto_with(
         &spec,
         &sega_cells::Technology::tsmc28(),
         &OperatingConditions::paper_default(),
         &experiment_nsga_config(seed),
+        pipeline,
     )
+}
+
+/// Explores a whole sweep of `(wstore, precision, seed)` points
+/// concurrently — the figure binaries' workhorse. Each point is an
+/// independent seeded run, so the fan-out changes wall-clock only;
+/// results come back in input order.
+pub fn explore_sweep(points: &[(u64, Precision, u64)]) -> Vec<ExplorationResult> {
+    par_map(points, 0, |&(wstore, precision, seed)| {
+        // Outer fan-out across points, serial inner batches: sweep points
+        // outnumber cores long before inner batches do.
+        explore_point_with(wstore, precision, seed, PipelineOptions::with_threads(1))
+    })
 }
 
 /// Deterministic pseudo-random signed integers in the `bits`-bit range —

@@ -3,10 +3,14 @@
 //! ```text
 //! sega-dcim compile --wstore 8192 --precision int8 [--strategy knee]
 //!                   [--population 100] [--generations 120] [--seed N]
-//!                   [--out DIR]
-//! sega-dcim explore --wstore 8192 --precision bf16 [--csv]
+//!                   [--threads N] [--out DIR]
+//! sega-dcim explore --wstore 8192 --precision bf16 [--threads N] [--csv]
 //! sega-dcim estimate --n 32 --h 128 --l 16 --k 4 --precision int8
 //! ```
+//!
+//! `--threads` bounds the exploration's evaluation pipeline (`0` = all
+//! hardware threads, the default; `1` = serial). The frontier is
+//! bit-identical for every value — the flag only trades wall-clock.
 //!
 //! `compile` runs the full pipeline and writes `macro.v`, `macro.def` and
 //! `report.md` into `--out` (default `./sega-out`); `explore` prints the
@@ -38,10 +42,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   sega-dcim compile  --wstore N --precision P [--strategy knee|min-area|max-throughput|max-efficiency]
-                     [--population N] [--generations N] [--seed N] [--out DIR]
-  sega-dcim explore  --wstore N --precision P [--csv]
+                     [--population N] [--generations N] [--seed N] [--threads N] [--out DIR]
+  sega-dcim explore  --wstore N --precision P [--threads N] [--csv]
   sega-dcim estimate --n N --h H --l L --k K --precision P
-precisions: int2 int4 int8 int16 fp8 fp16 bf16 fp32";
+precisions: int2 int4 int8 int16 fp8 fp16 bf16 fp32
+--threads: evaluation worker threads (0 = all hardware threads, 1 = serial)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().ok_or("missing command")?;
@@ -115,7 +120,12 @@ fn compiler_from(flags: &HashMap<String, String>) -> Result<Compiler, String> {
     if let Some(s) = flags.get("seed") {
         cfg.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
     }
-    Ok(Compiler::new().with_nsga_config(cfg))
+    let mut compiler = Compiler::new().with_nsga_config(cfg);
+    if let Some(t) = flags.get("threads") {
+        let threads: usize = t.parse().map_err(|e| format!("--threads: {e}"))?;
+        compiler = compiler.with_threads(threads);
+    }
+    Ok(compiler)
 }
 
 fn compile(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -137,7 +147,7 @@ fn compile(flags: &HashMap<String, String>) -> Result<(), String> {
     fs::write(out.join("macro.def"), &compiled.def).map_err(|e| e.to_string())?;
 
     let mut report = String::new();
-    report.push_str(&format!("# SEGA-DCIM compile report\n\n"));
+    report.push_str("# SEGA-DCIM compile report\n\n");
     report.push_str(&format!("* specification: {spec}\n"));
     report.push_str(&format!("* selected design: {}\n", compiled.design));
     report.push_str(&format!("* estimate: {}\n", compiled.estimate));
@@ -205,9 +215,11 @@ fn explore(flags: &HashMap<String, String>) -> Result<(), String> {
         print!("{}", csv_table(&header, &rows));
     } else {
         println!(
-            "{} Pareto designs for {spec} ({} evaluations):\n",
+            "{} Pareto designs for {spec} ({} evaluations, {} distinct estimates, {} cache hits):\n",
             result.solutions.len(),
-            result.evaluations
+            result.evaluations,
+            result.distinct_evaluations,
+            result.cache_hits
         );
         print!("{}", markdown_table(&header, &rows));
     }

@@ -12,7 +12,7 @@ use sega_netlist::stats::{audit, Audit};
 use sega_netlist::{verilog, Design, NetlistError};
 
 use crate::distill::{distill, DistillStrategy};
-use crate::explore::{explore_pareto, ExplorationResult};
+use crate::explore::{explore_pareto_with, ExplorationResult, PipelineOptions};
 use crate::spec::UserSpec;
 
 /// Errors of the compiler pipeline.
@@ -100,18 +100,21 @@ pub struct Compiler {
     conditions: OperatingConditions,
     layout_options: LayoutOptions,
     nsga_config: Nsga2Config,
+    pipeline: PipelineOptions,
     audit_tolerance: f64,
 }
 
 impl Compiler {
     /// A compiler with the paper's defaults: calibrated TSMC28, 0.9 V,
-    /// 10% sparsity, paper-scale NSGA-II budget.
+    /// 10% sparsity, paper-scale NSGA-II budget, and the full evaluation
+    /// pipeline (memoized, all hardware threads).
     pub fn new() -> Compiler {
         Compiler {
             technology: Technology::tsmc28(),
             conditions: OperatingConditions::paper_default(),
             layout_options: LayoutOptions::default(),
             nsga_config: Nsga2Config::default(),
+            pipeline: PipelineOptions::default(),
             audit_tolerance: 1e-9,
         }
     }
@@ -153,6 +156,21 @@ impl Compiler {
         self
     }
 
+    /// Limits exploration to `threads` worker threads (`0` = all hardware
+    /// threads, `1` = serial). The result is bit-identical either way.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pipeline.threads = threads;
+        self
+    }
+
+    /// Overrides the full evaluation-pipeline configuration.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: PipelineOptions) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
     /// The active technology.
     pub fn technology(&self) -> &Technology {
         &self.technology
@@ -165,7 +183,13 @@ impl Compiler {
 
     /// Runs only the exploration stage and returns the Pareto frontier.
     pub fn explore(&self, spec: &UserSpec) -> ExplorationResult {
-        explore_pareto(spec, &self.technology, &self.conditions, &self.nsga_config)
+        explore_pareto_with(
+            spec,
+            &self.technology,
+            &self.conditions,
+            &self.nsga_config,
+            self.pipeline,
+        )
     }
 
     /// The full pipeline: explore, distill, generate, audit.

@@ -12,6 +12,7 @@
 use sega_cells::Technology;
 use sega_estimator::{estimate, OperatingConditions};
 use sega_moga::pareto::pareto_front_indices;
+use sega_parallel::par_map;
 
 use crate::explore::{DcimProblem, Geometry, ParetoSolution};
 use crate::spec::UserSpec;
@@ -43,20 +44,35 @@ pub fn enumerate_geometries(spec: &UserSpec) -> Vec<Geometry> {
 
 /// Evaluates the complete design space and returns every point
 /// (design + estimate), unfiltered — Fig. 7's cloud.
+///
+/// Estimates run data-parallel over all hardware threads (the order of
+/// the returned points is the enumeration order regardless).
 pub fn enumerate_design_space(
     spec: &UserSpec,
     tech: &Technology,
     conditions: &OperatingConditions,
 ) -> Vec<ParetoSolution> {
+    enumerate_design_space_with(spec, tech, conditions, 0)
+}
+
+/// [`enumerate_design_space`] with an explicit thread count (`0` = all
+/// hardware threads, `1` = serial).
+pub fn enumerate_design_space_with(
+    spec: &UserSpec,
+    tech: &Technology,
+    conditions: &OperatingConditions,
+    threads: usize,
+) -> Vec<ParetoSolution> {
     let problem = DcimProblem::new(*spec, tech.clone(), *conditions);
-    enumerate_geometries(spec)
-        .iter()
-        .filter_map(|g| {
-            let design = problem.design_of(g)?;
-            let estimate = estimate(&design, tech, conditions);
-            Some(ParetoSolution { design, estimate })
-        })
-        .collect()
+    let geometries = enumerate_geometries(spec);
+    par_map(&geometries, threads, |g| {
+        let design = problem.design_of(g)?;
+        let estimate = estimate(&design, tech, conditions);
+        Some(ParetoSolution { design, estimate })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// The exact Pareto frontier of the full design space — ground truth for

@@ -22,6 +22,18 @@
 //! The bit-accurate functional behaviour of the generated macros is
 //! verified by [`sega_sim`].
 //!
+//! # The evaluation pipeline
+//!
+//! Exploration runs through a **batch-first, memoized, data-parallel
+//! pipeline**: NSGA-II breeds each generation completely before
+//! evaluating it, and [`explore::DcimProblem`] serves the cohort through
+//! an [`EvalCache`] (each distinct geometry is estimated exactly once per
+//! exploration) with cache misses fanned out across threads. The
+//! [`PipelineOptions`] knobs — thread count and cache switch — change
+//! wall-clock only: the frontier is bit-identical for every
+//! configuration, and [`ExplorationResult`] reports the accounting
+//! (`evaluations` vs `distinct_evaluations` vs `cache_hits`).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -52,9 +64,12 @@ pub mod testbench;
 
 pub use compiler::{CompileError, CompiledMacro, Compiler};
 pub use distill::DistillStrategy;
-pub use enumerate::{enumerate_design_space, exhaustive_front};
-pub use explore::{explore_pareto, ExplorationResult, ParetoSolution};
-pub use mixed::{explore_mixed, MixedExploration};
+pub use enumerate::{enumerate_design_space, enumerate_design_space_with, exhaustive_front};
+pub use explore::{
+    explore_pareto, explore_pareto_with, EvalCache, ExplorationResult, ParetoSolution,
+    PipelineOptions,
+};
+pub use mixed::{explore_mixed, explore_mixed_with, MixedExploration};
 pub use spec::{ExplorerLimits, SpecError, UserSpec};
 pub use testbench::{generate_int_testbench, Testbench};
 

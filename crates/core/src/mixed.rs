@@ -13,8 +13,9 @@ use sega_cells::Technology;
 use sega_estimator::{OperatingConditions, Precision};
 use sega_moga::pareto::pareto_front_indices;
 use sega_moga::Nsga2Config;
+use sega_parallel::{par_map, resolve_threads};
 
-use crate::explore::{explore_pareto, ParetoSolution};
+use crate::explore::{explore_pareto_with, ParetoSolution, PipelineOptions};
 use crate::spec::{SpecError, UserSpec};
 
 /// The merged outcome of a multi-architecture exploration.
@@ -24,8 +25,13 @@ pub struct MixedExploration {
     pub front: Vec<ParetoSolution>,
     /// Per-precision frontier sizes before merging, in input order.
     pub per_precision: Vec<(Precision, usize)>,
-    /// Total objective-function evaluations across all runs.
+    /// Total genome evaluations across all runs.
     pub evaluations: usize,
+    /// Total estimator calls across all runs (see
+    /// [`crate::ExplorationResult::distinct_evaluations`]).
+    pub distinct_evaluations: usize,
+    /// Total cache-served evaluations across all runs.
+    pub cache_hits: usize,
 }
 
 impl MixedExploration {
@@ -47,7 +53,7 @@ impl MixedExploration {
 }
 
 /// Explores each precision separately and merges the fronts into a single
-/// cross-architecture Pareto set.
+/// cross-architecture Pareto set, with the default [`PipelineOptions`].
 ///
 /// # Errors
 ///
@@ -60,16 +66,73 @@ pub fn explore_mixed(
     conditions: &OperatingConditions,
     config: &Nsga2Config,
 ) -> Result<MixedExploration, SpecError> {
+    explore_mixed_with(
+        wstore,
+        precisions,
+        tech,
+        conditions,
+        config,
+        PipelineOptions::default(),
+    )
+}
+
+/// [`explore_mixed`] with explicit [`PipelineOptions`].
+///
+/// The per-precision explorations are independent seeded runs, so they
+/// execute **concurrently**: the thread budget is split between the
+/// per-precision fan-out and each exploration's inner batch evaluation.
+/// Results are merged in input order, keeping the outcome bit-identical
+/// to a serial sweep.
+///
+/// # Errors
+///
+/// Returns the first [`SpecError`] if `wstore` is invalid for any of the
+/// requested precisions.
+pub fn explore_mixed_with(
+    wstore: u64,
+    precisions: &[Precision],
+    tech: &Technology,
+    conditions: &OperatingConditions,
+    config: &Nsga2Config,
+    pipeline: PipelineOptions,
+) -> Result<MixedExploration, SpecError> {
+    // Validate every spec up front so errors surface in input order, then
+    // fan the seeded runs out in parallel.
+    let specs: Vec<UserSpec> = precisions
+        .iter()
+        .map(|&p| UserSpec::new(wstore, p))
+        .collect::<Result<_, _>>()?;
+    let runs: Vec<(UserSpec, Nsga2Config)> = specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let mut cfg = config.clone();
+            cfg.seed = config.seed.wrapping_add(i as u64);
+            (spec, cfg)
+        })
+        .collect();
+    // Split the budget: outer workers across precisions, the remainder
+    // inside each exploration's batch evaluation.
+    let total = resolve_threads(pipeline.threads);
+    let outer = total.min(runs.len().max(1));
+    let inner = PipelineOptions {
+        threads: (total / outer).max(1),
+        ..pipeline
+    };
+    let results = par_map(&runs, outer, |(spec, cfg)| {
+        explore_pareto_with(spec, tech, conditions, cfg, inner)
+    });
+
     let mut pool: Vec<ParetoSolution> = Vec::new();
     let mut per_precision = Vec::new();
     let mut evaluations = 0;
-    for (i, &precision) in precisions.iter().enumerate() {
-        let spec = UserSpec::new(wstore, precision)?;
-        let mut cfg = config.clone();
-        cfg.seed = config.seed.wrapping_add(i as u64);
-        let result = explore_pareto(&spec, tech, conditions, &cfg);
+    let mut distinct_evaluations = 0;
+    let mut cache_hits = 0;
+    for (&precision, result) in precisions.iter().zip(results) {
         per_precision.push((precision, result.solutions.len()));
         evaluations += result.evaluations;
+        distinct_evaluations += result.distinct_evaluations;
+        cache_hits += result.cache_hits;
         pool.extend(result.solutions);
     }
     // Cross-architecture Pareto merge.
@@ -87,6 +150,8 @@ pub fn explore_mixed(
         front,
         per_precision,
         evaluations,
+        distinct_evaluations,
+        cache_hits,
     })
 }
 

@@ -146,9 +146,8 @@ pub fn summarize_design_space(
     solutions: &[ParetoSolution],
 ) -> DesignSpaceSummary {
     let n = solutions.len().max(1) as f64;
-    let sum = |f: &dyn Fn(&ParetoSolution) -> f64| -> f64 {
-        solutions.iter().map(|s| f(s)).sum::<f64>() / n
-    };
+    let sum =
+        |f: &dyn Fn(&ParetoSolution) -> f64| -> f64 { solutions.iter().map(f).sum::<f64>() / n };
     DesignSpaceSummary {
         precision,
         count: solutions.len(),

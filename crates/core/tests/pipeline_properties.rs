@@ -1,0 +1,232 @@
+//! Property tests of the batched evaluation pipeline: every pipeline
+//! configuration — serial, multi-threaded, cached, uncached, and their
+//! combinations — must return a **bit-identical** Pareto front for the
+//! same seed, and the evaluation accounting must be exact.
+
+use proptest::prelude::*;
+use sega_cells::Technology;
+use sega_dcim::explore::DcimProblem;
+use sega_dcim::{
+    explore_mixed_with, explore_pareto_with, ExplorationResult, PipelineOptions, UserSpec,
+};
+use sega_estimator::{OperatingConditions, Precision};
+use sega_moga::{Nsga2Config, Problem};
+
+const ALL_PRECISIONS: [Precision; 8] = [
+    Precision::Int2,
+    Precision::Int4,
+    Precision::Int8,
+    Precision::Int16,
+    Precision::Fp8,
+    Precision::Fp16,
+    Precision::Bf16,
+    Precision::Fp32,
+];
+
+fn cfg(seed: u64) -> Nsga2Config {
+    Nsga2Config {
+        population: 16,
+        generations: 8,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn explore(spec: &UserSpec, seed: u64, pipeline: PipelineOptions) -> ExplorationResult {
+    explore_pareto_with(
+        spec,
+        &Technology::tsmc28(),
+        &OperatingConditions::paper_default(),
+        &cfg(seed),
+        pipeline,
+    )
+}
+
+/// Every pipeline configuration worth distinguishing. The threaded ones
+/// set `min_batch_per_worker: 1` so the multi-worker merge path really
+/// runs even at the tests' small batch sizes.
+fn pipelines() -> [PipelineOptions; 5] {
+    [
+        PipelineOptions::serial_uncached(),
+        PipelineOptions {
+            threads: 1,
+            cache: true,
+            ..PipelineOptions::default()
+        },
+        PipelineOptions {
+            threads: 4,
+            cache: true,
+            min_batch_per_worker: 1,
+        },
+        PipelineOptions {
+            threads: 4,
+            cache: false,
+            min_batch_per_worker: 1,
+        },
+        PipelineOptions {
+            threads: 7,
+            cache: true,
+            min_batch_per_worker: 1,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The headline determinism property: cached + parallel exploration
+    /// returns a bit-identical front to the serial uncached baseline, for
+    /// every precision and seed.
+    #[test]
+    fn every_pipeline_reproduces_the_serial_front(
+        precision_idx in 0usize..8,
+        log_wstore in 13u32..=16,
+        seed in 0u64..1000,
+    ) {
+        let precision = ALL_PRECISIONS[precision_idx];
+        let spec = UserSpec::new(1u64 << log_wstore, precision).unwrap();
+        let baseline = explore(&spec, seed, PipelineOptions::serial_uncached());
+        for pipeline in pipelines() {
+            let run = explore(&spec, seed, pipeline);
+            prop_assert_eq!(
+                run.objective_matrix(),
+                baseline.objective_matrix(),
+                "pipeline {:?} diverged for {} seed {}",
+                pipeline,
+                precision,
+                seed
+            );
+            prop_assert_eq!(run.evaluations, baseline.evaluations);
+        }
+    }
+
+    /// Exact accounting: the GA's evaluation count is population ×
+    /// (generations + 1) and always splits into estimator calls + cache
+    /// hits; caching never changes *what* is counted, only where it is
+    /// served from.
+    #[test]
+    fn evaluation_accounting_is_exact(
+        precision_idx in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let precision = ALL_PRECISIONS[precision_idx];
+        let spec = UserSpec::new(16384, precision).unwrap();
+        for pipeline in pipelines() {
+            let run = explore(&spec, seed, pipeline);
+            prop_assert_eq!(run.evaluations, 16 + 16 * 8);
+            prop_assert_eq!(
+                run.distinct_evaluations + run.cache_hits,
+                run.evaluations,
+                "accounting must partition exactly under {:?}",
+                pipeline
+            );
+            if pipeline.cache {
+                prop_assert!(run.distinct_evaluations <= run.evaluations);
+            } else {
+                prop_assert_eq!(run.cache_hits, 0);
+                prop_assert_eq!(run.distinct_evaluations, run.evaluations);
+            }
+        }
+    }
+
+    /// The memoized problem evaluates each distinct geometry exactly once:
+    /// replaying the same batch costs zero further estimator calls, and
+    /// the batch API agrees element-wise with single evaluation.
+    #[test]
+    fn cache_memoizes_each_geometry_exactly_once(
+        precision_idx in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let precision = ALL_PRECISIONS[precision_idx];
+        let spec = UserSpec::new(16384, precision).unwrap();
+        let problem = DcimProblem::new(
+            spec,
+            Technology::tsmc28(),
+            OperatingConditions::paper_default(),
+        )
+        .with_pipeline(PipelineOptions {
+            threads: 4,
+            cache: true,
+            min_batch_per_worker: 1,
+        });
+        // A cohort with deliberate duplicates: the same genome block twice.
+        let genomes: Vec<_> = {
+            use rand::SeedableRng;
+            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut g: Vec<_> = (0..40).map(|_| {
+                let mut g = problem.random_genome(&mut r);
+                problem.repair(&mut g);
+                g
+            }).collect();
+            let copy = g.clone();
+            g.extend(copy);
+            g
+        };
+        let first = problem.evaluate_batch(&genomes);
+        let distinct_after_first = problem.cache().distinct_evaluations();
+        let replay = problem.evaluate_batch(&genomes);
+        prop_assert_eq!(&first, &replay, "replay must be identical");
+        prop_assert_eq!(
+            problem.cache().distinct_evaluations(),
+            distinct_after_first,
+            "replaying a batch must not re-estimate anything"
+        );
+        prop_assert_eq!(distinct_after_first, problem.cache().len());
+        // Batch and single evaluation agree element-wise.
+        for (genome, batch_objs) in genomes.iter().zip(&first) {
+            prop_assert_eq!(&problem.evaluate(genome), batch_objs);
+        }
+    }
+
+    /// The mixed-precision fan-out is bit-identical between its serial
+    /// and concurrent forms, and its counters aggregate exactly.
+    #[test]
+    fn mixed_fanout_is_deterministic(seed in 0u64..1000) {
+        let tech = Technology::tsmc28();
+        let cond = OperatingConditions::paper_default();
+        let precisions = [Precision::Int4, Precision::Int8, Precision::Bf16];
+        let serial = explore_mixed_with(
+            16384, &precisions, &tech, &cond, &cfg(seed),
+            PipelineOptions { threads: 1, cache: true, ..PipelineOptions::default() },
+        ).unwrap();
+        let parallel = explore_mixed_with(
+            16384, &precisions, &tech, &cond, &cfg(seed),
+            PipelineOptions { threads: 4, cache: true, min_batch_per_worker: 1 },
+        ).unwrap();
+        let objs = |m: &sega_dcim::MixedExploration| -> Vec<Vec<f64>> {
+            m.front.iter().map(|s| s.objectives().to_vec()).collect()
+        };
+        prop_assert_eq!(objs(&serial), objs(&parallel));
+        prop_assert_eq!(serial.evaluations, parallel.evaluations);
+        prop_assert_eq!(serial.distinct_evaluations, parallel.distinct_evaluations);
+        prop_assert_eq!(serial.evaluations, 3 * (16 + 16 * 8));
+        prop_assert_eq!(
+            serial.distinct_evaluations + serial.cache_hits,
+            serial.evaluations
+        );
+    }
+}
+
+/// The acceptance benchmark of the refactor, pinned as a test: at the
+/// default `Nsga2Config` budget the cache performs at least 5× fewer
+/// `estimate()` calls than the number of genome evaluations the GA
+/// requests (the seed's serial loop performed one call per request).
+#[test]
+fn cached_exploration_reaches_5x_fewer_estimates_at_default_budget() {
+    let spec = UserSpec::new(65536, Precision::Int8).unwrap();
+    let run = explore_pareto_with(
+        &spec,
+        &Technology::tsmc28(),
+        &OperatingConditions::paper_default(),
+        &Nsga2Config::default(),
+        PipelineOptions::default(),
+    );
+    assert_eq!(run.evaluations, 100 + 100 * 120);
+    assert!(
+        run.distinct_evaluations * 5 <= run.evaluations,
+        "only {}x fewer estimator calls ({} of {})",
+        run.evaluations / run.distinct_evaluations.max(1),
+        run.distinct_evaluations,
+        run.evaluations
+    );
+}

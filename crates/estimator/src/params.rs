@@ -118,13 +118,13 @@ impl IntParams {
             });
         }
         let capacity = self.capacity_bits();
-        if capacity % self.bw as u64 != 0 {
+        if !capacity.is_multiple_of(self.bw as u64) {
             return Err(ParamError::CapacityNotDivisible {
                 capacity_bits: capacity,
                 weight_bits: self.bw,
             });
         }
-        if self.n % self.bw != 0 {
+        if !self.n.is_multiple_of(self.bw) {
             return Err(ParamError::ColumnsNotDivisible {
                 n: self.n,
                 weight_bits: self.bw,
@@ -210,13 +210,13 @@ impl FpParams {
             });
         }
         let capacity = self.capacity_bits();
-        if capacity % self.bm as u64 != 0 {
+        if !capacity.is_multiple_of(self.bm as u64) {
             return Err(ParamError::CapacityNotDivisible {
                 capacity_bits: capacity,
                 weight_bits: self.bm,
             });
         }
-        if self.n % self.bm != 0 {
+        if !self.n.is_multiple_of(self.bm) {
             return Err(ParamError::ColumnsNotDivisible {
                 n: self.n,
                 weight_bits: self.bm,

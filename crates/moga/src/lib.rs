@@ -12,6 +12,19 @@
 //! All objectives are **minimized**; negate a quantity to maximize it (the
 //! paper does exactly this with throughput: `−T_INT`).
 //!
+//! # Batch-first evaluation
+//!
+//! [`Nsga2::run`] is structured as *breed-then-evaluate*: every RNG
+//! decision of a generation (tournaments, crossover, mutation) happens
+//! before any objective function runs, and the complete cohort is then
+//! passed to [`Problem::evaluate_batch`] in one call. The default batch
+//! implementation is a serial loop over [`Problem::evaluate`], so simple
+//! problems need nothing extra — but a problem can override the batch
+//! hook to memoize duplicate genomes, fan the cohort out across threads,
+//! or forward it to a remote estimator service, and the run's result is
+//! **bit-identical** in every case because no RNG draw ever depends on
+//! when (or where) an evaluation executed.
+//!
 //! # Example
 //!
 //! ```

@@ -1,4 +1,4 @@
-use crate::pareto::{crowding_distances, non_dominated_sort};
+use crate::pareto::{crowding_distances_slices, non_dominated_sort_slices};
 use crate::Problem;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -89,37 +89,37 @@ impl Nsga2 {
 
     /// Runs the algorithm to completion and returns the final front and
     /// population.
+    ///
+    /// The run is **batch-first**: every generation is fully bred (all
+    /// tournament, crossover and mutation draws taken from the seeded RNG)
+    /// *before* a single objective function is called, and the complete
+    /// cohort is then handed to [`Problem::evaluate_batch`] in one call.
+    /// Because no RNG decision ever depends on an objective value of the
+    /// cohort being evaluated, the result is bit-identical regardless of
+    /// how `evaluate_batch` schedules the work — serially, across a thread
+    /// pool, or through a memoizing cache.
     pub fn run<P: Problem>(&self, problem: &P) -> Nsga2Result<P::Genome> {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut evaluations = 0usize;
 
-        let eval = |g: &P::Genome, evals: &mut usize| -> Vec<f64> {
-            *evals += 1;
-            let o = problem.evaluate(g);
-            debug_assert_eq!(o.len(), problem.objectives(), "objective arity");
-            o
-        };
-
-        // Initial population.
-        let mut pop: Vec<Individual<P::Genome>> = (0..cfg.population)
+        // Phase 1: breed the initial cohort (RNG only, no evaluation).
+        let genomes: Vec<P::Genome> = (0..cfg.population)
             .map(|_| {
                 let mut g = problem.random_genome(&mut rng);
                 problem.repair(&mut g);
-                let objectives = eval(&g, &mut evaluations);
-                Individual {
-                    genome: g,
-                    objectives,
-                    rank: 0,
-                    crowding: 0.0,
-                }
+                g
             })
             .collect();
+
+        // Phase 2: evaluate the cohort in one batch.
+        let mut pop = evaluate_cohort(problem, genomes, &mut evaluations);
         rank_population(&mut pop);
 
         for _ in 0..cfg.generations {
-            // Offspring via binary tournament + crossover + mutation.
-            let mut offspring: Vec<Individual<P::Genome>> = Vec::with_capacity(cfg.population);
+            // Breed the full offspring cohort via binary tournament +
+            // crossover + mutation…
+            let mut offspring: Vec<P::Genome> = Vec::with_capacity(cfg.population);
             while offspring.len() < cfg.population {
                 let a = tournament(&pop, &mut rng);
                 let b = tournament(&pop, &mut rng);
@@ -132,17 +132,12 @@ impl Nsga2 {
                     problem.mutate(&mut child, &mut rng);
                 }
                 problem.repair(&mut child);
-                let objectives = eval(&child, &mut evaluations);
-                offspring.push(Individual {
-                    genome: child,
-                    objectives,
-                    rank: 0,
-                    crowding: 0.0,
-                });
+                offspring.push(child);
             }
 
-            // Elitist environmental selection over parents ∪ offspring.
-            pop.extend(offspring);
+            // …evaluate it in one batch, then run elitist environmental
+            // selection over parents ∪ offspring.
+            pop.extend(evaluate_cohort(problem, offspring, &mut evaluations));
             pop = select_survivors(pop, cfg.population);
         }
 
@@ -154,6 +149,31 @@ impl Nsga2 {
             generations: cfg.generations,
         }
     }
+}
+
+/// Batch-evaluates a bred cohort into individuals (ranks are assigned by
+/// the caller's selection pass).
+fn evaluate_cohort<P: Problem>(
+    problem: &P,
+    genomes: Vec<P::Genome>,
+    evaluations: &mut usize,
+) -> Vec<Individual<P::Genome>> {
+    let objectives = problem.evaluate_batch(&genomes);
+    debug_assert_eq!(objectives.len(), genomes.len(), "batch arity");
+    *evaluations += genomes.len();
+    genomes
+        .into_iter()
+        .zip(objectives)
+        .map(|(genome, objectives)| {
+            debug_assert_eq!(objectives.len(), problem.objectives(), "objective arity");
+            Individual {
+                genome,
+                objectives,
+                rank: 0,
+                crowding: 0.0,
+            }
+        })
+        .collect()
 }
 
 /// Binary tournament by (rank, crowding) — the NSGA-II crowded-comparison
@@ -172,36 +192,71 @@ fn crowded_less<G>(a: &Individual<G>, b: &Individual<G>) -> bool {
     a.rank < b.rank || (a.rank == b.rank && a.crowding > b.crowding)
 }
 
-/// Assigns ranks and crowding distances to the whole population.
+/// Assigns ranks and crowding distances to the whole population with a
+/// single non-dominated sort over borrowed objective slices (no clone of
+/// the objective matrix).
 fn rank_population<G>(pop: &mut [Individual<G>]) {
-    let objs: Vec<Vec<f64>> = pop.iter().map(|i| i.objectives.clone()).collect();
-    for (rank, front) in non_dominated_sort(&objs).into_iter().enumerate() {
-        let dists = crowding_distances(&objs, &front);
-        for (&idx, &d) in front.iter().zip(&dists) {
-            pop[idx].rank = rank;
-            pop[idx].crowding = d;
-        }
+    let assignments: Vec<(usize, usize, f64)> = {
+        let objs: Vec<&[f64]> = pop.iter().map(|i| i.objectives.as_slice()).collect();
+        non_dominated_sort_slices(&objs)
+            .into_iter()
+            .enumerate()
+            .flat_map(|(rank, front)| {
+                let dists = crowding_distances_slices(&objs, &front);
+                front
+                    .into_iter()
+                    .zip(dists)
+                    .map(move |(idx, d)| (idx, rank, d))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    for (idx, rank, crowding) in assignments {
+        pop[idx].rank = rank;
+        pop[idx].crowding = crowding;
     }
 }
 
 /// NSGA-II environmental selection: fill the next generation front by front,
 /// truncating the last partially-fitting front by crowding distance.
-fn select_survivors<G: Clone>(mut pool: Vec<Individual<G>>, target: usize) -> Vec<Individual<G>> {
-    rank_population(&mut pool);
-    let objs: Vec<Vec<f64>> = pool.iter().map(|i| i.objectives.clone()).collect();
-    let fronts = non_dominated_sort(&objs);
+///
+/// Ranks the parents∪offspring pool exactly **once**. Survivor ranks carry
+/// over from the pool's sort (removing whole trailing fronts cannot change
+/// the rank of a kept member), and only the crowding distances of the one
+/// truncated front are recomputed within the kept subset — semantically
+/// identical to re-ranking the survivor set, at a third of the sorting
+/// work the previous implementation did.
+fn select_survivors<G: Clone>(pool: Vec<Individual<G>>, target: usize) -> Vec<Individual<G>> {
+    let objs: Vec<&[f64]> = pool.iter().map(|i| i.objectives.as_slice()).collect();
+    let fronts = non_dominated_sort_slices(&objs);
     let mut next: Vec<Individual<G>> = Vec::with_capacity(target);
-    for front in fronts {
+    for (rank, front) in fronts.into_iter().enumerate() {
         if next.len() + front.len() <= target {
-            for &idx in &front {
-                next.push(pool[idx].clone());
+            // The whole front survives: its crowding distances (computed
+            // within the full front) are final.
+            let dists = crowding_distances_slices(&objs, &front);
+            for (&idx, d) in front.iter().zip(dists) {
+                let mut ind = pool[idx].clone();
+                ind.rank = rank;
+                ind.crowding = d;
+                next.push(ind);
             }
         } else {
-            let dists = crowding_distances(&objs, &front);
+            // Truncate by crowding within the full front (the NSGA-II
+            // crowded-comparison tiebreak)…
+            let dists = crowding_distances_slices(&objs, &front);
             let mut by_crowding: Vec<(usize, f64)> = front.iter().copied().zip(dists).collect();
             by_crowding.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            for (idx, _) in by_crowding.into_iter().take(target - next.len()) {
-                next.push(pool[idx].clone());
+            by_crowding.truncate(target - next.len());
+            // …then recompute crowding among the kept subset, matching
+            // what a full re-rank of the survivor set would produce.
+            let kept: Vec<usize> = by_crowding.into_iter().map(|(idx, _)| idx).collect();
+            let kept_dists = crowding_distances_slices(&objs, &kept);
+            for (&idx, d) in kept.iter().zip(kept_dists) {
+                let mut ind = pool[idx].clone();
+                ind.rank = rank;
+                ind.crowding = d;
+                next.push(ind);
             }
             break;
         }
@@ -209,7 +264,6 @@ fn select_survivors<G: Clone>(mut pool: Vec<Individual<G>>, target: usize) -> Ve
             break;
         }
     }
-    rank_population(&mut next);
     next
 }
 

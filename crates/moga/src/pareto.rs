@@ -40,6 +40,15 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 ///
 /// Complexity `O(M·N²)` for `N` points and `M` objectives.
 pub fn non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+    non_dominated_sort_slices(&refs)
+}
+
+/// [`non_dominated_sort`] over borrowed objective slices — the allocation-
+/// free form the NSGA-II selection loop uses (it ranks a merged
+/// parents∪offspring pool every generation and must not clone the
+/// objective matrix to do so).
+pub fn non_dominated_sort_slices(points: &[&[f64]]) -> Vec<Vec<usize>> {
     let n = points.len();
     if n == 0 {
         return Vec::new();
@@ -50,10 +59,10 @@ pub fn non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
     let mut domination_count = vec![0usize; n];
     for i in 0..n {
         for j in (i + 1)..n {
-            if dominates(&points[i], &points[j]) {
+            if dominates(points[i], points[j]) {
                 dominated_by[i].push(j);
                 domination_count[j] += 1;
-            } else if dominates(&points[j], &points[i]) {
+            } else if dominates(points[j], points[i]) {
                 dominated_by[j].push(i);
                 domination_count[i] += 1;
             }
@@ -78,7 +87,14 @@ pub fn non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
 
 /// Indices of the Pareto-optimal points (the first front).
 pub fn pareto_front_indices(points: &[Vec<f64>]) -> Vec<usize> {
-    non_dominated_sort(points)
+    let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+    pareto_front_indices_slices(&refs)
+}
+
+/// [`pareto_front_indices`] over borrowed objective slices (see
+/// [`non_dominated_sort_slices`]).
+pub fn pareto_front_indices_slices(points: &[&[f64]]) -> Vec<usize> {
+    non_dominated_sort_slices(points)
         .into_iter()
         .next()
         .unwrap_or_default()
@@ -91,6 +107,13 @@ pub fn pareto_front_indices(points: &[Vec<f64>]) -> Vec<usize> {
 /// spanned by each point's nearest neighbors — NSGA-II's diversity
 /// criterion.
 pub fn crowding_distances(points: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
+    let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+    crowding_distances_slices(&refs, front)
+}
+
+/// [`crowding_distances`] over borrowed objective slices (see
+/// [`non_dominated_sort_slices`]).
+pub fn crowding_distances_slices(points: &[&[f64]], front: &[usize]) -> Vec<f64> {
     let m = match front.first() {
         Some(&i) => points[i].len(),
         None => return Vec::new(),
@@ -101,6 +124,7 @@ pub fn crowding_distances(points: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
         return vec![f64::INFINITY; n];
     }
     let mut order: Vec<usize> = (0..n).collect();
+    #[allow(clippy::needless_range_loop)] // obj indexes nested slices
     for obj in 0..m {
         order.sort_by(|&a, &b| {
             points[front[a]][obj]
@@ -155,8 +179,8 @@ pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
 
 fn hypervolume_2d(pts: &[&Vec<f64>], reference: &[f64]) -> f64 {
     // Keep only the front, sweep by x ascending (y then descends).
-    let objs: Vec<Vec<f64>> = pts.iter().map(|p| (*p).clone()).collect();
-    let front = pareto_front_indices(&objs);
+    let objs: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+    let front = pareto_front_indices_slices(&objs);
     let mut front_pts: Vec<&Vec<f64>> = front.iter().map(|&i| pts[i]).collect();
     front_pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap_or(std::cmp::Ordering::Equal));
     let mut hv = 0.0;

@@ -25,6 +25,24 @@ pub trait Problem {
     /// [`repair`](Problem::repair) could not fix.
     fn evaluate(&self, genome: &Self::Genome) -> Vec<f64>;
 
+    /// Evaluates a whole batch of genomes, returning one objective vector
+    /// per genome **in input order**.
+    ///
+    /// This is the seam batched backends plug into: [`crate::Nsga2`]
+    /// breeds a full generation before evaluating it, then hands the
+    /// complete cohort to this method in one call. Implementations may
+    /// memoize duplicate genomes, fan the batch out across threads, or
+    /// ship it to a remote estimator service — as long as the returned
+    /// vectors match what [`evaluate`](Problem::evaluate) would produce
+    /// element-wise, the algorithm's result is unchanged (and therefore
+    /// independent of evaluation order and thread count).
+    ///
+    /// The default is a plain serial loop over
+    /// [`evaluate`](Problem::evaluate).
+    fn evaluate_batch(&self, genomes: &[Self::Genome]) -> Vec<Vec<f64>> {
+        genomes.iter().map(|g| self.evaluate(g)).collect()
+    }
+
     /// Recombines two parents into one child.
     fn crossover(&self, a: &Self::Genome, b: &Self::Genome, rng: &mut dyn RngCore) -> Self::Genome;
 

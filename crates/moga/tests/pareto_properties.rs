@@ -104,6 +104,7 @@ proptest! {
             prop_assert!(x >= 0.0);
         }
         if front.len() > 2 {
+            #[allow(clippy::needless_range_loop)] // obj indexes nested slices
             for obj in 0..3 {
                 let min_idx = front
                     .iter()

@@ -1,0 +1,164 @@
+//! # sega-parallel — deterministic data-parallel mapping
+//!
+//! The workspace builds hermetically (no crates.io), so instead of rayon
+//! this crate provides the one primitive the evaluation pipeline needs:
+//! [`par_map`], an order-preserving parallel map over a slice built on
+//! `std::thread::scope`.
+//!
+//! Results are returned **in input order** regardless of thread count or
+//! scheduling, which is what makes the DSE pipeline's output bit-identical
+//! between serial and parallel runs: parallelism changes *when* each item
+//! is evaluated, never *where* its result lands.
+//!
+//! Work is distributed dynamically (an atomic cursor, one item at a time),
+//! so uneven item costs — e.g. macro estimates whose adder-tree size spans
+//! three orders of magnitude — still balance across workers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of hardware threads, with a serial fallback of 1.
+///
+/// Cached after the first call: `std::thread::available_parallelism`
+/// inspects cgroup quota files on Linux, which is far too expensive to
+/// repeat on every evaluation batch of a GA generation.
+pub fn available_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Resolves a user-facing thread-count knob: `0` means "all hardware
+/// threads", anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads (`0` = all
+/// hardware threads), returning results in input order.
+///
+/// Falls back to a plain serial loop when one thread is requested or the
+/// input is trivially small, so callers can use it unconditionally.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len());
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    for (i, r) in shards.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "item {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, 8, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(7);
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map(&items, threads, f), par_map(&items, 1, f));
+        }
+    }
+
+    #[test]
+    fn every_item_is_visited_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..500).collect();
+        par_map(&items, 4, |_| counter.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(counter.load(Ordering::Relaxed), items.len());
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        assert_eq!(par_map::<u32, u32, _>(&[], 4, |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_means_all() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        let items: Vec<u32> = (0..100).collect();
+        assert_eq!(par_map(&items, 0, |&x| x), items);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        par_map(&items, 4, |&x| {
+            assert!(x != 63, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn actually_runs_concurrently() {
+        // With 4 workers and 4 items that each wait for the others, the
+        // map only terminates if the items run concurrently.
+        use std::sync::Barrier;
+        let barrier = Barrier::new(4);
+        let items = [0u32; 4];
+        let out = par_map(&items, 4, |_| {
+            barrier.wait();
+            1u32
+        });
+        assert_eq!(out, vec![1; 4]);
+    }
+}

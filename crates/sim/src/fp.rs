@@ -177,14 +177,10 @@ fn round_ties_even(x: f64) -> u64 {
     let floor = x.floor();
     let diff = x - floor;
     let f = floor as u64;
-    if diff > 0.5 {
+    if diff > 0.5 || (diff == 0.5 && !f.is_multiple_of(2)) {
         f + 1
-    } else if diff < 0.5 {
-        f
-    } else if f % 2 == 0 {
-        f
     } else {
-        f + 1
+        f
     }
 }
 

@@ -158,10 +158,10 @@ impl IntLayer {
         for ct in 0..self.col_tiles {
             // Input tile, zero-padded to H.
             let mut xin = vec![0i64; h];
-            for r in 0..h {
+            for (r, xr) in xin.iter_mut().enumerate() {
                 let col = ct * h + r;
                 if col < self.cols {
-                    xin[r] = x[col];
+                    *xr = x[col];
                 }
             }
             for rt in 0..self.row_tiles {
@@ -288,10 +288,10 @@ impl FpLayer {
         let mut y = vec![0f64; self.rows];
         for ct in 0..self.col_tiles {
             let mut xin = vec![0f64; h];
-            for r in 0..h {
+            for (r, xr) in xin.iter_mut().enumerate() {
                 let col = ct * h + r;
                 if col < self.cols {
-                    xin[r] = x[col];
+                    *xr = x[col];
                 }
             }
             for rt in 0..self.row_tiles {
@@ -347,6 +347,7 @@ pub fn conv_weight_matrix<T: Copy>(
 /// # Panics
 ///
 /// Panics if the window does not fit at the requested position.
+#[allow(clippy::too_many_arguments)] // mirrors the conv window geometry
 pub fn im2col<T: Copy>(
     fmap: &[T],
     in_ch: usize,

@@ -55,6 +55,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::identity_op)] // products spell out the weight layout
     fn int_reference_shape() {
         let p = IntParams::new(8, 2, 2, 1, 4, 4).unwrap();
         // G = 2 groups, H = 2, L = 2 -> 8 weights.

@@ -87,7 +87,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let y = layer.forward(&patch)?;
     // Cross-check one pixel against the plain reference.
     let golden_pixel: Vec<i64> = (0..out_ch)
-        .map(|o| (0..kernel_taps).map(|t| wmat[o * kernel_taps + t] * patch[t]).sum())
+        .map(|o| {
+            (0..kernel_taps)
+                .map(|t| wmat[o * kernel_taps + t] * patch[t])
+                .sum()
+        })
         .collect();
     assert_eq!(y, golden_pixel, "tiled conv pixel must be exact");
 

@@ -172,7 +172,9 @@ fn asymmetric_precision_goes_end_to_end() {
     assert!(compiled.estimate.area_mm2 < sym.area_mm2);
 
     // Bit-exact simulation with INT4 inputs against INT8 weights.
-    let weights: Vec<i64> = (0..p.wstore()).map(|i| ((i as i64 * 11) % 255) - 127).collect();
+    let weights: Vec<i64> = (0..p.wstore())
+        .map(|i| ((i as i64 * 11) % 255) - 127)
+        .collect();
     let inputs: Vec<i64> = (0..p.h as i64).map(|i| ((i * 3) % 15) - 7).collect();
     let sim = IntMacroSim::new(p, &weights).unwrap();
     let out = sim.mvm(&inputs, 2).unwrap();
