@@ -14,10 +14,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sega_dcim::{explore_pareto_with, ExplorationResult, PipelineOptions, UserSpec};
+use std::sync::Arc;
+
+use sega_dcim::{
+    explore_pareto_with, ExplorationResult, PipelineOptions, SharedEvalCache, UserSpec,
+};
 use sega_estimator::{DcimDesign, OperatingConditions, Precision};
 use sega_moga::Nsga2Config;
-use sega_parallel::par_map;
+use sega_parallel::Pool;
+
+pub mod json;
 
 /// The two Fig. 6 design points (N=32, L=16, H=128, 8K weights), INT8 and
 /// BF16 — `k = 4` balances the area/throughput trade at the paper's
@@ -90,13 +96,31 @@ pub fn explore_point_with(
 
 /// Explores a whole sweep of `(wstore, precision, seed)` points
 /// concurrently — the figure binaries' workhorse. Each point is an
-/// independent seeded run, so the fan-out changes wall-clock only;
-/// results come back in input order.
+/// independent seeded run fanned out on the persistent process pool
+/// (no per-sweep thread spawning), and all points share one
+/// [`SharedEvalCache`]: two points with the same `(wstore, precision)`
+/// reuse every estimate the first one produced. The fan-out and the
+/// sharing change wall-clock only; results come back in input order.
 pub fn explore_sweep(points: &[(u64, Precision, u64)]) -> Vec<ExplorationResult> {
-    par_map(points, 0, |&(wstore, precision, seed)| {
+    explore_sweep_on(points, &Arc::new(SharedEvalCache::new()))
+}
+
+/// [`explore_sweep`] accumulating into a caller-provided cache, so
+/// successive sweeps (e.g. bench iterations) reuse each other's
+/// estimates.
+pub fn explore_sweep_on(
+    points: &[(u64, Precision, u64)],
+    cache: &Arc<SharedEvalCache>,
+) -> Vec<ExplorationResult> {
+    Pool::global().par_map(points, |&(wstore, precision, seed)| {
         // Outer fan-out across points, serial inner batches: sweep points
         // outnumber cores long before inner batches do.
-        explore_point_with(wstore, precision, seed, PipelineOptions::with_threads(1))
+        let pipeline = PipelineOptions {
+            threads: 1,
+            shared_cache: Some(Arc::clone(cache)),
+            ..Default::default()
+        };
+        explore_point_with(wstore, precision, seed, pipeline)
     })
 }
 

@@ -3,14 +3,16 @@
 //! ```text
 //! sega-dcim compile --wstore 8192 --precision int8 [--strategy knee]
 //!                   [--population 100] [--generations 120] [--seed N]
-//!                   [--threads N] [--out DIR]
-//! sega-dcim explore --wstore 8192 --precision bf16 [--threads N] [--csv]
+//!                   [--threads N] [--no-cache] [--out DIR]
+//! sega-dcim explore --wstore 8192 --precision bf16 [--threads N] [--no-cache] [--csv]
 //! sega-dcim estimate --n 32 --h 128 --l 16 --k 4 --precision int8
 //! ```
 //!
 //! `--threads` bounds the exploration's evaluation pipeline (`0` = all
-//! hardware threads, the default; `1` = serial). The frontier is
-//! bit-identical for every value — the flag only trades wall-clock.
+//! hardware threads, the default; `1` = serial); batches run on a
+//! persistent worker pool either way. `--no-cache` disables estimate
+//! memoization (for pipeline A/B timing). The frontier is bit-identical
+//! for every combination — the flags only trade wall-clock.
 //!
 //! `compile` runs the full pipeline and writes `macro.v`, `macro.def` and
 //! `report.md` into `--out` (default `./sega-out`); `explore` prints the
@@ -42,11 +44,12 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   sega-dcim compile  --wstore N --precision P [--strategy knee|min-area|max-throughput|max-efficiency]
-                     [--population N] [--generations N] [--seed N] [--threads N] [--out DIR]
-  sega-dcim explore  --wstore N --precision P [--threads N] [--csv]
+                     [--population N] [--generations N] [--seed N] [--threads N] [--no-cache] [--out DIR]
+  sega-dcim explore  --wstore N --precision P [--threads N] [--no-cache] [--csv]
   sega-dcim estimate --n N --h H --l L --k K --precision P
 precisions: int2 int4 int8 int16 fp8 fp16 bf16 fp32
---threads: evaluation worker threads (0 = all hardware threads, 1 = serial)";
+--threads:  evaluation pool width (0 = all hardware threads, 1 = serial)
+--no-cache: disable estimate memoization (results are identical, only slower)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().ok_or("missing command")?;
@@ -67,7 +70,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected `--flag`, got `{arg}`"))?;
         // Boolean flags take no value.
-        if key == "csv" {
+        if key == "csv" || key == "no-cache" {
             flags.insert(key.to_owned(), "true".to_owned());
             continue;
         }
@@ -121,10 +124,14 @@ fn compiler_from(flags: &HashMap<String, String>) -> Result<Compiler, String> {
         cfg.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
     }
     let mut compiler = Compiler::new().with_nsga_config(cfg);
+    let mut pipeline = sega_dcim::PipelineOptions::default();
     if let Some(t) = flags.get("threads") {
-        let threads: usize = t.parse().map_err(|e| format!("--threads: {e}"))?;
-        compiler = compiler.with_threads(threads);
+        pipeline.threads = t.parse().map_err(|e| format!("--threads: {e}"))?;
     }
+    if flags.contains_key("no-cache") {
+        pipeline.cache = false;
+    }
+    compiler = compiler.with_pipeline(pipeline);
     Ok(compiler)
 }
 

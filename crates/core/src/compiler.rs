@@ -2,6 +2,8 @@
 //! specification → MOGA-based exploration → user distillation →
 //! template-based generation (netlist + layout) → audit.
 
+use std::sync::Arc;
+
 use sega_cells::Technology;
 use sega_estimator::{estimate, DcimDesign, MacroEstimate, OperatingConditions, ParamError};
 use sega_layout::drc::{check_floorplan, DrcViolation};
@@ -11,6 +13,7 @@ use sega_moga::Nsga2Config;
 use sega_netlist::stats::{audit, Audit};
 use sega_netlist::{verilog, Design, NetlistError};
 
+use crate::cache::SharedEvalCache;
 use crate::distill::{distill, DistillStrategy};
 use crate::explore::{explore_pareto_with, ExplorationResult, PipelineOptions};
 use crate::spec::UserSpec;
@@ -101,13 +104,17 @@ pub struct Compiler {
     layout_options: LayoutOptions,
     nsga_config: Nsga2Config,
     pipeline: PipelineOptions,
+    /// Estimates memoized **across** this compiler's runs (and its
+    /// clones): a second exploration of the same specification reaches
+    /// the estimator zero times.
+    cache: Arc<SharedEvalCache>,
     audit_tolerance: f64,
 }
 
 impl Compiler {
     /// A compiler with the paper's defaults: calibrated TSMC28, 0.9 V,
     /// 10% sparsity, paper-scale NSGA-II budget, and the full evaluation
-    /// pipeline (memoized, all hardware threads).
+    /// pipeline (persistent pool, estimates memoized across runs).
     pub fn new() -> Compiler {
         Compiler {
             technology: Technology::tsmc28(),
@@ -115,6 +122,7 @@ impl Compiler {
             layout_options: LayoutOptions::default(),
             nsga_config: Nsga2Config::default(),
             pipeline: PipelineOptions::default(),
+            cache: Arc::new(SharedEvalCache::new()),
             audit_tolerance: 1e-9,
         }
     }
@@ -164,11 +172,38 @@ impl Compiler {
         self
     }
 
-    /// Overrides the full evaluation-pipeline configuration.
+    /// Overrides the full evaluation-pipeline configuration. A pipeline
+    /// without its own `shared_cache` still reuses this compiler's
+    /// cross-run cache.
     #[must_use]
     pub fn with_pipeline(mut self, pipeline: PipelineOptions) -> Self {
         self.pipeline = pipeline;
         self
+    }
+
+    /// Replaces the cross-run estimate cache, e.g. with
+    /// [`SharedEvalCache::global`] to share estimates between several
+    /// compilers in one process.
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: Arc<SharedEvalCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The estimate cache this compiler's explorations accumulate into.
+    pub fn shared_cache(&self) -> &Arc<SharedEvalCache> {
+        &self.cache
+    }
+
+    /// The pipeline configuration an exploration actually runs with: the
+    /// configured options, falling back to this compiler's cross-run
+    /// cache when the options carry none.
+    fn effective_pipeline(&self) -> PipelineOptions {
+        let mut pipeline = self.pipeline.clone();
+        if pipeline.shared_cache.is_none() {
+            pipeline.shared_cache = Some(Arc::clone(&self.cache));
+        }
+        pipeline
     }
 
     /// The active technology.
@@ -182,13 +217,16 @@ impl Compiler {
     }
 
     /// Runs only the exploration stage and returns the Pareto frontier.
+    /// Estimates are memoized across calls: exploring the same
+    /// specification twice reports `distinct_evaluations == 0` the
+    /// second time (the frontier is identical either way).
     pub fn explore(&self, spec: &UserSpec) -> ExplorationResult {
         explore_pareto_with(
             spec,
             &self.technology,
             &self.conditions,
             &self.nsga_config,
-            self.pipeline,
+            self.effective_pipeline(),
         )
     }
 

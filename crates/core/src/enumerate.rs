@@ -10,11 +10,11 @@
 //! * the data behind Fig. 7's full design-space clouds.
 
 use sega_cells::Technology;
-use sega_estimator::{estimate, OperatingConditions};
+use sega_estimator::OperatingConditions;
 use sega_moga::pareto::pareto_front_indices;
 use sega_parallel::par_map;
 
-use crate::explore::{DcimProblem, Geometry, ParetoSolution};
+use crate::explore::{DcimProblem, Geometry, ParetoSolution, PipelineOptions};
 use crate::spec::UserSpec;
 
 /// Every legal geometry of the specification's design space, within the
@@ -56,18 +56,30 @@ pub fn enumerate_design_space(
 }
 
 /// [`enumerate_design_space`] with an explicit thread count (`0` = all
-/// hardware threads, `1` = serial).
+/// hardware threads, `1` = serial). Estimates run on the persistent
+/// process pool through one hoisted [`EstimationContext`] — the
+/// technology is voltage-realized once for the whole cloud, not once per
+/// point.
 pub fn enumerate_design_space_with(
     spec: &UserSpec,
     tech: &Technology,
     conditions: &OperatingConditions,
     threads: usize,
 ) -> Vec<ParetoSolution> {
-    let problem = DcimProblem::new(*spec, tech.clone(), *conditions);
+    // The problem is only used for genome → design conversion here, so
+    // bind it to the serial pool rather than the hardware-width one (the
+    // data-parallel fan-out below runs through `par_map` directly).
+    let problem = DcimProblem::with_options(
+        *spec,
+        tech.clone(),
+        *conditions,
+        PipelineOptions::with_threads(1),
+    );
+    let ctx = problem.context();
     let geometries = enumerate_geometries(spec);
     par_map(&geometries, threads, |g| {
         let design = problem.design_of(g)?;
-        let estimate = estimate(&design, tech, conditions);
+        let estimate = ctx.estimate(&design);
         Some(ParetoSolution { design, estimate })
     })
     .into_iter()

@@ -12,48 +12,64 @@
 //!
 //! [`Nsga2`] breeds each generation completely before evaluating it and
 //! hands the cohort to [`Problem::evaluate_batch`]. [`DcimProblem`]'s
-//! implementation runs that batch through an [`EvalCache`] — the discrete
-//! `(log2 H, log2 L, k)` space has only a few hundred feasible points, so
-//! after the first few generations almost every genome the GA proposes has
-//! already been estimated — and fans cache misses out across threads with
-//! [`sega_parallel::par_map`]. Both knobs live in [`PipelineOptions`];
-//! neither changes the result, only how fast it arrives (the exploration
-//! is bit-identical for every thread count, with or without the cache).
+//! implementation dedups the cohort, serves repeats from a sharded
+//! [`SharedEvalCache`] key space — the discrete `(log2 H, log2 L, k)`
+//! space has only a few hundred feasible points, so after the first few
+//! generations almost every genome the GA proposes has already been
+//! estimated — and fans the remaining misses out on a persistent
+//! [`sega_parallel::Pool`] (workers spawned once per process, never per
+//! batch). The knobs live in [`PipelineOptions`]; none of them changes
+//! the result, only how fast it arrives (the exploration is bit-identical
+//! for every pool width, shard count and cache configuration).
 
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use rand::Rng;
 
 use sega_cells::Technology;
-use sega_estimator::{estimate, DcimDesign, MacroEstimate, OperatingConditions};
+use sega_estimator::{DcimDesign, EstimationContext, MacroEstimate, OperatingConditions};
 use sega_moga::{Nsga2, Nsga2Config, Problem};
-use sega_parallel::par_map;
+use sega_parallel::{resolve_threads, Pool};
 
+use crate::cache::{CacheKey, EvalStats, FxHashMap, KeySpace, SharedEvalCache};
 use crate::spec::UserSpec;
 
 /// How [`DcimProblem`] schedules and memoizes objective evaluations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PipelineOptions {
-    /// Worker threads for batch evaluation: `0` = all hardware threads,
+    /// Concurrent evaluation participants: `0` = all hardware threads,
     /// `1` = fully serial.
     pub threads: usize,
-    /// Memoize per-geometry estimates for the lifetime of the exploration,
-    /// so each distinct geometry is estimated exactly once.
+    /// Memoize per-geometry estimates, so each distinct geometry is
+    /// estimated exactly once per cache lifetime. (Even with this off,
+    /// duplicate genomes *within one cohort* reach the estimator once —
+    /// intra-batch dedup is unconditional.)
     pub cache: bool,
     /// Minimum batch items per worker before evaluation fans out
     /// (default 64; `0` is treated as 1, i.e. always fan out).
     ///
     /// The closed-form estimator costs tens of nanoseconds, so scattering
-    /// a small miss list across threads loses to spawn overhead; once a
-    /// batch carries real work per worker (large uncached cohorts, or a
-    /// future expensive estimator backend feeding through the same seam)
-    /// the fan-out pays. The default keeps the default explore budget
-    /// (batches of ~100, nearly all cache hits after the first
+    /// a small miss list across threads loses to cross-thread traffic;
+    /// once a batch carries real work per worker (large uncached cohorts,
+    /// or a future expensive estimator backend feeding through the same
+    /// seam) the fan-out pays. The default keeps the default explore
+    /// budget (batches of ~100, nearly all cache hits after the first
     /// generations) on the fast serial path; tests and benches force it
     /// to 1 to genuinely exercise the multi-worker merge.
     pub min_batch_per_worker: usize,
+    /// The persistent worker pool evaluation batches run on. `None`
+    /// (default) resolves to the process-wide cached pool of the
+    /// requested width ([`Pool::for_threads`]) — **no configuration ever
+    /// spawns threads per batch**; set an explicit pool to isolate an
+    /// exploration on dedicated workers.
+    pub pool: Option<Arc<Pool>>,
+    /// The estimate cache batches read and write. `None` (default) gives
+    /// the problem a **private** cache, reproducing the per-exploration
+    /// memoization of PR 1; set a [`SharedEvalCache`] to reuse estimates
+    /// across explorations, sweep points and compiler runs (keyed by
+    /// `(technology, conditions, precision, Wstore)`, so sharing can
+    /// never alias unrelated estimates).
+    pub shared_cache: Option<Arc<SharedEvalCache>>,
 }
 
 impl Default for PipelineOptions {
@@ -62,6 +78,8 @@ impl Default for PipelineOptions {
             threads: 0,
             cache: true,
             min_batch_per_worker: 64,
+            pool: None,
+            shared_cache: None,
         }
     }
 }
@@ -84,53 +102,55 @@ impl PipelineOptions {
             ..Default::default()
         }
     }
+
+    /// Runs evaluation batches on an explicit persistent [`Pool`].
+    #[must_use]
+    pub fn on_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Reads and writes estimates through `cache` instead of a private
+    /// per-problem table.
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: Arc<SharedEvalCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Shorthand: share the process-wide [`SharedEvalCache::global`].
+    #[must_use]
+    pub fn shared(self) -> Self {
+        let cache = SharedEvalCache::global();
+        self.with_shared_cache(cache)
+    }
 }
 
 /// Worker count for a batch of `items` evaluations: the requested thread
 /// budget, capped so every worker gets at least
 /// [`PipelineOptions::min_batch_per_worker`] items.
 fn batch_workers(pipeline: &PipelineOptions, items: usize) -> usize {
-    sega_parallel::resolve_threads(pipeline.threads)
+    resolve_threads(pipeline.threads)
         .min(items / pipeline.min_batch_per_worker.max(1))
         .max(1)
 }
 
-/// A memoization table mapping each distinct [`Geometry`] to its objective
-/// vector, shared by every clone of a [`DcimProblem`].
-///
-/// Interior mutability (a `Mutex` around the map, atomics for the
-/// counters) lets the immutable [`Problem::evaluate_batch`] fill it from
-/// worker threads. Lock traffic is negligible: the lock is taken twice per
-/// *batch* (miss collection, result installation), never per genome, and
-/// the estimates themselves run outside it.
-#[derive(Debug, Default)]
-pub struct EvalCache {
-    map: Mutex<HashMap<Geometry, [f64; 4]>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+/// The pool a pipeline's batches run on: the explicit handle if one was
+/// injected, else the process-wide cached pool of the requested width.
+fn resolve_pool(pipeline: &PipelineOptions) -> Arc<Pool> {
+    pipeline
+        .pool
+        .clone()
+        .unwrap_or_else(|| Pool::for_threads(resolve_threads(pipeline.threads)))
 }
 
-impl EvalCache {
-    /// Genome evaluations served from memory instead of the estimator.
-    pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    /// Calls that actually reached the estimator — one per distinct
-    /// geometry while caching is on.
-    pub fn distinct_evaluations(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
-    }
-
-    /// Number of distinct geometries currently memoized.
-    pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock poisoned").len()
-    }
-
-    /// True when nothing has been evaluated yet.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
+/// The cache a pipeline's batches read/write: the injected shared cache,
+/// else a fresh private one (PR 1 semantics).
+fn resolve_cache(pipeline: &PipelineOptions) -> Arc<SharedEvalCache> {
+    pipeline
+        .shared_cache
+        .clone()
+        .unwrap_or_else(|| Arc::new(SharedEvalCache::new()))
 }
 
 /// The explorer's genome: array geometry with powers-of-two `H` and `L`.
@@ -181,7 +201,8 @@ pub struct ExplorationResult {
     /// 20–60× smaller than [`evaluations`](Self::evaluations) at the
     /// default budget.
     pub distinct_evaluations: usize,
-    /// Evaluations served from the [`EvalCache`]
+    /// Evaluations served without reaching the estimator — cache hits
+    /// plus intra-batch duplicates
     /// (`evaluations = distinct_evaluations + cache_hits`).
     pub cache_hits: usize,
 }
@@ -214,6 +235,9 @@ pub struct DcimProblem {
     spec: UserSpec,
     tech: Technology,
     conditions: OperatingConditions,
+    /// Voltage-realized technology + energy factor, hoisted once per
+    /// problem so the innermost estimate never clones a [`Technology`].
+    ctx: EstimationContext,
     /// log2 of `Wstore` (a power of two, validated by [`UserSpec`]).
     log_wstore: u32,
     /// Serial input width (`Bx` or `BM`): the upper bound of `k`.
@@ -222,18 +246,45 @@ pub struct DcimProblem {
     bounds: GenomeBounds,
     /// Scheduling/memoization knobs for batch evaluation.
     pipeline: PipelineOptions,
-    /// The memoized estimates, shared across clones of this problem.
-    cache: Arc<EvalCache>,
+    /// The persistent pool batches fan out on (resolved from
+    /// `pipeline.pool` / `pipeline.threads`, never spawned per batch).
+    pool: Arc<Pool>,
+    /// The backing cache (private unless `pipeline.shared_cache` is set).
+    cache: Arc<SharedEvalCache>,
+    /// This problem's key space within [`Self::cache`], resolved once.
+    space: Arc<KeySpace>,
+    /// Per-run accounting, shared across clones of this problem.
+    stats: Arc<EvalStats>,
 }
 
 impl DcimProblem {
     /// Builds the problem for a specification under a technology and
     /// operating conditions, with the default [`PipelineOptions`]
-    /// (cached, all hardware threads).
+    /// (cached privately, all hardware threads).
     pub fn new(spec: UserSpec, tech: Technology, conditions: OperatingConditions) -> Self {
+        Self::with_options(spec, tech, conditions, PipelineOptions::default())
+    }
+
+    /// Builds the problem with explicit [`PipelineOptions`], resolving
+    /// the pool, cache and key-space bindings exactly once.
+    pub fn with_options(
+        spec: UserSpec,
+        tech: Technology,
+        conditions: OperatingConditions,
+        pipeline: PipelineOptions,
+    ) -> Self {
         debug_assert!(spec.wstore.is_power_of_two(), "validated by UserSpec");
         let limits = &spec.limits;
+        let pool = resolve_pool(&pipeline);
+        let cache = resolve_cache(&pipeline);
+        let space = cache.space(&CacheKey::new(
+            &tech,
+            &conditions,
+            spec.precision,
+            spec.wstore,
+        ));
         DcimProblem {
+            ctx: EstimationContext::new(&tech, &conditions),
             spec,
             tech,
             conditions,
@@ -244,27 +295,57 @@ impl DcimProblem {
                 max_log_h: limits.max_h.trailing_zeros(),
                 max_log_l: limits.max_l.trailing_zeros(),
             },
-            pipeline: PipelineOptions::default(),
-            cache: Arc::new(EvalCache::default()),
+            pipeline,
+            pool,
+            cache,
+            space,
+            stats: Arc::new(EvalStats::default()),
         }
     }
 
-    /// Overrides the evaluation pipeline configuration.
+    /// Overrides the evaluation pipeline configuration, re-resolving the
+    /// pool and cache bindings. (Prefer [`DcimProblem::with_options`]
+    /// when the options are known up front — it binds once.)
     #[must_use]
     pub fn with_pipeline(mut self, pipeline: PipelineOptions) -> Self {
+        self.pool = resolve_pool(&pipeline);
+        self.cache = resolve_cache(&pipeline);
+        self.space = self.cache.space(&CacheKey::new(
+            &self.tech,
+            &self.conditions,
+            self.spec.precision,
+            self.spec.wstore,
+        ));
         self.pipeline = pipeline;
         self
     }
 
-    /// The memoization cache (shared by all clones of this problem).
-    pub fn cache(&self) -> &EvalCache {
+    /// The backing estimate cache (private unless the pipeline options
+    /// injected a shared one).
+    pub fn cache(&self) -> &Arc<SharedEvalCache> {
         &self.cache
+    }
+
+    /// This run's evaluation accounting (shared by all clones of this
+    /// problem).
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    /// The hoisted estimation context (voltage-realized technology).
+    pub fn context(&self) -> &EstimationContext {
+        &self.ctx
+    }
+
+    /// The persistent pool this problem's batches run on.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
     }
 
     /// Estimates one geometry, bypassing the cache.
     fn evaluate_raw(&self, genome: &Geometry) -> [f64; 4] {
         match self.design_of(genome) {
-            Some(design) => estimate(&design, &self.tech, &self.conditions).objectives(),
+            Some(design) => self.ctx.estimate(&design).objectives(),
             None => [f64::INFINITY; 4],
         }
     }
@@ -325,66 +406,86 @@ impl Problem for DcimProblem {
 
     fn evaluate(&self, genome: &Geometry) -> Vec<f64> {
         if !self.pipeline.cache {
-            self.cache.misses.fetch_add(1, Ordering::Relaxed);
+            self.stats.record(0, 1);
+            self.cache.record(0, 1);
             return self.evaluate_raw(genome).to_vec();
         }
-        if let Some(objectives) = self
-            .cache
-            .map
-            .lock()
-            .expect("cache lock poisoned")
-            .get(genome)
-        {
-            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(objectives) = self.space.get(genome) {
+            self.stats.record(1, 0);
+            self.cache.record(1, 0);
             return objectives.to_vec();
         }
         let objectives = self.evaluate_raw(genome);
-        self.cache.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache
-            .map
-            .lock()
-            .expect("cache lock poisoned")
-            .insert(*genome, objectives);
+        self.stats.record(0, 1);
+        self.cache.record(0, 1);
+        self.space.insert(*genome, objectives);
         objectives.to_vec()
     }
 
     /// Batch evaluation through the memoizing, data-parallel pipeline:
-    /// collect the batch's cache misses (each distinct geometry once),
-    /// estimate them in parallel with [`sega_parallel::par_map`], install
-    /// the results, then answer every genome from the table. Results are
-    /// identical to the serial default for every thread count.
+    /// dedup the cohort (duplicate genomes reach the estimator once even
+    /// with caching off), collect the distinct geometries' cache misses,
+    /// estimate them on the persistent [`Pool`], install the results,
+    /// then answer every genome from the resolved table. Results are
+    /// identical to the serial default for every pool width, shard count
+    /// and cache configuration.
     fn evaluate_batch(&self, genomes: &[Geometry]) -> Vec<Vec<f64>> {
-        if !self.pipeline.cache {
-            self.cache
-                .misses
-                .fetch_add(genomes.len(), Ordering::Relaxed);
-            let workers = batch_workers(&self.pipeline, genomes.len());
-            return par_map(genomes, workers, |g| self.evaluate_raw(g).to_vec());
+        // Intra-batch dedup, in first-appearance order: `distinct[i]`
+        // and, for every genome, its index into `distinct`.
+        let mut index_of: FxHashMap<Geometry, usize> = FxHashMap::default();
+        let mut distinct: Vec<Geometry> = Vec::new();
+        let slots: Vec<usize> = genomes
+            .iter()
+            .map(|g| {
+                *index_of.entry(*g).or_insert_with(|| {
+                    distinct.push(*g);
+                    distinct.len() - 1
+                })
+            })
+            .collect();
+
+        // Resolve each distinct geometry: memoized value, or position in
+        // the miss list headed for the estimator.
+        let mut resolved: Vec<Option<[f64; 4]>> = vec![None; distinct.len()];
+        let mut missing: Vec<Geometry> = Vec::new();
+        let mut missing_slots: Vec<usize> = Vec::new();
+        if self.pipeline.cache {
+            for (i, g) in distinct.iter().enumerate() {
+                match self.space.get(g) {
+                    Some(objectives) => resolved[i] = Some(objectives),
+                    None => {
+                        missing.push(*g);
+                        missing_slots.push(i);
+                    }
+                }
+            }
+        } else {
+            missing = distinct.clone();
+            missing_slots = (0..distinct.len()).collect();
         }
-        // Distinct geometries of this batch not yet memoized, in first-
-        // appearance order.
-        let missing: Vec<Geometry> = {
-            let map = self.cache.map.lock().expect("cache lock poisoned");
-            let mut seen = HashSet::new();
-            genomes
-                .iter()
-                .filter(|g| !map.contains_key(g) && seen.insert(**g))
-                .copied()
-                .collect()
-        };
+
         let workers = batch_workers(&self.pipeline, missing.len());
-        let computed = par_map(&missing, workers, |g| self.evaluate_raw(g));
-        let mut map = self.cache.map.lock().expect("cache lock poisoned");
-        for (genome, objectives) in missing.iter().zip(computed) {
-            map.insert(*genome, objectives);
+        let computed = self
+            .pool
+            .par_map_bounded(&missing, workers, |g| self.evaluate_raw(g));
+        for ((slot, genome), objectives) in missing_slots.iter().zip(&missing).zip(computed) {
+            if self.pipeline.cache {
+                self.space.insert(*genome, objectives);
+            }
+            resolved[*slot] = Some(objectives);
         }
+        self.stats
+            .record(genomes.len() - missing.len(), missing.len());
         self.cache
-            .misses
-            .fetch_add(missing.len(), Ordering::Relaxed);
-        self.cache
-            .hits
-            .fetch_add(genomes.len() - missing.len(), Ordering::Relaxed);
-        genomes.iter().map(|g| map[g].to_vec()).collect()
+            .record(genomes.len() - missing.len(), missing.len());
+        slots
+            .iter()
+            .map(|&i| {
+                resolved[i]
+                    .expect("every distinct geometry resolved")
+                    .to_vec()
+            })
+            .collect()
     }
 
     fn crossover(&self, a: &Geometry, b: &Geometry, rng: &mut dyn rand::RngCore) -> Geometry {
@@ -456,14 +557,15 @@ pub fn explore_pareto_with(
     config: &Nsga2Config,
     pipeline: PipelineOptions,
 ) -> ExplorationResult {
-    let problem = DcimProblem::new(*spec, tech.clone(), *conditions).with_pipeline(pipeline);
+    let problem = DcimProblem::with_options(*spec, tech.clone(), *conditions, pipeline);
     let result = Nsga2::new(config.clone()).run(&problem);
+    let ctx = problem.context();
     let mut solutions: Vec<ParetoSolution> = result
         .front
         .iter()
         .filter_map(|ind| {
             let design = problem.design_of(&ind.genome)?;
-            let estimate = estimate(&design, tech, conditions);
+            let estimate = ctx.estimate(&design);
             estimate
                 .area_mm2
                 .is_finite()
@@ -481,8 +583,8 @@ pub fn explore_pareto_with(
         spec: *spec,
         solutions,
         evaluations: result.evaluations,
-        distinct_evaluations: problem.cache().distinct_evaluations(),
-        cache_hits: problem.cache().hits(),
+        distinct_evaluations: problem.stats().distinct_evaluations(),
+        cache_hits: problem.stats().hits(),
     }
 }
 

@@ -26,13 +26,16 @@
 //!
 //! Exploration runs through a **batch-first, memoized, data-parallel
 //! pipeline**: NSGA-II breeds each generation completely before
-//! evaluating it, and [`explore::DcimProblem`] serves the cohort through
-//! an [`EvalCache`] (each distinct geometry is estimated exactly once per
-//! exploration) with cache misses fanned out across threads. The
-//! [`PipelineOptions`] knobs — thread count and cache switch — change
-//! wall-clock only: the frontier is bit-identical for every
-//! configuration, and [`ExplorationResult`] reports the accounting
-//! (`evaluations` vs `distinct_evaluations` vs `cache_hits`).
+//! evaluating it, and [`explore::DcimProblem`] dedups the cohort, serves
+//! repeats from a sharded [`SharedEvalCache`] key space (reusable across
+//! explorations, sweep points and compiler runs — keyed by technology,
+//! conditions, precision and capacity), and fans the remaining misses
+//! out on a persistent `sega_parallel::Pool` whose workers are spawned
+//! once per process. The [`PipelineOptions`] knobs — thread count, cache
+//! switch, pool and shared-cache handles — change wall-clock only: the
+//! frontier is bit-identical for every configuration, and
+//! [`ExplorationResult`] reports the accounting (`evaluations` vs
+//! `distinct_evaluations` vs `cache_hits`).
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod compiler;
 pub mod distill;
 pub mod enumerate;
@@ -62,12 +66,12 @@ pub mod runtime;
 mod spec;
 pub mod testbench;
 
+pub use cache::{CacheKey, EvalStats, SharedEvalCache};
 pub use compiler::{CompileError, CompiledMacro, Compiler};
 pub use distill::DistillStrategy;
 pub use enumerate::{enumerate_design_space, enumerate_design_space_with, exhaustive_front};
 pub use explore::{
-    explore_pareto, explore_pareto_with, EvalCache, ExplorationResult, ParetoSolution,
-    PipelineOptions,
+    explore_pareto, explore_pareto_with, ExplorationResult, ParetoSolution, PipelineOptions,
 };
 pub use mixed::{explore_mixed, explore_mixed_with, MixedExploration};
 pub use spec::{ExplorerLimits, SpecError, UserSpec};

@@ -9,12 +9,15 @@
 //! that can tolerate either number format sees the genuinely best designs
 //! of both.
 
+use std::sync::Arc;
+
 use sega_cells::Technology;
 use sega_estimator::{OperatingConditions, Precision};
 use sega_moga::pareto::pareto_front_indices;
 use sega_moga::Nsga2Config;
-use sega_parallel::{par_map, resolve_threads};
+use sega_parallel::{resolve_threads, Pool};
 
+use crate::cache::SharedEvalCache;
 use crate::explore::{explore_pareto_with, ParetoSolution, PipelineOptions};
 use crate::spec::{SpecError, UserSpec};
 
@@ -79,10 +82,13 @@ pub fn explore_mixed(
 /// [`explore_mixed`] with explicit [`PipelineOptions`].
 ///
 /// The per-precision explorations are independent seeded runs, so they
-/// execute **concurrently**: the thread budget is split between the
-/// per-precision fan-out and each exploration's inner batch evaluation.
-/// Results are merged in input order, keeping the outcome bit-identical
-/// to a serial sweep.
+/// execute **concurrently** on the persistent pool: the thread budget is
+/// split between the per-precision fan-out and each exploration's inner
+/// batch evaluation. All runs share one [`SharedEvalCache`] (a fresh one
+/// per call unless the options inject their own), so estimates persist
+/// across the fan-out and across repeated calls with a caller-provided
+/// cache. Results are merged in input order, keeping the outcome
+/// bit-identical to a serial sweep.
 ///
 /// # Errors
 ///
@@ -111,19 +117,31 @@ pub fn explore_mixed_with(
             (spec, cfg)
         })
         .collect();
-    // Split the budget: outer workers across precisions, the remainder
-    // inside each exploration's batch evaluation.
+    // Split the budget: outer participants across precisions, the
+    // remainder inside each exploration's batch evaluation. One pool and
+    // one cache serve both levels — nested submissions are deadlock-free
+    // by the pool's design, and the per-precision key spaces never alias.
     let total = resolve_threads(pipeline.threads);
     let outer = total.min(runs.len().max(1));
+    let pool = pipeline
+        .pool
+        .clone()
+        .unwrap_or_else(|| Pool::for_threads(total));
+    let cache = pipeline
+        .shared_cache
+        .clone()
+        .unwrap_or_else(|| Arc::new(SharedEvalCache::new()));
     let inner = PipelineOptions {
         threads: (total / outer).max(1),
+        pool: Some(Arc::clone(&pool)),
+        shared_cache: Some(cache),
         ..pipeline
     };
-    let results = par_map(&runs, outer, |(spec, cfg)| {
-        explore_pareto_with(spec, tech, conditions, cfg, inner)
+    let results = pool.par_map_bounded(&runs, outer, |(spec, cfg)| {
+        explore_pareto_with(spec, tech, conditions, cfg, inner.clone())
     });
 
-    let mut pool: Vec<ParetoSolution> = Vec::new();
+    let mut candidates: Vec<ParetoSolution> = Vec::new();
     let mut per_precision = Vec::new();
     let mut evaluations = 0;
     let mut distinct_evaluations = 0;
@@ -133,13 +151,13 @@ pub fn explore_mixed_with(
         evaluations += result.evaluations;
         distinct_evaluations += result.distinct_evaluations;
         cache_hits += result.cache_hits;
-        pool.extend(result.solutions);
+        candidates.extend(result.solutions);
     }
     // Cross-architecture Pareto merge.
-    let objs: Vec<Vec<f64>> = pool.iter().map(|s| s.objectives().to_vec()).collect();
+    let objs: Vec<Vec<f64>> = candidates.iter().map(|s| s.objectives().to_vec()).collect();
     let mut keep = pareto_front_indices(&objs);
     keep.sort_unstable();
-    let mut front: Vec<ParetoSolution> = keep.into_iter().map(|i| pool[i].clone()).collect();
+    let mut front: Vec<ParetoSolution> = keep.into_iter().map(|i| candidates[i].clone()).collect();
     front.sort_by(|a, b| {
         a.estimate
             .area_mm2

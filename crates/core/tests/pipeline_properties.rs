@@ -1,16 +1,20 @@
 //! Property tests of the batched evaluation pipeline: every pipeline
-//! configuration — serial, multi-threaded, cached, uncached, and their
-//! combinations — must return a **bit-identical** Pareto front for the
-//! same seed, and the evaluation accounting must be exact.
+//! configuration — serial, pooled, cached, uncached, shared-cache, and
+//! their combinations — must return a **bit-identical** Pareto front for
+//! the same seed, and the evaluation accounting must be exact.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 use sega_cells::Technology;
 use sega_dcim::explore::DcimProblem;
 use sega_dcim::{
-    explore_mixed_with, explore_pareto_with, ExplorationResult, PipelineOptions, UserSpec,
+    explore_mixed_with, explore_pareto_with, ExplorationResult, PipelineOptions, SharedEvalCache,
+    UserSpec,
 };
 use sega_estimator::{OperatingConditions, Precision};
 use sega_moga::{Nsga2Config, Problem};
+use sega_parallel::Pool;
 
 const ALL_PRECISIONS: [Precision; 8] = [
     Precision::Int2,
@@ -43,38 +47,59 @@ fn explore(spec: &UserSpec, seed: u64, pipeline: PipelineOptions) -> Exploration
 }
 
 /// Every pipeline configuration worth distinguishing. The threaded ones
-/// set `min_batch_per_worker: 1` so the multi-worker merge path really
-/// runs even at the tests' small batch sizes.
-fn pipelines() -> [PipelineOptions; 5] {
-    [
+/// set `min_batch_per_worker: 1` so the multi-participant merge path
+/// really runs even at the tests' small batch sizes; the forced widths
+/// (4 and 7) resolve to genuine persistent pools of that width via
+/// `Pool::for_threads`, regardless of the host's core count. The last
+/// two configurations run on an explicitly injected pool and a fresh
+/// shared cache respectively.
+fn pipelines() -> Vec<PipelineOptions> {
+    vec![
         PipelineOptions::serial_uncached(),
         PipelineOptions {
             threads: 1,
             cache: true,
-            ..PipelineOptions::default()
+            ..Default::default()
         },
         PipelineOptions {
             threads: 4,
             cache: true,
             min_batch_per_worker: 1,
+            ..Default::default()
         },
         PipelineOptions {
             threads: 4,
             cache: false,
             min_batch_per_worker: 1,
+            ..Default::default()
         },
         PipelineOptions {
             threads: 7,
             cache: true,
             min_batch_per_worker: 1,
+            ..Default::default()
         },
+        PipelineOptions {
+            threads: 4,
+            cache: true,
+            min_batch_per_worker: 1,
+            ..Default::default()
+        }
+        .on_pool(Pool::for_threads(4)),
+        PipelineOptions {
+            threads: 4,
+            cache: true,
+            min_batch_per_worker: 1,
+            ..Default::default()
+        }
+        .with_shared_cache(Arc::new(SharedEvalCache::with_shards(4))),
     ]
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// The headline determinism property: cached + parallel exploration
+    /// The headline determinism property: cached + pooled exploration
     /// returns a bit-identical front to the serial uncached baseline, for
     /// every precision and seed.
     #[test]
@@ -87,7 +112,7 @@ proptest! {
         let spec = UserSpec::new(1u64 << log_wstore, precision).unwrap();
         let baseline = explore(&spec, seed, PipelineOptions::serial_uncached());
         for pipeline in pipelines() {
-            let run = explore(&spec, seed, pipeline);
+            let run = explore(&spec, seed, pipeline.clone());
             prop_assert_eq!(
                 run.objective_matrix(),
                 baseline.objective_matrix(),
@@ -101,9 +126,9 @@ proptest! {
     }
 
     /// Exact accounting: the GA's evaluation count is population ×
-    /// (generations + 1) and always splits into estimator calls + cache
-    /// hits; caching never changes *what* is counted, only where it is
-    /// served from.
+    /// (generations + 1) and always splits into estimator calls + served
+    /// evaluations; caching and intra-batch dedup never change *what* is
+    /// counted, only where it is served from.
     #[test]
     fn evaluation_accounting_is_exact(
         precision_idx in 0usize..8,
@@ -112,7 +137,8 @@ proptest! {
         let precision = ALL_PRECISIONS[precision_idx];
         let spec = UserSpec::new(16384, precision).unwrap();
         for pipeline in pipelines() {
-            let run = explore(&spec, seed, pipeline);
+            let cached = pipeline.cache;
+            let run = explore(&spec, seed, pipeline.clone());
             prop_assert_eq!(run.evaluations, 16 + 16 * 8);
             prop_assert_eq!(
                 run.distinct_evaluations + run.cache_hits,
@@ -120,11 +146,17 @@ proptest! {
                 "accounting must partition exactly under {:?}",
                 pipeline
             );
-            if pipeline.cache {
-                prop_assert!(run.distinct_evaluations <= run.evaluations);
-            } else {
-                prop_assert_eq!(run.cache_hits, 0);
-                prop_assert_eq!(run.distinct_evaluations, run.evaluations);
+            prop_assert!(run.distinct_evaluations <= run.evaluations);
+            if !cached {
+                // Without memoization the only savings are intra-batch
+                // duplicates, so every *distinct* genome of every batch
+                // still reaches the estimator — across the whole run that
+                // is at least the number of distinct geometries visited.
+                let memoized = explore(&spec, seed, PipelineOptions::with_threads(1));
+                prop_assert!(
+                    run.distinct_evaluations >= memoized.distinct_evaluations,
+                    "uncached runs must re-estimate across batches"
+                );
             }
         }
     }
@@ -148,6 +180,7 @@ proptest! {
             threads: 4,
             cache: true,
             min_batch_per_worker: 1,
+            ..Default::default()
         });
         // A cohort with deliberate duplicates: the same genome block twice.
         let genomes: Vec<_> = {
@@ -163,11 +196,11 @@ proptest! {
             g
         };
         let first = problem.evaluate_batch(&genomes);
-        let distinct_after_first = problem.cache().distinct_evaluations();
+        let distinct_after_first = problem.stats().distinct_evaluations();
         let replay = problem.evaluate_batch(&genomes);
         prop_assert_eq!(&first, &replay, "replay must be identical");
         prop_assert_eq!(
-            problem.cache().distinct_evaluations(),
+            problem.stats().distinct_evaluations(),
             distinct_after_first,
             "replaying a batch must not re-estimate anything"
         );
@@ -176,6 +209,64 @@ proptest! {
         for (genome, batch_objs) in genomes.iter().zip(&first) {
             prop_assert_eq!(&problem.evaluate(genome), batch_objs);
         }
+    }
+
+    /// Intra-batch dedup holds even with memoization disabled: a cohort
+    /// whose second half repeats its first half reaches the estimator
+    /// once per distinct genome, and repeats are answered identically.
+    #[test]
+    fn uncached_batches_dedup_within_the_cohort(
+        precision_idx in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let precision = ALL_PRECISIONS[precision_idx];
+        let spec = UserSpec::new(16384, precision).unwrap();
+        let problem = DcimProblem::new(
+            spec,
+            Technology::tsmc28(),
+            OperatingConditions::paper_default(),
+        )
+        .with_pipeline(PipelineOptions {
+            threads: 4,
+            cache: false,
+            min_batch_per_worker: 1,
+            ..Default::default()
+        });
+        let genomes: Vec<_> = {
+            use rand::SeedableRng;
+            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut g: Vec<_> = (0..30).map(|_| {
+                let mut g = problem.random_genome(&mut r);
+                problem.repair(&mut g);
+                g
+            }).collect();
+            let copy = g.clone();
+            g.extend(copy);
+            g
+        };
+        let distinct_in_batch = {
+            let mut seen = std::collections::HashSet::new();
+            genomes.iter().filter(|g| seen.insert(**g)).count()
+        };
+        let out = problem.evaluate_batch(&genomes);
+        prop_assert_eq!(
+            problem.stats().distinct_evaluations(),
+            distinct_in_batch,
+            "duplicates must reach the estimator once even with caching off"
+        );
+        prop_assert_eq!(
+            problem.stats().hits(),
+            genomes.len() - distinct_in_batch
+        );
+        for (a, b) in out.iter().zip(out[genomes.len() / 2..].iter()) {
+            prop_assert_eq!(a, b, "repeated genomes must answer identically");
+        }
+        // A second batch re-estimates everything: nothing was memoized.
+        let _ = problem.evaluate_batch(&genomes);
+        prop_assert_eq!(
+            problem.stats().distinct_evaluations(),
+            2 * distinct_in_batch
+        );
     }
 
     /// The mixed-precision fan-out is bit-identical between its serial
@@ -191,7 +282,7 @@ proptest! {
         ).unwrap();
         let parallel = explore_mixed_with(
             16384, &precisions, &tech, &cond, &cfg(seed),
-            PipelineOptions { threads: 4, cache: true, min_batch_per_worker: 1 },
+            PipelineOptions { threads: 4, cache: true, min_batch_per_worker: 1, ..Default::default() },
         ).unwrap();
         let objs = |m: &sega_dcim::MixedExploration| -> Vec<Vec<f64>> {
             m.front.iter().map(|s| s.objectives().to_vec()).collect()

@@ -42,7 +42,7 @@ mod metrics;
 mod params;
 mod precision;
 
-pub use macro_model::{estimate, ComponentBreakdown};
+pub use macro_model::{estimate, ComponentBreakdown, EstimationContext};
 pub use metrics::{MacroEstimate, OperatingConditions};
 pub use params::{DcimDesign, FpParams, IntParams, ParamError};
 pub use precision::Precision;

@@ -102,14 +102,93 @@ pub fn estimate(
     tech: &Technology,
     conditions: &OperatingConditions,
 ) -> MacroEstimate {
-    let tech = if (conditions.voltage - tech.nominal_voltage).abs() > 1e-9 {
-        tech.at_voltage(conditions.voltage)
+    // Borrow rather than clone: the nominal-voltage path (the common
+    // case — every paper experiment runs at the PDK's 0.9 V) is
+    // allocation-free, and only a genuine derating materializes a new
+    // `Technology`.
+    let derated;
+    let tech = if off_nominal(tech, conditions) {
+        derated = tech.at_voltage(conditions.voltage);
+        &derated
     } else {
-        tech.clone()
+        tech
     };
+    estimate_realized(design, tech, conditions.energy_factor())
+}
+
+fn off_nominal(tech: &Technology, conditions: &OperatingConditions) -> bool {
+    (conditions.voltage - tech.nominal_voltage).abs() > 1e-9
+}
+
+/// The shared inner estimator: `tech` is already voltage-realized and
+/// `energy_factor` already folds sparsity × activity.
+fn estimate_realized(design: &DcimDesign, tech: &Technology, energy_factor: f64) -> MacroEstimate {
     match design {
-        DcimDesign::Int(p) => estimate_int(p, &tech, conditions),
-        DcimDesign::Fp(p) => estimate_fp(p, &tech, conditions),
+        DcimDesign::Int(p) => estimate_int(p, tech, energy_factor),
+        DcimDesign::Fp(p) => estimate_fp(p, tech, energy_factor),
+    }
+}
+
+/// Precomputed per-exploration estimation state: the voltage-realized
+/// [`Technology`] and the conditions-derived energy factor, hoisted out
+/// of the per-design hot loop.
+///
+/// [`estimate`] re-derives both on every call, which is fine for a
+/// handful of estimates but wasteful on the design space explorer's
+/// innermost loop (a `Technology` clone allocates its name `String`, and
+/// derating reformats it). Build the context **once per exploration /
+/// sweep point** and call [`EstimationContext::estimate`] per design —
+/// the results are bit-identical to the free function.
+///
+/// ```
+/// use sega_estimator::{estimate, DcimDesign, EstimationContext, OperatingConditions, Precision};
+/// use sega_cells::Technology;
+///
+/// let tech = Technology::tsmc28();
+/// let cond = OperatingConditions::paper_default();
+/// let ctx = EstimationContext::new(&tech, &cond);
+/// let d = DcimDesign::for_precision(Precision::Int8, 32, 128, 16, 4)?;
+/// assert_eq!(ctx.estimate(&d), estimate(&d, &tech, &cond));
+/// # Ok::<(), sega_estimator::ParamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EstimationContext {
+    tech: Technology,
+    conditions: OperatingConditions,
+    energy_factor: f64,
+}
+
+impl EstimationContext {
+    /// Realizes `tech` at the conditions' supply voltage (once) and
+    /// precomputes the energy factor.
+    pub fn new(tech: &Technology, conditions: &OperatingConditions) -> EstimationContext {
+        let tech = if off_nominal(tech, conditions) {
+            tech.at_voltage(conditions.voltage)
+        } else {
+            tech.clone()
+        };
+        EstimationContext {
+            tech,
+            conditions: *conditions,
+            energy_factor: conditions.energy_factor(),
+        }
+    }
+
+    /// The voltage-realized technology estimates run under.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// The operating conditions the context was built for.
+    pub fn conditions(&self) -> &OperatingConditions {
+        &self.conditions
+    }
+
+    /// Estimates one design point — bit-identical to
+    /// [`estimate`]`(design, tech, conditions)` with the context's
+    /// inputs, without any per-call `Technology` work.
+    pub fn estimate(&self, design: &DcimDesign) -> MacroEstimate {
+        estimate_realized(design, &self.tech, self.energy_factor)
     }
 }
 
@@ -148,7 +227,7 @@ fn finish(
     cycles_per_pass: u32,
     macs_per_pass: u64,
     tech: &Technology,
-    conditions: &OperatingConditions,
+    energy_factor: f64,
 ) -> MacroEstimate {
     let unit = Cost::new(
         breakdown.total_area(),
@@ -156,7 +235,7 @@ fn finish(
         breakdown.total_energy(),
     );
     let phys = tech.realize(unit);
-    let energy_per_cycle_nj = phys.energy_nj() * conditions.energy_factor();
+    let energy_per_cycle_nj = phys.energy_nj() * energy_factor;
     let delay_ns = phys.delay_ns;
     let freq_ghz = 1.0 / delay_ns;
     // 1 MAC = 2 ops; a pass takes `cycles_per_pass` cycles.
@@ -176,23 +255,31 @@ fn finish(
 }
 
 /// Table V: the multiplier-based integer macro.
-fn estimate_int(
-    p: &IntParams,
-    tech: &Technology,
-    conditions: &OperatingConditions,
-) -> MacroEstimate {
+fn estimate_int(p: &IntParams, tech: &Technology, energy_factor: f64) -> MacroEstimate {
     let b = array_breakdown(p.n, p.h, p.l, p.k, p.bw, p.bx);
-    finish(b, p.cycles_per_pass(), p.macs_per_pass(), tech, conditions)
+    finish(
+        b,
+        p.cycles_per_pass(),
+        p.macs_per_pass(),
+        tech,
+        energy_factor,
+    )
 }
 
 /// Table VI: the pre-aligned floating-point macro — the integer mantissa
 /// array plus the FP pre-alignment front end and `N/BM` INT-to-FP
 /// converters.
-fn estimate_fp(p: &FpParams, tech: &Technology, conditions: &OperatingConditions) -> MacroEstimate {
+fn estimate_fp(p: &FpParams, tech: &Technology, energy_factor: f64) -> MacroEstimate {
     let mut b = array_breakdown(p.n, p.h, p.l, p.k, p.bm, p.bm);
     b.pre_alignment = components::pre_alignment(p.h, p.be, p.bm);
     b.converters = components::int_to_fp_converter(p.result_bits(), p.be) * (p.n / p.bm) as f64;
-    finish(b, p.cycles_per_pass(), p.macs_per_pass(), tech, conditions)
+    finish(
+        b,
+        p.cycles_per_pass(),
+        p.macs_per_pass(),
+        tech,
+        energy_factor,
+    )
 }
 
 #[cfg(test)]
@@ -388,6 +475,51 @@ mod tests {
         for w in fps.windows(2) {
             assert!(area_of(w[0]) < area_of(w[1]));
         }
+    }
+
+    #[test]
+    fn context_is_bit_identical_to_free_estimate() {
+        // The hoisted context must reproduce the free function exactly —
+        // at nominal voltage, derated, and under different sparsity.
+        let tech = Technology::tsmc28();
+        let conditions = [
+            OperatingConditions::paper_default(),
+            OperatingConditions::dense(),
+            OperatingConditions {
+                voltage: 0.65,
+                ..OperatingConditions::paper_default()
+            },
+            OperatingConditions {
+                voltage: 1.05,
+                input_sparsity: 0.4,
+                activity: 0.2,
+            },
+        ];
+        for cond in conditions {
+            let ctx = EstimationContext::new(&tech, &cond);
+            for design in [fig6_int8(), fig6_bf16()] {
+                assert_eq!(
+                    ctx.estimate(&design),
+                    estimate(&design, &tech, &cond),
+                    "context diverged at {cond:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn context_realizes_voltage_once() {
+        let tech = Technology::tsmc28();
+        let cond = OperatingConditions {
+            voltage: 0.6,
+            ..OperatingConditions::paper_default()
+        };
+        let ctx = EstimationContext::new(&tech, &cond);
+        assert!((ctx.technology().nominal_voltage - 0.6).abs() < 1e-12);
+        assert!(ctx.technology().gate_delay_ns > tech.gate_delay_ns);
+        // Nominal conditions keep the technology untouched.
+        let nominal = EstimationContext::new(&tech, &OperatingConditions::paper_default());
+        assert_eq!(nominal.technology(), &tech);
     }
 
     #[test]

@@ -1,4 +1,7 @@
-use crate::pareto::{crowding_distances_slices, non_dominated_sort_slices};
+use crate::pareto::{
+    crowding_distances_slices, crowding_distances_slices_into, non_dominated_sort_slices,
+    non_dominated_sort_slices_into, SortScratch,
+};
 use crate::Problem;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -102,25 +105,30 @@ impl Nsga2 {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut evaluations = 0usize;
+        // All per-generation working memory lives here and is reused for
+        // the whole run: the cohort buffer, the survivor buffer, and the
+        // sort/crowding scratch. The evolution loop performs no
+        // steady-state buffer allocation.
+        let mut scratch = EvolutionScratch::new();
+        let mut cohort: Vec<P::Genome> = Vec::with_capacity(cfg.population);
 
         // Phase 1: breed the initial cohort (RNG only, no evaluation).
-        let genomes: Vec<P::Genome> = (0..cfg.population)
-            .map(|_| {
-                let mut g = problem.random_genome(&mut rng);
-                problem.repair(&mut g);
-                g
-            })
-            .collect();
+        cohort.extend((0..cfg.population).map(|_| {
+            let mut g = problem.random_genome(&mut rng);
+            problem.repair(&mut g);
+            g
+        }));
 
         // Phase 2: evaluate the cohort in one batch.
-        let mut pop = evaluate_cohort(problem, genomes, &mut evaluations);
+        let mut pop: Vec<Individual<P::Genome>> = Vec::with_capacity(2 * cfg.population);
+        evaluate_cohort_into(problem, &mut cohort, &mut pop, &mut evaluations);
         rank_population(&mut pop);
 
         for _ in 0..cfg.generations {
             // Breed the full offspring cohort via binary tournament +
             // crossover + mutation…
-            let mut offspring: Vec<P::Genome> = Vec::with_capacity(cfg.population);
-            while offspring.len() < cfg.population {
+            debug_assert!(cohort.is_empty(), "cohort drained by evaluation");
+            while cohort.len() < cfg.population {
                 let a = tournament(&pop, &mut rng);
                 let b = tournament(&pop, &mut rng);
                 let mut child = if rng.gen_bool(cfg.crossover_rate) {
@@ -132,13 +140,14 @@ impl Nsga2 {
                     problem.mutate(&mut child, &mut rng);
                 }
                 problem.repair(&mut child);
-                offspring.push(child);
+                cohort.push(child);
             }
 
             // …evaluate it in one batch, then run elitist environmental
-            // selection over parents ∪ offspring.
-            pop.extend(evaluate_cohort(problem, offspring, &mut evaluations));
-            pop = select_survivors(pop, cfg.population);
+            // selection over parents ∪ offspring (in place: survivors are
+            // moved, not cloned).
+            evaluate_cohort_into(problem, &mut cohort, &mut pop, &mut evaluations);
+            select_survivors(&mut pop, cfg.population, &mut scratch);
         }
 
         let front = extract_front(&pop);
@@ -151,29 +160,28 @@ impl Nsga2 {
     }
 }
 
-/// Batch-evaluates a bred cohort into individuals (ranks are assigned by
-/// the caller's selection pass).
-fn evaluate_cohort<P: Problem>(
+/// Batch-evaluates a bred cohort, draining `genomes` (so the cohort
+/// buffer's capacity is reused next generation) and appending the
+/// individuals to `pop` (ranks are assigned by the caller's selection
+/// pass).
+fn evaluate_cohort_into<P: Problem>(
     problem: &P,
-    genomes: Vec<P::Genome>,
+    genomes: &mut Vec<P::Genome>,
+    pop: &mut Vec<Individual<P::Genome>>,
     evaluations: &mut usize,
-) -> Vec<Individual<P::Genome>> {
-    let objectives = problem.evaluate_batch(&genomes);
+) {
+    let objectives = problem.evaluate_batch(genomes);
     debug_assert_eq!(objectives.len(), genomes.len(), "batch arity");
     *evaluations += genomes.len();
-    genomes
-        .into_iter()
-        .zip(objectives)
-        .map(|(genome, objectives)| {
-            debug_assert_eq!(objectives.len(), problem.objectives(), "objective arity");
-            Individual {
-                genome,
-                objectives,
-                rank: 0,
-                crowding: 0.0,
-            }
-        })
-        .collect()
+    for (genome, objectives) in genomes.drain(..).zip(objectives) {
+        debug_assert_eq!(objectives.len(), problem.objectives(), "objective arity");
+        pop.push(Individual {
+            genome,
+            objectives,
+            rank: 0,
+            crowding: 0.0,
+        });
+    }
 }
 
 /// Binary tournament by (rank, crowding) — the NSGA-II crowded-comparison
@@ -217,6 +225,38 @@ fn rank_population<G>(pop: &mut [Individual<G>]) {
     }
 }
 
+/// Reusable per-generation working memory of the evolution loop: the
+/// survivor plan, the sort/crowding buffers, and the individual-moving
+/// staging area. One instance serves a whole run.
+struct EvolutionScratch<G> {
+    sort: SortScratch,
+    fronts: Vec<Vec<usize>>,
+    dist: Vec<f64>,
+    order: Vec<usize>,
+    by_crowding: Vec<(usize, f64)>,
+    kept: Vec<usize>,
+    /// `(pool index, rank, crowding)` of each survivor, in survivor order.
+    plan: Vec<(usize, usize, f64)>,
+    taken: Vec<Option<Individual<G>>>,
+    next: Vec<Individual<G>>,
+}
+
+impl<G> EvolutionScratch<G> {
+    fn new() -> Self {
+        EvolutionScratch {
+            sort: SortScratch::default(),
+            fronts: Vec::new(),
+            dist: Vec::new(),
+            order: Vec::new(),
+            by_crowding: Vec::new(),
+            kept: Vec::new(),
+            plan: Vec::new(),
+            taken: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+}
+
 /// NSGA-II environmental selection: fill the next generation front by front,
 /// truncating the last partially-fitting front by crowding distance.
 ///
@@ -225,46 +265,76 @@ fn rank_population<G>(pop: &mut [Individual<G>]) {
 /// the rank of a kept member), and only the crowding distances of the one
 /// truncated front are recomputed within the kept subset — semantically
 /// identical to re-ranking the survivor set, at a third of the sorting
-/// work the previous implementation did.
-fn select_survivors<G: Clone>(pool: Vec<Individual<G>>, target: usize) -> Vec<Individual<G>> {
-    let objs: Vec<&[f64]> = pool.iter().map(|i| i.objectives.as_slice()).collect();
-    let fronts = non_dominated_sort_slices(&objs);
-    let mut next: Vec<Individual<G>> = Vec::with_capacity(target);
-    for (rank, front) in fronts.into_iter().enumerate() {
-        if next.len() + front.len() <= target {
-            // The whole front survives: its crowding distances (computed
-            // within the full front) are final.
-            let dists = crowding_distances_slices(&objs, &front);
-            for (&idx, d) in front.iter().zip(dists) {
-                let mut ind = pool[idx].clone();
-                ind.rank = rank;
-                ind.crowding = d;
-                next.push(ind);
+/// work.
+///
+/// Operates **in place**: survivors are moved out of the pool (no
+/// `Individual` — and so no objective-vector — clones), and every buffer
+/// comes from the reusable [`EvolutionScratch`].
+fn select_survivors<G>(
+    pop: &mut Vec<Individual<G>>,
+    target: usize,
+    scratch: &mut EvolutionScratch<G>,
+) {
+    scratch.plan.clear();
+    {
+        let objs: Vec<&[f64]> = pop.iter().map(|i| i.objectives.as_slice()).collect();
+        non_dominated_sort_slices_into(&objs, &mut scratch.sort, &mut scratch.fronts);
+        for (rank, front) in scratch.fronts.iter().enumerate() {
+            if scratch.plan.len() + front.len() <= target {
+                // The whole front survives: its crowding distances
+                // (computed within the full front) are final.
+                crowding_distances_slices_into(&objs, front, &mut scratch.dist, &mut scratch.order);
+                for (&idx, &d) in front.iter().zip(scratch.dist.iter()) {
+                    scratch.plan.push((idx, rank, d));
+                }
+            } else {
+                // Truncate by crowding within the full front (the NSGA-II
+                // crowded-comparison tiebreak)…
+                crowding_distances_slices_into(&objs, front, &mut scratch.dist, &mut scratch.order);
+                scratch.by_crowding.clear();
+                scratch
+                    .by_crowding
+                    .extend(front.iter().copied().zip(scratch.dist.iter().copied()));
+                scratch
+                    .by_crowding
+                    .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                scratch.by_crowding.truncate(target - scratch.plan.len());
+                // …then recompute crowding among the kept subset, matching
+                // what a full re-rank of the survivor set would produce.
+                scratch.kept.clear();
+                scratch
+                    .kept
+                    .extend(scratch.by_crowding.iter().map(|&(idx, _)| idx));
+                crowding_distances_slices_into(
+                    &objs,
+                    &scratch.kept,
+                    &mut scratch.dist,
+                    &mut scratch.order,
+                );
+                for (&idx, &d) in scratch.kept.iter().zip(scratch.dist.iter()) {
+                    scratch.plan.push((idx, rank, d));
+                }
+                break;
             }
-        } else {
-            // Truncate by crowding within the full front (the NSGA-II
-            // crowded-comparison tiebreak)…
-            let dists = crowding_distances_slices(&objs, &front);
-            let mut by_crowding: Vec<(usize, f64)> = front.iter().copied().zip(dists).collect();
-            by_crowding.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            by_crowding.truncate(target - next.len());
-            // …then recompute crowding among the kept subset, matching
-            // what a full re-rank of the survivor set would produce.
-            let kept: Vec<usize> = by_crowding.into_iter().map(|(idx, _)| idx).collect();
-            let kept_dists = crowding_distances_slices(&objs, &kept);
-            for (&idx, d) in kept.iter().zip(kept_dists) {
-                let mut ind = pool[idx].clone();
-                ind.rank = rank;
-                ind.crowding = d;
-                next.push(ind);
+            if scratch.plan.len() == target {
+                break;
             }
-            break;
-        }
-        if next.len() == target {
-            break;
         }
     }
-    next
+    // Execute the plan: move the selected individuals out of the pool in
+    // survivor order; the rest drop with the staging buffer's clear.
+    scratch.taken.clear();
+    scratch.taken.extend(pop.drain(..).map(Some));
+    debug_assert!(scratch.next.is_empty());
+    for &(idx, rank, crowding) in &scratch.plan {
+        let mut ind = scratch.taken[idx].take().expect("survivor selected once");
+        ind.rank = rank;
+        ind.crowding = crowding;
+        scratch.next.push(ind);
+    }
+    std::mem::swap(pop, &mut scratch.next);
+    scratch.next.clear();
+    scratch.taken.clear();
 }
 
 /// The rank-0 members, deduplicated by objective vector and sorted by the

@@ -44,45 +44,80 @@ pub fn non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
     non_dominated_sort_slices(&refs)
 }
 
-/// [`non_dominated_sort`] over borrowed objective slices — the allocation-
-/// free form the NSGA-II selection loop uses (it ranks a merged
+/// [`non_dominated_sort`] over borrowed objective slices — the clone-free
+/// form the NSGA-II selection loop uses (it ranks a merged
 /// parents∪offspring pool every generation and must not clone the
 /// objective matrix to do so).
 pub fn non_dominated_sort_slices(points: &[&[f64]]) -> Vec<Vec<usize>> {
+    let mut fronts = Vec::new();
+    non_dominated_sort_slices_into(points, &mut SortScratch::default(), &mut fronts);
+    fronts
+}
+
+/// Reusable working memory for [`non_dominated_sort_slices_into`]: the
+/// per-point domination lists/counters and a pool of spare front
+/// buffers. One scratch serves any number of sorts; a GA reuses it every
+/// generation so the sort performs no steady-state allocation.
+#[derive(Debug, Default)]
+pub struct SortScratch {
+    /// dominated_by[i]: indices that i dominates.
+    dominated_by: Vec<Vec<usize>>,
+    /// domination_count[i]: how many points dominate i.
+    domination_count: Vec<usize>,
+    /// Cleared front buffers recycled between calls.
+    spare: Vec<Vec<usize>>,
+}
+
+/// [`non_dominated_sort_slices`] writing into caller-owned buffers:
+/// `fronts` is cleared and refilled (its inner index buffers are
+/// recycled through `scratch` rather than reallocated).
+pub fn non_dominated_sort_slices_into(
+    points: &[&[f64]],
+    scratch: &mut SortScratch,
+    fronts: &mut Vec<Vec<usize>>,
+) {
+    for mut front in fronts.drain(..) {
+        front.clear();
+        scratch.spare.push(front);
+    }
     let n = points.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
-    // dominated_by[i]: indices that i dominates; domination_count[i]: how
-    // many points dominate i.
-    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut domination_count = vec![0usize; n];
+    for d in scratch.dominated_by.iter_mut() {
+        d.clear();
+    }
+    while scratch.dominated_by.len() < n {
+        scratch.dominated_by.push(Vec::new());
+    }
+    scratch.domination_count.clear();
+    scratch.domination_count.resize(n, 0);
     for i in 0..n {
         for j in (i + 1)..n {
             if dominates(points[i], points[j]) {
-                dominated_by[i].push(j);
-                domination_count[j] += 1;
+                scratch.dominated_by[i].push(j);
+                scratch.domination_count[j] += 1;
             } else if dominates(points[j], points[i]) {
-                dominated_by[j].push(i);
-                domination_count[i] += 1;
+                scratch.dominated_by[j].push(i);
+                scratch.domination_count[i] += 1;
             }
         }
     }
-    let mut fronts: Vec<Vec<usize>> = Vec::new();
-    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    let mut current = scratch.spare.pop().unwrap_or_default();
+    current.extend((0..n).filter(|&i| scratch.domination_count[i] == 0));
     while !current.is_empty() {
-        let mut next = Vec::new();
+        let mut next = scratch.spare.pop().unwrap_or_default();
         for &i in &current {
-            for &j in &dominated_by[i] {
-                domination_count[j] -= 1;
-                if domination_count[j] == 0 {
+            for &j in &scratch.dominated_by[i] {
+                scratch.domination_count[j] -= 1;
+                if scratch.domination_count[j] == 0 {
                     next.push(j);
                 }
             }
         }
         fronts.push(std::mem::replace(&mut current, next));
     }
-    fronts
+    scratch.spare.push(current);
 }
 
 /// Indices of the Pareto-optimal points (the first front).
@@ -114,16 +149,33 @@ pub fn crowding_distances(points: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
 /// [`crowding_distances`] over borrowed objective slices (see
 /// [`non_dominated_sort_slices`]).
 pub fn crowding_distances_slices(points: &[&[f64]], front: &[usize]) -> Vec<f64> {
+    let mut dist = Vec::new();
+    crowding_distances_slices_into(points, front, &mut dist, &mut Vec::new());
+    dist
+}
+
+/// [`crowding_distances_slices`] writing into caller-owned buffers
+/// (`dist` receives the distances in `front` order; `order` is working
+/// memory), so a per-generation caller allocates nothing.
+pub fn crowding_distances_slices_into(
+    points: &[&[f64]],
+    front: &[usize],
+    dist: &mut Vec<f64>,
+    order: &mut Vec<usize>,
+) {
+    dist.clear();
     let m = match front.first() {
         Some(&i) => points[i].len(),
-        None => return Vec::new(),
+        None => return,
     };
     let n = front.len();
-    let mut dist = vec![0.0f64; n];
     if n <= 2 {
-        return vec![f64::INFINITY; n];
+        dist.resize(n, f64::INFINITY);
+        return;
     }
-    let mut order: Vec<usize> = (0..n).collect();
+    dist.resize(n, 0.0);
+    order.clear();
+    order.extend(0..n);
     #[allow(clippy::needless_range_loop)] // obj indexes nested slices
     for obj in 0..m {
         order.sort_by(|&a, &b| {
@@ -145,7 +197,6 @@ pub fn crowding_distances_slices(points: &[&[f64]], front: &[usize]) -> Vec<f64>
             dist[order[w]] += (next - prev) / span;
         }
     }
-    dist
 }
 
 /// Hypervolume (S-metric) of a point set against a reference point that

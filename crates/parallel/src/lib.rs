@@ -1,23 +1,29 @@
-//! # sega-parallel — deterministic data-parallel mapping
+//! # sega-parallel — deterministic data-parallel mapping on a persistent pool
 //!
 //! The workspace builds hermetically (no crates.io), so instead of rayon
-//! this crate provides the one primitive the evaluation pipeline needs:
-//! [`par_map`], an order-preserving parallel map over a slice built on
-//! `std::thread::scope`.
+//! this crate provides the two primitives the evaluation pipeline needs:
+//!
+//! * [`Pool`] — a **persistent worker pool**: worker threads are spawned
+//!   once (per requested width, cached process-wide by
+//!   [`Pool::for_threads`]) and reused for every batch, so a design space
+//!   exploration pays zero thread spawns after warm-up instead of one
+//!   spawn set per GA generation. Work is claimed in chunks from an
+//!   atomic cursor, and nested/concurrent submissions are deadlock-free
+//!   because every submitter participates in its own batch.
+//! * [`par_map`] — an order-preserving parallel map over a slice,
+//!   executed on the cached pool of the requested width.
 //!
 //! Results are returned **in input order** regardless of thread count or
 //! scheduling, which is what makes the DSE pipeline's output bit-identical
-//! between serial and parallel runs: parallelism changes *when* each item
+//! between serial and pooled runs: parallelism changes *when* each item
 //! is evaluated, never *where* its result lands.
-//!
-//! Work is distributed dynamically (an atomic cursor, one item at a time),
-//! so uneven item costs — e.g. macro estimates whose adder-tree size spans
-//! three orders of magnitude — still balance across workers.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+mod pool;
+
+pub use pool::Pool;
 
 /// The number of hardware threads, with a serial fallback of 1.
 ///
@@ -43,62 +49,38 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
-/// Maps `f` over `items` on up to `threads` worker threads (`0` = all
-/// hardware threads), returning results in input order.
+/// Maps `f` over `items` on up to `threads` concurrent participants
+/// (`0` = all hardware threads), returning results in input order.
 ///
-/// Falls back to a plain serial loop when one thread is requested or the
-/// input is trivially small, so callers can use it unconditionally.
+/// Runs on the process-wide cached [`Pool`] of the requested width
+/// ([`Pool::for_threads`]) — **no threads are spawned per call**. Falls
+/// back to a plain serial loop when one thread is requested or the input
+/// is trivially small, so callers can use it unconditionally.
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the scope joins all workers first).
+/// Propagates a panic from `f` as `"pool worker panicked"` (all
+/// participants are joined first).
 pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = resolve_threads(threads).min(items.len());
+    let threads = resolve_threads(threads);
     if threads <= 1 || items.len() < 2 {
         return items.iter().map(f).collect();
     }
-
-    let cursor = AtomicUsize::new(0);
-    let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        out.push((i, f(item)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("par_map worker panicked"))
-            .collect()
-    });
-
-    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
-    for (i, r) in shards.into_iter().flatten() {
-        debug_assert!(slots[i].is_none(), "item {i} produced twice");
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every item produced exactly once"))
-        .collect()
+    // Key the cached pool by the requested width alone (never by input
+    // length — that would leak one pool per distinct small batch size);
+    // `par_map_bounded` caps the actual participants at `items.len()`.
+    Pool::for_threads(threads).par_map_bounded(items, threads, f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn preserves_input_order() {

@@ -1,0 +1,553 @@
+//! The persistent worker pool behind [`par_map`](crate::par_map).
+//!
+//! # Why a pool
+//!
+//! PR 1's `par_map` spawned fresh scoped threads for every batch. That is
+//! correct and simple, but a design space exploration evaluates hundreds
+//! of batches (one per GA generation, times the mixed-precision fan-out,
+//! times every sweep point), and on Linux a thread spawn costs tens of
+//! microseconds plus a cgroup-aware stack allocation — comparable to an
+//! entire cached evaluation batch. [`Pool`] spawns its workers **once**
+//! and reuses them for every subsequent batch: submitting a batch is a
+//! queue push and a condvar wake.
+//!
+//! # Scheduling
+//!
+//! Work is claimed in **chunks** from an atomic cursor (several chunks
+//! per participant) instead of one item at a time, so the cursor is
+//! touched `O(participants)` times per batch rather than `O(items)`,
+//! while uneven item costs still balance across workers. Results land in
+//! input order regardless of scheduling, which keeps every caller
+//! bit-identical between serial and pooled execution.
+//!
+//! # The submission protocol
+//!
+//! A batch is a type-erased claim-loop closure shared by every
+//! participant. The submitting thread always participates itself (so a
+//! batch makes progress even when every worker is busy — this is what
+//! makes nested `par_map` calls deadlock-free), and up to
+//! `participants − 1` pool workers pick up *tickets* from the shared
+//! queue and join in. A worker joins a batch only while the batch is
+//! *open*; [`Pool::run`] closes the batch and then blocks until every
+//! joined worker has finished before returning, so the borrowed closure
+//! provably outlives every use. Stale tickets (batches that completed
+//! before a worker got to them) are recognised as closed and dropped
+//! without touching the closure.
+
+// The one unsafe idiom of the workspace: erasing the lifetime of the
+// borrowed batch closure so persistent worker threads (which are
+// necessarily `'static`) can call it. `std::thread::scope` performs the
+// same erasure internally; a long-lived pool cannot use `scope`, so the
+// join-before-return guarantee is enforced by `Pool::run` instead (see
+// the safety comments on `BodyPtr` and `Batch::run_as_worker`).
+#![allow(unsafe_code)]
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use crate::{available_threads, resolve_threads};
+
+/// Chunks the claim cursor hands out per participant (on average): large
+/// enough to amortize the atomic traffic, small enough that uneven item
+/// costs still balance.
+const CHUNKS_PER_PARTICIPANT: usize = 4;
+
+/// A type-erased pointer to a batch's borrowed claim-loop closure.
+///
+/// # Safety
+///
+/// The pointee is a stack-borrowed closure owned by the thread inside
+/// [`Pool::run`]. It is dereferenced only by participants that *joined
+/// the batch while it was open* ([`Batch::run_as_worker`]), and
+/// [`Pool::run`] does not return before (a) closing the batch so no new
+/// participant can join and (b) waiting for every joined participant to
+/// finish. Therefore every dereference happens-before the closure goes
+/// out of scope. The closure is `Sync` (asserted at the only
+/// construction site, in [`Pool::run`]'s signature), so sharing the
+/// reference across threads is sound.
+struct BodyPtr(*const (dyn Fn() + Sync + 'static));
+
+// SAFETY: see `BodyPtr` — the pointer is only dereferenced under the
+// open/close + join-before-return protocol, and the pointee is `Sync`.
+unsafe impl Send for BodyPtr {}
+// SAFETY: as above; `&BodyPtr` only exposes the pointer value.
+unsafe impl Sync for BodyPtr {}
+
+struct BatchState {
+    /// While true, workers may still join this batch.
+    open: bool,
+    /// Participants (pool workers) currently executing the body.
+    active: usize,
+    /// Message of the first participant panic, if any.
+    panic_msg: Option<String>,
+}
+
+/// Best-effort extraction of a panic payload's message, so the
+/// propagated pool panic keeps the original assertion text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// One submitted batch: the erased body plus the join/close handshake.
+struct Batch {
+    body: BodyPtr,
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+impl Batch {
+    /// Executes the batch body as a pool worker, if the batch is still
+    /// open. Called with a popped ticket; a closed (already completed)
+    /// batch is skipped without touching the body.
+    fn run_as_worker(&self) {
+        {
+            let mut st = self.state.lock().expect("batch state poisoned");
+            if !st.open {
+                return;
+            }
+            st.active += 1;
+        }
+        // SAFETY: we joined while the batch was open, so `Pool::run` is
+        // still inside its wait loop and the closure is alive; it will
+        // observe our `active` decrement only after we are done with the
+        // reference.
+        let body = unsafe { &*self.body.0 };
+        let outcome = catch_unwind(AssertUnwindSafe(body));
+        let mut st = self.state.lock().expect("batch state poisoned");
+        st.active -= 1;
+        if let Err(payload) = outcome {
+            st.panic_msg.get_or_insert_with(|| panic_message(&*payload));
+        }
+        drop(st);
+        self.done.notify_all();
+    }
+}
+
+/// The worker-visible pool state: the ticket queue and shutdown flag.
+struct Queue {
+    tickets: VecDeque<Arc<Batch>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    ready: Condvar,
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(b) = q.tickets.pop_front() {
+                    break b;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.ready.wait(q).expect("pool queue poisoned");
+            }
+        };
+        batch.run_as_worker();
+    }
+}
+
+/// A persistent worker pool: `participants − 1` OS threads spawned once
+/// at construction, plus the submitting thread itself, cooperate on every
+/// subsequent [`par_map`](Pool::par_map) batch.
+///
+/// Pools are cheap to share (`Arc<Pool>`) and safe to use from several
+/// threads at once — concurrent batches interleave on the same workers,
+/// and because every submitter participates in its own batch, nested
+/// submissions (a `par_map` inside a `par_map` item) cannot deadlock.
+///
+/// Most callers want [`Pool::global`] (sized to the hardware) or
+/// [`Pool::for_threads`] (a process-wide cached pool per requested
+/// width, so forcing `threads = 4` on a single-core CI box still
+/// exercises a genuine 4-way schedule without per-batch spawning).
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    participants: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("participants", &self.participants)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool supporting `participants`-way parallelism: the
+    /// submitting thread plus `participants − 1` persistent workers.
+    /// `participants = 1` (or 0) creates a pool that runs everything on
+    /// the submitting thread.
+    pub fn new(participants: usize) -> Pool {
+        let participants = participants.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                tickets: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let handles = (0..participants - 1)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sega-pool-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            handles,
+            participants,
+        }
+    }
+
+    /// The process-wide pool sized to the hardware
+    /// ([`available_threads`]): the default executor of every evaluation
+    /// batch.
+    pub fn global() -> Arc<Pool> {
+        Pool::for_threads(available_threads())
+    }
+
+    /// A process-wide cached pool supporting `threads`-way parallelism
+    /// (`0` = all hardware threads). Pools are created on first request
+    /// and reused for the lifetime of the process, so repeated
+    /// explorations, sweep points and test cases never pay a spawn: the
+    /// whole process typically holds two or three pools (the hardware
+    /// width plus any widths tests force).
+    pub fn for_threads(threads: usize) -> Arc<Pool> {
+        static REGISTRY: OnceLock<Mutex<HashMap<usize, Arc<Pool>>>> = OnceLock::new();
+        let threads = resolve_threads(threads).max(1);
+        let mut registry = REGISTRY
+            .get_or_init(Default::default)
+            .lock()
+            .expect("pool registry poisoned");
+        Arc::clone(
+            registry
+                .entry(threads)
+                .or_insert_with(|| Arc::new(Pool::new(threads))),
+        )
+    }
+
+    /// Maximum concurrent participants of a batch on this pool (the
+    /// submitting thread counts as one).
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Runs `body` on the submitting thread and up to `extra_workers`
+    /// pool workers concurrently, returning once every participant has
+    /// finished. `body` is the claim loop of a batch: participants call
+    /// it once each and it internally claims work until none is left.
+    ///
+    /// # Panics
+    ///
+    /// Panics with `"pool worker panicked: <original message>"` if
+    /// `body` panicked on any participant (all participants are joined
+    /// first).
+    fn run(&self, extra_workers: usize, body: &(dyn Fn() + Sync)) {
+        let erased: *const (dyn Fn() + Sync) = body;
+        // SAFETY: lifetime erasure only — the fat-pointer layout is
+        // identical, and the `BodyPtr` protocol (join while open, close
+        // then wait before returning) guarantees no dereference outlives
+        // this call. See `BodyPtr`.
+        let erased: *const (dyn Fn() + Sync + 'static) = unsafe { std::mem::transmute(erased) };
+        let batch = Arc::new(Batch {
+            body: BodyPtr(erased),
+            state: Mutex::new(BatchState {
+                open: true,
+                active: 0,
+                panic_msg: None,
+            }),
+            done: Condvar::new(),
+        });
+        let extra = extra_workers.min(self.handles.len());
+        if extra > 0 {
+            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+            for _ in 0..extra {
+                q.tickets.push_back(Arc::clone(&batch));
+            }
+            drop(q);
+            self.shared.ready.notify_all();
+        }
+        // The submitter always participates: even with every worker busy
+        // (or a zero-worker pool) the batch completes.
+        let caller = catch_unwind(AssertUnwindSafe(body));
+        // Close the batch — no new joiners — then wait out the active
+        // ones. Only after this loop may the borrowed body die.
+        let mut st = batch.state.lock().expect("batch state poisoned");
+        st.open = false;
+        while st.active > 0 {
+            st = batch.done.wait(st).expect("batch state poisoned");
+        }
+        let worker_msg = st.panic_msg.take();
+        drop(st);
+        // Propagate with the original assertion text preserved (caller
+        // payload wins — it is the submitting thread's own panic).
+        let msg = match &caller {
+            Err(payload) => Some(panic_message(&**payload)),
+            Ok(()) => worker_msg,
+        };
+        if let Some(msg) = msg {
+            panic!("pool worker panicked: {msg}");
+        }
+    }
+
+    /// Maps `f` over `items` on this pool, returning results in input
+    /// order — the pooled equivalent of [`crate::par_map`]. Uses up to
+    /// [`participants`](Pool::participants) concurrent participants.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_bounded(items, self.participants, f)
+    }
+
+    /// [`par_map`](Pool::par_map) restricted to at most
+    /// `max_participants` concurrent participants (the submitting thread
+    /// included) — how `PipelineOptions::threads` caps a wider pool.
+    pub fn par_map_bounded<T, R, F>(&self, items: &[T], max_participants: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let len = items.len();
+        let participants = max_participants.min(self.participants).min(len).max(1);
+        if participants == 1 || len < 2 {
+            return items.iter().map(f).collect();
+        }
+
+        let chunk = len.div_ceil(participants * CHUNKS_PER_PARTICIPANT).max(1);
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+        let body = || {
+            let mut local: Vec<(usize, R)> = Vec::new();
+            loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + chunk).min(len);
+                for (offset, item) in items[start..end].iter().enumerate() {
+                    local.push((start + offset, f(item)));
+                }
+            }
+            if !local.is_empty() {
+                collected
+                    .lock()
+                    .expect("pool result buffer poisoned")
+                    .append(&mut local);
+            }
+        };
+        self.run(participants - 1, &body);
+
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(len).collect();
+        for (i, r) in collected.into_inner().expect("pool result buffer poisoned") {
+            debug_assert!(slots[i].is_none(), "item {i} produced twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every item produced exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Barrier;
+    use std::thread::ThreadId;
+
+    #[test]
+    fn pool_par_map_preserves_order() {
+        let pool = Pool::new(4);
+        let items: Vec<u64> = (0..1000).collect();
+        let out = pool.par_map(&items, |&x| x * 3 + 1);
+        assert_eq!(out, items.iter().map(|&x| x * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_persist_across_batches() {
+        // The whole point of the pool: many batches, but only the
+        // participants' worth of distinct threads ever touch the work.
+        // The scoped-thread implementation this replaces would show up
+        // to `batches × (participants − 1)` distinct worker ids here.
+        let pool = Pool::new(4);
+        let ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..512).collect();
+        for _ in 0..16 {
+            pool.par_map(&items, |&x| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                x
+            });
+        }
+        // Submitting thread + at most 3 persistent workers.
+        assert!(ids.lock().unwrap().len() <= 4);
+    }
+
+    #[test]
+    fn bounded_batches_agree_with_serial() {
+        let pool = Pool::new(7);
+        let items: Vec<u64> = (0..257).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(9);
+        let serial: Vec<u64> = items.iter().map(f).collect();
+        for bound in [1, 2, 3, 7, 64] {
+            assert_eq!(pool.par_map_bounded(&items, bound, f), serial);
+        }
+    }
+
+    #[test]
+    fn genuinely_concurrent() {
+        // 4 items that each wait on the others only terminate if all four
+        // participants run at once.
+        let pool = Pool::new(4);
+        let barrier = Barrier::new(4);
+        let items = [0u32; 4];
+        let out = pool.par_map(&items, |_| {
+            barrier.wait();
+            1u32
+        });
+        assert_eq!(out, vec![1; 4]);
+    }
+
+    #[test]
+    fn nested_par_map_does_not_deadlock() {
+        // An inner batch submitted from inside an outer batch item: the
+        // inner submitter participates in its own batch, so completion
+        // never depends on free workers.
+        let pool = Pool::for_threads(4);
+        let outer: Vec<u32> = (0..8).collect();
+        let sums = pool.par_map(&outer, |&o| {
+            let inner: Vec<u32> = (0..32).collect();
+            Pool::for_threads(4)
+                .par_map(&inner, |&i| i + o)
+                .into_iter()
+                .sum::<u32>()
+        });
+        let expect: Vec<u32> = outer
+            .iter()
+            .map(|&o| (0..32).map(|i| i + o).sum())
+            .collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let pool = Pool::for_threads(4);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let pool = Arc::clone(&pool);
+                    scope.spawn(move || {
+                        let items: Vec<u64> = (0..301).collect();
+                        pool.par_map(&items, |&x| x + t)
+                    })
+                })
+                .collect();
+            for (t, h) in handles.into_iter().enumerate() {
+                let got = h.join().unwrap();
+                let expect: Vec<u64> = (0..301).map(|x| x + t as u64).collect();
+                assert_eq!(got, expect);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn panic_in_batch_propagates_after_join() {
+        let pool = Pool::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        pool.par_map(&items, |&x| {
+            assert!(x != 63, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn panic_keeps_the_original_message() {
+        let pool = Pool::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |&x| {
+                assert!(x != 63, "estimator exploded on item 63");
+                x
+            })
+        }));
+        let payload = outcome.expect_err("batch must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("formatted panic message");
+        assert!(
+            msg.contains("pool worker panicked") && msg.contains("estimator exploded on item 63"),
+            "lost the original assertion text: {msg}"
+        );
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_batch() {
+        let pool = Pool::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        let poisoned = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |&x| {
+                assert!(x % 2 == 0, "odd");
+                x
+            })
+        }));
+        assert!(poisoned.is_err());
+        // The workers are still alive and later batches run normally.
+        let out = pool.par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_threads_caches_by_width() {
+        let a = Pool::for_threads(5);
+        let b = Pool::for_threads(5);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.participants(), 5);
+        let c = Pool::for_threads(6);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn dropping_a_private_pool_joins_workers() {
+        let pool = Pool::new(3);
+        let items: Vec<u32> = (0..100).collect();
+        let _ = pool.par_map(&items, |&x| x);
+        drop(pool); // must not hang
+    }
+}
