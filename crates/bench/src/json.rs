@@ -1,270 +1,7 @@
-//! Minimal machine-readable bench output — a hand-rolled JSON emitter
-//! (the workspace builds without crates.io, so no serde) plus the record
-//! types the pipeline bench writes to `BENCH_pipeline.json`.
-//!
-//! The schema is deliberately flat so CI can diff it across PRs:
-//!
-//! ```json
-//! {
-//!   "bench": "pipeline",
-//!   "spec": {"wstore": 65536, "precision": "int8"},
-//!   "configs": [
-//!     {"name": "serial_uncached", "wall_s": 1.23,
-//!      "evaluations": 12100, "distinct_evaluations": 12100, "cache_hits": 0},
-//!     ...
-//!   ]
-//! }
-//! ```
+//! Machine-readable bench output, re-exported from [`sega_wire`] — the
+//! one emitter and schema suite the whole workspace shares (PR 3 moved
+//! the hand-rolled serializer there; this module keeps the historical
+//! `sega_bench::json::*` paths working).
 
-use std::fmt::Write as _;
-
-/// A JSON value with a canonical (stable-ordering) text form.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A finite number (non-finite values serialize as `null` — JSON has
-    /// no NaN/Infinity).
-    Num(f64),
-    /// A string (escaped on write).
-    Str(String),
-    /// An ordered array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Object constructor from `(key, value)` pairs.
-    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(x) => {
-                if x.is_finite() {
-                    // Integral values print without a fractional part.
-                    if *x == x.trunc() && x.abs() < 9.0e15 {
-                        let _ = write!(out, "{}", *x as i64);
-                    } else {
-                        let _ = write!(out, "{x}");
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(s, out),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                out.push('{');
-                for (i, (key, value)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    write_escaped(key, out);
-                    out.push(':');
-                    value.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-impl std::fmt::Display for Json {
-    /// Compact JSON text.
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut out = String::new();
-        self.write(&mut out);
-        f.write_str(&out)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(x: f64) -> Json {
-        Json::Num(x)
-    }
-}
-impl From<usize> for Json {
-    fn from(x: usize) -> Json {
-        Json::Num(x as f64)
-    }
-}
-impl From<u64> for Json {
-    fn from(x: u64) -> Json {
-        Json::Num(x as f64)
-    }
-}
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_owned())
-    }
-}
-impl From<String> for Json {
-    fn from(s: String) -> Json {
-        Json::Str(s)
-    }
-}
-
-fn write_escaped(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// One measured pipeline configuration: wall-clock plus the evaluation
-/// accounting of the run.
-#[derive(Debug, Clone)]
-pub struct ConfigRecord {
-    /// Configuration name, e.g. `"serial_uncached"` or `"shared_cache_run2"`.
-    pub name: String,
-    /// Wall-clock of the measured run in seconds.
-    pub wall_s: f64,
-    /// Genome evaluations the GA requested.
-    pub evaluations: usize,
-    /// Evaluations that reached the estimator.
-    pub distinct_evaluations: usize,
-    /// Evaluations served from memory (cache or intra-batch dedup).
-    pub cache_hits: usize,
-}
-
-impl ConfigRecord {
-    fn to_json(&self) -> Json {
-        Json::obj([
-            ("name", Json::from(self.name.clone())),
-            ("wall_s", Json::from(self.wall_s)),
-            ("evaluations", Json::from(self.evaluations)),
-            (
-                "distinct_evaluations",
-                Json::from(self.distinct_evaluations),
-            ),
-            ("cache_hits", Json::from(self.cache_hits)),
-        ])
-    }
-}
-
-/// The full `BENCH_pipeline.json` document.
-#[derive(Debug, Clone)]
-pub struct PipelineReport {
-    /// Specification capacity.
-    pub wstore: u64,
-    /// Specification precision name.
-    pub precision: String,
-    /// One record per measured configuration, in measurement order.
-    pub configs: Vec<ConfigRecord>,
-}
-
-impl PipelineReport {
-    /// Serializes the report to its canonical JSON text.
-    pub fn to_json_string(&self) -> String {
-        Json::obj([
-            ("bench", Json::from("pipeline")),
-            (
-                "spec",
-                Json::obj([
-                    ("wstore", Json::from(self.wstore)),
-                    ("precision", Json::from(self.precision.clone())),
-                ]),
-            ),
-            (
-                "configs",
-                Json::Arr(self.configs.iter().map(ConfigRecord::to_json).collect()),
-            ),
-        ])
-        .to_string()
-    }
-
-    /// Writes the report to `path`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the underlying I/O error.
-    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json_string() + "\n")
-    }
-}
-
-/// Resolves the `BENCH_PIPELINE_JSON` environment knob: unset → `None`
-/// (no file written); `"1"`/`"true"` → the default `BENCH_pipeline.json`
-/// in the current directory; anything else → that path.
-pub fn pipeline_json_path() -> Option<std::path::PathBuf> {
-    let raw = std::env::var("BENCH_PIPELINE_JSON").ok()?;
-    match raw.as_str() {
-        "" => None,
-        "1" | "true" => Some("BENCH_pipeline.json".into()),
-        path => Some(path.into()),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn values_serialize_canonically() {
-        let doc = Json::obj([
-            ("int", Json::from(65536u64)),
-            ("float", Json::from(1.5f64)),
-            ("nan", Json::Num(f64::NAN)),
-            ("s", Json::from("a\"b\\c\nd")),
-            ("arr", Json::Arr(vec![Json::Null, Json::Bool(true)])),
-        ]);
-        assert_eq!(
-            doc.to_string(),
-            r#"{"int":65536,"float":1.5,"nan":null,"s":"a\"b\\c\nd","arr":[null,true]}"#
-        );
-    }
-
-    #[test]
-    fn pipeline_report_schema_is_stable() {
-        let report = PipelineReport {
-            wstore: 65536,
-            precision: "int8".to_owned(),
-            configs: vec![ConfigRecord {
-                name: "serial_uncached".to_owned(),
-                wall_s: 0.25,
-                evaluations: 12100,
-                distinct_evaluations: 12100,
-                cache_hits: 0,
-            }],
-        };
-        let text = report.to_json_string();
-        assert!(
-            text.starts_with(r#"{"bench":"pipeline","spec":{"wstore":65536,"precision":"int8"}"#)
-        );
-        assert!(text.contains(r#""name":"serial_uncached","wall_s":0.25,"evaluations":12100"#));
-        assert!(text.contains(r#""distinct_evaluations":12100,"cache_hits":0"#));
-    }
-
-    #[test]
-    fn control_characters_are_escaped() {
-        assert_eq!(Json::from("\u{1}").to_string(), "\"\\u0001\"");
-        assert_eq!(Json::from("\t").to_string(), r#""\t""#);
-    }
-}
+pub use sega_wire::json::{Json, JsonError};
+pub use sega_wire::report::{pipeline_json_path, ConfigRecord, PipelineReport};

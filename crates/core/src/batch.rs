@@ -1,0 +1,435 @@
+//! The batch job runner: many heterogeneous exploration requests through
+//! **one** persistent pool and **one** shared, persistable eval cache —
+//! the first scenario where the engine behaves like a service.
+//!
+//! A *job file* (JSON, parsed with the dependency-free `sega_wire`
+//! parser) lists `UserSpec`s plus optional per-job NSGA-II budget
+//! overrides. [`run_batch`] executes them in order against a shared
+//! [`SharedEvalCache`], so later jobs reuse everything earlier jobs (or a
+//! `--cache-file` warm start) already estimated, and returns a
+//! [`BatchReport`] that serializes to a machine-readable results document
+//! via the wire codec — including the exact objective bit patterns, so
+//! CI can assert bit-identical fronts across runs, thread counts, shard
+//! counts and backend choices.
+//!
+//! The cache round-trips through [`Snapshot`] files: load before, save
+//! after. Rerunning an identical job file against the saved snapshot
+//! reports **0 distinct evaluations** — every objective vector is served
+//! from the warm cache, and the fronts are bit-identical to the cold run.
+
+use std::sync::Arc;
+
+use sega_cells::Technology;
+use sega_estimator::{OperatingConditions, Precision};
+use sega_moga::Nsga2Config;
+use sega_parallel::{resolve_threads, Pool};
+use sega_wire::{Json, Snapshot};
+
+use crate::cache::SharedEvalCache;
+use crate::explore::{explore_pareto_with, ExplorationResult, PipelineOptions};
+use crate::spec::UserSpec;
+
+/// One batch entry: a specification and the exploration budget to spend
+/// on it.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// What to explore.
+    pub spec: UserSpec,
+    /// The NSGA-II budget and seed for this job.
+    pub config: Nsga2Config,
+}
+
+/// One finished job: the budget it ran with and what came out.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// The configuration the job ran with.
+    pub config: Nsga2Config,
+    /// The exploration result (front + accounting).
+    pub result: ExplorationResult,
+}
+
+/// The outcome of a whole batch run.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-job outcomes, in job-file order.
+    pub outcomes: Vec<BatchOutcome>,
+    /// Total genome evaluations the GA requested across all jobs.
+    pub evaluations: usize,
+    /// Total evaluations that reached the estimator backend. `0` on a
+    /// fully warm-started rerun of an identical job file.
+    pub distinct_evaluations: usize,
+    /// Total evaluations served from memory.
+    pub cache_hits: usize,
+    /// Entries the shared cache held *before* the first job (the warm
+    /// start, e.g. from a loaded `--cache-file`).
+    pub preloaded_entries: usize,
+    /// Entries the shared cache holds after the last job.
+    pub cache_entries: usize,
+    /// Name of the estimator backend the batch ran on.
+    pub backend: &'static str,
+}
+
+/// Parses a batch job file: either `{"jobs": [...]}` or a bare array,
+/// each job `{"wstore": N, "precision": "int8"}` with optional
+/// `"population"`, `"generations"` and `"seed"` overriding `defaults`.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending job index and field.
+pub fn parse_jobs(text: &str, defaults: &Nsga2Config) -> Result<Vec<BatchJob>, String> {
+    let doc = Json::parse(text).map_err(|e| format!("job file: {e}"))?;
+    let raw_jobs = doc
+        .get("jobs")
+        .or(Some(&doc))
+        .and_then(Json::as_arr)
+        .ok_or("job file must be a JSON array or an object with a `jobs` array")?;
+    if raw_jobs.is_empty() {
+        return Err("job file lists no jobs".to_owned());
+    }
+    raw_jobs
+        .iter()
+        .enumerate()
+        .map(|(i, raw)| {
+            let field = |name: &str| format!("job {i}: missing or invalid `{name}`");
+            let wstore = raw
+                .get("wstore")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| field("wstore"))?;
+            let precision_name = raw
+                .get("precision")
+                .and_then(Json::as_str)
+                .ok_or_else(|| field("precision"))?;
+            let precision = Precision::from_name(precision_name)
+                .ok_or_else(|| format!("job {i}: unknown precision `{precision_name}`"))?;
+            let spec = UserSpec::new(wstore, precision).map_err(|e| format!("job {i}: {e}"))?;
+            let mut config = defaults.clone();
+            let override_usize = |name: &str| -> Result<Option<usize>, String> {
+                match raw.get(name) {
+                    None => Ok(None),
+                    Some(v) => v
+                        .as_u64()
+                        .map(|n| Some(n as usize))
+                        .ok_or_else(|| field(name)),
+                }
+            };
+            if let Some(p) = override_usize("population")? {
+                config.population = p;
+            }
+            if let Some(g) = override_usize("generations")? {
+                config.generations = g;
+            }
+            if let Some(seed) = raw.get("seed") {
+                config.seed = seed.as_u64().ok_or_else(|| field("seed"))?;
+            }
+            Ok(BatchJob { spec, config })
+        })
+        .collect()
+}
+
+/// Runs every job over one pool, one shared cache and one backend.
+///
+/// Jobs execute in file order (each job's *inner* evaluation still fans
+/// out on the pool), so the report — and the cache snapshot left behind
+/// — is deterministic for a given job file, whatever the thread count.
+/// If the pipeline options carry no shared cache, a fresh one is created
+/// for the batch; pass one explicitly to warm-start (see
+/// [`SharedEvalCache::load`]).
+pub fn run_batch(
+    jobs: &[BatchJob],
+    tech: &Technology,
+    conditions: &OperatingConditions,
+    pipeline: PipelineOptions,
+) -> BatchReport {
+    let cache = pipeline
+        .shared_cache
+        .clone()
+        .unwrap_or_else(|| Arc::new(SharedEvalCache::new()));
+    let pool = pipeline
+        .pool
+        .clone()
+        .unwrap_or_else(|| Pool::for_threads(resolve_threads(pipeline.threads)));
+    let backend = pipeline
+        .backend
+        .as_ref()
+        .map(|b| b.name())
+        .unwrap_or("macro-model");
+    let inner = PipelineOptions {
+        pool: Some(pool),
+        shared_cache: Some(Arc::clone(&cache)),
+        ..pipeline
+    };
+    let preloaded_entries = cache.len();
+    let outcomes: Vec<BatchOutcome> = jobs
+        .iter()
+        .map(|job| BatchOutcome {
+            config: job.config.clone(),
+            result: explore_pareto_with(&job.spec, tech, conditions, &job.config, inner.clone()),
+        })
+        .collect();
+    BatchReport {
+        evaluations: outcomes.iter().map(|o| o.result.evaluations).sum(),
+        distinct_evaluations: outcomes.iter().map(|o| o.result.distinct_evaluations).sum(),
+        cache_hits: outcomes.iter().map(|o| o.result.cache_hits).sum(),
+        preloaded_entries,
+        cache_entries: cache.len(),
+        backend,
+        outcomes,
+    }
+}
+
+impl BatchReport {
+    /// The machine-readable results document. Objective vectors appear
+    /// twice: as display-friendly decimal fields and as exact bit
+    /// patterns (`"bits"`, 16-digit hex), so consumers can both read and
+    /// byte-compare fronts.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("report", Json::from("sega-dcim-batch")),
+            ("version", Json::from(sega_wire::FORMAT_VERSION)),
+            ("backend", Json::from(self.backend)),
+            (
+                "totals",
+                Json::obj([
+                    ("jobs", Json::from(self.outcomes.len())),
+                    ("evaluations", Json::from(self.evaluations)),
+                    (
+                        "distinct_evaluations",
+                        Json::from(self.distinct_evaluations),
+                    ),
+                    ("cache_hits", Json::from(self.cache_hits)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("preloaded_entries", Json::from(self.preloaded_entries)),
+                    ("entries", Json::from(self.cache_entries)),
+                ]),
+            ),
+            (
+                "jobs",
+                Json::Arr(self.outcomes.iter().map(outcome_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn outcome_json(outcome: &BatchOutcome) -> Json {
+    let result = &outcome.result;
+    Json::obj([
+        ("wstore", Json::from(result.spec.wstore)),
+        ("precision", Json::from(result.spec.precision.name())),
+        ("population", Json::from(outcome.config.population)),
+        ("generations", Json::from(outcome.config.generations)),
+        ("seed", Json::from(outcome.config.seed)),
+        ("evaluations", Json::from(result.evaluations)),
+        (
+            "distinct_evaluations",
+            Json::from(result.distinct_evaluations),
+        ),
+        ("cache_hits", Json::from(result.cache_hits)),
+        (
+            "front",
+            Json::Arr(result.solutions.iter().map(solution_json).collect()),
+        ),
+    ])
+}
+
+/// The wire document of one front member — the **single** schema shared
+/// by the batch report and the CLI's `explore --json`: the design point,
+/// its readable metrics, and the exact objective bit patterns (`"bits"`,
+/// 16-digit hex) consumers byte-compare.
+pub fn solution_json(s: &crate::explore::ParetoSolution) -> Json {
+    let (n, h, l, k) = s.design.geometry();
+    Json::obj([
+        ("design", Json::from(s.design.to_string())),
+        (
+            "geometry",
+            Json::obj([
+                ("n", Json::from(n)),
+                ("h", Json::from(h)),
+                ("l", Json::from(l)),
+                ("k", Json::from(k)),
+            ]),
+        ),
+        ("area_mm2", Json::from(s.estimate.area_mm2)),
+        ("delay_ns", Json::from(s.estimate.delay_ns)),
+        (
+            "energy_per_pass_nj",
+            Json::from(s.estimate.energy_per_pass_nj),
+        ),
+        ("tops", Json::from(s.estimate.tops)),
+        ("tops_per_w", Json::from(s.estimate.tops_per_w())),
+        (
+            "bits",
+            Json::Arr(
+                s.objectives()
+                    .iter()
+                    .map(|o| Json::Str(format!("{:016x}", o.to_bits())))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a cache file's bytes (binary or JSON, sniffed by magic) into
+/// a [`Snapshot`].
+///
+/// # Errors
+///
+/// A human-readable message (for CLI surfaces).
+pub fn decode_cache_file(bytes: &[u8]) -> Result<Snapshot, String> {
+    Snapshot::decode(bytes).map_err(|e| format!("cache file: {e}"))
+}
+
+/// Encodes a snapshot for a cache file path: JSON text when the path
+/// ends in `.json`, the compact binary form otherwise.
+pub fn encode_cache_file(snapshot: &Snapshot, path: &std::path::Path) -> Vec<u8> {
+    if path.extension().is_some_and(|e| e == "json") {
+        let mut text = snapshot.to_json().to_string();
+        text.push('\n');
+        text.into_bytes()
+    } else {
+        snapshot.encode_binary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Nsga2Config {
+        Nsga2Config {
+            population: 12,
+            generations: 6,
+            seed: 9,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn job_files_parse_with_defaults_and_overrides() {
+        let jobs = parse_jobs(
+            r#"{"jobs":[
+                {"wstore": 8192, "precision": "int8"},
+                {"wstore": 16384, "precision": "BF16", "population": 30, "seed": 5}
+            ]}"#,
+            &quick(),
+        )
+        .unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].spec.wstore, 8192);
+        assert_eq!(jobs[0].config.population, 12);
+        assert_eq!(jobs[0].config.seed, 9);
+        assert_eq!(jobs[1].spec.precision, Precision::Bf16);
+        assert_eq!(jobs[1].config.population, 30);
+        assert_eq!(jobs[1].config.generations, 6);
+        assert_eq!(jobs[1].config.seed, 5);
+        // A bare array works too.
+        let bare = parse_jobs(r#"[{"wstore": 4096, "precision": "int4"}]"#, &quick()).unwrap();
+        assert_eq!(bare.len(), 1);
+    }
+
+    #[test]
+    fn job_file_errors_name_the_job() {
+        let defaults = quick();
+        for (text, needle) in [
+            ("{}", "jobs"),
+            ("[]", "no jobs"),
+            (
+                r#"[{"precision":"int8"}]"#,
+                "job 0: missing or invalid `wstore`",
+            ),
+            (
+                r#"[{"wstore":8192}]"#,
+                "job 0: missing or invalid `precision`",
+            ),
+            (
+                r#"[{"wstore":8192,"precision":"int3"}]"#,
+                "unknown precision",
+            ),
+            (r#"[{"wstore":5000,"precision":"int8"}]"#, "power of two"),
+            (
+                r#"[{"wstore":8192,"precision":"int8","seed":"x"}]"#,
+                "job 0: missing or invalid `seed`",
+            ),
+        ] {
+            let err = parse_jobs(text, &defaults).unwrap_err();
+            assert!(err.contains(needle), "`{err}` missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn batch_runs_share_one_cache_across_jobs() {
+        let jobs = parse_jobs(
+            r#"[{"wstore": 8192, "precision": "int8", "seed": 1},
+                {"wstore": 8192, "precision": "int8", "seed": 2}]"#,
+            &quick(),
+        )
+        .unwrap();
+        let report = run_batch(
+            &jobs,
+            &Technology::tsmc28(),
+            &OperatingConditions::paper_default(),
+            PipelineOptions::default(),
+        );
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.preloaded_entries, 0);
+        assert_eq!(report.backend, "macro-model");
+        // Second job mines the first job's cache: strictly fewer distinct
+        // evaluations than an isolated run of the same job.
+        let isolated = run_batch(
+            &jobs[1..],
+            &Technology::tsmc28(),
+            &OperatingConditions::paper_default(),
+            PipelineOptions::default(),
+        );
+        assert!(
+            report.outcomes[1].result.distinct_evaluations
+                < isolated.outcomes[0].result.distinct_evaluations,
+            "cross-job reuse must shrink the estimator bill"
+        );
+        // And the front is unaffected by where estimates came from.
+        assert_eq!(
+            report.outcomes[1].result.objective_matrix(),
+            isolated.outcomes[0].result.objective_matrix()
+        );
+    }
+
+    #[test]
+    fn report_document_is_valid_json_with_exact_bits() {
+        let jobs = parse_jobs(r#"[{"wstore": 8192, "precision": "int8"}]"#, &quick()).unwrap();
+        let report = run_batch(
+            &jobs,
+            &Technology::tsmc28(),
+            &OperatingConditions::paper_default(),
+            PipelineOptions::default(),
+        );
+        let text = report.to_json().to_string();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("report").and_then(Json::as_str),
+            Some("sega-dcim-batch")
+        );
+        let job = &doc.get("jobs").and_then(Json::as_arr).unwrap()[0];
+        let front = job.get("front").and_then(Json::as_arr).unwrap();
+        assert_eq!(front.len(), report.outcomes[0].result.solutions.len());
+        let bits = front[0].get("bits").and_then(Json::as_arr).unwrap();
+        let expected = report.outcomes[0].result.solutions[0].objectives();
+        for (b, o) in bits.iter().zip(expected) {
+            assert_eq!(b.as_str().unwrap(), format!("{:016x}", o.to_bits()));
+        }
+    }
+
+    #[test]
+    fn cache_file_encoding_follows_the_extension() {
+        let snapshot = Snapshot::default();
+        let binary = encode_cache_file(&snapshot, std::path::Path::new("warm.bin"));
+        assert!(sega_wire::Reader::looks_binary(&binary));
+        let json = encode_cache_file(&snapshot, std::path::Path::new("warm.json"));
+        assert!(json.starts_with(b"{"));
+        decode_cache_file(&binary).unwrap();
+        decode_cache_file(&json).unwrap();
+        assert!(decode_cache_file(b"garbage").is_err());
+    }
+}

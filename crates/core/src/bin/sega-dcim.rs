@@ -4,8 +4,11 @@
 //! sega-dcim compile --wstore 8192 --precision int8 [--strategy knee]
 //!                   [--population 100] [--generations 120] [--seed N]
 //!                   [--threads N] [--no-cache] [--out DIR]
-//! sega-dcim explore --wstore 8192 --precision bf16 [--threads N] [--no-cache] [--csv]
-//! sega-dcim estimate --n 32 --h 128 --l 16 --k 4 --precision int8
+//! sega-dcim explore --wstore 8192 --precision bf16 [--threads N] [--no-cache] [--csv | --json]
+//! sega-dcim estimate --n 32 --h 128 --l 16 --k 4 --precision int8 [--json]
+//! sega-dcim batch   --jobs FILE [--cache-file FILE] [--report FILE]
+//!                   [--population N] [--generations N] [--seed N]
+//!                   [--threads N] [--shards N] [--backend macro|instrumented]
 //! ```
 //!
 //! `--threads` bounds the exploration's evaluation pipeline (`0` = all
@@ -16,18 +19,32 @@
 //!
 //! `compile` runs the full pipeline and writes `macro.v`, `macro.def` and
 //! `report.md` into `--out` (default `./sega-out`); `explore` prints the
-//! Pareto frontier; `estimate` prints the cost model for one design point.
+//! Pareto frontier; `estimate` prints the cost model for one design point
+//! (both machine-readable with `--json`).
+//!
+//! `batch` is the service-shaped entry point: it reads a JSON job file of
+//! many specifications, runs them over one worker pool and one shared
+//! eval cache, and emits a wire-codec results report. `--cache-file`
+//! loads the cache before the run and saves it after (binary snapshot,
+//! or JSON when the path ends in `.json`), so an identical rerun
+//! warm-starts to **0 distinct evaluations** with bit-identical fronts.
 
 use std::collections::HashMap;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use sega_dcim::batch::{decode_cache_file, encode_cache_file, parse_jobs, run_batch};
 use sega_dcim::report::{csv_table, markdown_table};
-use sega_dcim::{Compiler, DistillStrategy, UserSpec};
-use sega_estimator::{estimate, DcimDesign, OperatingConditions, Precision};
+use sega_dcim::{
+    Compiler, DistillStrategy, ExplorationResult, InstrumentedBackend, PipelineOptions,
+    SharedEvalCache, UserSpec,
+};
+use sega_estimator::{estimate, DcimDesign, MacroEstimate, OperatingConditions, Precision};
 use sega_layout::export::to_ascii;
 use sega_moga::Nsga2Config;
+use sega_wire::Json;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,11 +62,21 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   sega-dcim compile  --wstore N --precision P [--strategy knee|min-area|max-throughput|max-efficiency]
                      [--population N] [--generations N] [--seed N] [--threads N] [--no-cache] [--out DIR]
-  sega-dcim explore  --wstore N --precision P [--threads N] [--no-cache] [--csv]
-  sega-dcim estimate --n N --h H --l L --k K --precision P
-precisions: int2 int4 int8 int16 fp8 fp16 bf16 fp32
---threads:  evaluation pool width (0 = all hardware threads, 1 = serial)
---no-cache: disable estimate memoization (results are identical, only slower)";
+  sega-dcim explore  --wstore N --precision P [--threads N] [--no-cache] [--csv | --json]
+  sega-dcim estimate --n N --h H --l L --k K --precision P [--json]
+  sega-dcim batch    --jobs FILE [--cache-file FILE] [--report FILE]
+                     [--population N] [--generations N] [--seed N]
+                     [--threads N] [--shards N] [--backend macro|instrumented]
+precisions:   int2 int4 int8 int16 fp8 fp16 bf16 fp32
+--threads:    evaluation pool width (0 = all hardware threads, 1 = serial)
+--no-cache:   disable estimate memoization (results are identical, only slower)
+--json:       emit the wire-codec JSON document instead of a table
+--jobs:       JSON job file: {\"jobs\":[{\"wstore\":8192,\"precision\":\"int8\",
+              \"population\":..,\"generations\":..,\"seed\":..}, ...]}
+--cache-file: load the eval cache before the batch, save it after (warm start;
+              binary snapshot, or JSON text when the path ends in .json)
+--report:     write the batch results JSON here (default: stdout)
+--backend:    estimator backend (default macro; instrumented = macro + counters)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().ok_or("missing command")?;
@@ -58,6 +85,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "compile" => compile(&flags),
         "explore" => explore(&flags),
         "estimate" => estimate_cmd(&flags),
+        "batch" => batch(&flags),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -70,7 +98,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected `--flag`, got `{arg}`"))?;
         // Boolean flags take no value.
-        if key == "csv" || key == "no-cache" {
+        if key == "csv" || key == "no-cache" || key == "json" {
             flags.insert(key.to_owned(), "true".to_owned());
             continue;
         }
@@ -191,11 +219,44 @@ fn compile(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The wire-codec document of one exploration: spec, accounting, and the
+/// front through the same per-solution schema as the batch report
+/// ([`sega_dcim::batch::solution_json`] — readable metrics plus exact
+/// objective bit patterns).
+fn exploration_json(result: &ExplorationResult) -> Json {
+    Json::obj([
+        ("report", Json::from("sega-dcim-explore")),
+        ("version", Json::from(sega_wire::FORMAT_VERSION)),
+        ("wstore", Json::from(result.spec.wstore)),
+        ("precision", Json::from(result.spec.precision.name())),
+        ("evaluations", Json::from(result.evaluations)),
+        (
+            "distinct_evaluations",
+            Json::from(result.distinct_evaluations),
+        ),
+        ("cache_hits", Json::from(result.cache_hits)),
+        (
+            "front",
+            Json::Arr(
+                result
+                    .solutions
+                    .iter()
+                    .map(sega_dcim::batch::solution_json)
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn explore(flags: &HashMap<String, String>) -> Result<(), String> {
     let spec = UserSpec::new(get_u64(flags, "wstore")?, get_precision(flags)?)
         .map_err(|e| e.to_string())?;
     let compiler = compiler_from(flags)?;
     let result = compiler.explore(&spec);
+    if flags.contains_key("json") {
+        println!("{}", exploration_json(&result));
+        return Ok(());
+    }
     let rows: Vec<Vec<String>> = result
         .solutions
         .iter()
@@ -245,6 +306,10 @@ fn estimate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         &sega_cells::Technology::tsmc28(),
         &OperatingConditions::paper_default(),
     );
+    if flags.contains_key("json") {
+        println!("{}", estimate_json(&design, &est));
+        return Ok(());
+    }
     println!("design   : {design}");
     println!("wstore   : {}", design.wstore());
     println!("estimate : {est}");
@@ -257,6 +322,155 @@ fn estimate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
                 100.0 * cost.area / est.unit.area
             );
         }
+    }
+    Ok(())
+}
+
+/// The wire-codec document of one design-point estimate.
+fn estimate_json(design: &DcimDesign, est: &MacroEstimate) -> Json {
+    let (n, h, l, k) = design.geometry();
+    Json::obj([
+        ("report", Json::from("sega-dcim-estimate")),
+        ("version", Json::from(sega_wire::FORMAT_VERSION)),
+        ("design", Json::from(design.to_string())),
+        (
+            "geometry",
+            Json::obj([
+                ("n", Json::from(n)),
+                ("h", Json::from(h)),
+                ("l", Json::from(l)),
+                ("k", Json::from(k)),
+            ]),
+        ),
+        ("wstore", Json::from(design.wstore())),
+        ("area_mm2", Json::from(est.area_mm2)),
+        ("delay_ns", Json::from(est.delay_ns)),
+        ("energy_per_cycle_nj", Json::from(est.energy_per_cycle_nj)),
+        ("energy_per_pass_nj", Json::from(est.energy_per_pass_nj)),
+        ("cycles_per_pass", Json::from(est.cycles_per_pass)),
+        ("macs_per_pass", Json::from(est.macs_per_pass)),
+        ("tops", Json::from(est.tops)),
+        ("tops_per_w", Json::from(est.tops_per_w())),
+        ("freq_ghz", Json::from(est.freq_ghz())),
+        (
+            "breakdown",
+            Json::Obj(
+                est.breakdown
+                    .iter()
+                    .map(|(name, cost)| {
+                        (
+                            name.to_owned(),
+                            Json::obj([
+                                ("area", Json::from(cost.area)),
+                                ("delay", Json::from(cost.delay)),
+                                ("energy", Json::from(cost.energy)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
+    let jobs_path = flags.get("jobs").ok_or("missing --jobs")?;
+    let jobs_text = fs::read_to_string(jobs_path)
+        .map_err(|e| format!("cannot read job file `{jobs_path}`: {e}"))?;
+    let mut defaults = Nsga2Config::default();
+    if let Some(p) = get_u32_opt(flags, "population")? {
+        defaults.population = p as usize;
+    }
+    if let Some(g) = get_u32_opt(flags, "generations")? {
+        defaults.generations = g as usize;
+    }
+    if let Some(s) = flags.get("seed") {
+        defaults.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
+    }
+    let jobs = parse_jobs(&jobs_text, &defaults)?;
+
+    // One shared cache for the whole batch, warm-started from the cache
+    // file when present.
+    let shards = match flags.get("shards") {
+        Some(raw) => raw.parse().map_err(|e| format!("--shards: {e}"))?,
+        None => sega_dcim::cache::DEFAULT_SHARDS,
+    };
+    let cache = Arc::new(SharedEvalCache::with_shards(shards));
+    let cache_file = flags.get("cache-file").map(PathBuf::from);
+    if let Some(path) = &cache_file {
+        match fs::read(path) {
+            Ok(bytes) => {
+                let snapshot = decode_cache_file(&bytes)?;
+                let installed = cache.load(&snapshot).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "loaded {} cached estimates from {}",
+                    installed,
+                    path.display()
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!("cache file {} not found, starting cold", path.display());
+            }
+            Err(e) => return Err(format!("cannot read cache file `{}`: {e}", path.display())),
+        }
+    }
+
+    let mut pipeline = PipelineOptions::default().with_shared_cache(Arc::clone(&cache));
+    if let Some(t) = flags.get("threads") {
+        pipeline.threads = t.parse().map_err(|e| format!("--threads: {e}"))?;
+    }
+    let instrumented = match flags.get("backend").map(String::as_str) {
+        None | Some("macro") => None,
+        Some("instrumented") => {
+            let backend = Arc::new(InstrumentedBackend::macro_model());
+            pipeline.backend = Some(Arc::clone(&backend) as _);
+            Some(backend)
+        }
+        Some(other) => return Err(format!("unknown backend `{other}`")),
+    };
+
+    let report = run_batch(
+        &jobs,
+        &sega_cells::Technology::tsmc28(),
+        &OperatingConditions::paper_default(),
+        pipeline,
+    );
+
+    let document = report.to_json().to_string();
+    match flags.get("report") {
+        Some(path) => {
+            fs::write(Path::new(path), document + "\n")
+                .map_err(|e| format!("cannot write report `{path}`: {e}"))?;
+            eprintln!("wrote batch report to {path}");
+        }
+        None => println!("{document}"),
+    }
+
+    if let Some(path) = &cache_file {
+        let bytes = encode_cache_file(&cache.snapshot(), path);
+        fs::write(path, bytes)
+            .map_err(|e| format!("cannot write cache file `{}`: {e}", path.display()))?;
+        eprintln!(
+            "saved {} cached estimates to {}",
+            cache.len(),
+            path.display()
+        );
+    }
+
+    eprintln!(
+        "{} jobs: {} evaluations, {} distinct estimates, {} cache hits ({} warm-start entries)",
+        report.outcomes.len(),
+        report.evaluations,
+        report.distinct_evaluations,
+        report.cache_hits,
+        report.preloaded_entries
+    );
+    if let Some(backend) = instrumented {
+        eprintln!(
+            "backend traffic: {} cohorts, {} geometries",
+            backend.cohorts(),
+            backend.geometries()
+        );
     }
     Ok(())
 }

@@ -27,6 +27,16 @@
 //! Results are unaffected by any of this: a cached objective vector is
 //! bit-identical to a recomputed one (the estimator is deterministic), so
 //! sharing only changes *counters and wall-clock*, never fronts.
+//!
+//! The cache is also **persistent and mergeable**:
+//! [`SharedEvalCache::snapshot`] exports a canonical wire image
+//! ([`sega_wire::Snapshot`], identical bytes for identical facts
+//! regardless of shard count or insertion order),
+//! [`SharedEvalCache::load`] installs one, and
+//! [`SharedEvalCache::merge`] unions two live caches —
+//! commutative/idempotent operations, so caches from separate processes
+//! (CLI `--cache-file` warm starts today, remote estimator workers
+//! tomorrow) combine in any order.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hash, Hasher};
@@ -35,6 +45,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use sega_cells::Technology;
 use sega_estimator::{OperatingConditions, Precision};
+use sega_wire::snapshot::{EntryRecord, GeometryRecord, KeyRecord, Snapshot, SpaceRecord};
 
 use crate::explore::Geometry;
 
@@ -153,7 +164,69 @@ impl CacheKey {
             wstore,
         }
     }
+
+    /// The wire image of this key (the snapshot format's
+    /// technology+conditions fingerprint source).
+    pub fn to_record(&self) -> KeyRecord {
+        KeyRecord {
+            tech_name: self.tech_name.as_ref().to_owned(),
+            node_bits: self.node_bits,
+            gate_area_bits: self.gate_area_bits,
+            gate_delay_bits: self.gate_delay_bits,
+            gate_energy_bits: self.gate_energy_bits,
+            nominal_voltage_bits: self.nominal_voltage_bits,
+            voltage_bits: self.voltage_bits,
+            sparsity_bits: self.sparsity_bits,
+            activity_bits: self.activity_bits,
+            precision: self.precision.name().to_owned(),
+            wstore: self.wstore,
+        }
+    }
+
+    /// Rebuilds a key from its wire image.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnknownPrecision`] when the record names a
+    /// precision this engine does not know (e.g. a snapshot from a newer
+    /// build).
+    pub fn from_record(record: &KeyRecord) -> Result<CacheKey, SnapshotError> {
+        let precision = Precision::from_name(&record.precision)
+            .ok_or_else(|| SnapshotError::UnknownPrecision(record.precision.clone()))?;
+        Ok(CacheKey {
+            tech_name: Arc::from(record.tech_name.as_str()),
+            node_bits: record.node_bits,
+            gate_area_bits: record.gate_area_bits,
+            gate_delay_bits: record.gate_delay_bits,
+            gate_energy_bits: record.gate_energy_bits,
+            nominal_voltage_bits: record.nominal_voltage_bits,
+            voltage_bits: record.voltage_bits,
+            sparsity_bits: record.sparsity_bits,
+            activity_bits: record.activity_bits,
+            precision,
+            wstore: record.wstore,
+        })
+    }
 }
+
+/// A snapshot that cannot be installed into this engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot names a precision this build does not know.
+    UnknownPrecision(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::UnknownPrecision(name) => {
+                write!(f, "snapshot names unknown precision `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 /// The sharded geometry → objectives table of **one** [`CacheKey`]: what
 /// a `DcimProblem` actually reads and writes on the hot path, resolved
@@ -200,6 +273,37 @@ impl KeySpace {
             .lock()
             .expect("cache shard poisoned")
             .insert(g, objectives);
+    }
+
+    /// Installs one geometry's objectives unless it is already memoized
+    /// (the merge/load primitive: first value wins, so repeated merges
+    /// are idempotent). Returns `true` when the entry was new.
+    pub fn insert_if_absent(&self, g: Geometry, objectives: [f64; 4]) -> bool {
+        let mut shard = self.shards[self.shard_of(&g)]
+            .lock()
+            .expect("cache shard poisoned");
+        match shard.entry(g) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(objectives);
+                true
+            }
+        }
+    }
+
+    /// Every memoized `(geometry, objectives)` pair, in unspecified
+    /// order (snapshots canonicalize afterwards).
+    pub fn entries(&self) -> Vec<(Geometry, [f64; 4])> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .iter()
+                    .map(|(g, o)| (*g, *o))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 
     /// Number of shards (a power of two).
@@ -321,6 +425,101 @@ impl SharedEvalCache {
         if misses > 0 {
             self.misses.fetch_add(misses, Ordering::Relaxed);
         }
+    }
+
+    /// Every resolved `(key, key space)` pair at this instant.
+    fn spaces_vec(&self) -> Vec<(CacheKey, Arc<KeySpace>)> {
+        self.spaces
+            .lock()
+            .expect("cache key map poisoned")
+            .iter()
+            .map(|(k, s)| (k.clone(), Arc::clone(s)))
+            .collect()
+    }
+
+    /// Exports the cache's current contents as a canonical, portable
+    /// [`Snapshot`] (spaces ordered by key, entries by geometry —
+    /// identical bytes for identical facts regardless of this cache's
+    /// shard count, thread schedule or insertion history).
+    ///
+    /// The snapshot is a *copy*: taking it does not lock the whole cache
+    /// at once (per-shard locks only), and concurrent inserts may or may
+    /// not be included — exactly the guarantee a periodic persistence
+    /// job wants.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snapshot = Snapshot {
+            spaces: self
+                .spaces_vec()
+                .into_iter()
+                .map(|(key, space)| SpaceRecord {
+                    key: key.to_record(),
+                    entries: space
+                        .entries()
+                        .into_iter()
+                        .map(|(g, objectives)| EntryRecord {
+                            geometry: GeometryRecord {
+                                log_h: g.log_h,
+                                log_l: g.log_l,
+                                k: g.k,
+                            },
+                            objectives,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        };
+        snapshot.canonicalize();
+        snapshot
+    }
+
+    /// Installs a snapshot's entries into this cache (union semantics:
+    /// entries already memoized are kept, new ones are added). Returns
+    /// the number of entries actually installed.
+    ///
+    /// Loading touches **neither** the hit/miss counters nor any run's
+    /// [`EvalStats`] — a warm-started run still reports exactly how many
+    /// evaluations *it* served from memory.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the snapshot references invariants this
+    /// engine cannot represent; nothing is installed from the offending
+    /// space (earlier spaces remain installed — the operation is a
+    /// per-space union, not a transaction).
+    pub fn load(&self, snapshot: &Snapshot) -> Result<usize, SnapshotError> {
+        let mut installed = 0;
+        for record in &snapshot.spaces {
+            let key = CacheKey::from_record(&record.key)?;
+            let space = self.space(&key);
+            for entry in &record.entries {
+                let g = Geometry {
+                    log_h: entry.geometry.log_h,
+                    log_l: entry.geometry.log_l,
+                    k: entry.geometry.k,
+                };
+                if space.insert_if_absent(g, entry.objectives) {
+                    installed += 1;
+                }
+            }
+        }
+        Ok(installed)
+    }
+
+    /// Union-merges another cache's current contents into this one (the
+    /// in-process form of [`SharedEvalCache::load`]; commutative over
+    /// facts, idempotent, shard-count invariant on both sides). Returns
+    /// the number of entries installed.
+    pub fn merge(&self, other: &SharedEvalCache) -> usize {
+        let mut installed = 0;
+        for (key, space) in other.spaces_vec() {
+            let mine = self.space(&key);
+            for (g, objectives) in space.entries() {
+                if mine.insert_if_absent(g, objectives) {
+                    installed += 1;
+                }
+            }
+        }
+        installed
     }
 }
 

@@ -190,6 +190,16 @@ impl Compiler {
         self
     }
 
+    /// Sources exploration objective vectors from `backend` instead of
+    /// the default in-process macro model. Backends are deterministic by
+    /// contract, so this can never change a compiled result — only where
+    /// estimates are computed.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Arc<dyn crate::backend::EvalBackend>) -> Self {
+        self.pipeline.backend = Some(backend);
+        self
+    }
+
     /// The estimate cache this compiler's explorations accumulate into.
     pub fn shared_cache(&self) -> &Arc<SharedEvalCache> {
         &self.cache

@@ -56,18 +56,18 @@ pub fn enumerate_design_space(
 }
 
 /// [`enumerate_design_space`] with an explicit thread count (`0` = all
-/// hardware threads, `1` = serial). Estimates run on the persistent
-/// process pool through one hoisted [`EstimationContext`] — the
-/// technology is voltage-realized once for the whole cloud, not once per
-/// point.
+/// hardware threads, `1` = serial). Every point materializes through the
+/// pipeline's bound [`crate::backend::EvalBackend`] (the macro model by
+/// default, with its technology voltage-realized once for the whole
+/// cloud, not once per point).
 pub fn enumerate_design_space_with(
     spec: &UserSpec,
     tech: &Technology,
     conditions: &OperatingConditions,
     threads: usize,
 ) -> Vec<ParetoSolution> {
-    // The problem is only used for genome → design conversion here, so
-    // bind it to the serial pool rather than the hardware-width one (the
+    // The problem is only used for its bound evaluator here, so bind it
+    // to the serial pool rather than the hardware-width one (the
     // data-parallel fan-out below runs through `par_map` directly).
     let problem = DcimProblem::with_options(
         *spec,
@@ -75,16 +75,11 @@ pub fn enumerate_design_space_with(
         *conditions,
         PipelineOptions::with_threads(1),
     );
-    let ctx = problem.context();
     let geometries = enumerate_geometries(spec);
-    par_map(&geometries, threads, |g| {
-        let design = problem.design_of(g)?;
-        let estimate = ctx.estimate(&design);
-        Some(ParetoSolution { design, estimate })
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    par_map(&geometries, threads, |g| problem.materialize(g))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// The exact Pareto frontier of the full design space — ground truth for

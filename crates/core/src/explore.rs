@@ -16,21 +16,24 @@
 //! [`SharedEvalCache`] key space — the discrete `(log2 H, log2 L, k)`
 //! space has only a few hundred feasible points, so after the first few
 //! generations almost every genome the GA proposes has already been
-//! estimated — and fans the remaining misses out on a persistent
-//! [`sega_parallel::Pool`] (workers spawned once per process, never per
-//! batch). The knobs live in [`PipelineOptions`]; none of them changes
-//! the result, only how fast it arrives (the exploration is bit-identical
-//! for every pool width, shard count and cache configuration).
+//! estimated — and hands the remaining misses as one cohort to the bound
+//! [`EvalBackend`] (the in-process macro model by default), which fans
+//! them out on a persistent [`sega_parallel::Pool`] (workers spawned once
+//! per process, never per batch). The knobs live in [`PipelineOptions`];
+//! none of them changes the result, only how fast it arrives (the
+//! exploration is bit-identical for every pool width, shard count, cache
+//! configuration and backend choice).
 
 use std::sync::Arc;
 
 use rand::Rng;
 
 use sega_cells::Technology;
-use sega_estimator::{DcimDesign, EstimationContext, MacroEstimate, OperatingConditions};
+use sega_estimator::{DcimDesign, MacroEstimate, OperatingConditions};
 use sega_moga::{Nsga2, Nsga2Config, Problem};
 use sega_parallel::{resolve_threads, Pool};
 
+use crate::backend::{default_backend, CohortEvaluator, EvalBackend, GeometryLens};
 use crate::cache::{CacheKey, EvalStats, FxHashMap, KeySpace, SharedEvalCache};
 use crate::spec::UserSpec;
 
@@ -70,6 +73,13 @@ pub struct PipelineOptions {
     /// `(technology, conditions, precision, Wstore)`, so sharing can
     /// never alias unrelated estimates).
     pub shared_cache: Option<Arc<SharedEvalCache>>,
+    /// Where objective vectors come from. `None` (default) resolves to
+    /// the in-process [`MacroModelBackend`](crate::backend::MacroModelBackend);
+    /// set a custom [`EvalBackend`] to swap the estimator implementation
+    /// (instrumentation today, remote workers tomorrow) without touching
+    /// any caller. Every backend must be deterministic, so the choice can
+    /// never change a front — only where and how fast estimates happen.
+    pub backend: Option<Arc<dyn EvalBackend>>,
 }
 
 impl Default for PipelineOptions {
@@ -80,6 +90,7 @@ impl Default for PipelineOptions {
             min_batch_per_worker: 64,
             pool: None,
             shared_cache: None,
+            backend: None,
         }
     }
 }
@@ -124,6 +135,14 @@ impl PipelineOptions {
         let cache = SharedEvalCache::global();
         self.with_shared_cache(cache)
     }
+
+    /// Sources objective vectors from `backend` instead of the default
+    /// in-process macro model.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Arc<dyn EvalBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
 }
 
 /// Worker count for a batch of `items` evaluations: the requested thread
@@ -153,8 +172,16 @@ fn resolve_cache(pipeline: &PipelineOptions) -> Arc<SharedEvalCache> {
         .unwrap_or_else(|| Arc::new(SharedEvalCache::new()))
 }
 
+/// The backend a pipeline's cohorts evaluate on: the injected one, else
+/// the process-wide macro-model default.
+fn resolve_backend(pipeline: &PipelineOptions) -> Arc<dyn EvalBackend> {
+    pipeline.backend.clone().unwrap_or_else(default_backend)
+}
+
 /// The explorer's genome: array geometry with powers-of-two `H` and `L`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// (The derived ordering — `log_h`, then `log_l`, then `k` — is the
+/// canonical entry order of cache snapshots.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Geometry {
     /// `log2 H` (column height).
     pub log_h: u32,
@@ -235,11 +262,11 @@ pub struct DcimProblem {
     spec: UserSpec,
     tech: Technology,
     conditions: OperatingConditions,
-    /// Voltage-realized technology + energy factor, hoisted once per
-    /// problem so the innermost estimate never clones a [`Technology`].
-    ctx: EstimationContext,
-    /// log2 of `Wstore` (a power of two, validated by [`UserSpec`]).
-    log_wstore: u32,
+    /// Genome → design conversion, hoisted once per problem.
+    lens: GeometryLens,
+    /// The bound estimator backend cohorts evaluate on (resolved once
+    /// from `pipeline.backend`, macro model by default).
+    evaluator: Arc<dyn CohortEvaluator>,
     /// Serial input width (`Bx` or `BM`): the upper bound of `k`.
     serial_bits: u32,
     /// Genome bounds derived from `spec.limits`.
@@ -283,12 +310,13 @@ impl DcimProblem {
             spec.precision,
             spec.wstore,
         ));
+        let evaluator = resolve_backend(&pipeline).bind(&spec, &tech, &conditions);
         DcimProblem {
-            ctx: EstimationContext::new(&tech, &conditions),
+            lens: GeometryLens::new(&spec),
+            evaluator,
             spec,
             tech,
             conditions,
-            log_wstore: spec.wstore.trailing_zeros(),
             serial_bits: spec.precision.input_bits(),
             bounds: GenomeBounds {
                 min_log_h: limits.min_h.next_power_of_two().trailing_zeros(),
@@ -316,6 +344,7 @@ impl DcimProblem {
             self.spec.precision,
             self.spec.wstore,
         ));
+        self.evaluator = resolve_backend(&pipeline).bind(&self.spec, &self.tech, &self.conditions);
         self.pipeline = pipeline;
         self
     }
@@ -332,9 +361,9 @@ impl DcimProblem {
         &self.stats
     }
 
-    /// The hoisted estimation context (voltage-realized technology).
-    pub fn context(&self) -> &EstimationContext {
-        &self.ctx
+    /// The bound estimator backend this problem's cohorts evaluate on.
+    pub fn evaluator(&self) -> &Arc<dyn CohortEvaluator> {
+        &self.evaluator
     }
 
     /// The persistent pool this problem's batches run on.
@@ -342,12 +371,18 @@ impl DcimProblem {
         &self.pool
     }
 
-    /// Estimates one geometry, bypassing the cache.
+    /// Evaluates one geometry through the backend, bypassing the cache.
     fn evaluate_raw(&self, genome: &Geometry) -> [f64; 4] {
-        match self.design_of(genome) {
-            Some(design) => self.ctx.estimate(&design).objectives(),
-            None => [f64::INFINITY; 4],
-        }
+        self.evaluator
+            .evaluate_cohort(std::slice::from_ref(genome), &self.pool, 1)
+            .pop()
+            .expect("one objective vector per geometry")
+    }
+
+    /// The presentation-grade form of one geometry (design point + full
+    /// estimate) through the bound backend; `None` when infeasible.
+    pub fn materialize(&self, g: &Geometry) -> Option<ParetoSolution> {
+        self.evaluator.materialize(g)
     }
 
     /// Converts a (repaired) genome into a design point:
@@ -359,23 +394,7 @@ impl DcimProblem {
     /// (cannot happen for specs accepted by [`UserSpec::new`], but kept
     /// total for safety).
     pub fn design_of(&self, g: &Geometry) -> Option<DcimDesign> {
-        let denom = g.log_h + g.log_l;
-        if denom > self.log_wstore {
-            return None;
-        }
-        let bw = self.spec.weight_bits() as u64;
-        let n = (self.spec.wstore >> denom) * bw;
-        if n > u32::MAX as u64 {
-            return None;
-        }
-        DcimDesign::for_precision(
-            self.spec.precision,
-            n as u32,
-            1u32 << g.log_h,
-            1u32 << g.log_l,
-            g.k,
-        )
-        .ok()
+        self.lens.design_of(g)
     }
 
     /// The paper's exploration bounds as genome bounds:
@@ -384,7 +403,7 @@ impl DcimProblem {
     /// `N ≥ n_factor·Bw`.
     fn max_log_sum(&self) -> u32 {
         let f = self.spec.limits.n_factor.next_power_of_two();
-        self.log_wstore.saturating_sub(f.trailing_zeros())
+        self.lens.log_wstore().saturating_sub(f.trailing_zeros())
     }
 }
 
@@ -466,8 +485,8 @@ impl Problem for DcimProblem {
 
         let workers = batch_workers(&self.pipeline, missing.len());
         let computed = self
-            .pool
-            .par_map_bounded(&missing, workers, |g| self.evaluate_raw(g));
+            .evaluator
+            .evaluate_cohort(&missing, &self.pool, workers);
         for ((slot, genome), objectives) in missing_slots.iter().zip(&missing).zip(computed) {
             if self.pipeline.cache {
                 self.space.insert(*genome, objectives);
@@ -559,17 +578,12 @@ pub fn explore_pareto_with(
 ) -> ExplorationResult {
     let problem = DcimProblem::with_options(*spec, tech.clone(), *conditions, pipeline);
     let result = Nsga2::new(config.clone()).run(&problem);
-    let ctx = problem.context();
     let mut solutions: Vec<ParetoSolution> = result
         .front
         .iter()
         .filter_map(|ind| {
-            let design = problem.design_of(&ind.genome)?;
-            let estimate = ctx.estimate(&design);
-            estimate
-                .area_mm2
-                .is_finite()
-                .then_some(ParetoSolution { design, estimate })
+            let solution = problem.materialize(&ind.genome)?;
+            solution.estimate.area_mm2.is_finite().then_some(solution)
         })
         .collect();
     solutions.sort_by(|a, b| {

@@ -30,12 +30,22 @@
 //! repeats from a sharded [`SharedEvalCache`] key space (reusable across
 //! explorations, sweep points and compiler runs — keyed by technology,
 //! conditions, precision and capacity), and fans the remaining misses
-//! out on a persistent `sega_parallel::Pool` whose workers are spawned
-//! once per process. The [`PipelineOptions`] knobs — thread count, cache
-//! switch, pool and shared-cache handles — change wall-clock only: the
+//! out as one cohort to the bound [`EvalBackend`] (the in-process macro
+//! model by default), which evaluates them on a persistent
+//! `sega_parallel::Pool` whose workers are spawned once per process. The
+//! [`PipelineOptions`] knobs — thread count, cache switch, pool,
+//! shared-cache and backend handles — change wall-clock only: the
 //! frontier is bit-identical for every configuration, and
 //! [`ExplorationResult`] reports the accounting (`evaluations` vs
 //! `distinct_evaluations` vs `cache_hits`).
+//!
+//! The cache persists and merges across processes
+//! ([`SharedEvalCache::snapshot`]/[`load`](SharedEvalCache::load)/
+//! [`merge`](SharedEvalCache::merge), via the dependency-free `sega_wire`
+//! codecs), and the [`batch`] module runs whole job files of
+//! specifications over one pool and one cache — the `sega-dcim batch`
+//! subcommand with `--cache-file` warm-starts an identical rerun to zero
+//! distinct evaluations.
 //!
 //! # Quickstart
 //!
@@ -55,6 +65,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod batch;
 pub mod cache;
 pub mod compiler;
 pub mod distill;
@@ -66,6 +78,10 @@ pub mod runtime;
 mod spec;
 pub mod testbench;
 
+pub use backend::{
+    CohortEvaluator, EvalBackend, GeometryLens, InstrumentedBackend, MacroModelBackend,
+};
+pub use batch::{run_batch, BatchJob, BatchOutcome, BatchReport};
 pub use cache::{CacheKey, EvalStats, SharedEvalCache};
 pub use compiler::{CompileError, CompiledMacro, Compiler};
 pub use distill::DistillStrategy;

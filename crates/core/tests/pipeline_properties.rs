@@ -9,8 +9,8 @@ use proptest::prelude::*;
 use sega_cells::Technology;
 use sega_dcim::explore::DcimProblem;
 use sega_dcim::{
-    explore_mixed_with, explore_pareto_with, ExplorationResult, PipelineOptions, SharedEvalCache,
-    UserSpec,
+    explore_mixed_with, explore_pareto_with, ExplorationResult, InstrumentedBackend,
+    MacroModelBackend, PipelineOptions, SharedEvalCache, UserSpec,
 };
 use sega_estimator::{OperatingConditions, Precision};
 use sega_moga::{Nsga2Config, Problem};
@@ -50,9 +50,11 @@ fn explore(spec: &UserSpec, seed: u64, pipeline: PipelineOptions) -> Exploration
 /// set `min_batch_per_worker: 1` so the multi-participant merge path
 /// really runs even at the tests' small batch sizes; the forced widths
 /// (4 and 7) resolve to genuine persistent pools of that width via
-/// `Pool::for_threads`, regardless of the host's core count. The last
-/// two configurations run on an explicitly injected pool and a fresh
-/// shared cache respectively.
+/// `Pool::for_threads`, regardless of the host's core count. Later
+/// configurations run on an explicitly injected pool, a fresh shared
+/// cache, and explicit estimator backends (the macro model named
+/// directly, and the counting wrapper) — the backend choice, like every
+/// other knob, must never change a front.
 fn pipelines() -> Vec<PipelineOptions> {
     vec![
         PipelineOptions::serial_uncached(),
@@ -93,6 +95,20 @@ fn pipelines() -> Vec<PipelineOptions> {
             ..Default::default()
         }
         .with_shared_cache(Arc::new(SharedEvalCache::with_shards(4))),
+        PipelineOptions {
+            threads: 4,
+            cache: true,
+            min_batch_per_worker: 1,
+            ..Default::default()
+        }
+        .with_backend(Arc::new(MacroModelBackend)),
+        PipelineOptions {
+            threads: 4,
+            cache: false,
+            min_batch_per_worker: 1,
+            ..Default::default()
+        }
+        .with_backend(Arc::new(InstrumentedBackend::macro_model())),
     ]
 }
 

@@ -1,0 +1,132 @@
+//! Machine-readable report records shared by the bench harness and the
+//! batch runner — one serializer ([`crate::Json`]), one schema test
+//! suite.
+//!
+//! The pipeline-bench schema is deliberately flat so CI can diff it
+//! across PRs:
+//!
+//! ```json
+//! {
+//!   "bench": "pipeline",
+//!   "spec": {"wstore": 65536, "precision": "int8"},
+//!   "configs": [
+//!     {"name": "serial_uncached", "wall_s": 1.23,
+//!      "evaluations": 12100, "distinct_evaluations": 12100, "cache_hits": 0},
+//!     ...
+//!   ]
+//! }
+//! ```
+
+use crate::json::Json;
+
+/// One measured pipeline configuration: wall-clock plus the evaluation
+/// accounting of the run.
+#[derive(Debug, Clone)]
+pub struct ConfigRecord {
+    /// Configuration name, e.g. `"serial_uncached"` or `"shared_cache_run2"`.
+    pub name: String,
+    /// Wall-clock of the measured run in seconds.
+    pub wall_s: f64,
+    /// Genome evaluations the GA requested.
+    pub evaluations: usize,
+    /// Evaluations that reached the estimator.
+    pub distinct_evaluations: usize,
+    /// Evaluations served from memory (cache or intra-batch dedup).
+    pub cache_hits: usize,
+}
+
+impl ConfigRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.clone())),
+            ("wall_s", Json::from(self.wall_s)),
+            ("evaluations", Json::from(self.evaluations)),
+            (
+                "distinct_evaluations",
+                Json::from(self.distinct_evaluations),
+            ),
+            ("cache_hits", Json::from(self.cache_hits)),
+        ])
+    }
+}
+
+/// The full `BENCH_pipeline.json` document.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Specification capacity.
+    pub wstore: u64,
+    /// Specification precision name.
+    pub precision: String,
+    /// One record per measured configuration, in measurement order.
+    pub configs: Vec<ConfigRecord>,
+}
+
+impl PipelineReport {
+    /// Serializes the report to its canonical JSON text.
+    pub fn to_json_string(&self) -> String {
+        Json::obj([
+            ("bench", Json::from("pipeline")),
+            (
+                "spec",
+                Json::obj([
+                    ("wstore", Json::from(self.wstore)),
+                    ("precision", Json::from(self.precision.clone())),
+                ]),
+            ),
+            (
+                "configs",
+                Json::Arr(self.configs.iter().map(ConfigRecord::to_json).collect()),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string() + "\n")
+    }
+}
+
+/// Resolves the `BENCH_PIPELINE_JSON` environment knob: unset → `None`
+/// (no file written); `"1"`/`"true"` → the default `BENCH_pipeline.json`
+/// in the current directory; anything else → that path.
+pub fn pipeline_json_path() -> Option<std::path::PathBuf> {
+    let raw = std::env::var("BENCH_PIPELINE_JSON").ok()?;
+    match raw.as_str() {
+        "" => None,
+        "1" | "true" => Some("BENCH_pipeline.json".into()),
+        path => Some(path.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_report_schema_is_stable() {
+        let report = PipelineReport {
+            wstore: 65536,
+            precision: "int8".to_owned(),
+            configs: vec![ConfigRecord {
+                name: "serial_uncached".to_owned(),
+                wall_s: 0.25,
+                evaluations: 12100,
+                distinct_evaluations: 12100,
+                cache_hits: 0,
+            }],
+        };
+        let text = report.to_json_string();
+        assert!(
+            text.starts_with(r#"{"bench":"pipeline","spec":{"wstore":65536,"precision":"int8"}"#)
+        );
+        assert!(text.contains(r#""name":"serial_uncached","wall_s":0.25,"evaluations":12100"#));
+        assert!(text.contains(r#""distinct_evaluations":12100,"cache_hits":0"#));
+        // The report is valid JSON by our own parser.
+        Json::parse(&text).unwrap();
+    }
+}
