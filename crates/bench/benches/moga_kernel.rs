@@ -1,0 +1,109 @@
+//! Criterion bench: the tiered dominance kernel — the MOGA selection
+//! machinery's receipts, seeding the `BENCH_moga.json` perf trajectory.
+//!
+//! For every `(N, M)` in `{64, 256, 1024} × {2, 3}` the setup phase sorts
+//! a deterministic random cloud through the tiered kernel, records the
+//! dominance-comparison counter next to the naive kernel's `N·(N−1)/2`
+//! pairwise bill, cross-checks the fronts against the retained naive
+//! oracle, and asserts the asymptotic win at the top scale. When
+//! `BENCH_MOGA_JSON` is set the records are written as `BENCH_moga.json`
+//! (see `sega_wire::report::MogaKernelReport`); the committed repo-root
+//! copy is the baseline CI's counter-based regression guard diffs
+//! against — deterministic counters, so the guard is stable on a 1-CPU
+//! runner where wall-clock is not.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sega_bench::json::{moga_json_path, MogaKernelRecord, MogaKernelReport};
+use sega_moga::matrix::ObjectiveMatrix;
+use sega_moga::pareto::{non_dominated_sort_matrix_into, non_dominated_sort_naive, SortScratch};
+
+/// The shared deterministic cloud generator — one implementation
+/// (`ObjectiveMatrix::xorshift_cloud`) serves this bench and the
+/// dominance-kernel property tests, so the committed baseline and the
+/// oracle tests always sort identical point sets.
+fn cloud(n: usize, m: usize, seed: u64) -> ObjectiveMatrix {
+    ObjectiveMatrix::xorshift_cloud(n, m, None, seed)
+}
+
+const CASES: [(usize, usize); 6] = [(64, 2), (256, 2), (1024, 2), (64, 3), (256, 3), (1024, 3)];
+
+fn bench_moga_kernel(c: &mut Criterion) {
+    // Receipts, computed once: counters + wall clock per case, fronts
+    // cross-checked against the naive oracle.
+    let mut records = Vec::new();
+    for (n, m) in CASES {
+        let matrix = cloud(n, m, (n * 31 + m) as u64);
+        let mut scratch = SortScratch::default();
+        let mut fronts = Vec::new();
+        // Warm the scratch so the measured sort is the steady state.
+        non_dominated_sort_matrix_into(&matrix, &mut scratch, &mut fronts);
+        scratch.reset_stats();
+        let started = Instant::now();
+        non_dominated_sort_matrix_into(&matrix, &mut scratch, &mut fronts);
+        let wall_s = started.elapsed().as_secs_f64();
+        let stats = scratch.stats();
+
+        let rows: Vec<&[f64]> = matrix.iter_rows().collect();
+        let mut naive = non_dominated_sort_naive(&rows);
+        let mut tiered = fronts.clone();
+        for f in naive.iter_mut().chain(tiered.iter_mut()) {
+            f.sort_unstable();
+        }
+        assert_eq!(tiered, naive, "N={n} M={m}: tiered kernel diverged");
+
+        let naive_comparisons = (n * (n - 1) / 2) as u64;
+        if n == 1024 {
+            assert!(
+                stats.comparisons * 8 < naive_comparisons,
+                "N={n} M={m}: {} comparisons not asymptotically below {naive_comparisons}",
+                stats.comparisons
+            );
+        }
+        assert_eq!(stats.allocations, 0, "warm sorts must not allocate");
+        eprintln!(
+            "moga_kernel N={n:<5} M={m}: {:>8} comparisons (naive {naive_comparisons:>7}, \
+             {:>5.1}x fewer), {} fronts, {:.6}s",
+            stats.comparisons,
+            naive_comparisons as f64 / stats.comparisons.max(1) as f64,
+            fronts.len(),
+            wall_s,
+        );
+        records.push(MogaKernelRecord {
+            n,
+            m,
+            comparisons: stats.comparisons,
+            naive_comparisons,
+            allocations: stats.allocations,
+            fronts: fronts.len(),
+            wall_s,
+        });
+    }
+
+    if let Some(path) = moga_json_path() {
+        let report = MogaKernelReport { cases: records };
+        report.write_to(&path).expect("write BENCH_moga.json");
+        eprintln!("wrote {}", path.display());
+    }
+
+    let mut group = c.benchmark_group("moga_kernel");
+    group.sample_size(10);
+    for (n, m) in [(1024usize, 2usize), (1024, 3), (1024, 4)] {
+        // M=4 is the DCIM shape: it exercises the bitset fallback, so the
+        // timing trio shows all three tiers side by side.
+        let matrix = cloud(n, m, 7);
+        let mut scratch = SortScratch::default();
+        let mut fronts = Vec::new();
+        group.bench_function(format!("sort_n{n}_m{m}"), |b| {
+            b.iter(|| {
+                non_dominated_sort_matrix_into(&matrix, &mut scratch, &mut fronts);
+                fronts.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_moga_kernel);
+criterion_main!(benches);

@@ -126,7 +126,7 @@ fn bench_pipeline(c: &mut Criterion) {
     for (name, run) in &fronts {
         assert_eq!(
             run.objective_matrix(),
-            &reference[..],
+            reference,
             "{name} must reproduce the serial front bit-identically"
         );
     }

@@ -4,4 +4,7 @@
 //! `sega_bench::json::*` paths working).
 
 pub use sega_wire::json::{Json, JsonError};
-pub use sega_wire::report::{pipeline_json_path, ConfigRecord, PipelineReport};
+pub use sega_wire::report::{
+    moga_json_path, pipeline_json_path, ConfigRecord, MogaKernelRecord, MogaKernelReport,
+    PipelineReport,
+};

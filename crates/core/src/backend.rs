@@ -115,8 +115,12 @@ pub trait CohortEvaluator: Send + Sync + std::fmt::Debug {
     /// Objective vectors `[area, delay, energy, −throughput]` for a
     /// cohort of geometries, element-wise in cohort order. The caller
     /// (the cache layer) guarantees the cohort is deduplicated and
-    /// cache-missed; `workers` bounds the parallelism the evaluation may
-    /// use on `pool`.
+    /// cache-missed — the GA interns duplicate genomes and the batch
+    /// pipeline dedups within the cohort, so every geometry arriving
+    /// here is estimated exactly once; `workers` bounds the parallelism
+    /// the evaluation may use on `pool`. The `[f64; 4]` rows are already
+    /// flat and are copied straight into the caller's
+    /// [`sega_moga::ObjectiveMatrix`] without per-genome allocation.
     ///
     /// Infeasible geometries evaluate to `[+∞; 4]` — they participate in
     /// NSGA-II domination like any other vector and are memoized like

@@ -60,6 +60,9 @@ pub struct BatchReport {
     pub distinct_evaluations: usize,
     /// Total evaluations served from memory.
     pub cache_hits: usize,
+    /// Total dominance comparisons/probes the selection kernel performed
+    /// across all jobs — the batch-level perf receipt of the tiered sort.
+    pub dominance_comparisons: u64,
     /// Entries the shared cache held *before* the first job (the warm
     /// start, e.g. from a loaded `--cache-file`).
     pub preloaded_entries: usize,
@@ -170,6 +173,10 @@ pub fn run_batch(
         evaluations: outcomes.iter().map(|o| o.result.evaluations).sum(),
         distinct_evaluations: outcomes.iter().map(|o| o.result.distinct_evaluations).sum(),
         cache_hits: outcomes.iter().map(|o| o.result.cache_hits).sum(),
+        dominance_comparisons: outcomes
+            .iter()
+            .map(|o| o.result.dominance.comparisons)
+            .sum(),
         preloaded_entries,
         cache_entries: cache.len(),
         backend,
@@ -197,6 +204,10 @@ impl BatchReport {
                         Json::from(self.distinct_evaluations),
                     ),
                     ("cache_hits", Json::from(self.cache_hits)),
+                    (
+                        "dominance_comparisons",
+                        Json::from(self.dominance_comparisons),
+                    ),
                 ]),
             ),
             (

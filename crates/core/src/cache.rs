@@ -40,11 +40,12 @@
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use sega_cells::Technology;
 use sega_estimator::{OperatingConditions, Precision};
+use sega_moga::DominanceStats;
 use sega_wire::snapshot::{EntryRecord, GeometryRecord, KeyRecord, Snapshot, SpaceRecord};
 
 use crate::explore::Geometry;
@@ -540,11 +541,13 @@ impl Default for SharedEvalCache {
 pub struct EvalStats {
     hits: AtomicUsize,
     misses: AtomicUsize,
+    dominance_comparisons: AtomicU64,
+    dominance_allocations: AtomicU64,
 }
 
 impl EvalStats {
     /// Evaluations served without calling the estimator (cache hits plus
-    /// intra-batch duplicates).
+    /// intra-batch duplicates and GA-interned genomes).
     pub fn hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
     }
@@ -554,12 +557,34 @@ impl EvalStats {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// The selection machinery's dominance-kernel counters for this run
+    /// (comparisons/probes and kernel allocations) — the machine-checkable
+    /// receipt that the tiered sort stays asymptotically below the naive
+    /// `N·(N−1)/2` pairwise bill.
+    pub fn dominance(&self) -> DominanceStats {
+        DominanceStats {
+            comparisons: self.dominance_comparisons.load(Ordering::Relaxed),
+            allocations: self.dominance_allocations.load(Ordering::Relaxed),
+        }
+    }
+
     pub(crate) fn record(&self, hits: usize, misses: usize) {
         if hits > 0 {
             self.hits.fetch_add(hits, Ordering::Relaxed);
         }
         if misses > 0 {
             self.misses.fetch_add(misses, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_dominance(&self, stats: DominanceStats) {
+        if stats.comparisons > 0 {
+            self.dominance_comparisons
+                .fetch_add(stats.comparisons, Ordering::Relaxed);
+        }
+        if stats.allocations > 0 {
+            self.dominance_allocations
+                .fetch_add(stats.allocations, Ordering::Relaxed);
         }
     }
 }
@@ -693,5 +718,26 @@ mod tests {
         stats.record(0, 1);
         assert_eq!(stats.hits(), 3);
         assert_eq!(stats.distinct_evaluations(), 3);
+    }
+
+    #[test]
+    fn stats_accumulate_dominance_counters() {
+        let stats = EvalStats::default();
+        assert_eq!(stats.dominance(), DominanceStats::default());
+        stats.record_dominance(DominanceStats {
+            comparisons: 10,
+            allocations: 2,
+        });
+        stats.record_dominance(DominanceStats {
+            comparisons: 5,
+            allocations: 0,
+        });
+        assert_eq!(
+            stats.dominance(),
+            DominanceStats {
+                comparisons: 15,
+                allocations: 2,
+            }
+        );
     }
 }

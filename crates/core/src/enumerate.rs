@@ -11,7 +11,8 @@
 
 use sega_cells::Technology;
 use sega_estimator::OperatingConditions;
-use sega_moga::pareto::pareto_front_indices;
+use sega_moga::pareto::pareto_front_indices_matrix;
+use sega_moga::ObjectiveMatrix;
 use sega_parallel::par_map;
 
 use crate::explore::{DcimProblem, Geometry, ParetoSolution, PipelineOptions};
@@ -90,8 +91,13 @@ pub fn exhaustive_front(
     conditions: &OperatingConditions,
 ) -> Vec<ParetoSolution> {
     let all = enumerate_design_space(spec, tech, conditions);
-    let objs: Vec<Vec<f64>> = all.iter().map(|s| s.objectives().to_vec()).collect();
-    let mut keep = pareto_front_indices(&objs);
+    // One flat matrix for the whole cloud — the dominance kernel's
+    // canonical input, no per-point objective clones.
+    let mut objs = ObjectiveMatrix::with_capacity(4, all.len());
+    for s in &all {
+        objs.push_row(&s.objectives());
+    }
+    let mut keep = pareto_front_indices_matrix(&objs);
     keep.sort_unstable();
     let mut front: Vec<ParetoSolution> = keep.into_iter().map(|i| all[i].clone()).collect();
     front.sort_by(|a, b| {

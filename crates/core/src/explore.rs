@@ -24,13 +24,13 @@
 //! exploration is bit-identical for every pool width, shard count, cache
 //! configuration and backend choice).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rand::Rng;
 
 use sega_cells::Technology;
 use sega_estimator::{DcimDesign, MacroEstimate, OperatingConditions};
-use sega_moga::{Nsga2, Nsga2Config, Problem};
+use sega_moga::{DominanceStats, Nsga2, Nsga2Config, ObjectiveMatrix, Problem};
 use sega_parallel::{resolve_threads, Pool};
 
 use crate::backend::{default_backend, CohortEvaluator, EvalBackend, GeometryLens};
@@ -228,19 +228,35 @@ pub struct ExplorationResult {
     /// 20–60× smaller than [`evaluations`](Self::evaluations) at the
     /// default budget.
     pub distinct_evaluations: usize,
-    /// Evaluations served without reaching the estimator — cache hits
-    /// plus intra-batch duplicates
+    /// Evaluations served without reaching the estimator — cache hits,
+    /// intra-batch duplicates, and GA-interned genomes
     /// (`evaluations = distinct_evaluations + cache_hits`).
     pub cache_hits: usize,
+    /// The subset of [`cache_hits`](Self::cache_hits) resolved by the
+    /// GA's genome-interning layer before the cohort ever reached the
+    /// problem's cache.
+    pub interned: usize,
+    /// Dominance-kernel counters of the run's selection sorts (also
+    /// folded into the problem's [`EvalStats`]).
+    pub dominance: DominanceStats,
 }
 
 impl ExplorationResult {
-    /// Convenience: the objective vectors of all solutions.
-    pub fn objective_matrix(&self) -> Vec<Vec<f64>> {
-        self.solutions
-            .iter()
-            .map(|s| s.objectives().to_vec())
-            .collect()
+    /// Convenience: the objective vectors of all solutions as one flat
+    /// [`ObjectiveMatrix`].
+    pub fn objective_matrix(&self) -> ObjectiveMatrix {
+        let mut matrix = ObjectiveMatrix::with_capacity(4, self.solutions.len());
+        for s in &self.solutions {
+            matrix.push_row(&s.objectives());
+        }
+        matrix
+    }
+
+    /// The wire/report-boundary adapter: the objective vectors as nested
+    /// rows (hot paths should stay on
+    /// [`objective_matrix`](Self::objective_matrix)).
+    pub fn objective_rows(&self) -> Vec<Vec<f64>> {
+        self.objective_matrix().to_rows()
     }
 }
 
@@ -282,6 +298,28 @@ pub struct DcimProblem {
     space: Arc<KeySpace>,
     /// Per-run accounting, shared across clones of this problem.
     stats: Arc<EvalStats>,
+    /// Reusable batch working memory (dedup tables, miss lists), shared
+    /// across clones so the steady-state batch path allocates nothing.
+    batch_scratch: Arc<Mutex<BatchScratch>>,
+}
+
+/// Reusable working memory of [`DcimProblem::evaluate_batch_into`]: one
+/// instance serves every generation of a run, so batch evaluation does
+/// O(1) allocations instead of O(N).
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// genome → index into `distinct` (intra-batch dedup).
+    index_of: FxHashMap<Geometry, usize>,
+    /// The batch's distinct geometries, in first-appearance order.
+    distinct: Vec<Geometry>,
+    /// For every input genome, its index into `distinct`.
+    slots: Vec<usize>,
+    /// Resolved objectives per distinct geometry.
+    resolved: Vec<Option<[f64; 4]>>,
+    /// Cache misses headed for the estimator backend.
+    missing: Vec<Geometry>,
+    /// `missing[i]`'s index into `distinct`.
+    missing_slots: Vec<usize>,
 }
 
 impl DcimProblem {
@@ -328,6 +366,7 @@ impl DcimProblem {
             cache,
             space,
             stats: Arc::new(EvalStats::default()),
+            batch_scratch: Arc::new(Mutex::new(BatchScratch::default())),
         }
     }
 
@@ -441,70 +480,90 @@ impl Problem for DcimProblem {
         objectives.to_vec()
     }
 
-    /// Batch evaluation through the memoizing, data-parallel pipeline:
-    /// dedup the cohort (duplicate genomes reach the estimator once even
-    /// with caching off), collect the distinct geometries' cache misses,
-    /// estimate them on the persistent [`Pool`], install the results,
-    /// then answer every genome from the resolved table. Results are
-    /// identical to the serial default for every pool width, shard count
-    /// and cache configuration.
+    /// Batch evaluation through the memoizing, data-parallel pipeline
+    /// (the nested-vector boundary adapter over
+    /// [`evaluate_batch_into`](Problem::evaluate_batch_into)).
     fn evaluate_batch(&self, genomes: &[Geometry]) -> Vec<Vec<f64>> {
+        let mut out = ObjectiveMatrix::with_capacity(4, genomes.len());
+        self.evaluate_batch_into(genomes, &mut out);
+        out.to_rows()
+    }
+
+    /// The hot batch path: dedup the cohort (duplicate genomes reach the
+    /// estimator once even with caching off), collect the distinct
+    /// geometries' cache misses, estimate them on the persistent
+    /// [`Pool`], install the results, then answer every genome from the
+    /// resolved table — appending rows to the caller's flat
+    /// [`ObjectiveMatrix`]. All working memory comes from the problem's
+    /// reusable [`BatchScratch`], so a generation's evaluation performs
+    /// O(1) allocations. Results are identical to the serial default for
+    /// every pool width, shard count and cache configuration.
+    fn evaluate_batch_into(&self, genomes: &[Geometry], out: &mut ObjectiveMatrix) {
+        let mut scratch = self.batch_scratch.lock().expect("batch scratch poisoned");
+        let s = &mut *scratch;
         // Intra-batch dedup, in first-appearance order: `distinct[i]`
         // and, for every genome, its index into `distinct`.
-        let mut index_of: FxHashMap<Geometry, usize> = FxHashMap::default();
-        let mut distinct: Vec<Geometry> = Vec::new();
-        let slots: Vec<usize> = genomes
-            .iter()
-            .map(|g| {
-                *index_of.entry(*g).or_insert_with(|| {
-                    distinct.push(*g);
-                    distinct.len() - 1
-                })
-            })
-            .collect();
+        s.index_of.clear();
+        s.distinct.clear();
+        s.slots.clear();
+        for g in genomes {
+            let distinct = &mut s.distinct;
+            let slot = *s.index_of.entry(*g).or_insert_with(|| {
+                distinct.push(*g);
+                distinct.len() - 1
+            });
+            s.slots.push(slot);
+        }
 
         // Resolve each distinct geometry: memoized value, or position in
         // the miss list headed for the estimator.
-        let mut resolved: Vec<Option<[f64; 4]>> = vec![None; distinct.len()];
-        let mut missing: Vec<Geometry> = Vec::new();
-        let mut missing_slots: Vec<usize> = Vec::new();
+        s.resolved.clear();
+        s.resolved.resize(s.distinct.len(), None);
+        s.missing.clear();
+        s.missing_slots.clear();
         if self.pipeline.cache {
-            for (i, g) in distinct.iter().enumerate() {
+            for (i, g) in s.distinct.iter().enumerate() {
                 match self.space.get(g) {
-                    Some(objectives) => resolved[i] = Some(objectives),
+                    Some(objectives) => s.resolved[i] = Some(objectives),
                     None => {
-                        missing.push(*g);
-                        missing_slots.push(i);
+                        s.missing.push(*g);
+                        s.missing_slots.push(i);
                     }
                 }
             }
         } else {
-            missing = distinct.clone();
-            missing_slots = (0..distinct.len()).collect();
+            s.missing.extend_from_slice(&s.distinct);
+            s.missing_slots.extend(0..s.distinct.len());
         }
 
-        let workers = batch_workers(&self.pipeline, missing.len());
+        let workers = batch_workers(&self.pipeline, s.missing.len());
         let computed = self
             .evaluator
-            .evaluate_cohort(&missing, &self.pool, workers);
-        for ((slot, genome), objectives) in missing_slots.iter().zip(&missing).zip(computed) {
+            .evaluate_cohort(&s.missing, &self.pool, workers);
+        for ((slot, genome), objectives) in s.missing_slots.iter().zip(&s.missing).zip(computed) {
             if self.pipeline.cache {
                 self.space.insert(*genome, objectives);
             }
-            resolved[*slot] = Some(objectives);
+            s.resolved[*slot] = Some(objectives);
         }
         self.stats
-            .record(genomes.len() - missing.len(), missing.len());
+            .record(genomes.len() - s.missing.len(), s.missing.len());
         self.cache
-            .record(genomes.len() - missing.len(), missing.len());
-        slots
-            .iter()
-            .map(|&i| {
-                resolved[i]
-                    .expect("every distinct geometry resolved")
-                    .to_vec()
-            })
-            .collect()
+            .record(genomes.len() - s.missing.len(), s.missing.len());
+        for &i in &s.slots {
+            out.push_row(&s.resolved[i].expect("every distinct geometry resolved"));
+        }
+    }
+
+    /// Geometries intern by their [`FxHasher`] fingerprint, so the GA's
+    /// interning layer dedups cohorts in O(N) before they reach the
+    /// batch pipeline (the shared cache is no longer the only dedup
+    /// layer).
+    fn intern_key(&self, genome: &Geometry) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = crate::cache::FxHasher::default();
+        genome.hash(&mut hasher);
+        Some(hasher.finish())
     }
 
     fn crossover(&self, a: &Geometry, b: &Geometry, rng: &mut dyn rand::RngCore) -> Geometry {
@@ -578,6 +637,7 @@ pub fn explore_pareto_with(
 ) -> ExplorationResult {
     let problem = DcimProblem::with_options(*spec, tech.clone(), *conditions, pipeline);
     let result = Nsga2::new(config.clone()).run(&problem);
+    problem.stats().record_dominance(result.dominance);
     let mut solutions: Vec<ParetoSolution> = result
         .front
         .iter()
@@ -598,7 +658,11 @@ pub fn explore_pareto_with(
         solutions,
         evaluations: result.evaluations,
         distinct_evaluations: problem.stats().distinct_evaluations(),
-        cache_hits: problem.stats().hits(),
+        // Duplicates the GA interned away never reached the problem's
+        // stats; they are still evaluations served from memory.
+        cache_hits: problem.stats().hits() + result.interned,
+        interned: result.interned,
+        dominance: result.dominance,
     }
 }
 
@@ -671,8 +735,8 @@ mod tests {
             &small_config(2),
         );
         let objs = r.objective_matrix();
-        for a in &objs {
-            for b in &objs {
+        for a in objs.iter_rows() {
+            for b in objs.iter_rows() {
                 assert!(!sega_moga::pareto::dominates(a, b) || a == b);
             }
         }

@@ -13,8 +13,8 @@ use std::sync::Arc;
 
 use sega_cells::Technology;
 use sega_estimator::{OperatingConditions, Precision};
-use sega_moga::pareto::pareto_front_indices;
-use sega_moga::Nsga2Config;
+use sega_moga::pareto::pareto_front_indices_matrix;
+use sega_moga::{DominanceStats, Nsga2Config, ObjectiveMatrix};
 use sega_parallel::{resolve_threads, Pool};
 
 use crate::cache::SharedEvalCache;
@@ -35,6 +35,11 @@ pub struct MixedExploration {
     pub distinct_evaluations: usize,
     /// Total cache-served evaluations across all runs.
     pub cache_hits: usize,
+    /// Total evaluations the GA's interning layer resolved across all
+    /// runs (a subset of [`cache_hits`](Self::cache_hits)).
+    pub interned: usize,
+    /// Dominance-kernel counters summed across all runs' sorts.
+    pub dominance: DominanceStats,
 }
 
 impl MixedExploration {
@@ -146,16 +151,23 @@ pub fn explore_mixed_with(
     let mut evaluations = 0;
     let mut distinct_evaluations = 0;
     let mut cache_hits = 0;
+    let mut interned = 0;
+    let mut dominance = DominanceStats::default();
     for (&precision, result) in precisions.iter().zip(results) {
         per_precision.push((precision, result.solutions.len()));
         evaluations += result.evaluations;
         distinct_evaluations += result.distinct_evaluations;
         cache_hits += result.cache_hits;
+        interned += result.interned;
+        dominance.merge(result.dominance);
         candidates.extend(result.solutions);
     }
-    // Cross-architecture Pareto merge.
-    let objs: Vec<Vec<f64>> = candidates.iter().map(|s| s.objectives().to_vec()).collect();
-    let mut keep = pareto_front_indices(&objs);
+    // Cross-architecture Pareto merge over one flat objective matrix.
+    let mut objs = ObjectiveMatrix::with_capacity(4, candidates.len());
+    for s in &candidates {
+        objs.push_row(&s.objectives());
+    }
+    let mut keep = pareto_front_indices_matrix(&objs);
     keep.sort_unstable();
     let mut front: Vec<ParetoSolution> = keep.into_iter().map(|i| candidates[i].clone()).collect();
     front.sort_by(|a, b| {
@@ -170,6 +182,8 @@ pub fn explore_mixed_with(
         evaluations,
         distinct_evaluations,
         cache_hits,
+        interned,
+        dominance,
     })
 }
 

@@ -260,7 +260,7 @@ fn batch_rerun_against_snapshot_is_estimator_free_and_bit_identical() {
         PipelineOptions::default().with_shared_cache(Arc::clone(&cold_cache)),
     );
     assert!(cold.distinct_evaluations > 0);
-    let fronts = |r: &sega_dcim::BatchReport| -> Vec<Vec<Vec<f64>>> {
+    let fronts = |r: &sega_dcim::BatchReport| -> Vec<sega_moga::ObjectiveMatrix> {
         r.outcomes
             .iter()
             .map(|o| o.result.objective_matrix())

@@ -285,6 +285,39 @@ proptest! {
         );
     }
 
+    /// Genome interning is result-neutral: with the GA-level dedup layer
+    /// disabled the fronts, the requested-evaluation count, the distinct
+    /// estimator bill and the total served-from-memory count are all
+    /// unchanged — only *which layer* serves the duplicates moves (the
+    /// interning layer's share is reported in `interned`). The tiered
+    /// dominance kernel's counters are live in both configurations.
+    #[test]
+    fn interning_is_result_neutral_and_accounted(
+        precision_idx in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let precision = ALL_PRECISIONS[precision_idx];
+        let spec = UserSpec::new(16384, precision).unwrap();
+        let interned_run = explore(&spec, seed, PipelineOptions::with_threads(1));
+        let mut config_off = cfg(seed);
+        config_off.intern = false;
+        let plain = explore_pareto_with(
+            &spec,
+            &Technology::tsmc28(),
+            &OperatingConditions::paper_default(),
+            &config_off,
+            PipelineOptions::with_threads(1),
+        );
+        prop_assert_eq!(interned_run.objective_matrix(), plain.objective_matrix());
+        prop_assert_eq!(interned_run.evaluations, plain.evaluations);
+        prop_assert_eq!(interned_run.distinct_evaluations, plain.distinct_evaluations);
+        prop_assert_eq!(interned_run.cache_hits, plain.cache_hits);
+        prop_assert!(interned_run.interned <= interned_run.cache_hits);
+        prop_assert_eq!(plain.interned, 0);
+        prop_assert!(interned_run.dominance.comparisons > 0);
+        prop_assert!(plain.dominance.comparisons > 0);
+    }
+
     /// The mixed-precision fan-out is bit-identical between its serial
     /// and concurrent forms, and its counters aggregate exactly.
     #[test]
@@ -335,5 +368,22 @@ fn cached_exploration_reaches_5x_fewer_estimates_at_default_budget() {
         run.evaluations / run.distinct_evaluations.max(1),
         run.distinct_evaluations,
         run.evaluations
+    );
+    // The accounting partitions exactly, and at a converged default
+    // budget the GA-level interning layer serves a real share of the
+    // duplicates before they ever reach the cache.
+    assert_eq!(
+        run.distinct_evaluations + run.cache_hits,
+        run.evaluations,
+        "hits + misses must partition the bill"
+    );
+    assert!(
+        run.interned > 0,
+        "a converged default-budget run must breed duplicate genomes"
+    );
+    assert!(run.interned <= run.cache_hits);
+    assert!(
+        run.dominance.comparisons > 0,
+        "kernel counters must be live"
     );
 }

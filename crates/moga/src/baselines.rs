@@ -13,7 +13,8 @@
 //!   front);
 //! * [`exhaustive_front`] — ground truth on small enumerable spaces.
 
-use crate::pareto::pareto_front_indices;
+use crate::matrix::ObjectiveMatrix;
+use crate::pareto::pareto_front_indices_matrix;
 use crate::Problem;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -159,8 +160,12 @@ pub fn exhaustive_front<P: Problem>(
 }
 
 fn front_of<G>(mut samples: Vec<(G, Vec<f64>)>) -> Vec<(G, Vec<f64>)> {
-    let objs: Vec<Vec<f64>> = samples.iter().map(|(_, o)| o.clone()).collect();
-    let mut keep = pareto_front_indices(&objs);
+    // One flat matrix for the dominance kernel — no per-sample clones.
+    let mut objs = ObjectiveMatrix::new(samples.first().map_or(0, |(_, o)| o.len()));
+    for (_, o) in &samples {
+        objs.push_row(o);
+    }
+    let mut keep = pareto_front_indices_matrix(&objs);
     keep.sort_unstable();
     let mut keep_iter = keep.into_iter().peekable();
     let mut idx = 0usize;

@@ -63,11 +63,14 @@
 #![warn(missing_docs)]
 
 mod baselines;
+pub mod matrix;
 pub mod metrics;
 mod nsga2;
 pub mod pareto;
 mod problem;
 
 pub use baselines::{exhaustive_front, random_search, weighted_sum_ga, WeightedSumConfig};
+pub use matrix::ObjectiveMatrix;
 pub use nsga2::{Individual, Nsga2, Nsga2Config, Nsga2Result};
+pub use pareto::DominanceStats;
 pub use problem::Problem;

@@ -1,0 +1,249 @@
+//! Flat structure-of-arrays objective storage: the canonical form every
+//! hot-path consumer of objective vectors works on.
+//!
+//! The seed pipeline carried objectives as `Vec<Vec<f64>>` — one heap
+//! allocation per individual per generation, scattered across the heap.
+//! [`ObjectiveMatrix`] stores the same data as a single flat `Vec<f64>`
+//! with a fixed row stride (the objective count), so
+//!
+//! * a generation's evaluation appends rows into **one** buffer (O(1)
+//!   allocations amortized instead of O(N)),
+//! * the dominance kernels in [`crate::pareto`] walk contiguous memory,
+//!   and
+//! * survivor selection copies rows with `memcpy`, never cloning
+//!   per-individual vectors.
+//!
+//! `Vec<Vec<f64>>` survives only as a thin adapter at the wire/report
+//! boundary ([`ObjectiveMatrix::to_rows`] / [`ObjectiveMatrix::from_rows`]).
+
+/// A dense row-major matrix of objective vectors: row `i` is the
+/// objective vector of point `i`, all rows share one flat allocation.
+///
+/// Equality compares dimensions and contents (with IEEE `==` semantics,
+/// so `NaN` rows never compare equal — the same behaviour as comparing
+/// `Vec<Vec<f64>>`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObjectiveMatrix {
+    data: Vec<f64>,
+    width: usize,
+    rows: usize,
+}
+
+impl ObjectiveMatrix {
+    /// An empty matrix whose rows will have `width` objectives.
+    pub fn new(width: usize) -> ObjectiveMatrix {
+        ObjectiveMatrix {
+            data: Vec::new(),
+            width,
+            rows: 0,
+        }
+    }
+
+    /// An empty matrix with room for `rows` rows of `width` objectives.
+    pub fn with_capacity(width: usize, rows: usize) -> ObjectiveMatrix {
+        ObjectiveMatrix {
+            data: Vec::with_capacity(width * rows),
+            width,
+            rows: 0,
+        }
+    }
+
+    /// Builds a matrix from owned rows (wire/report boundary adapter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> ObjectiveMatrix {
+        let width = rows.first().map_or(0, Vec::len);
+        let mut m = ObjectiveMatrix::with_capacity(width, rows.len());
+        for row in rows {
+            m.push_row(row);
+        }
+        m
+    }
+
+    /// Builds a matrix from borrowed rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_slices(rows: &[&[f64]]) -> ObjectiveMatrix {
+        let width = rows.first().map_or(0, |r| r.len());
+        let mut m = ObjectiveMatrix::with_capacity(width, rows.len());
+        for row in rows {
+            m.push_row(row);
+        }
+        m
+    }
+
+    /// A deterministic xorshift point cloud in `[0, 1)^width` (or, with
+    /// `quant = Some(q)`, on the integer grid `⌊u·q⌋`) — the **single**
+    /// workload generator shared by the dominance-kernel benches and
+    /// property tests, so the committed `BENCH_moga.json` baseline and
+    /// the oracle tests always sort identical clouds.
+    pub fn xorshift_cloud(
+        rows: usize,
+        width: usize,
+        quant: Option<f64>,
+        seed: u64,
+    ) -> ObjectiveMatrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut matrix = ObjectiveMatrix::with_capacity(width, rows);
+        let mut row = vec![0.0f64; width];
+        for _ in 0..rows {
+            for slot in row.iter_mut() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let unit = (state >> 11) as f64 / (1u64 << 53) as f64;
+                *slot = match quant {
+                    Some(q) => (unit * q).floor(),
+                    None => unit,
+                };
+            }
+            matrix.push_row(&row);
+        }
+        matrix
+    }
+
+    /// Objectives per row (the row stride).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the matrix holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row {i} out of range ({} rows)", self.rows);
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the matrix width.
+    #[inline]
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.width, "row arity mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Appends row `i` of `src` (a flat `memcpy`, no per-row allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or `i` is out of range.
+    #[inline]
+    pub fn push_row_from(&mut self, src: &ObjectiveMatrix, i: usize) {
+        self.push_row(src.row(i));
+    }
+
+    /// Removes all rows, keeping the allocation (and the width).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.rows = 0;
+    }
+
+    /// Resets the matrix to a new width, dropping all rows but keeping
+    /// the flat allocation — the reuse primitive for scratch matrices
+    /// that serve point sets of varying arity.
+    pub fn reset(&mut self, width: usize) {
+        self.data.clear();
+        self.width = width;
+        self.rows = 0;
+    }
+
+    /// Iterates the rows in order.
+    pub fn iter_rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// The flat row-major data.
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The boundary adapter back to nested vectors (wire/report only —
+    /// hot paths should stay on the flat form).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.iter_rows().map(<[f64]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_round_trip() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let m = ObjectiveMatrix::from_rows(&rows);
+        assert_eq!(m.width(), 2);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.to_rows(), rows);
+        assert_eq!(m.as_flat(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn push_row_from_copies_flat() {
+        let src = ObjectiveMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut dst = ObjectiveMatrix::new(2);
+        dst.push_row_from(&src, 1);
+        dst.push_row_from(&src, 0);
+        assert_eq!(dst.to_rows(), vec![vec![3.0, 4.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn zero_width_rows_are_countable() {
+        let mut m = ObjectiveMatrix::new(0);
+        m.push_row(&[]);
+        m.push_row(&[]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.row(0), &[] as &[f64]);
+    }
+
+    #[test]
+    fn reset_changes_width_and_keeps_capacity() {
+        let mut m = ObjectiveMatrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let cap = m.as_flat().len();
+        m.reset(2);
+        assert_eq!(m.width(), 2);
+        assert!(m.is_empty());
+        m.push_row(&[9.0, 8.0]);
+        assert_eq!(m.row(0), &[9.0, 8.0]);
+        let _ = cap;
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut m = ObjectiveMatrix::new(3);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn equality_follows_contents() {
+        let a = ObjectiveMatrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = ObjectiveMatrix::from_rows(&[vec![1.0, 2.0]]);
+        let c = ObjectiveMatrix::from_rows(&[vec![1.0, 3.0]]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

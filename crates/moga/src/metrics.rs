@@ -2,6 +2,13 @@
 //! distance (IGD) against a reference front, and the spread/extent of a
 //! front — used by the ablation benches to quantify how close the NSGA-II
 //! explorer gets to the exhaustive ground truth.
+//!
+//! Hypervolume itself lives in [`crate::pareto`] and is re-exported here
+//! so the indicator suite is importable from one place; sweep-heavy
+//! callers should prefer [`hypervolume_sorted`], which sorts once into a
+//! caller-owned index buffer instead of allocating per call.
+
+pub use crate::pareto::{hypervolume, hypervolume_sorted};
 
 /// Euclidean distance between two objective vectors.
 fn dist(a: &[f64], b: &[f64]) -> f64 {

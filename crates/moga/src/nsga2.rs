@@ -1,6 +1,9 @@
+use std::collections::HashMap;
+
+use crate::matrix::ObjectiveMatrix;
 use crate::pareto::{
-    crowding_distances_slices, crowding_distances_slices_into, non_dominated_sort_slices,
-    non_dominated_sort_slices_into, SortScratch,
+    crowding_distances_matrix_into, non_dominated_sort_matrix_into, CrowdingScratch,
+    DominanceStats, SortScratch,
 };
 use crate::Problem;
 use rand::rngs::StdRng;
@@ -24,6 +27,16 @@ pub struct Nsga2Config {
     pub mutation_rate: f64,
     /// RNG seed — runs are fully deterministic given the seed.
     pub seed: u64,
+    /// Intern duplicate genomes before evaluation (default `true`):
+    /// each cohort is deduplicated by genome equality and only distinct
+    /// genomes reach [`Problem::evaluate_batch_into`], with results
+    /// mapped back by index. Offspring of converged populations are
+    /// heavily duplicated, so this removes most evaluation traffic even
+    /// for problems with no cache of their own. Never changes the
+    /// result (the evaluation contract guarantees equal genomes
+    /// evaluate identically); the duplicates served are reported in
+    /// [`Nsga2Result::interned`].
+    pub intern: bool,
 }
 
 impl Default for Nsga2Config {
@@ -34,6 +47,7 @@ impl Default for Nsga2Config {
             crossover_rate: 0.9,
             mutation_rate: 0.35,
             seed: 0xD31A_2025,
+            intern: true,
         }
     }
 }
@@ -63,6 +77,14 @@ pub struct Nsga2Result<G> {
     pub evaluations: usize,
     /// Generations actually run.
     pub generations: usize,
+    /// Evaluations served by the genome-interning layer: duplicate
+    /// genomes within a cohort that never reached
+    /// [`Problem::evaluate_batch_into`]. Zero when
+    /// [`Nsga2Config::intern`] is off.
+    pub interned: usize,
+    /// Dominance-kernel work counters accumulated across every
+    /// non-dominated sort of the run.
+    pub dominance: DominanceStats,
 }
 
 /// The NSGA-II algorithm (elitist fast-non-dominated-sorting GA with
@@ -72,6 +94,43 @@ pub struct Nsga2Result<G> {
 #[derive(Debug, Clone)]
 pub struct Nsga2 {
     config: Nsga2Config,
+}
+
+/// The population in structure-of-arrays form: one flat
+/// [`ObjectiveMatrix`] plus parallel rank/crowding vectors, so a
+/// generation's selection machinery walks contiguous memory and never
+/// allocates per individual. [`Individual`]s are materialized only at
+/// the result boundary.
+struct Pop<G> {
+    genomes: Vec<G>,
+    objs: ObjectiveMatrix,
+    rank: Vec<usize>,
+    crowding: Vec<f64>,
+}
+
+impl<G> Pop<G> {
+    fn len(&self) -> usize {
+        self.genomes.len()
+    }
+
+    fn into_individuals(self) -> Vec<Individual<G>> {
+        let Pop {
+            genomes,
+            objs,
+            rank,
+            crowding,
+        } = self;
+        genomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, genome)| Individual {
+                genome,
+                objectives: objs.row(i).to_vec(),
+                rank: rank[i],
+                crowding: crowding[i],
+            })
+            .collect()
+    }
 }
 
 impl Nsga2 {
@@ -95,22 +154,31 @@ impl Nsga2 {
     ///
     /// The run is **batch-first**: every generation is fully bred (all
     /// tournament, crossover and mutation draws taken from the seeded RNG)
-    /// *before* a single objective function is called, and the complete
-    /// cohort is then handed to [`Problem::evaluate_batch`] in one call.
-    /// Because no RNG decision ever depends on an objective value of the
-    /// cohort being evaluated, the result is bit-identical regardless of
-    /// how `evaluate_batch` schedules the work — serially, across a thread
-    /// pool, or through a memoizing cache.
+    /// *before* a single objective function is called, then the cohort is
+    /// interned (duplicates resolved by genome equality) and the distinct
+    /// genomes are handed to [`Problem::evaluate_batch_into`] in one call,
+    /// landing in the run's flat [`ObjectiveMatrix`]. Because no RNG
+    /// decision ever depends on an objective value of the cohort being
+    /// evaluated, the result is bit-identical regardless of how the batch
+    /// schedules the work — serially, across a thread pool, or through a
+    /// memoizing cache — and regardless of whether interning is on.
     pub fn run<P: Problem>(&self, problem: &P) -> Nsga2Result<P::Genome> {
         let cfg = &self.config;
+        let m = problem.objectives();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut evaluations = 0usize;
         // All per-generation working memory lives here and is reused for
-        // the whole run: the cohort buffer, the survivor buffer, and the
-        // sort/crowding scratch. The evolution loop performs no
+        // the whole run: the cohort buffer, the SoA population, and the
+        // sort/crowding/interning scratch. The evolution loop performs no
         // steady-state buffer allocation.
-        let mut scratch = EvolutionScratch::new();
+        let mut scratch = EvolutionScratch::new(m);
         let mut cohort: Vec<P::Genome> = Vec::with_capacity(cfg.population);
+        let mut pop: Pop<P::Genome> = Pop {
+            genomes: Vec::with_capacity(2 * cfg.population),
+            objs: ObjectiveMatrix::with_capacity(m, 2 * cfg.population),
+            rank: Vec::new(),
+            crowding: Vec::new(),
+        };
 
         // Phase 1: breed the initial cohort (RNG only, no evaluation).
         cohort.extend((0..cfg.population).map(|_| {
@@ -119,10 +187,10 @@ impl Nsga2 {
             g
         }));
 
-        // Phase 2: evaluate the cohort in one batch.
-        let mut pop: Vec<Individual<P::Genome>> = Vec::with_capacity(2 * cfg.population);
-        evaluate_cohort_into(problem, &mut cohort, &mut pop, &mut evaluations);
-        rank_population(&mut pop);
+        // Phase 2: evaluate the cohort in one interned batch.
+        evaluate_cohort(problem, cfg.intern, &mut cohort, &mut pop, &mut scratch);
+        evaluations += pop.len();
+        rank_population(&mut pop, &mut scratch);
 
         for _ in 0..cfg.generations {
             // Breed the full offspring cohort via binary tournament +
@@ -132,9 +200,9 @@ impl Nsga2 {
                 let a = tournament(&pop, &mut rng);
                 let b = tournament(&pop, &mut rng);
                 let mut child = if rng.gen_bool(cfg.crossover_rate) {
-                    problem.crossover(&pop[a].genome, &pop[b].genome, &mut rng)
+                    problem.crossover(&pop.genomes[a], &pop.genomes[b], &mut rng)
                 } else {
-                    pop[a].genome.clone()
+                    pop.genomes[a].clone()
                 };
                 if rng.gen_bool(cfg.mutation_rate) {
                     problem.mutate(&mut child, &mut rng);
@@ -142,117 +210,186 @@ impl Nsga2 {
                 problem.repair(&mut child);
                 cohort.push(child);
             }
+            evaluations += cohort.len();
 
-            // …evaluate it in one batch, then run elitist environmental
-            // selection over parents ∪ offspring (in place: survivors are
-            // moved, not cloned).
-            evaluate_cohort_into(problem, &mut cohort, &mut pop, &mut evaluations);
+            // …evaluate it in one interned batch, then run elitist
+            // environmental selection over parents ∪ offspring (in place:
+            // survivors are moved, not cloned).
+            evaluate_cohort(problem, cfg.intern, &mut cohort, &mut pop, &mut scratch);
             select_survivors(&mut pop, cfg.population, &mut scratch);
         }
 
         let front = extract_front(&pop);
+        let interned = scratch.interned;
+        let dominance = scratch.sort.stats();
         Nsga2Result {
             front,
-            population: pop,
+            population: pop.into_individuals(),
             evaluations,
             generations: cfg.generations,
+            interned,
+            dominance,
         }
     }
 }
 
 /// Batch-evaluates a bred cohort, draining `genomes` (so the cohort
 /// buffer's capacity is reused next generation) and appending the
-/// individuals to `pop` (ranks are assigned by the caller's selection
-/// pass).
-fn evaluate_cohort_into<P: Problem>(
+/// genomes + objective rows to `pop` (ranks are assigned by the caller's
+/// selection pass). With interning on, duplicates are resolved here and
+/// only the distinct genomes reach the problem.
+fn evaluate_cohort<P: Problem>(
     problem: &P,
-    genomes: &mut Vec<P::Genome>,
-    pop: &mut Vec<Individual<P::Genome>>,
-    evaluations: &mut usize,
+    intern: bool,
+    cohort: &mut Vec<P::Genome>,
+    pop: &mut Pop<P::Genome>,
+    scratch: &mut EvolutionScratch<P::Genome>,
 ) {
-    let objectives = problem.evaluate_batch(genomes);
-    debug_assert_eq!(objectives.len(), genomes.len(), "batch arity");
-    *evaluations += genomes.len();
-    for (genome, objectives) in genomes.drain(..).zip(objectives) {
-        debug_assert_eq!(objectives.len(), problem.objectives(), "objective arity");
-        pop.push(Individual {
-            genome,
-            objectives,
-            rank: 0,
-            crowding: 0.0,
-        });
+    let before = pop.objs.len();
+    if intern {
+        // Intern the cohort: slot[i] = index of cohort[i] in `distinct`,
+        // resolved by the problem's hash key when it provides one, by
+        // linear equality scan otherwise.
+        scratch.slots.clear();
+        scratch.distinct.clear();
+        scratch.chain.clear();
+        scratch.buckets.clear();
+        for g in cohort.iter() {
+            let slot = match problem.intern_key(g) {
+                Some(key) => match scratch.buckets.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(head) => {
+                        // Walk the bucket's intrusive chain, confirming
+                        // with `==` (keys may collide).
+                        let mut d = *head.get();
+                        loop {
+                            if scratch.distinct[d] == *g {
+                                break d;
+                            }
+                            match scratch.chain[d] {
+                                usize::MAX => {
+                                    let fresh = scratch.distinct.len();
+                                    scratch.distinct.push(g.clone());
+                                    scratch.chain.push(usize::MAX);
+                                    scratch.chain[d] = fresh;
+                                    break fresh;
+                                }
+                                next => d = next,
+                            }
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(head) => {
+                        let fresh = scratch.distinct.len();
+                        scratch.distinct.push(g.clone());
+                        scratch.chain.push(usize::MAX);
+                        head.insert(fresh);
+                        fresh
+                    }
+                },
+                None => match scratch.distinct.iter().position(|d| d == g) {
+                    Some(d) => d,
+                    None => {
+                        scratch.distinct.push(g.clone());
+                        scratch.chain.push(usize::MAX);
+                        scratch.distinct.len() - 1
+                    }
+                },
+            };
+            scratch.slots.push(slot);
+        }
+        scratch.interned += cohort.len() - scratch.distinct.len();
+        scratch.batch.clear();
+        problem.evaluate_batch_into(&scratch.distinct, &mut scratch.batch);
+        debug_assert_eq!(scratch.batch.len(), scratch.distinct.len(), "batch arity");
+        for &slot in &scratch.slots {
+            pop.objs.push_row_from(&scratch.batch, slot);
+        }
+    } else {
+        problem.evaluate_batch_into(cohort, &mut pop.objs);
     }
+    debug_assert_eq!(pop.objs.len() - before, cohort.len(), "batch arity");
+    pop.genomes.append(cohort);
+    pop.rank.resize(pop.len(), 0);
+    pop.crowding.resize(pop.len(), 0.0);
 }
 
 /// Binary tournament by (rank, crowding) — the NSGA-II crowded-comparison
 /// operator.
-fn tournament<G>(pop: &[Individual<G>], rng: &mut StdRng) -> usize {
+fn tournament<G>(pop: &Pop<G>, rng: &mut StdRng) -> usize {
     let i = rng.gen_range(0..pop.len());
     let j = rng.gen_range(0..pop.len());
-    if crowded_less(&pop[i], &pop[j]) {
+    if crowded_less(pop, i, j) {
         i
     } else {
         j
     }
 }
 
-fn crowded_less<G>(a: &Individual<G>, b: &Individual<G>) -> bool {
-    a.rank < b.rank || (a.rank == b.rank && a.crowding > b.crowding)
+fn crowded_less<G>(pop: &Pop<G>, a: usize, b: usize) -> bool {
+    pop.rank[a] < pop.rank[b] || (pop.rank[a] == pop.rank[b] && pop.crowding[a] > pop.crowding[b])
 }
 
 /// Assigns ranks and crowding distances to the whole population with a
-/// single non-dominated sort over borrowed objective slices (no clone of
-/// the objective matrix).
-fn rank_population<G>(pop: &mut [Individual<G>]) {
-    let assignments: Vec<(usize, usize, f64)> = {
-        let objs: Vec<&[f64]> = pop.iter().map(|i| i.objectives.as_slice()).collect();
-        non_dominated_sort_slices(&objs)
-            .into_iter()
-            .enumerate()
-            .flat_map(|(rank, front)| {
-                let dists = crowding_distances_slices(&objs, &front);
-                front
-                    .into_iter()
-                    .zip(dists)
-                    .map(move |(idx, d)| (idx, rank, d))
-                    .collect::<Vec<_>>()
-            })
-            .collect()
-    };
-    for (idx, rank, crowding) in assignments {
-        pop[idx].rank = rank;
-        pop[idx].crowding = crowding;
+/// single non-dominated sort over the flat objective matrix.
+fn rank_population<G>(pop: &mut Pop<G>, scratch: &mut EvolutionScratch<G>) {
+    non_dominated_sort_matrix_into(&pop.objs, &mut scratch.sort, &mut scratch.fronts);
+    for (rank, front) in scratch.fronts.iter().enumerate() {
+        crowding_distances_matrix_into(&pop.objs, front, &mut scratch.dist, &mut scratch.crowd);
+        for (&idx, &d) in front.iter().zip(scratch.dist.iter()) {
+            pop.rank[idx] = rank;
+            pop.crowding[idx] = d;
+        }
     }
 }
 
 /// Reusable per-generation working memory of the evolution loop: the
-/// survivor plan, the sort/crowding buffers, and the individual-moving
-/// staging area. One instance serves a whole run.
+/// survivor plan, the sort/crowding buffers, the interning tables, and
+/// the SoA staging area. One instance serves a whole run.
 struct EvolutionScratch<G> {
     sort: SortScratch,
+    crowd: CrowdingScratch,
     fronts: Vec<Vec<usize>>,
     dist: Vec<f64>,
-    order: Vec<usize>,
     by_crowding: Vec<(usize, f64)>,
     kept: Vec<usize>,
     /// `(pool index, rank, crowding)` of each survivor, in survivor order.
     plan: Vec<(usize, usize, f64)>,
-    taken: Vec<Option<Individual<G>>>,
-    next: Vec<Individual<G>>,
+    taken: Vec<Option<G>>,
+    next_genomes: Vec<G>,
+    next_objs: ObjectiveMatrix,
+    /// Interning: cohort slot → distinct index, the distinct list, the
+    /// hash buckets (key → first distinct index, collisions threaded
+    /// through the intrusive `chain` so clearing drops no allocations),
+    /// and the distinct batch's objective rows.
+    slots: Vec<usize>,
+    distinct: Vec<G>,
+    buckets: HashMap<u64, usize>,
+    /// `chain[d]`: next distinct index sharing `d`'s intern key
+    /// (`usize::MAX` terminates).
+    chain: Vec<usize>,
+    batch: ObjectiveMatrix,
+    /// Duplicates resolved by interning across the whole run.
+    interned: usize,
 }
 
 impl<G> EvolutionScratch<G> {
-    fn new() -> Self {
+    fn new(objectives: usize) -> Self {
         EvolutionScratch {
             sort: SortScratch::default(),
+            crowd: CrowdingScratch::default(),
             fronts: Vec::new(),
             dist: Vec::new(),
-            order: Vec::new(),
             by_crowding: Vec::new(),
             kept: Vec::new(),
             plan: Vec::new(),
             taken: Vec::new(),
-            next: Vec::new(),
+            next_genomes: Vec::new(),
+            next_objs: ObjectiveMatrix::new(objectives),
+            slots: Vec::new(),
+            distinct: Vec::new(),
+            buckets: HashMap::new(),
+            chain: Vec::new(),
+            batch: ObjectiveMatrix::new(objectives),
+            interned: 0,
         }
     }
 }
@@ -267,80 +404,87 @@ impl<G> EvolutionScratch<G> {
 /// identical to re-ranking the survivor set, at a third of the sorting
 /// work.
 ///
-/// Operates **in place**: survivors are moved out of the pool (no
-/// `Individual` — and so no objective-vector — clones), and every buffer
-/// comes from the reusable [`EvolutionScratch`].
-fn select_survivors<G>(
-    pop: &mut Vec<Individual<G>>,
-    target: usize,
-    scratch: &mut EvolutionScratch<G>,
-) {
+/// Operates **in place**: survivor genomes are moved out of the pool and
+/// objective rows are `memcpy`d between the two flat matrices; every
+/// buffer comes from the reusable [`EvolutionScratch`].
+fn select_survivors<G>(pop: &mut Pop<G>, target: usize, scratch: &mut EvolutionScratch<G>) {
     scratch.plan.clear();
-    {
-        let objs: Vec<&[f64]> = pop.iter().map(|i| i.objectives.as_slice()).collect();
-        non_dominated_sort_slices_into(&objs, &mut scratch.sort, &mut scratch.fronts);
-        for (rank, front) in scratch.fronts.iter().enumerate() {
-            if scratch.plan.len() + front.len() <= target {
-                // The whole front survives: its crowding distances
-                // (computed within the full front) are final.
-                crowding_distances_slices_into(&objs, front, &mut scratch.dist, &mut scratch.order);
-                for (&idx, &d) in front.iter().zip(scratch.dist.iter()) {
-                    scratch.plan.push((idx, rank, d));
-                }
-            } else {
-                // Truncate by crowding within the full front (the NSGA-II
-                // crowded-comparison tiebreak)…
-                crowding_distances_slices_into(&objs, front, &mut scratch.dist, &mut scratch.order);
-                scratch.by_crowding.clear();
-                scratch
-                    .by_crowding
-                    .extend(front.iter().copied().zip(scratch.dist.iter().copied()));
-                scratch
-                    .by_crowding
-                    .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-                scratch.by_crowding.truncate(target - scratch.plan.len());
-                // …then recompute crowding among the kept subset, matching
-                // what a full re-rank of the survivor set would produce.
-                scratch.kept.clear();
-                scratch
-                    .kept
-                    .extend(scratch.by_crowding.iter().map(|&(idx, _)| idx));
-                crowding_distances_slices_into(
-                    &objs,
-                    &scratch.kept,
-                    &mut scratch.dist,
-                    &mut scratch.order,
-                );
-                for (&idx, &d) in scratch.kept.iter().zip(scratch.dist.iter()) {
-                    scratch.plan.push((idx, rank, d));
-                }
-                break;
+    non_dominated_sort_matrix_into(&pop.objs, &mut scratch.sort, &mut scratch.fronts);
+    for (rank, front) in scratch.fronts.iter().enumerate() {
+        if scratch.plan.len() + front.len() <= target {
+            // The whole front survives: its crowding distances
+            // (computed within the full front) are final.
+            crowding_distances_matrix_into(&pop.objs, front, &mut scratch.dist, &mut scratch.crowd);
+            for (&idx, &d) in front.iter().zip(scratch.dist.iter()) {
+                scratch.plan.push((idx, rank, d));
             }
-            if scratch.plan.len() == target {
-                break;
+        } else {
+            // Truncate by crowding within the full front (the NSGA-II
+            // crowded-comparison tiebreak)…
+            crowding_distances_matrix_into(&pop.objs, front, &mut scratch.dist, &mut scratch.crowd);
+            scratch.by_crowding.clear();
+            scratch
+                .by_crowding
+                .extend(front.iter().copied().zip(scratch.dist.iter().copied()));
+            scratch
+                .by_crowding
+                .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            scratch.by_crowding.truncate(target - scratch.plan.len());
+            // …then recompute crowding among the kept subset, matching
+            // what a full re-rank of the survivor set would produce.
+            scratch.kept.clear();
+            scratch
+                .kept
+                .extend(scratch.by_crowding.iter().map(|&(idx, _)| idx));
+            crowding_distances_matrix_into(
+                &pop.objs,
+                &scratch.kept,
+                &mut scratch.dist,
+                &mut scratch.crowd,
+            );
+            for (&idx, &d) in scratch.kept.iter().zip(scratch.dist.iter()) {
+                scratch.plan.push((idx, rank, d));
             }
+            break;
+        }
+        if scratch.plan.len() == target {
+            break;
         }
     }
-    // Execute the plan: move the selected individuals out of the pool in
-    // survivor order; the rest drop with the staging buffer's clear.
+    // Execute the plan: move the selected genomes out of the pool in
+    // survivor order and copy their objective rows into the staging
+    // matrix; the rest drop with the staging buffer's clear.
     scratch.taken.clear();
-    scratch.taken.extend(pop.drain(..).map(Some));
-    debug_assert!(scratch.next.is_empty());
+    scratch.taken.extend(pop.genomes.drain(..).map(Some));
+    debug_assert!(scratch.next_genomes.is_empty());
+    scratch.next_objs.clear();
+    pop.rank.clear();
+    pop.crowding.clear();
     for &(idx, rank, crowding) in &scratch.plan {
-        let mut ind = scratch.taken[idx].take().expect("survivor selected once");
-        ind.rank = rank;
-        ind.crowding = crowding;
-        scratch.next.push(ind);
+        let genome = scratch.taken[idx].take().expect("survivor selected once");
+        scratch.next_genomes.push(genome);
+        scratch.next_objs.push_row_from(&pop.objs, idx);
+        pop.rank.push(rank);
+        pop.crowding.push(crowding);
     }
-    std::mem::swap(pop, &mut scratch.next);
-    scratch.next.clear();
+    std::mem::swap(&mut pop.genomes, &mut scratch.next_genomes);
+    std::mem::swap(&mut pop.objs, &mut scratch.next_objs);
+    scratch.next_genomes.clear();
     scratch.taken.clear();
 }
 
 /// The rank-0 members, deduplicated by objective vector and sorted by the
 /// first objective for stable presentation.
-fn extract_front<G: Clone>(pop: &[Individual<G>]) -> Vec<Individual<G>> {
-    let mut front: Vec<Individual<G>> = pop.iter().filter(|i| i.rank == 0).cloned().collect();
+fn extract_front<G: Clone>(pop: &Pop<G>) -> Vec<Individual<G>> {
+    let mut front: Vec<Individual<G>> = (0..pop.len())
+        .filter(|&i| pop.rank[i] == 0)
+        .map(|i| Individual {
+            genome: pop.genomes[i].clone(),
+            objectives: pop.objs.row(i).to_vec(),
+            rank: 0,
+            crowding: pop.crowding[i],
+        })
+        .collect();
     front.sort_by(|a, b| {
         a.objectives
             .partial_cmp(&b.objectives)
@@ -517,6 +661,86 @@ mod tests {
         for ind in &r.population {
             assert_eq!(ind.genome % 2, 0, "repair must keep genomes feasible");
         }
+    }
+
+    /// A discrete problem whose tiny genome space guarantees duplicate
+    /// offspring, counting how many evaluations actually reach it — the
+    /// interning layer's test double. Provides a hash key so the hashed
+    /// interning path is exercised.
+    struct Discrete(std::cell::Cell<usize>);
+    impl Problem for Discrete {
+        type Genome = i64;
+        fn objectives(&self) -> usize {
+            2
+        }
+        fn random_genome(&self, rng: &mut dyn RngCore) -> i64 {
+            (rng.next_u32() % 8) as i64
+        }
+        fn evaluate(&self, x: &i64) -> Vec<f64> {
+            self.0.set(self.0.get() + 1);
+            vec![*x as f64, (7 - x) as f64]
+        }
+        fn intern_key(&self, g: &i64) -> Option<u64> {
+            Some(*g as u64)
+        }
+        fn crossover(&self, a: &i64, b: &i64, _: &mut dyn RngCore) -> i64 {
+            (a + b) / 2
+        }
+        fn mutate(&self, x: &mut i64, rng: &mut dyn RngCore) {
+            *x = (*x + (rng.next_u32() % 3) as i64 - 1).clamp(0, 7);
+        }
+    }
+
+    #[test]
+    fn interning_dedups_cohorts_without_changing_results() {
+        let cfg = Nsga2Config {
+            population: 32,
+            generations: 12,
+            seed: 5,
+            ..Default::default()
+        };
+        let counted = Discrete(std::cell::Cell::new(0));
+        let with = Nsga2::new(cfg.clone()).run(&counted);
+        let reached_interned = counted.0.get();
+        let counted_off = Discrete(std::cell::Cell::new(0));
+        let without = Nsga2::new(Nsga2Config {
+            intern: false,
+            ..cfg
+        })
+        .run(&counted_off);
+        let reached_plain = counted_off.0.get();
+        // Identical results, identical requested-evaluation accounting.
+        let objs = |r: &Nsga2Result<i64>| -> Vec<Vec<f64>> {
+            r.front.iter().map(|i| i.objectives.clone()).collect()
+        };
+        assert_eq!(objs(&with), objs(&without));
+        assert_eq!(with.evaluations, without.evaluations);
+        // The 8-point genome space cannot fill 32-genome cohorts with
+        // distinct genomes: interning must have served the difference.
+        assert_eq!(with.evaluations, reached_interned + with.interned);
+        assert!(
+            with.interned > 0 && reached_interned < reached_plain,
+            "interning must shrink the problem's evaluation bill \
+             ({reached_interned} vs {reached_plain})"
+        );
+        assert_eq!(without.interned, 0);
+        assert_eq!(reached_plain, without.evaluations);
+    }
+
+    #[test]
+    fn dominance_counters_are_reported() {
+        let r = run_sch(6);
+        assert!(r.dominance.comparisons > 0, "sorts must be counted");
+        // SCH is bi-objective: every per-generation sort runs the sweep
+        // tier, so the whole run's comparison bill stays far below one
+        // generation's worth of naive pairwise work (pool of 120 →
+        // 120·119/2 = 7140 per sort, 61 sorts).
+        let naive_per_sort = (120 * 119 / 2) as u64;
+        assert!(
+            r.dominance.comparisons < 61 * naive_per_sort / 4,
+            "comparisons {} not asymptotically below the naive bill",
+            r.dominance.comparisons
+        );
     }
 
     #[test]

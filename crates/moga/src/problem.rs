@@ -1,3 +1,4 @@
+use crate::matrix::ObjectiveMatrix;
 use rand::RngCore;
 
 /// A multi-objective optimization problem over an arbitrary genome type.
@@ -9,8 +10,11 @@ use rand::RngCore;
 /// is called after construction, crossover and mutation, and may rewrite the
 /// genome into the nearest feasible point.
 pub trait Problem {
-    /// The decision-variable encoding.
-    type Genome: Clone;
+    /// The decision-variable encoding. Equality is used by the genome
+    /// interning layer: genomes comparing equal must evaluate to
+    /// identical objective vectors (which the determinism contract of
+    /// [`evaluate`](Problem::evaluate) already guarantees).
+    type Genome: Clone + PartialEq;
 
     /// Number of objective values [`evaluate`](Problem::evaluate) returns.
     fn objectives(&self) -> usize;
@@ -28,19 +32,45 @@ pub trait Problem {
     /// Evaluates a whole batch of genomes, returning one objective vector
     /// per genome **in input order**.
     ///
-    /// This is the seam batched backends plug into: [`crate::Nsga2`]
-    /// breeds a full generation before evaluating it, then hands the
-    /// complete cohort to this method in one call. Implementations may
-    /// memoize duplicate genomes, fan the batch out across threads, or
-    /// ship it to a remote estimator service — as long as the returned
-    /// vectors match what [`evaluate`](Problem::evaluate) would produce
-    /// element-wise, the algorithm's result is unchanged (and therefore
-    /// independent of evaluation order and thread count).
+    /// This is the nested-vector form kept for simple implementations and
+    /// the wire/report boundary; the GA hot path calls
+    /// [`evaluate_batch_into`](Problem::evaluate_batch_into), whose
+    /// default delegates here. Implementations may memoize duplicate
+    /// genomes, fan the batch out across threads, or ship it to a remote
+    /// estimator service — as long as the returned vectors match what
+    /// [`evaluate`](Problem::evaluate) would produce element-wise, the
+    /// algorithm's result is unchanged (and therefore independent of
+    /// evaluation order and thread count).
     ///
     /// The default is a plain serial loop over
     /// [`evaluate`](Problem::evaluate).
     fn evaluate_batch(&self, genomes: &[Self::Genome]) -> Vec<Vec<f64>> {
         genomes.iter().map(|g| self.evaluate(g)).collect()
+    }
+
+    /// Evaluates a whole batch, **appending** one row per genome (in
+    /// input order) to a flat [`ObjectiveMatrix`] — the allocation-free
+    /// seam the GA evaluates through: a generation lands in one flat
+    /// buffer instead of N heap vectors.
+    ///
+    /// The default delegates to [`evaluate_batch`](Problem::evaluate_batch),
+    /// so existing batch implementations keep working; batched backends
+    /// should override this form and push rows directly.
+    fn evaluate_batch_into(&self, genomes: &[Self::Genome], out: &mut ObjectiveMatrix) {
+        debug_assert_eq!(out.width(), self.objectives(), "matrix arity");
+        for row in self.evaluate_batch(genomes) {
+            out.push_row(&row);
+        }
+    }
+
+    /// A hash key for genome interning: equal genomes **must** return
+    /// equal keys; unequal genomes may collide (collisions are resolved
+    /// with `==`). `None` (the default) disables hashed interning — the
+    /// GA then dedups cohorts by linear equality scan against the
+    /// distinct list, which is cheap whenever cohorts are small or
+    /// heavily duplicated.
+    fn intern_key(&self, _genome: &Self::Genome) -> Option<u64> {
+        None
     }
 
     /// Recombines two parents into one child.

@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use sega_moga::pareto::{
-    crowding_distances, dominates, hypervolume, non_dominated_sort, pareto_front_indices,
+    crowding_distances, dominates, hypervolume, hypervolume_sorted, non_dominated_sort,
+    non_dominated_sort_naive, pareto_front_indices,
 };
 
 fn points(max_len: usize, dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
@@ -74,6 +75,34 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The tiered kernel (sweep for M=2, staircases for M=3) returns
+    /// exactly the fronts of the retained naive Deb oracle — the fast
+    /// tiers' form of the brute-force check above (which exercises the
+    /// M=4 bitset fallback).
+    #[test]
+    fn fast_tiers_match_the_naive_oracle(p2 in points(40, 2), p3 in points(40, 3)) {
+        for p in [&p2, &p3] {
+            let refs: Vec<&[f64]> = p.iter().map(Vec::as_slice).collect();
+            let mut tiered = non_dominated_sort(p);
+            let mut naive = non_dominated_sort_naive(&refs);
+            for f in tiered.iter_mut().chain(naive.iter_mut()) {
+                f.sort_unstable();
+            }
+            prop_assert_eq!(tiered, naive);
+        }
+    }
+
+    /// The caller-owned-buffer hypervolume form is exactly the
+    /// allocating form.
+    #[test]
+    fn hypervolume_sorted_matches_hypervolume(p in points(12, 2)) {
+        let reference = vec![101.0, 101.0];
+        let mut order = Vec::new();
+        let a = hypervolume(&p, &reference);
+        let b = hypervolume_sorted(&p, &reference, &mut order);
+        prop_assert_eq!(a.to_bits(), b.to_bits());
     }
 
     /// Removing a point never grows the hypervolume; adding one never

@@ -103,6 +103,89 @@ pub fn pipeline_json_path() -> Option<std::path::PathBuf> {
     }
 }
 
+/// One measured dominance-kernel case of the `moga_kernel` bench: the
+/// point-set shape, the tiered kernel's counters, the naive `N·(N−1)/2`
+/// pairwise bill it replaces, and the wall clock.
+///
+/// The counters are **deterministic** for a given build and input, so
+/// CI's regression guard diffs them against the committed
+/// `BENCH_moga.json` baseline with a tight (5%) tolerance — stable even
+/// on a noisy 1-CPU runner, unlike wall-clock.
+#[derive(Debug, Clone)]
+pub struct MogaKernelRecord {
+    /// Number of points sorted.
+    pub n: usize,
+    /// Objectives per point.
+    pub m: usize,
+    /// Dominance comparisons / search probes the tiered kernel performed.
+    pub comparisons: u64,
+    /// The naive kernel's pairwise bill for the same input.
+    pub naive_comparisons: u64,
+    /// Buffers the kernel allocated (0 once the scratch is warm).
+    pub allocations: u64,
+    /// Fronts produced.
+    pub fronts: usize,
+    /// Wall-clock of one warm sort in seconds.
+    pub wall_s: f64,
+}
+
+impl MogaKernelRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", Json::from(self.n)),
+            ("m", Json::from(self.m)),
+            ("comparisons", Json::from(self.comparisons)),
+            ("naive_comparisons", Json::from(self.naive_comparisons)),
+            ("allocations", Json::from(self.allocations)),
+            ("fronts", Json::from(self.fronts)),
+            ("wall_s", Json::from(self.wall_s)),
+        ])
+    }
+}
+
+/// The full `BENCH_moga.json` document: the dominance kernel's perf
+/// trajectory, one record per `(N, M)` case.
+#[derive(Debug, Clone)]
+pub struct MogaKernelReport {
+    /// One record per measured case, in measurement order.
+    pub cases: Vec<MogaKernelRecord>,
+}
+
+impl MogaKernelReport {
+    /// Serializes the report to its canonical JSON text.
+    pub fn to_json_string(&self) -> String {
+        Json::obj([
+            ("bench", Json::from("moga_kernel")),
+            (
+                "cases",
+                Json::Arr(self.cases.iter().map(MogaKernelRecord::to_json).collect()),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string() + "\n")
+    }
+}
+
+/// Resolves the `BENCH_MOGA_JSON` environment knob: unset → `None` (no
+/// file written); `"1"`/`"true"` → the default `BENCH_moga.json` in the
+/// current directory; anything else → that path.
+pub fn moga_json_path() -> Option<std::path::PathBuf> {
+    let raw = std::env::var("BENCH_MOGA_JSON").ok()?;
+    match raw.as_str() {
+        "" => None,
+        "1" | "true" => Some("BENCH_moga.json".into()),
+        path => Some(path.into()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +210,26 @@ mod tests {
         assert!(text.contains(r#""name":"serial_uncached","wall_s":0.25,"evaluations":12100"#));
         assert!(text.contains(r#""distinct_evaluations":12100,"cache_hits":0"#));
         // The report is valid JSON by our own parser.
+        Json::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn moga_kernel_report_schema_is_stable() {
+        let report = MogaKernelReport {
+            cases: vec![MogaKernelRecord {
+                n: 1024,
+                m: 3,
+                comparisons: 40_000,
+                naive_comparisons: 523_776,
+                allocations: 0,
+                fronts: 17,
+                wall_s: 0.001,
+            }],
+        };
+        let text = report.to_json_string();
+        assert!(text.starts_with(r#"{"bench":"moga_kernel","cases":["#));
+        assert!(text.contains(r#""n":1024,"m":3,"comparisons":40000"#));
+        assert!(text.contains(r#""naive_comparisons":523776,"allocations":0,"fronts":17"#));
         Json::parse(&text).unwrap();
     }
 }
