@@ -13,10 +13,11 @@
 //! * [`InstrumentedBackend`] wraps any backend with cohort/geometry
 //!   counters — the test double proving fronts are backend-invariant,
 //!   and the accounting hook the batch runner reports.
-//! * A future **remote** backend ships the same cohorts (serialized with
-//!   `sega_wire`) to estimator workers and merges their memoized results
-//!   back through the cache's snapshot/merge layer; only this trait and
-//!   a transport are needed — no caller changes.
+//! * [`RemoteBackend`](crate::remote::RemoteBackend) ships the same
+//!   cohorts (serialized with `sega_wire`) to a fleet of worker
+//!   processes and merges their results back through the cache's
+//!   snapshot/merge layer — the transport this trait was cut for, and
+//!   the proof no caller had to change when it landed.
 //!
 //! The contract every backend must honor: **determinism**. For one bound
 //! `(spec, technology, conditions)` the objective vector of a geometry is

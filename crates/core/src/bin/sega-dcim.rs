@@ -8,7 +8,10 @@
 //! sega-dcim estimate --n 32 --h 128 --l 16 --k 4 --precision int8 [--json]
 //! sega-dcim batch   --jobs FILE [--cache-file FILE] [--report FILE]
 //!                   [--population N] [--generations N] [--seed N]
-//!                   [--threads N] [--shards N] [--backend macro|instrumented]
+//!                   [--threads N] [--shards N]
+//!                   [--backend macro|instrumented|remote] [--workers N]
+//!                   [--worker-log-dir DIR]
+//! sega-dcim worker  --serve [--fail-after N] [--corrupt-after N]
 //! ```
 //!
 //! `--threads` bounds the exploration's evaluation pipeline (`0` = all
@@ -28,6 +31,17 @@
 //! loads the cache before the run and saves it after (binary snapshot,
 //! or JSON when the path ends in `.json`), so an identical rerun
 //! warm-starts to **0 distinct evaluations** with bit-identical fronts.
+//! With `--backend remote` the batch dispatches cohorts to `--workers N`
+//! worker **processes** (this same binary, re-invoked as `sega-dcim
+//! worker --serve`) over the framed wire protocol; the fronts are
+//! bit-identical to the in-process run for every worker count, and
+//! remotely computed estimates land in the `--cache-file` like local
+//! ones.
+//!
+//! `worker` is the serving half of that protocol: it speaks frames on
+//! stdio and is only useful when launched by a coordinator (or a test).
+//! `--fail-after`/`--corrupt-after` are fault-injection knobs for the
+//! recovery test matrix.
 
 use std::collections::HashMap;
 use std::fs;
@@ -39,7 +53,7 @@ use sega_dcim::batch::{decode_cache_file, encode_cache_file, parse_jobs, run_bat
 use sega_dcim::report::{csv_table, markdown_table};
 use sega_dcim::{
     Compiler, DistillStrategy, ExplorationResult, InstrumentedBackend, PipelineOptions,
-    SharedEvalCache, UserSpec,
+    RemoteBackend, RemoteOptions, SharedEvalCache, UserSpec,
 };
 use sega_estimator::{estimate, DcimDesign, MacroEstimate, OperatingConditions, Precision};
 use sega_layout::export::to_ascii;
@@ -66,9 +80,13 @@ const USAGE: &str = "usage:
   sega-dcim estimate --n N --h H --l L --k K --precision P [--json]
   sega-dcim batch    --jobs FILE [--cache-file FILE] [--report FILE]
                      [--population N] [--generations N] [--seed N]
-                     [--threads N] [--shards N] [--backend macro|instrumented]
+                     [--threads N] [--shards N]
+                     [--backend macro|instrumented|remote] [--workers N]
+                     [--worker-log-dir DIR] [--inject-fault none|kill-one|corrupt-one]
+  sega-dcim worker   --serve [--fail-after N] [--corrupt-after N]
 precisions:   int2 int4 int8 int16 fp8 fp16 bf16 fp32
---threads:    evaluation pool width (0 = all hardware threads, 1 = serial)
+--threads:    evaluation pool width (0 = all hardware threads, 1 = serial;
+              batch requires an explicit width >= 1, or omit the flag)
 --no-cache:   disable estimate memoization (results are identical, only slower)
 --json:       emit the wire-codec JSON document instead of a table
 --jobs:       JSON job file: {\"jobs\":[{\"wstore\":8192,\"precision\":\"int8\",
@@ -76,7 +94,14 @@ precisions:   int2 int4 int8 int16 fp8 fp16 bf16 fp32
 --cache-file: load the eval cache before the batch, save it after (warm start;
               binary snapshot, or JSON text when the path ends in .json)
 --report:     write the batch results JSON here (default: stdout)
---backend:    estimator backend (default macro; instrumented = macro + counters)";
+--backend:    estimator backend (default macro; instrumented = macro + counters;
+              remote = a fleet of worker processes over the wire protocol)
+--workers:    worker processes for --backend remote (default 2, must be >= 1)
+--worker-log-dir: write each remote worker's stderr to DIR/worker-N.log
+--inject-fault: sabotage remote worker 0 (none|kill-one|corrupt-one) — the
+              CI fault matrix; results must stay bit-identical regardless
+--serve:      speak the framed eval protocol on stdio (workers are spawned by
+              a coordinator, not run by hand)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().ok_or("missing command")?;
@@ -86,6 +111,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "explore" => explore(&flags),
         "estimate" => estimate_cmd(&flags),
         "batch" => batch(&flags),
+        "worker" => worker(&flags),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -98,7 +124,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected `--flag`, got `{arg}`"))?;
         // Boolean flags take no value.
-        if key == "csv" || key == "no-cache" || key == "json" {
+        if key == "csv" || key == "no-cache" || key == "json" || key == "serve" {
             flags.insert(key.to_owned(), "true".to_owned());
             continue;
         }
@@ -373,7 +399,68 @@ fn estimate_json(design: &DcimDesign, est: &MacroEstimate) -> Json {
     ])
 }
 
+/// Parses a batch flag that must be a **positive** count: the batch
+/// runner rejects `0` (and non-numbers) up front with a clear message
+/// instead of letting a zero-width pool or zero-shard cache surface as a
+/// panic deep inside the pipeline.
+fn get_positive(
+    flags: &HashMap<String, String>,
+    key: &str,
+    hint: &str,
+) -> Result<Option<usize>, String> {
+    match flags.get(key) {
+        None => Ok(None),
+        Some(raw) => {
+            let value: usize = raw
+                .parse()
+                .map_err(|e| format!("--{key}: {e} (got `{raw}`)"))?;
+            if value == 0 {
+                return Err(format!("--{key} must be >= 1 ({hint})"));
+            }
+            Ok(Some(value))
+        }
+    }
+}
+
 fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
+    // Validate every scheduling knob before any file is read or worker
+    // spawned, so a typo fails in microseconds with a precise message.
+    let threads = get_positive(
+        flags,
+        "threads",
+        "omit the flag to use all hardware threads",
+    )?;
+    let shards = get_positive(flags, "shards", "the cache needs at least one shard")?
+        .unwrap_or(sega_dcim::cache::DEFAULT_SHARDS);
+    let workers =
+        get_positive(flags, "workers", "a remote fleet needs at least one worker")?.unwrap_or(2);
+    let backend_name = flags.get("backend").map(String::as_str).unwrap_or("macro");
+    if !matches!(backend_name, "macro" | "instrumented" | "remote") {
+        return Err(format!(
+            "unknown backend `{backend_name}` (expected macro, instrumented or remote)"
+        ));
+    }
+    let fault = flags.get("inject-fault").map(String::as_str);
+    if !matches!(fault, None | Some("none" | "kill-one" | "corrupt-one")) {
+        return Err(format!(
+            "unknown fault `{}` (expected none, kill-one or corrupt-one)",
+            fault.unwrap_or_default()
+        ));
+    }
+    // Fleet-only flags on a non-remote backend would be silently inert —
+    // which, for a fault-matrix run, means believing a fault path was
+    // exercised when nothing was. Refuse instead.
+    if backend_name != "remote" {
+        for flag in ["workers", "worker-log-dir"] {
+            if flags.contains_key(flag) {
+                return Err(format!("--{flag} requires --backend remote"));
+            }
+        }
+        if !matches!(fault, None | Some("none")) {
+            return Err("--inject-fault requires --backend remote".to_owned());
+        }
+    }
+
     let jobs_path = flags.get("jobs").ok_or("missing --jobs")?;
     let jobs_text = fs::read_to_string(jobs_path)
         .map_err(|e| format!("cannot read job file `{jobs_path}`: {e}"))?;
@@ -391,10 +478,6 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
 
     // One shared cache for the whole batch, warm-started from the cache
     // file when present.
-    let shards = match flags.get("shards") {
-        Some(raw) => raw.parse().map_err(|e| format!("--shards: {e}"))?,
-        None => sega_dcim::cache::DEFAULT_SHARDS,
-    };
     let cache = Arc::new(SharedEvalCache::with_shards(shards));
     let cache_file = flags.get("cache-file").map(PathBuf::from);
     if let Some(path) = &cache_file {
@@ -416,17 +499,44 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 
     let mut pipeline = PipelineOptions::default().with_shared_cache(Arc::clone(&cache));
-    if let Some(t) = flags.get("threads") {
-        pipeline.threads = t.parse().map_err(|e| format!("--threads: {e}"))?;
+    if let Some(t) = threads {
+        pipeline.threads = t;
     }
-    let instrumented = match flags.get("backend").map(String::as_str) {
-        None | Some("macro") => None,
-        Some("instrumented") => {
+    let mut instrumented: Option<Arc<InstrumentedBackend>> = None;
+    let mut remote: Option<Arc<RemoteBackend>> = None;
+    match backend_name {
+        "instrumented" => {
             let backend = Arc::new(InstrumentedBackend::macro_model());
             pipeline.backend = Some(Arc::clone(&backend) as _);
-            Some(backend)
+            instrumented = Some(backend);
         }
-        Some(other) => return Err(format!("unknown backend `{other}`")),
+        "remote" => {
+            let program = std::env::current_exe()
+                .map_err(|e| format!("cannot locate the worker binary: {e}"))?;
+            let mut options = RemoteOptions::fleet(program, workers);
+            // The CI fault matrix: sabotage worker 0 and demand the run
+            // still complete with bit-identical fronts. (The value was
+            // validated up front.)
+            let sabotage = match fault {
+                Some("kill-one") => Some("--fail-after"),
+                Some("corrupt-one") => Some("--corrupt-after"),
+                _ => None,
+            };
+            if let Some(knob) = sabotage {
+                options.workers[0] = options.workers[0]
+                    .clone()
+                    .with_args([knob.to_owned(), "1".to_owned()]);
+            }
+            if let Some(dir) = flags.get("worker-log-dir") {
+                options = options.with_log_dir(dir);
+            }
+            // Worker snapshot deltas land in the batch cache, so the
+            // saved --cache-file carries remotely computed estimates.
+            let backend = Arc::new(RemoteBackend::spawn(options)?.with_sink(Arc::clone(&cache)));
+            pipeline.backend = Some(Arc::clone(&backend) as _);
+            remote = Some(backend);
+        }
+        _ => {}
     };
 
     let report = run_batch(
@@ -472,5 +582,46 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
             backend.geometries()
         );
     }
+    if let Some(backend) = remote {
+        let stats = backend.stats();
+        eprintln!(
+            "remote fleet: {}/{} workers alive, {} round-trips, {} geometries \
+             ({} requeued sub-cohorts, {} worker deaths, {} evaluated in-process), \
+             {} delta entries merged",
+            stats.workers_alive,
+            stats.workers_spawned,
+            stats.round_trips,
+            stats.geometries,
+            stats.requeues,
+            stats.worker_deaths,
+            stats.fallback_geometries,
+            stats.merged_entries,
+        );
+    }
     Ok(())
+}
+
+/// The serving half of the remote protocol: frames on stdio until the
+/// coordinator shuts us down or closes the pipe.
+fn worker(flags: &HashMap<String, String>) -> Result<(), String> {
+    if !flags.contains_key("serve") {
+        return Err(
+            "worker requires --serve (it is launched by a coordinator, not run by hand)".to_owned(),
+        );
+    }
+    let knob = |key: &str| -> Result<Option<u64>, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse().map_err(|e| format!("--{key}: {e}")))
+            .transpose()
+    };
+    let options = sega_dcim::WorkerOptions {
+        fail_after: knob("fail-after")?,
+        corrupt_after: knob("corrupt-after")?,
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = std::io::BufWriter::new(stdout.lock());
+    sega_dcim::remote::serve_worker(&mut input, &mut output, &options)
 }

@@ -73,6 +73,7 @@ pub mod distill;
 pub mod enumerate;
 pub mod explore;
 pub mod mixed;
+pub mod remote;
 pub mod report;
 pub mod runtime;
 mod spec;
@@ -90,6 +91,7 @@ pub use explore::{
     explore_pareto, explore_pareto_with, ExplorationResult, ParetoSolution, PipelineOptions,
 };
 pub use mixed::{explore_mixed, explore_mixed_with, MixedExploration};
+pub use remote::{RemoteBackend, RemoteOptions, RemoteStats, WorkerCommand, WorkerOptions};
 pub use spec::{ExplorerLimits, SpecError, UserSpec};
 pub use testbench::{generate_int_testbench, Testbench};
 

@@ -1,0 +1,930 @@
+//! The remote evaluation backend: cohorts shipped to a fleet of worker
+//! **processes** over the `sega_wire` framed protocol — the transport +
+//! async-dispatch layer the `EvalBackend` seam was built for.
+//!
+//! # Topology
+//!
+//! [`RemoteBackend::spawn`] launches N workers (`sega-dcim worker
+//! --serve` by default) with piped stdio; each worker answers
+//! [`sega_wire::frame`] eval-requests until shutdown or stdin EOF. One
+//! fleet serves every binding the backend hands out, so a whole batch
+//! run — many specs, many precisions — shares the same N processes, and
+//! each worker memoizes its own [`SharedEvalCache`] across requests.
+//!
+//! # Dispatch
+//!
+//! [`CohortEvaluator::evaluate_cohort`] splits the (already
+//! deduplicated) cohort by the same Fx-hash shard function the
+//! [`KeySpace`](crate::cache::KeySpace) uses, writes **all** sub-cohort
+//! requests before reading any response — the workers compute
+//! concurrently while the coordinator is still dispatching — then
+//! collects responses in order. Results merge back twice, and both
+//! merges are order-insensitive by construction: the objective rows
+//! scatter into cohort slots by index, and each response's snapshot
+//! *delta* (the entries the worker computed fresh) folds into the
+//! backend's sink cache through [`SharedEvalCache::load`], whose union
+//! semantics are commutative and idempotent. That is why the front is
+//! **bit-identical for every worker count**: partitioning only decides
+//! *where* a deterministic function is computed.
+//!
+//! # Failure semantics
+//!
+//! A worker that dies (EOF/IO error), answers garbage (frame or wire
+//! decode error), or answers the wrong shape (id/row-count mismatch) is
+//! marked dead and its sub-cohort is **requeued** to a surviving worker;
+//! when the whole fleet is gone, the sub-cohort is evaluated in-process
+//! through the bound macro-model fallback. Every path produces exactly
+//! one row per requested geometry, so `EvalStats` accounting stays exact
+//! under any injected fault.
+
+use std::collections::HashMap;
+use std::io::{BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sega_cells::Technology;
+use sega_estimator::{OperatingConditions, Precision};
+use sega_parallel::Pool;
+use sega_wire::frame::{self, EvalRequest, EvalResponse, FrameError, Message, PROTOCOL_VERSION};
+use sega_wire::snapshot::{EntryRecord, SpaceRecord};
+use sega_wire::{GeometryRecord, KeyRecord, Snapshot};
+
+use crate::backend::{CohortEvaluator, EvalBackend, MacroModelBackend};
+use crate::cache::{CacheKey, FxHasher, SharedEvalCache};
+use crate::explore::{Geometry, ParetoSolution};
+use crate::spec::UserSpec;
+
+/// How to launch one worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    /// The executable (normally the `sega-dcim` binary itself).
+    pub program: PathBuf,
+    /// Its arguments (normally `worker --serve`, plus fault-injection
+    /// flags in tests).
+    pub args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// The standard serving worker for `program`.
+    pub fn serve(program: impl Into<PathBuf>) -> WorkerCommand {
+        WorkerCommand {
+            program: program.into(),
+            args: vec!["worker".to_owned(), "--serve".to_owned()],
+        }
+    }
+
+    /// Appends extra arguments (fault-injection knobs, log verbosity).
+    #[must_use]
+    pub fn with_args(mut self, extra: impl IntoIterator<Item = String>) -> WorkerCommand {
+        self.args.extend(extra);
+        self
+    }
+}
+
+/// Fleet configuration for [`RemoteBackend::spawn`].
+#[derive(Debug, Clone)]
+pub struct RemoteOptions {
+    /// One launch command per worker.
+    pub workers: Vec<WorkerCommand>,
+    /// When set, each worker's stderr goes to
+    /// `<log_dir>/worker-<index>.log` instead of being inherited (CI
+    /// uploads these as artifacts).
+    pub log_dir: Option<PathBuf>,
+}
+
+impl RemoteOptions {
+    /// A homogeneous fleet of `workers` copies of
+    /// [`WorkerCommand::serve`]`(program)`. A count of zero yields an
+    /// empty fleet, which [`RemoteBackend::spawn`] rejects loudly — a
+    /// miscomputed size should fail, not silently run single-worker.
+    pub fn fleet(program: impl Into<PathBuf>, workers: usize) -> RemoteOptions {
+        let command = WorkerCommand::serve(program.into());
+        RemoteOptions {
+            workers: vec![command; workers],
+            log_dir: None,
+        }
+    }
+
+    /// Routes worker stderr to per-worker log files under `dir`.
+    #[must_use]
+    pub fn with_log_dir(mut self, dir: impl Into<PathBuf>) -> RemoteOptions {
+        self.log_dir = Some(dir.into());
+        self
+    }
+}
+
+/// A point-in-time copy of the fleet's traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RemoteStats {
+    /// Request/response exchanges completed successfully.
+    pub round_trips: u64,
+    /// Sub-cohorts re-dispatched after a worker failure.
+    pub requeues: u64,
+    /// Workers that transitioned alive → dead.
+    pub worker_deaths: u64,
+    /// Geometries evaluated in-process because no worker survived.
+    pub fallback_geometries: u64,
+    /// Geometries evaluated across the fleet (remote or fallback).
+    pub geometries: u64,
+    /// Cache entries installed into the sink from worker deltas.
+    pub merged_entries: u64,
+    /// Workers still alive right now.
+    pub workers_alive: usize,
+    /// Workers the fleet was spawned with.
+    pub workers_spawned: usize,
+}
+
+#[derive(Debug, Default)]
+struct RemoteCounters {
+    round_trips: AtomicU64,
+    requeues: AtomicU64,
+    worker_deaths: AtomicU64,
+    fallback_geometries: AtomicU64,
+    geometries: AtomicU64,
+    merged_entries: AtomicU64,
+}
+
+/// `counters.round_trips.add(1)` — all counters are monotonic tallies.
+trait Tally {
+    fn add(&self, n: u64);
+}
+
+impl Tally for AtomicU64 {
+    fn add(&self, n: u64) {
+        self.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// One spawned worker process and its framed stdio transport.
+#[derive(Debug)]
+struct WorkerHandle {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+    alive: bool,
+}
+
+impl WorkerHandle {
+    fn send(&mut self, message: &Message) -> Result<(), FrameError> {
+        match &mut self.stdin {
+            Some(stdin) => frame::send(stdin, message),
+            None => Err(FrameError::Eof),
+        }
+    }
+
+    fn recv(&mut self) -> Result<Message, FrameError> {
+        frame::recv(&mut self.stdout)
+    }
+
+    /// Marks the worker dead and reaps the process.
+    fn kill(&mut self) {
+        self.alive = false;
+        self.stdin = None; // EOF, in case the process is still looping
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[derive(Debug)]
+struct FleetState {
+    workers: Vec<WorkerHandle>,
+    next_id: u64,
+}
+
+impl FleetState {
+    /// The worker to dispatch shard `preferred` to: itself when alive,
+    /// else the next alive worker scanning upward (deterministic, so a
+    /// degraded fleet still partitions stably). `None` when every worker
+    /// is dead.
+    fn assign(&self, preferred: usize) -> Option<usize> {
+        let n = self.workers.len();
+        (0..n)
+            .map(|offset| (preferred + offset) % n)
+            .find(|&w| self.workers[w].alive)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn alive_count(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+}
+
+/// The spawned worker fleet: shared by every evaluator the backend
+/// binds. The transport exchange of one cohort holds the fleet lock, so
+/// concurrent explorations serialize at the pipe (the workers themselves
+/// still compute one cohort's sub-cohorts concurrently).
+#[derive(Debug)]
+struct Fleet {
+    state: Mutex<FleetState>,
+    counters: RemoteCounters,
+    spawned: usize,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        let mut state = match self.state.lock() {
+            Ok(state) => state,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for worker in &mut state.workers {
+            if worker.alive {
+                let _ = worker.send(&Message::Shutdown);
+                worker.stdin = None;
+                let _ = worker.child.wait();
+                worker.alive = false;
+            }
+        }
+    }
+}
+
+/// [`EvalBackend`] over a fleet of worker processes. See the module docs
+/// for the protocol and failure semantics.
+#[derive(Debug)]
+pub struct RemoteBackend {
+    fleet: Arc<Fleet>,
+    /// Worker snapshot deltas are union-merged here. Defaults to a
+    /// private cache; [`RemoteBackend::with_sink`] points it at a shared
+    /// one so a batch run's `--cache-file` persists remote results.
+    sink: Arc<SharedEvalCache>,
+    /// The in-process estimator used when the whole fleet is dead, and
+    /// for [`CohortEvaluator::materialize`] (presentation is local).
+    fallback: MacroModelBackend,
+}
+
+impl RemoteBackend {
+    /// Spawns the fleet and completes the hello handshake with every
+    /// worker.
+    ///
+    /// # Errors
+    ///
+    /// An empty fleet, the launch error, or a protocol-version mismatch
+    /// of the first worker that fails — failing the whole spawn keeps
+    /// configuration mistakes loud (a *later* death is handled by
+    /// requeueing instead).
+    pub fn spawn(options: RemoteOptions) -> Result<RemoteBackend, String> {
+        if options.workers.is_empty() {
+            return Err("a remote fleet needs at least one worker command".to_owned());
+        }
+        if let Some(dir) = &options.log_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create worker log dir `{}`: {e}", dir.display()))?;
+        }
+        let mut workers: Vec<WorkerHandle> = Vec::with_capacity(options.workers.len());
+        for (index, command) in options.workers.iter().enumerate() {
+            match spawn_worker(command, index, options.log_dir.as_deref()) {
+                Ok(worker) => workers.push(worker),
+                Err(e) => {
+                    // Reap the part of the fleet that did spawn — a
+                    // failed spawn must not leak zombie processes.
+                    for worker in &mut workers {
+                        worker.kill();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let spawned = workers.len();
+        Ok(RemoteBackend {
+            fleet: Arc::new(Fleet {
+                state: Mutex::new(FleetState {
+                    workers,
+                    next_id: 0,
+                }),
+                counters: RemoteCounters::default(),
+                spawned,
+            }),
+            sink: Arc::new(SharedEvalCache::new()),
+            fallback: MacroModelBackend,
+        })
+    }
+
+    /// Merges worker snapshot deltas into `cache` instead of the
+    /// backend's private sink — point it at a batch run's shared cache
+    /// so remotely computed estimates persist with `--cache-file`.
+    #[must_use]
+    pub fn with_sink(mut self, cache: Arc<SharedEvalCache>) -> RemoteBackend {
+        self.sink = cache;
+        self
+    }
+
+    /// The cache worker deltas merge into.
+    pub fn sink(&self) -> &Arc<SharedEvalCache> {
+        &self.sink
+    }
+
+    /// The fleet's traffic counters, now.
+    pub fn stats(&self) -> RemoteStats {
+        let c = &self.fleet.counters;
+        RemoteStats {
+            round_trips: c.round_trips.load(Ordering::Relaxed),
+            requeues: c.requeues.load(Ordering::Relaxed),
+            worker_deaths: c.worker_deaths.load(Ordering::Relaxed),
+            fallback_geometries: c.fallback_geometries.load(Ordering::Relaxed),
+            geometries: c.geometries.load(Ordering::Relaxed),
+            merged_entries: c.merged_entries.load(Ordering::Relaxed),
+            workers_alive: self
+                .fleet
+                .state
+                .lock()
+                .expect("fleet state poisoned")
+                .alive_count(),
+            workers_spawned: self.fleet.spawned,
+        }
+    }
+}
+
+fn spawn_worker(
+    command: &WorkerCommand,
+    index: usize,
+    log_dir: Option<&std::path::Path>,
+) -> Result<WorkerHandle, String> {
+    let stderr = match log_dir {
+        Some(dir) => {
+            let path = dir.join(format!("worker-{index}.log"));
+            let file = std::fs::File::create(&path)
+                .map_err(|e| format!("cannot create worker log `{}`: {e}", path.display()))?;
+            Stdio::from(file)
+        }
+        None => Stdio::inherit(),
+    };
+    let mut child = Command::new(&command.program)
+        .args(&command.args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(stderr)
+        .spawn()
+        .map_err(|e| format!("cannot spawn worker `{}`: {e}", command.program.display()))?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    // Hello handshake: the worker leads with its protocol version.
+    match frame::recv(&mut stdout) {
+        Ok(Message::Hello { protocol }) if protocol == PROTOCOL_VERSION => Ok(WorkerHandle {
+            child,
+            stdin: Some(stdin),
+            stdout,
+            alive: true,
+        }),
+        Ok(Message::Hello { protocol }) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(format!(
+                "worker {index} speaks protocol {protocol}, coordinator speaks {PROTOCOL_VERSION}"
+            ))
+        }
+        Ok(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(format!("worker {index} sent a non-hello first frame"))
+        }
+        Err(e) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(format!("worker {index} handshake failed: {e}"))
+        }
+    }
+}
+
+impl EvalBackend for RemoteBackend {
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+
+    fn bind(
+        &self,
+        spec: &UserSpec,
+        tech: &Technology,
+        conditions: &OperatingConditions,
+    ) -> Arc<dyn CohortEvaluator> {
+        Arc::new(RemoteEvaluator {
+            key: CacheKey::new(tech, conditions, spec.precision, spec.wstore).to_record(),
+            fleet: Arc::clone(&self.fleet),
+            sink: Arc::clone(&self.sink),
+            fallback: self.fallback.bind(spec, tech, conditions),
+        })
+    }
+}
+
+/// [`RemoteBackend`] bound to one exploration's invariants: the key
+/// record every request carries, plus the shared fleet.
+#[derive(Debug)]
+struct RemoteEvaluator {
+    key: KeyRecord,
+    fleet: Arc<Fleet>,
+    sink: Arc<SharedEvalCache>,
+    fallback: Arc<dyn CohortEvaluator>,
+}
+
+/// The worker a geometry belongs to: the same Fx-hash the cache's
+/// [`KeySpace`](crate::cache::KeySpace) shards by, reduced modulo the
+/// fleet size — the `KeySpace` shards are the partition unit, so one
+/// geometry always lands on the same (alive) worker and worker-side
+/// memoization actually hits.
+fn worker_of(g: &Geometry, fleet_size: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = FxHasher::default();
+    g.hash(&mut h);
+    (h.finish() as usize) % fleet_size
+}
+
+fn record_of(g: &Geometry) -> GeometryRecord {
+    GeometryRecord {
+        log_h: g.log_h,
+        log_l: g.log_l,
+        k: g.k,
+    }
+}
+
+impl RemoteEvaluator {
+    /// Writes the eval-request for the cohort slots in `slots` to worker
+    /// `w`, returning the correlation id to [`collect`](Self::collect)
+    /// on. The caller owns the fleet lock.
+    fn dispatch(
+        &self,
+        state: &mut FleetState,
+        w: usize,
+        cohort: &[Geometry],
+        slots: &[usize],
+    ) -> Result<u64, FrameError> {
+        let id = state.fresh_id();
+        let request = Message::Request(EvalRequest {
+            id,
+            key: self.key.clone(),
+            cohort: slots.iter().map(|&i| record_of(&cohort[i])).collect(),
+        });
+        state.workers[w].send(&request)?;
+        Ok(id)
+    }
+
+    /// One synchronous request/response exchange with worker `w` for the
+    /// cohort slots in `slots`. The caller owns the fleet lock.
+    fn exchange(
+        &self,
+        state: &mut FleetState,
+        w: usize,
+        cohort: &[Geometry],
+        slots: &[usize],
+    ) -> Result<EvalResponse, FrameError> {
+        let id = self.dispatch(state, w, cohort, slots)?;
+        self.collect(state, w, id, slots.len())
+    }
+
+    /// Reads worker `w`'s next frame and validates it against the
+    /// expected correlation id and row count.
+    fn collect(
+        &self,
+        state: &mut FleetState,
+        w: usize,
+        id: u64,
+        expected_rows: usize,
+    ) -> Result<EvalResponse, FrameError> {
+        match state.workers[w].recv()? {
+            Message::Response(resp) if resp.id == id && resp.rows.len() == expected_rows => {
+                Ok(resp)
+            }
+            Message::Response(resp) => Err(FrameError::Wire(sega_wire::WireError::Malformed(
+                format!(
+                    "response shape mismatch: id {} rows {} (expected id {id} rows {expected_rows})",
+                    resp.id,
+                    resp.rows.len()
+                ),
+            ))),
+            _ => Err(FrameError::Wire(sega_wire::WireError::Malformed(
+                "worker sent a non-response frame".to_owned(),
+            ))),
+        }
+    }
+
+    /// Marks worker `w` dead (counted once per transition).
+    fn bury(&self, state: &mut FleetState, w: usize) {
+        if state.workers[w].alive {
+            state.workers[w].kill();
+            self.fleet.counters.worker_deaths.add(1);
+        }
+    }
+
+    /// Applies one successful response: scatter rows into `out` by slot
+    /// and fold the delta into the sink.
+    fn apply(&self, resp: &EvalResponse, slots: &[usize], out: &mut [[f64; 4]]) {
+        for (&slot, row) in slots.iter().zip(&resp.rows) {
+            out[slot] = *row;
+        }
+        match self.sink.load(&resp.delta) {
+            Ok(installed) => self.fleet.counters.merged_entries.add(installed as u64),
+            // A delta that decoded as a frame but won't install (e.g. a
+            // worker from a newer build naming an unknown precision)
+            // only costs cache warmth, never correctness — the rows
+            // above are already applied. Say so instead of silently
+            // degrading every warm start.
+            Err(e) => eprintln!("warning: dropping a worker's cache delta: {e}"),
+        }
+        self.fleet.counters.round_trips.add(1);
+    }
+}
+
+impl CohortEvaluator for RemoteEvaluator {
+    fn evaluate_cohort(&self, cohort: &[Geometry], pool: &Pool, workers: usize) -> Vec<[f64; 4]> {
+        if cohort.is_empty() {
+            return Vec::new();
+        }
+        let counters = &self.fleet.counters;
+        counters.geometries.add(cohort.len() as u64);
+        let mut out = vec![[f64::NAN; 4]; cohort.len()];
+        let mut state = self.fleet.state.lock().expect("fleet state poisoned");
+        let fleet_size = state.workers.len();
+
+        // Partition by shard onto alive workers; orphans (no fleet left)
+        // go straight to the in-process fallback below.
+        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); fleet_size];
+        let mut orphans: Vec<usize> = Vec::new();
+        for (i, g) in cohort.iter().enumerate() {
+            match state.assign(worker_of(g, fleet_size)) {
+                Some(w) => parts[w].push(i),
+                None => orphans.push(i),
+            }
+        }
+
+        // Phase 1 — pipeline: write every sub-cohort request before
+        // reading any response, so the fleet computes concurrently.
+        let mut inflight: Vec<(usize, u64, Vec<usize>)> = Vec::new();
+        let mut requeue: Vec<Vec<usize>> = Vec::new();
+        for (w, slots) in parts.into_iter().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            match self.dispatch(&mut state, w, cohort, &slots) {
+                Ok(id) => inflight.push((w, id, slots)),
+                Err(_) => {
+                    self.bury(&mut state, w);
+                    requeue.push(slots);
+                }
+            }
+        }
+
+        // Phase 2 — collect, in dispatch order. Any failure requeues the
+        // sub-cohort; the worker is dead either way.
+        for (w, id, slots) in inflight {
+            match self.collect(&mut state, w, id, slots.len()) {
+                Ok(resp) => self.apply(&resp, &slots, &mut out),
+                Err(_) => {
+                    self.bury(&mut state, w);
+                    requeue.push(slots);
+                }
+            }
+        }
+
+        // Phase 3 — recovery: re-dispatch failed sub-cohorts to
+        // survivors (sequentially; this is the rare path), falling back
+        // to in-process evaluation when the fleet is exhausted.
+        while let Some(slots) = requeue.pop() {
+            match state.assign(0) {
+                Some(w) => {
+                    counters.requeues.add(1);
+                    match self.exchange(&mut state, w, cohort, &slots) {
+                        Ok(resp) => self.apply(&resp, &slots, &mut out),
+                        Err(_) => {
+                            self.bury(&mut state, w);
+                            requeue.push(slots);
+                        }
+                    }
+                }
+                None => {
+                    counters.fallback_geometries.add(slots.len() as u64);
+                    let sub: Vec<Geometry> = slots.iter().map(|&i| cohort[i]).collect();
+                    let rows = self.fallback.evaluate_cohort(&sub, pool, workers);
+                    for (&slot, row) in slots.iter().zip(rows) {
+                        out[slot] = row;
+                    }
+                }
+            }
+        }
+        if !orphans.is_empty() {
+            counters.fallback_geometries.add(orphans.len() as u64);
+            let sub: Vec<Geometry> = orphans.iter().map(|&i| cohort[i]).collect();
+            let rows = self.fallback.evaluate_cohort(&sub, pool, workers);
+            for (&slot, row) in orphans.iter().zip(rows) {
+                out[slot] = row;
+            }
+        }
+        out
+    }
+
+    fn materialize(&self, g: &Geometry) -> Option<ParetoSolution> {
+        // Presentation is a per-front-member, end-of-run operation: the
+        // in-process macro model computes the identical estimate without
+        // a round-trip.
+        self.fallback.materialize(g)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The worker side.
+// ---------------------------------------------------------------------
+
+/// Fault-injection knobs of [`serve_worker`] — the levers the CI
+/// distributed-fault matrix and the recovery tests pull through the real
+/// CLI (`--fail-after N`, `--corrupt-after N`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerOptions {
+    /// Die (process exit, no response) upon receiving the request after
+    /// serving this many — `Some(0)` dies on the very first request.
+    pub fail_after: Option<u64>,
+    /// After serving this many requests, answer the next one with a
+    /// garbage frame and exit.
+    pub corrupt_after: Option<u64>,
+}
+
+/// One key space the worker has bound: the estimator and the memo table.
+struct WorkerBinding {
+    evaluator: Arc<dyn CohortEvaluator>,
+    space: Arc<crate::cache::KeySpace>,
+}
+
+fn technology_of(key: &KeyRecord) -> Technology {
+    Technology {
+        name: key.tech_name.clone(),
+        node_nm: f64::from_bits(key.node_bits),
+        gate_area_um2: f64::from_bits(key.gate_area_bits),
+        gate_delay_ns: f64::from_bits(key.gate_delay_bits),
+        gate_energy_fj: f64::from_bits(key.gate_energy_bits),
+        nominal_voltage: f64::from_bits(key.nominal_voltage_bits),
+    }
+}
+
+fn conditions_of(key: &KeyRecord) -> OperatingConditions {
+    OperatingConditions {
+        voltage: f64::from_bits(key.voltage_bits),
+        input_sparsity: f64::from_bits(key.sparsity_bits),
+        activity: f64::from_bits(key.activity_bits),
+    }
+}
+
+fn bind_worker(key: &KeyRecord, cache: &SharedEvalCache) -> Result<WorkerBinding, String> {
+    let precision = Precision::from_name(&key.precision)
+        .ok_or_else(|| format!("request names unknown precision `{}`", key.precision))?;
+    let spec = UserSpec::new(key.wstore, precision).map_err(|e| format!("request spec: {e}"))?;
+    let tech = technology_of(key);
+    let conditions = conditions_of(key);
+    let cache_key = CacheKey::new(&tech, &conditions, precision, key.wstore);
+    Ok(WorkerBinding {
+        evaluator: MacroModelBackend.bind(&spec, &tech, &conditions),
+        space: cache.space(&cache_key),
+    })
+}
+
+/// Serves the worker side of the protocol over `input`/`output` until a
+/// shutdown frame or EOF: the body of `sega-dcim worker --serve`.
+///
+/// The worker keeps its own [`SharedEvalCache`] across requests, so a
+/// shard that keeps landing on this worker is estimated once per fleet
+/// lifetime; each response's delta carries only the entries computed
+/// fresh for that request.
+///
+/// # Errors
+///
+/// A human-readable message on a transport or protocol failure (the
+/// worker process exits non-zero; the coordinator requeues).
+pub fn serve_worker(
+    input: &mut impl Read,
+    output: &mut impl Write,
+    options: &WorkerOptions,
+) -> Result<(), String> {
+    frame::send(
+        output,
+        &Message::Hello {
+            protocol: PROTOCOL_VERSION,
+        },
+    )
+    .map_err(|e| format!("worker hello: {e}"))?;
+    let cache = SharedEvalCache::new();
+    let mut bindings: HashMap<u64, WorkerBinding> = HashMap::new();
+    let pool = Pool::for_threads(1);
+    let mut served: u64 = 0;
+    loop {
+        let message = match frame::recv(input) {
+            Ok(message) => message,
+            // Coordinator gone (dropped pipes): an orderly exit too.
+            Err(FrameError::Eof) => return Ok(()),
+            Err(e) => return Err(format!("worker transport: {e}")),
+        };
+        let request = match message {
+            Message::Shutdown => return Ok(()),
+            Message::Request(request) => request,
+            _ => return Err("coordinator sent a non-request frame".to_owned()),
+        };
+        if options.fail_after == Some(served) {
+            // Simulated crash: die mid-batch without responding.
+            std::process::exit(17);
+        }
+        if options.corrupt_after == Some(served) {
+            // Simulated corruption: a well-framed garbage payload.
+            let _ = frame::write_frame(output, b"\xde\xad\xbe\xef corrupt worker");
+            std::process::exit(3);
+        }
+        let binding = match bindings.entry(request.key.fingerprint()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(bind_worker(&request.key, &cache)?)
+            }
+        };
+        let cohort: Vec<Geometry> = request
+            .cohort
+            .iter()
+            .map(|g| Geometry {
+                log_h: g.log_h,
+                log_l: g.log_l,
+                k: g.k,
+            })
+            .collect();
+        // Serve memoized geometries, compute the rest, remember both.
+        let mut rows: Vec<Option<[f64; 4]>> = Vec::with_capacity(cohort.len());
+        let mut missing: Vec<Geometry> = Vec::new();
+        let mut missing_slots: Vec<usize> = Vec::new();
+        for (i, g) in cohort.iter().enumerate() {
+            match binding.space.get(g) {
+                Some(objectives) => rows.push(Some(objectives)),
+                None => {
+                    rows.push(None);
+                    missing.push(*g);
+                    missing_slots.push(i);
+                }
+            }
+        }
+        let computed = binding.evaluator.evaluate_cohort(&missing, &pool, 1);
+        let mut delta_entries = Vec::with_capacity(computed.len());
+        for ((slot, g), objectives) in missing_slots.iter().zip(&missing).zip(computed) {
+            binding.space.insert(*g, objectives);
+            rows[*slot] = Some(objectives);
+            delta_entries.push(EntryRecord {
+                geometry: record_of(g),
+                objectives,
+            });
+        }
+        let mut delta = Snapshot::default();
+        if !delta_entries.is_empty() {
+            delta.spaces.push(SpaceRecord {
+                key: request.key.clone(),
+                entries: delta_entries,
+            });
+            delta.canonicalize();
+        }
+        let response = Message::Response(EvalResponse {
+            id: request.id,
+            rows: rows
+                .into_iter()
+                .map(|r| r.expect("every cohort geometry resolved"))
+                .collect(),
+            delta,
+        });
+        frame::send(output, &response).map_err(|e| format!("worker response: {e}"))?;
+        served += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_records_reconstruct_the_exact_invariants() {
+        let tech = Technology::tsmc28();
+        let cond = OperatingConditions::paper_default();
+        let key = CacheKey::new(&tech, &cond, Precision::Bf16, 8192).to_record();
+        let back_tech = technology_of(&key);
+        let back_cond = conditions_of(&key);
+        assert_eq!(back_tech.name, tech.name);
+        assert_eq!(back_tech.node_nm.to_bits(), tech.node_nm.to_bits());
+        assert_eq!(
+            back_tech.gate_energy_fj.to_bits(),
+            tech.gate_energy_fj.to_bits()
+        );
+        assert_eq!(back_cond.voltage.to_bits(), cond.voltage.to_bits());
+        assert_eq!(back_cond.activity.to_bits(), cond.activity.to_bits());
+    }
+
+    #[test]
+    fn worker_partition_is_deterministic_and_total() {
+        for fleet_size in [1usize, 2, 3, 5] {
+            for log_h in 0..8 {
+                for k in 1..=8 {
+                    let g = Geometry { log_h, log_l: 1, k };
+                    let w = worker_of(&g, fleet_size);
+                    assert!(w < fleet_size);
+                    assert_eq!(w, worker_of(&g, fleet_size), "stable per geometry");
+                }
+            }
+        }
+    }
+
+    /// The worker loop is transport-agnostic: drive it over in-memory
+    /// buffers, no processes involved.
+    #[test]
+    fn worker_loop_serves_requests_and_memoizes_deltas() {
+        let tech = Technology::tsmc28();
+        let cond = OperatingConditions::paper_default();
+        let spec = UserSpec::new(8192, Precision::Int8).unwrap();
+        let key = CacheKey::new(&tech, &cond, spec.precision, spec.wstore).to_record();
+        let cohort = vec![
+            GeometryRecord {
+                log_h: 5,
+                log_l: 1,
+                k: 4,
+            },
+            GeometryRecord {
+                log_h: 7,
+                log_l: 0,
+                k: 2,
+            },
+        ];
+        let mut input = Vec::new();
+        for id in [1u64, 2] {
+            frame::send(
+                &mut input,
+                &Message::Request(EvalRequest {
+                    id,
+                    key: key.clone(),
+                    cohort: cohort.clone(),
+                }),
+            )
+            .unwrap();
+        }
+        frame::send(&mut input, &Message::Shutdown).unwrap();
+        let mut output = Vec::new();
+        serve_worker(
+            &mut input.as_slice(),
+            &mut output,
+            &WorkerOptions::default(),
+        )
+        .unwrap();
+
+        let mut cursor = output.as_slice();
+        assert!(matches!(
+            frame::recv(&mut cursor).unwrap(),
+            Message::Hello {
+                protocol: PROTOCOL_VERSION
+            }
+        ));
+        let expected = MacroModelBackend.bind(&spec, &tech, &cond);
+        let pool = Pool::for_threads(1);
+        let geoms: Vec<Geometry> = cohort
+            .iter()
+            .map(|g| Geometry {
+                log_h: g.log_h,
+                log_l: g.log_l,
+                k: g.k,
+            })
+            .collect();
+        let reference = expected.evaluate_cohort(&geoms, &pool, 1);
+        for id in [1u64, 2] {
+            match frame::recv(&mut cursor).unwrap() {
+                Message::Response(resp) => {
+                    assert_eq!(resp.id, id);
+                    assert_eq!(resp.rows, reference);
+                    if id == 1 {
+                        // First request computes both entries fresh.
+                        assert_eq!(resp.delta.len(), 2);
+                    } else {
+                        // Second request is fully memoized: empty delta.
+                        assert!(resp.delta.is_empty());
+                    }
+                }
+                other => panic!("expected a response, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            frame::recv(&mut cursor).unwrap_err(),
+            FrameError::Eof
+        ));
+    }
+
+    #[test]
+    fn worker_loop_rejects_unknown_precision_names() {
+        let tech = Technology::tsmc28();
+        let cond = OperatingConditions::paper_default();
+        let mut key = CacheKey::new(&tech, &cond, Precision::Int8, 8192).to_record();
+        key.precision = "int3".to_owned();
+        let mut input = Vec::new();
+        frame::send(
+            &mut input,
+            &Message::Request(EvalRequest {
+                id: 1,
+                key,
+                cohort: vec![],
+            }),
+        )
+        .unwrap();
+        let mut output = Vec::new();
+        let err = serve_worker(
+            &mut input.as_slice(),
+            &mut output,
+            &WorkerOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("int3"), "{err}");
+    }
+}

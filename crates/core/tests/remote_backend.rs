@@ -1,0 +1,317 @@
+//! The distributed acceptance suite: fronts and evaluation accounting
+//! must be **bit-identical** across backend ∈ {macro, remote × {1,2,3}
+//! workers} — including when workers are killed mid-batch or answer
+//! corrupted frames — because the remote backend only moves *where* a
+//! deterministic function is computed, never *what* it computes.
+//!
+//! Every test here spawns real `sega-dcim worker --serve` processes
+//! (the binary under test, via `CARGO_BIN_EXE_sega-dcim`) and talks to
+//! them over the real framed stdio transport; the fault-injection knobs
+//! (`--fail-after`, `--corrupt-after`) are the worker's own CLI flags,
+//! so the recovery paths exercised here are exactly the ones a dying
+//! fleet member triggers in production.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sega_cells::Technology;
+use sega_dcim::{
+    explore_pareto_with, EvalBackend, ExplorationResult, PipelineOptions, RemoteBackend,
+    RemoteOptions, SharedEvalCache, UserSpec, WorkerCommand,
+};
+use sega_estimator::{OperatingConditions, Precision};
+use sega_moga::Nsga2Config;
+
+const PRECISIONS: [Precision; 4] = [
+    Precision::Int4,
+    Precision::Int8,
+    Precision::Bf16,
+    Precision::Fp32,
+];
+
+fn program() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_sega-dcim"))
+}
+
+fn cfg(seed: u64) -> Nsga2Config {
+    Nsga2Config {
+        population: 10,
+        generations: 5,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn explore(spec: &UserSpec, seed: u64, backend: Option<Arc<dyn EvalBackend>>) -> ExplorationResult {
+    let pipeline = PipelineOptions {
+        threads: 1,
+        cache: true,
+        min_batch_per_worker: 1,
+        backend,
+        ..Default::default()
+    };
+    explore_pareto_with(
+        spec,
+        &Technology::tsmc28(),
+        &OperatingConditions::paper_default(),
+        &cfg(seed),
+        pipeline,
+    )
+}
+
+/// A faulty fleet: `fleet_size` workers, with worker 0 carrying the
+/// given extra fault-injection flags.
+fn faulty_fleet(fleet_size: usize, fault_flags: &[(&str, u64)]) -> RemoteBackend {
+    let mut options = RemoteOptions::fleet(program(), fleet_size);
+    options.workers[0] = options.workers[0].clone().with_args(
+        fault_flags
+            .iter()
+            .flat_map(|(flag, n)| [format!("--{flag}"), n.to_string()]),
+    );
+    RemoteBackend::spawn(options).expect("spawn faulty fleet")
+}
+
+fn assert_matches_baseline(run: &ExplorationResult, baseline: &ExplorationResult, label: &str) {
+    assert_eq!(
+        run.objective_matrix(),
+        baseline.objective_matrix(),
+        "{label}: front diverged from the in-process baseline"
+    );
+    assert_eq!(run.evaluations, baseline.evaluations, "{label}");
+    assert_eq!(
+        run.distinct_evaluations, baseline.distinct_evaluations,
+        "{label}"
+    );
+    assert_eq!(run.cache_hits, baseline.cache_hits, "{label}");
+    assert_eq!(
+        run.distinct_evaluations + run.cache_hits,
+        run.evaluations,
+        "{label}: accounting must partition exactly"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The acceptance property: for every sampled (precision, seed), the
+    /// front and the evaluation accounting are bit-identical across
+    /// backend ∈ {macro, remote×{1,2,3}} — and still identical when one
+    /// of two workers is killed after its first answered request.
+    #[test]
+    fn fronts_are_bit_identical_across_macro_and_remote_fleets(
+        precision_idx in 0usize..4,
+        log_wstore in 13u32..=15,
+        seed in 0u64..1000,
+    ) {
+        let spec = UserSpec::new(1u64 << log_wstore, PRECISIONS[precision_idx]).unwrap();
+        let baseline = explore(&spec, seed, None);
+        for fleet_size in [1usize, 2, 3] {
+            let backend = Arc::new(
+                RemoteBackend::spawn(RemoteOptions::fleet(program(), fleet_size))
+                    .expect("spawn fleet"),
+            );
+            let run = explore(&spec, seed, Some(Arc::clone(&backend) as _));
+            assert_matches_baseline(&run, &baseline, &format!("remote x{fleet_size}"));
+            let stats = backend.stats();
+            prop_assert_eq!(stats.worker_deaths, 0);
+            prop_assert_eq!(stats.fallback_geometries, 0);
+            prop_assert!(stats.round_trips > 0, "fleet must have been exercised");
+            prop_assert_eq!(stats.geometries as usize, run.distinct_evaluations);
+            prop_assert_eq!(stats.workers_alive, fleet_size);
+        }
+        // Injected worker death: worker 0 of 2 dies on its second request.
+        let backend = Arc::new(faulty_fleet(2, &[("fail-after", 1)]));
+        let run = explore(&spec, seed, Some(Arc::clone(&backend) as _));
+        assert_matches_baseline(&run, &baseline, "remote x2 with mid-batch death");
+        let stats = backend.stats();
+        prop_assert_eq!(stats.worker_deaths, 1);
+        prop_assert_eq!(stats.workers_alive, 1);
+        prop_assert_eq!(stats.geometries as usize, run.distinct_evaluations);
+    }
+}
+
+#[test]
+fn killed_worker_requeues_to_the_survivor() {
+    let spec = UserSpec::new(16384, Precision::Int8).unwrap();
+    let baseline = explore(&spec, 7, None);
+    let backend = Arc::new(faulty_fleet(2, &[("fail-after", 1)]));
+    let run = explore(&spec, 7, Some(Arc::clone(&backend) as _));
+    assert_matches_baseline(&run, &baseline, "mid-batch kill");
+    let stats = backend.stats();
+    assert_eq!(stats.worker_deaths, 1, "{stats:?}");
+    assert!(stats.requeues >= 1, "{stats:?}");
+    assert_eq!(stats.workers_alive, 1, "{stats:?}");
+    assert_eq!(
+        stats.fallback_geometries, 0,
+        "survivor must absorb the load"
+    );
+}
+
+#[test]
+fn corrupt_frames_are_detected_and_requeued() {
+    let spec = UserSpec::new(16384, Precision::Bf16).unwrap();
+    let baseline = explore(&spec, 11, None);
+    // Worker 0 answers its first request, then replies to the second
+    // with a well-framed garbage payload and exits.
+    let backend = Arc::new(faulty_fleet(2, &[("corrupt-after", 1)]));
+    let run = explore(&spec, 11, Some(Arc::clone(&backend) as _));
+    assert_matches_baseline(&run, &baseline, "corrupt frame");
+    let stats = backend.stats();
+    assert_eq!(stats.worker_deaths, 1, "{stats:?}");
+    assert!(stats.requeues >= 1, "{stats:?}");
+    assert_eq!(stats.fallback_geometries, 0, "{stats:?}");
+}
+
+#[test]
+fn whole_fleet_death_falls_back_in_process() {
+    let spec = UserSpec::new(8192, Precision::Int8).unwrap();
+    let baseline = explore(&spec, 3, None);
+    // A single worker that dies on the very first request: every cohort
+    // must be evaluated through the in-process fallback.
+    let backend = Arc::new(faulty_fleet(1, &[("fail-after", 0)]));
+    let run = explore(&spec, 3, Some(Arc::clone(&backend) as _));
+    assert_matches_baseline(&run, &baseline, "fleet exhausted");
+    let stats = backend.stats();
+    assert_eq!(stats.worker_deaths, 1, "{stats:?}");
+    assert_eq!(stats.workers_alive, 0, "{stats:?}");
+    assert_eq!(
+        stats.fallback_geometries as usize, run.distinct_evaluations,
+        "everything must have been evaluated in-process: {stats:?}"
+    );
+    assert_eq!(stats.round_trips, 0, "{stats:?}");
+}
+
+#[test]
+fn worker_snapshot_deltas_alone_warm_start_a_local_run() {
+    let spec = UserSpec::new(16384, Precision::Int4).unwrap();
+    let sink = Arc::new(SharedEvalCache::new());
+    let backend = Arc::new(
+        RemoteBackend::spawn(RemoteOptions::fleet(program(), 2))
+            .expect("spawn fleet")
+            .with_sink(Arc::clone(&sink)),
+    );
+    let remote_run = explore(&spec, 21, Some(Arc::clone(&backend) as _));
+    // Every distinct estimate the run needed arrived as a delta entry.
+    assert_eq!(sink.len(), remote_run.distinct_evaluations);
+    assert_eq!(
+        backend.stats().merged_entries as usize,
+        remote_run.distinct_evaluations
+    );
+    // The deltas alone (no local estimator call ever wrote this cache)
+    // fully warm-start an in-process rerun: 0 distinct evaluations and a
+    // bit-identical front — the cache-merge law doing real work across
+    // the process boundary.
+    let warm = explore_pareto_with(
+        &spec,
+        &Technology::tsmc28(),
+        &OperatingConditions::paper_default(),
+        &cfg(21),
+        PipelineOptions {
+            threads: 1,
+            cache: true,
+            min_batch_per_worker: 1,
+            ..Default::default()
+        }
+        .with_shared_cache(sink),
+    );
+    assert_eq!(warm.distinct_evaluations, 0);
+    assert_eq!(warm.objective_matrix(), remote_run.objective_matrix());
+}
+
+#[test]
+fn one_fleet_serves_many_bindings() {
+    // A batch-shaped workload: two specs with different precisions and
+    // capacities through one fleet — the workers bind each key space on
+    // first use and keep both memoized.
+    let backend =
+        Arc::new(RemoteBackend::spawn(RemoteOptions::fleet(program(), 2)).expect("spawn fleet"));
+    for (wstore, precision, seed) in [
+        (8192u64, Precision::Int8, 5u64),
+        (16384, Precision::Bf16, 6),
+    ] {
+        let spec = UserSpec::new(wstore, precision).unwrap();
+        let baseline = explore(&spec, seed, None);
+        let run = explore(&spec, seed, Some(Arc::clone(&backend) as _));
+        assert_matches_baseline(&run, &baseline, &format!("{precision} via shared fleet"));
+    }
+    let stats = backend.stats();
+    assert_eq!(stats.worker_deaths, 0, "{stats:?}");
+    assert_eq!(stats.workers_alive, 2, "{stats:?}");
+}
+
+#[test]
+fn spawn_fails_loudly_for_a_missing_worker_binary() {
+    let err = RemoteBackend::spawn(RemoteOptions::fleet("/nonexistent/sega-dcim", 1))
+        .expect_err("spawn must fail");
+    assert!(err.contains("cannot spawn worker"), "{err}");
+}
+
+#[test]
+fn spawn_rejects_an_empty_fleet() {
+    // An empty worker list must fail at spawn, not divide-by-zero later
+    // in the shard partition — and `fleet(_, 0)` must not silently
+    // clamp to one worker.
+    for options in [
+        RemoteOptions {
+            workers: vec![],
+            log_dir: None,
+        },
+        RemoteOptions::fleet(program(), 0),
+    ] {
+        let err = RemoteBackend::spawn(options).expect_err("empty fleet must fail");
+        assert!(err.contains("at least one worker"), "{err}");
+    }
+}
+
+#[test]
+fn partial_spawn_failure_reaps_the_spawned_workers() {
+    // Worker 0 spawns fine; worker 1's program does not exist. The
+    // spawn must fail AND reap worker 0 (no zombie left behind).
+    let dir = std::env::temp_dir().join(format!("sega-partial-spawn-{}", std::process::id()));
+    let options = RemoteOptions {
+        workers: vec![
+            WorkerCommand::serve(program()),
+            WorkerCommand::serve("/nonexistent/sega-dcim"),
+        ],
+        log_dir: Some(dir.clone()),
+    };
+    let err = RemoteBackend::spawn(options).expect_err("partial spawn must fail");
+    assert!(err.contains("cannot spawn worker"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spawn_rejects_a_peer_that_never_says_hello() {
+    // `worker` without --serve prints an error and exits: no hello
+    // frame. Its stderr goes to a scratch log dir to keep test output
+    // clean.
+    let dir = std::env::temp_dir().join(format!("sega-no-hello-{}", std::process::id()));
+    let command = WorkerCommand {
+        program: program(),
+        args: vec!["worker".to_owned()],
+    };
+    let err = RemoteBackend::spawn(RemoteOptions {
+        workers: vec![command],
+        log_dir: Some(dir.clone()),
+    })
+    .expect_err("handshake must fail");
+    assert!(err.contains("handshake failed"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worker_logs_land_in_the_log_dir() {
+    let dir = std::env::temp_dir().join(format!("sega-worker-logs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let backend = RemoteBackend::spawn(RemoteOptions::fleet(program(), 2).with_log_dir(&dir))
+        .expect("spawn fleet");
+    drop(backend);
+    for index in 0..2 {
+        assert!(
+            dir.join(format!("worker-{index}.log")).is_file(),
+            "missing worker-{index}.log"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -99,6 +99,12 @@ impl Writer {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    /// Appends raw bytes verbatim (the caller owns any length framing —
+    /// see [`Reader::take_bytes`] for the matching read).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// The encoded bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -202,6 +208,17 @@ impl<'a> Reader<'a> {
     /// [`WireError::Truncated`].
     pub fn take_f64(&mut self) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads exactly `n` raw bytes (the counterpart of
+    /// [`Writer::put_bytes`]; e.g. an embedded document whose length the
+    /// caller already decoded).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`].
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
     }
 
     /// Reads a length-prefixed UTF-8 string.

@@ -1,0 +1,485 @@
+//! The framed transport of the remote evaluation protocol.
+//!
+//! A *frame* is a `u32` little-endian length prefix followed by exactly
+//! that many payload bytes; every payload is a complete `sega-wire`
+//! binary document (magic + [`crate::FORMAT_VERSION`] header, then a
+//! kind tag), so a receiver can always tell a stale or foreign peer from
+//! a truncated stream. Frames travel over any ordered byte stream — the
+//! engine uses the stdio pipes of `sega-dcim worker --serve` processes,
+//! but nothing here knows about processes.
+//!
+//! The message vocabulary is deliberately tiny:
+//!
+//! * [`Message::Hello`] — sent once by a worker on startup; carries
+//!   [`PROTOCOL_VERSION`] so both sides fail loudly on skew.
+//! * [`Message::Request`] ([`EvalRequest`]) — a cohort of geometries to
+//!   evaluate under one [`KeyRecord`]'s invariants (the same
+//!   fingerprinted key record cache snapshots use, so a worker can
+//!   reconstruct the *exact* technology, conditions, precision and
+//!   capacity from bit patterns alone).
+//! * [`Message::Response`] ([`EvalResponse`]) — objective rows in cohort
+//!   order plus a [`Snapshot`] **delta** of the entries the worker
+//!   computed fresh, ready for `SharedEvalCache::load` on the
+//!   coordinator side.
+//! * [`Message::Shutdown`] — orderly fleet teardown.
+//!
+//! Failure semantics are the transport's whole point: a dead worker
+//! surfaces as [`FrameError::Eof`] (clean) or an I/O error, a corrupted
+//! one as a [`WireError`] — and the coordinator requeues the sub-cohort
+//! either way, so the protocol never needs retransmission state.
+
+use std::io::{Read, Write};
+
+use crate::binary::{Reader, WireError, Writer};
+use crate::snapshot::{GeometryRecord, KeyRecord, Snapshot};
+
+/// The remote-evaluation protocol generation, carried in every
+/// [`Message::Hello`]. Bumped independently of [`crate::FORMAT_VERSION`]
+/// when the message vocabulary changes incompatibly.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a single frame's payload, guarding the receiver
+/// against a corrupted length prefix committing it to a gigabyte read.
+/// Far above any real cohort (a geometry is 12 bytes, an objective row
+/// 32).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// A transport failure: either the byte stream broke (I/O, EOF,
+/// oversized frame) or the bytes arrived but don't decode.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed mid-frame.
+    Io(std::io::Error),
+    /// The stream ended cleanly on a frame boundary (peer closed).
+    Eof,
+    /// The length prefix declares more than [`MAX_FRAME_BYTES`].
+    TooLarge {
+        /// Declared payload length.
+        declared: usize,
+    },
+    /// The payload arrived but is not a valid protocol message.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame transport: {e}"),
+            FrameError::Eof => write!(f, "stream closed"),
+            FrameError::TooLarge { declared } => {
+                write!(
+                    f,
+                    "frame declares {declared} bytes (limit {MAX_FRAME_BYTES})"
+                )
+            }
+            FrameError::Wire(e) => write!(f, "frame payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes, so a request
+/// is visible to the peer the moment the call returns — the pipelined
+/// dispatch pattern (write to every worker, then collect) depends on it.
+///
+/// # Errors
+///
+/// [`FrameError::Io`] from the underlying stream.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame's payload.
+///
+/// # Errors
+///
+/// [`FrameError::Eof`] when the stream ends *before* a length prefix
+/// begins (the peer closed between frames — the orderly case);
+/// [`FrameError::Io`] when it ends inside a frame; [`FrameError::TooLarge`]
+/// on an absurd length prefix.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        let n = r.read(&mut prefix[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Err(FrameError::Eof)
+            } else {
+                Err(FrameError::Io(std::io::ErrorKind::UnexpectedEof.into()))
+            };
+        }
+        filled += n;
+    }
+    let declared = u32::from_le_bytes(prefix) as usize;
+    if declared > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge { declared });
+    }
+    let mut payload = vec![0u8; declared];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// A cohort of geometries to evaluate under one key's invariants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRequest {
+    /// Correlation id; echoed verbatim in the matching [`EvalResponse`].
+    pub id: u64,
+    /// The full invariants (technology, conditions, precision, capacity)
+    /// as exact bit patterns — everything a worker needs to bind an
+    /// estimator, nothing it has to share out of band.
+    pub key: KeyRecord,
+    /// The geometries to evaluate, already deduplicated by the sender.
+    pub cohort: Vec<GeometryRecord>,
+}
+
+/// The answer to one [`EvalRequest`].
+#[derive(Debug, Clone)]
+pub struct EvalResponse {
+    /// The request's correlation id.
+    pub id: u64,
+    /// One objective row per cohort geometry, element-wise in request
+    /// order, bit-exact (infeasible geometries are `[+∞; 4]`).
+    pub rows: Vec<[f64; 4]>,
+    /// The entries this worker computed *fresh* for this request (rows
+    /// it served from its own memo are not repeated), as a mergeable
+    /// cache snapshot: the coordinator folds it into its shared cache
+    /// with union semantics, so worker results persist and survive the
+    /// worker.
+    pub delta: Snapshot,
+}
+
+/// One protocol message. See the module docs for the choreography.
+#[derive(Debug)]
+pub enum Message {
+    /// Worker → coordinator, once, on startup.
+    Hello {
+        /// The worker's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// Coordinator → worker: evaluate a cohort.
+    Request(EvalRequest),
+    /// Worker → coordinator: the cohort's objective rows + cache delta.
+    Response(EvalResponse),
+    /// Coordinator → worker: exit cleanly.
+    Shutdown,
+}
+
+const KIND_HELLO: &str = "worker-hello";
+const KIND_REQUEST: &str = "eval-request";
+const KIND_RESPONSE: &str = "eval-response";
+const KIND_SHUTDOWN: &str = "shutdown";
+
+impl Message {
+    /// Encodes this message as a standalone wire document (the frame
+    /// payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_header();
+        match self {
+            Message::Hello { protocol } => {
+                w.put_str(KIND_HELLO);
+                w.put_u32(*protocol);
+            }
+            Message::Request(req) => {
+                w.put_str(KIND_REQUEST);
+                w.put_u64(req.id);
+                w.put_u64(req.key.fingerprint());
+                req.key.encode_into(&mut w);
+                w.put_u32(req.cohort.len() as u32);
+                for g in &req.cohort {
+                    w.put_u32(g.log_h);
+                    w.put_u32(g.log_l);
+                    w.put_u32(g.k);
+                }
+            }
+            Message::Response(resp) => {
+                w.put_str(KIND_RESPONSE);
+                w.put_u64(resp.id);
+                w.put_u32(resp.rows.len() as u32);
+                for row in &resp.rows {
+                    for objective in row {
+                        w.put_f64(*objective);
+                    }
+                }
+                let delta = resp.delta.encode_binary();
+                w.put_u32(delta.len() as u32);
+                w.put_bytes(&delta);
+            }
+            Message::Shutdown => {
+                w.put_str(KIND_SHUTDOWN);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on a bad header, an unknown message kind, a key
+    /// whose stored fingerprint disagrees with its fields, or any
+    /// truncation.
+    pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+        let mut r = Reader::open(bytes)?;
+        let kind = r.take_str()?;
+        let message = match kind.as_str() {
+            KIND_HELLO => Message::Hello {
+                protocol: r.take_u32()?,
+            },
+            KIND_REQUEST => {
+                let id = r.take_u64()?;
+                let stored = r.take_u64()?;
+                let key = KeyRecord::decode_from(&mut r)?;
+                if key.fingerprint() != stored {
+                    return Err(WireError::Malformed(format!(
+                        "request key fingerprint mismatch for `{} {} w{}`",
+                        key.tech_name, key.precision, key.wstore
+                    )));
+                }
+                let count = r.take_u32()? as usize;
+                let mut cohort = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    cohort.push(GeometryRecord {
+                        log_h: r.take_u32()?,
+                        log_l: r.take_u32()?,
+                        k: r.take_u32()?,
+                    });
+                }
+                Message::Request(EvalRequest { id, key, cohort })
+            }
+            KIND_RESPONSE => {
+                let id = r.take_u64()?;
+                let count = r.take_u32()? as usize;
+                let mut rows = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    let mut row = [0.0f64; 4];
+                    for slot in &mut row {
+                        *slot = r.take_f64()?;
+                    }
+                    rows.push(row);
+                }
+                let delta_len = r.take_u32()? as usize;
+                let delta = Snapshot::decode_binary(r.take_bytes(delta_len)?)?;
+                Message::Response(EvalResponse { id, rows, delta })
+            }
+            KIND_SHUTDOWN => Message::Shutdown,
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "unknown protocol message kind `{other}`"
+                )))
+            }
+        };
+        if !r.is_at_end() {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after {kind} message",
+                bytes.len() - r.position()
+            )));
+        }
+        Ok(message)
+    }
+}
+
+/// Frames and sends one message.
+///
+/// # Errors
+///
+/// [`FrameError::Io`].
+pub fn send(w: &mut impl Write, message: &Message) -> Result<(), FrameError> {
+    write_frame(w, &message.encode())
+}
+
+/// Receives and decodes one message.
+///
+/// # Errors
+///
+/// Any [`FrameError`]; a payload that frames correctly but does not
+/// decode is [`FrameError::Wire`].
+pub fn recv(r: &mut impl Read) -> Result<Message, FrameError> {
+    Ok(Message::decode(&read_frame(r)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{EntryRecord, SpaceRecord};
+
+    fn key() -> KeyRecord {
+        KeyRecord {
+            tech_name: "tsmc28-calibrated".to_owned(),
+            node_bits: 28.0f64.to_bits(),
+            gate_area_bits: 0.18f64.to_bits(),
+            gate_delay_bits: 0.008f64.to_bits(),
+            gate_energy_bits: 0.4f64.to_bits(),
+            nominal_voltage_bits: 0.9f64.to_bits(),
+            voltage_bits: 0.9f64.to_bits(),
+            sparsity_bits: 0.1f64.to_bits(),
+            activity_bits: 0.1f64.to_bits(),
+            precision: "INT8".to_owned(),
+            wstore: 8192,
+        }
+    }
+
+    fn sample_request() -> EvalRequest {
+        EvalRequest {
+            id: 42,
+            key: key(),
+            cohort: vec![
+                GeometryRecord {
+                    log_h: 5,
+                    log_l: 1,
+                    k: 3,
+                },
+                GeometryRecord {
+                    log_h: 7,
+                    log_l: 0,
+                    k: 8,
+                },
+            ],
+        }
+    }
+
+    fn sample_response() -> EvalResponse {
+        let mut delta = Snapshot {
+            spaces: vec![SpaceRecord {
+                key: key(),
+                entries: vec![EntryRecord {
+                    geometry: GeometryRecord {
+                        log_h: 5,
+                        log_l: 1,
+                        k: 3,
+                    },
+                    objectives: [0.25, f64::NAN, f64::INFINITY, -1.5],
+                }],
+            }],
+        };
+        delta.canonicalize();
+        EvalResponse {
+            id: 42,
+            rows: vec![[0.25, f64::NAN, f64::INFINITY, -1.5], [f64::INFINITY; 4]],
+            delta,
+        }
+    }
+
+    fn round_trip(message: &Message) -> Message {
+        let mut stream = Vec::new();
+        send(&mut stream, message).unwrap();
+        let mut cursor = stream.as_slice();
+        let back = recv(&mut cursor).unwrap();
+        assert!(cursor.is_empty(), "frame must consume exactly its bytes");
+        back
+    }
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        match round_trip(&Message::Hello {
+            protocol: PROTOCOL_VERSION,
+        }) {
+            Message::Hello { protocol } => assert_eq!(protocol, PROTOCOL_VERSION),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match round_trip(&Message::Request(sample_request())) {
+            Message::Request(req) => assert_eq!(req, sample_request()),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match round_trip(&Message::Response(sample_response())) {
+            Message::Response(resp) => {
+                assert_eq!(resp.id, 42);
+                // Bit-exact rows, including the NaN and the infinities.
+                let bits = |rows: &[[f64; 4]]| -> Vec<[u64; 4]> {
+                    rows.iter().map(|r| r.map(f64::to_bits)).collect()
+                };
+                assert_eq!(bits(&resp.rows), bits(&sample_response().rows));
+                assert_eq!(resp.delta, sample_response().delta);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        assert!(matches!(round_trip(&Message::Shutdown), Message::Shutdown));
+    }
+
+    #[test]
+    fn messages_pipeline_back_to_back_on_one_stream() {
+        let mut stream = Vec::new();
+        send(&mut stream, &Message::Request(sample_request())).unwrap();
+        send(&mut stream, &Message::Shutdown).unwrap();
+        let mut cursor = stream.as_slice();
+        assert!(matches!(recv(&mut cursor).unwrap(), Message::Request(_)));
+        assert!(matches!(recv(&mut cursor).unwrap(), Message::Shutdown));
+        assert!(matches!(recv(&mut cursor).unwrap_err(), FrameError::Eof));
+    }
+
+    #[test]
+    fn truncation_is_distinguished_from_clean_eof() {
+        let mut stream = Vec::new();
+        send(&mut stream, &Message::Shutdown).unwrap();
+        // Cut inside the length prefix and inside the payload.
+        for cut in [1, 3, stream.len() - 1] {
+            let mut cursor = &stream[..cut];
+            assert!(
+                matches!(recv(&mut cursor).unwrap_err(), FrameError::Io(_)),
+                "cut at {cut} must be a mid-frame error"
+            );
+        }
+        let mut empty: &[u8] = &[];
+        assert!(matches!(recv(&mut empty).unwrap_err(), FrameError::Eof));
+    }
+
+    #[test]
+    fn garbage_and_oversized_frames_are_rejected_not_trusted() {
+        // A well-framed payload that is not a wire document.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"not a wire document").unwrap();
+        let mut cursor = stream.as_slice();
+        assert!(matches!(
+            recv(&mut cursor).unwrap_err(),
+            FrameError::Wire(_)
+        ));
+        // A length prefix promising far more than the limit.
+        let huge = (u32::MAX).to_le_bytes();
+        let mut cursor: &[u8] = &huge;
+        assert!(matches!(
+            recv(&mut cursor).unwrap_err(),
+            FrameError::TooLarge { .. }
+        ));
+        // A stale format version inside a valid frame.
+        let mut doc = Message::Shutdown.encode();
+        doc[4] = 0xEE; // clobber the format version word
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &doc).unwrap();
+        let mut cursor = stream.as_slice();
+        assert!(matches!(
+            recv(&mut cursor).unwrap_err(),
+            FrameError::Wire(_)
+        ));
+    }
+
+    #[test]
+    fn mismatched_request_fingerprints_fail_loudly() {
+        let mut w = Writer::with_header();
+        w.put_str(KIND_REQUEST);
+        w.put_u64(1);
+        w.put_u64(0xbad); // wrong fingerprint for the key that follows
+        let request = sample_request();
+        request.key.encode_into(&mut w);
+        w.put_u32(0);
+        assert!(matches!(
+            Message::decode(&w.finish()).unwrap_err(),
+            WireError::Malformed(m) if m.contains("fingerprint")
+        ));
+    }
+}

@@ -23,16 +23,22 @@
 //!   commutative/idempotent [`Snapshot::merge`], a canonical ordering
 //!   that is invariant in shard count and insertion order, and both a
 //!   JSON and a compact binary codec.
+//! * [`frame`] — the length-prefixed framed transport and the typed
+//!   request/response vocabulary of the remote evaluation protocol
+//!   (worker hello/eval-request/eval-response/shutdown), built on the
+//!   same header and the snapshot records.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod frame;
 pub mod json;
 pub mod report;
 pub mod snapshot;
 
 pub use binary::{Reader, WireError, Writer};
+pub use frame::{EvalRequest, EvalResponse, FrameError, Message, PROTOCOL_VERSION};
 pub use json::{Json, JsonError};
 pub use snapshot::{EntryRecord, GeometryRecord, KeyRecord, Snapshot, SpaceRecord};
 

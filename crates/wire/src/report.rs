@@ -33,11 +33,38 @@ pub struct ConfigRecord {
     pub distinct_evaluations: usize,
     /// Evaluations served from memory (cache or intra-batch dedup).
     pub cache_hits: usize,
+    /// Remote-backend traffic counters; `None` for in-process arms.
+    pub remote: Option<RemoteTrafficRecord>,
+}
+
+/// The remote arm's transport accounting: what one exploration cost in
+/// round-trips across a worker fleet.
+#[derive(Debug, Clone)]
+pub struct RemoteTrafficRecord {
+    /// Worker processes in the fleet.
+    pub workers: usize,
+    /// Request/response exchanges completed.
+    pub round_trips: u64,
+    /// Sub-cohorts re-dispatched after a worker failure.
+    pub requeues: u64,
+    /// Workers that died during the run.
+    pub worker_deaths: u64,
+}
+
+impl RemoteTrafficRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workers", Json::from(self.workers)),
+            ("round_trips", Json::from(self.round_trips)),
+            ("requeues", Json::from(self.requeues)),
+            ("worker_deaths", Json::from(self.worker_deaths)),
+        ])
+    }
 }
 
 impl ConfigRecord {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("name", Json::from(self.name.clone())),
             ("wall_s", Json::from(self.wall_s)),
             ("evaluations", Json::from(self.evaluations)),
@@ -46,7 +73,11 @@ impl ConfigRecord {
                 Json::from(self.distinct_evaluations),
             ),
             ("cache_hits", Json::from(self.cache_hits)),
-        ])
+        ];
+        if let Some(remote) = &self.remote {
+            fields.push(("remote", remote.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -195,13 +226,29 @@ mod tests {
         let report = PipelineReport {
             wstore: 65536,
             precision: "int8".to_owned(),
-            configs: vec![ConfigRecord {
-                name: "serial_uncached".to_owned(),
-                wall_s: 0.25,
-                evaluations: 12100,
-                distinct_evaluations: 12100,
-                cache_hits: 0,
-            }],
+            configs: vec![
+                ConfigRecord {
+                    name: "serial_uncached".to_owned(),
+                    wall_s: 0.25,
+                    evaluations: 12100,
+                    distinct_evaluations: 12100,
+                    cache_hits: 0,
+                    remote: None,
+                },
+                ConfigRecord {
+                    name: "remote_w3".to_owned(),
+                    wall_s: 0.5,
+                    evaluations: 12100,
+                    distinct_evaluations: 600,
+                    cache_hits: 11500,
+                    remote: Some(RemoteTrafficRecord {
+                        workers: 3,
+                        round_trips: 363,
+                        requeues: 0,
+                        worker_deaths: 0,
+                    }),
+                },
+            ],
         };
         let text = report.to_json_string();
         assert!(
@@ -209,6 +256,11 @@ mod tests {
         );
         assert!(text.contains(r#""name":"serial_uncached","wall_s":0.25,"evaluations":12100"#));
         assert!(text.contains(r#""distinct_evaluations":12100,"cache_hits":0"#));
+        // In-process arms carry no remote block; the remote arm carries
+        // its transport accounting.
+        assert!(text.contains(
+            r#""remote":{"workers":3,"round_trips":363,"requeues":0,"worker_deaths":0}"#
+        ));
         // The report is valid JSON by our own parser.
         Json::parse(&text).unwrap();
     }

@@ -66,7 +66,7 @@ pub struct KeyRecord {
 }
 
 impl KeyRecord {
-    fn encode_into(&self, w: &mut Writer) {
+    pub(crate) fn encode_into(&self, w: &mut Writer) {
         w.put_str(&self.tech_name);
         for bits in [
             self.node_bits,
@@ -84,7 +84,7 @@ impl KeyRecord {
         w.put_u64(self.wstore);
     }
 
-    fn decode_from(r: &mut Reader<'_>) -> Result<KeyRecord, WireError> {
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<KeyRecord, WireError> {
         let tech_name = r.take_str()?;
         let mut bits = [0u64; 8];
         for slot in &mut bits {

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Warm-start guard for the batch-mode smoke.
+
+Usage: check_batch_warm_start.py RUN1_JSON RUN2_JSON
+
+RUN1 is a cold `sega-dcim batch` report, RUN2 the rerun of the identical
+job file against the cache file RUN1 saved. The persistent-cache layer's
+acceptance criterion, checked end to end through the real CLI:
+
+* the cold run actually estimated something,
+* the warm rerun is fully estimator-free (0 distinct evaluations),
+* the warm fronts are byte-identical to the cold ones (the reports carry
+  exact objective bit patterns, so `==` on the front arrays is a bitwise
+  comparison).
+"""
+
+import json
+import sys
+
+
+def main() -> None:
+    run1_path, run2_path = sys.argv[1], sys.argv[2]
+    with open(run1_path) as f:
+        r1 = json.load(f)
+    with open(run2_path) as f:
+        r2 = json.load(f)
+    assert r1["totals"]["distinct_evaluations"] > 0, (
+        f"cold run estimated nothing: {r1['totals']}"
+    )
+    assert r2["totals"]["distinct_evaluations"] == 0, (
+        f"warm rerun must be estimator-free: {r2['totals']}"
+    )
+    fronts1 = [j["front"] for j in r1["jobs"]]
+    fronts2 = [j["front"] for j in r2["jobs"]]
+    assert fronts1 == fronts2, "warm fronts must be bit-identical to the cold run"
+    print("batch warm start OK:", r1["totals"], "->", r2["totals"])
+
+
+if __name__ == "__main__":
+    main()

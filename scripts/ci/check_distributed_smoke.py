@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Distributed smoke/fault-matrix guard.
+
+Usage: check_distributed_smoke.py MACRO_JSON WARM_JSON REMOTE_JSON [REMOTE_JSON ...]
+
+MACRO is the in-process reference batch report; each REMOTE report is
+the same job file run with `--backend remote` (different worker counts
+and injected faults); WARM is a final in-process rerun against the cache
+file the remote runs saved. Asserts the distributed acceptance criteria
+end to end through the real CLI:
+
+* every remote front — healthy or fault-injected — is **byte-identical**
+  to the in-process reference (the reports carry exact objective bit
+  patterns, so `==` is a bitwise comparison);
+* every run's evaluation accounting partitions exactly;
+* the first remote run actually dispatched estimates (cold);
+* the warm rerun is fully estimator-free — estimates computed inside
+  worker *processes* crossed the boundary via snapshot deltas, landed in
+  the cache file, and served a fresh process.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def fronts(doc):
+    return [j["front"] for j in doc["jobs"]]
+
+
+def check_accounting(name, doc):
+    t = doc["totals"]
+    assert t["evaluations"] == t["distinct_evaluations"] + t["cache_hits"], (
+        f"{name}: accounting does not partition: {t}"
+    )
+
+
+def main() -> None:
+    macro_path, warm_path, remote_paths = sys.argv[1], sys.argv[2], sys.argv[3:]
+    assert remote_paths, "need at least one remote report"
+    macro, warm = load(macro_path), load(warm_path)
+    remotes = [(path, load(path)) for path in remote_paths]
+
+    reference = fronts(macro)
+    check_accounting(macro_path, macro)
+    for path, doc in remotes + [(warm_path, warm)]:
+        assert fronts(doc) == reference, (
+            f"{path}: fronts are not byte-identical to the in-process run"
+        )
+        check_accounting(path, doc)
+
+    first = remotes[0][1]
+    assert first["totals"]["distinct_evaluations"] > 0, (
+        f"cold remote run estimated nothing: {first['totals']}"
+    )
+    assert warm["totals"]["distinct_evaluations"] == 0, (
+        f"warm rerun must be served entirely by remotely computed estimates: "
+        f"{warm['totals']}"
+    )
+    print(
+        "distributed smoke OK:",
+        f"{len(remotes)} remote runs byte-identical to the in-process reference,",
+        f"cold {first['totals']['distinct_evaluations']} distinct ->",
+        f"warm {warm['totals']['distinct_evaluations']} across the process boundary",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Dominance-kernel regression guard.
+
+Usage: check_moga_kernel.py BASELINE_JSON FRESH_JSON
+
+Counter-based (deterministic), so it is stable on a noisy 1-CPU runner:
+fails if the comparison count at N=1024/M=3 exceeds the committed
+BENCH_moga.json baseline by more than 5%, or if the tiered kernel stops
+being asymptotically below the naive pairwise bill.
+"""
+
+import json
+import sys
+
+
+def case(doc, n, m):
+    for c in doc["cases"]:
+        if c["n"] == n and c["m"] == m:
+            return c
+    raise SystemExit(f"missing case n={n} m={m}")
+
+
+def main() -> None:
+    baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    b, f_ = case(baseline, 1024, 3), case(fresh, 1024, 3)
+    limit = b["comparisons"] * 1.05
+    assert f_["comparisons"] <= limit, (
+        f"dominance comparisons regressed at N=1024/M=3: "
+        f"{f_['comparisons']} > {limit:.0f} (baseline {b['comparisons']})"
+    )
+    assert f_["comparisons"] * 8 < f_["naive_comparisons"], (
+        f"kernel no longer asymptotically below the pairwise bill: {f_}"
+    )
+    print(
+        "moga kernel guard OK:",
+        f_["comparisons"],
+        "vs baseline",
+        b["comparisons"],
+        f"(naive {f_['naive_comparisons']})",
+    )
+
+
+if __name__ == "__main__":
+    main()
