@@ -1,0 +1,147 @@
+//! Criterion bench: the cohort-batched estimator — the hot-path kernel's
+//! receipts, seeding the `BENCH_estimator.json` perf trajectory.
+//!
+//! For every cohort case in `{64, 256, 1024} × {int8, fp16, mixed}` the
+//! setup phase estimates a deterministic design cohort through
+//! `EstimationContext::estimate_cohort`, cross-checks every row bit for
+//! bit against the per-design estimator, and records the kernel's
+//! counters: designs estimated, the vector/scalar split of the finish
+//! lanes, and scratch growth during the measured warm pass (0 by
+//! contract — the steady-state batch path allocates nothing). When
+//! `BENCH_ESTIMATOR_JSON` is set the records are written as
+//! `BENCH_estimator.json` (see `sega_wire::report::EstimatorReport`);
+//! the committed repo-root copy is the baseline CI's counter-based
+//! regression guard diffs against.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sega_bench::json::{estimator_json_path, EstimatorCohortRecord, EstimatorReport};
+use sega_cells::Technology;
+use sega_estimator::{
+    CohortScratch, DcimDesign, EstimationContext, OperatingConditions, Precision, ALL_PRECISIONS,
+};
+
+/// A deterministic pool of valid designs for one precision (or all of
+/// them), cycled to fill cohorts of any size.
+fn design_pool(precision: Option<Precision>) -> Vec<DcimDesign> {
+    let precisions: Vec<Precision> = match precision {
+        Some(p) => vec![p],
+        None => ALL_PRECISIONS.to_vec(),
+    };
+    let mut pool = Vec::new();
+    for &prec in &precisions {
+        let wb = prec.weight_bits();
+        for n_mult in [1u32, 2, 4, 8] {
+            for h in [16u32, 32, 64, 128, 256] {
+                for l in [4u32, 8, 16] {
+                    for k in [1u32, 2, 4] {
+                        if let Ok(d) = DcimDesign::for_precision(prec, n_mult * wb, h, l, k) {
+                            pool.push(d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(!pool.is_empty());
+    pool
+}
+
+fn cohort_of(pool: &[DcimDesign], n: usize) -> Vec<DcimDesign> {
+    pool.iter().cycle().take(n).copied().collect()
+}
+
+const SIZES: [usize; 3] = [64, 256, 1024];
+
+fn bench_estimator_cohort(c: &mut Criterion) {
+    let tech = Technology::tsmc28();
+    let cond = OperatingConditions::paper_default();
+    let ctx = EstimationContext::new(&tech, &cond);
+    let arms: [(&str, Option<Precision>); 3] = [
+        ("int8", Some(Precision::Int8)),
+        ("fp16", Some(Precision::Fp16)),
+        ("mixed", None),
+    ];
+
+    let mut scratch = CohortScratch::default();
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (name, precision) in arms {
+        let pool = design_pool(precision);
+        for n in SIZES {
+            let cohort = cohort_of(&pool, n);
+            // Warm the scratch so the measured pass is the steady state.
+            ctx.estimate_cohort(&cohort, &mut rows, &mut scratch);
+            // Bit-identity receipt: every cohort row equals the
+            // per-design estimator's objective vector exactly.
+            for (design, row) in cohort.iter().zip(&rows) {
+                let expected = ctx.estimate(design).objectives();
+                assert_eq!(
+                    row.map(f64::to_bits),
+                    expected.map(f64::to_bits),
+                    "cohort row diverged for {design}"
+                );
+            }
+            scratch.reset_stats();
+            let started = Instant::now();
+            ctx.estimate_cohort(&cohort, &mut rows, &mut scratch);
+            let wall_s = started.elapsed().as_secs_f64();
+            let stats = scratch.stats();
+            assert_eq!(stats.designs, n as u64);
+            assert_eq!(stats.batched + stats.scalar_fallbacks, n as u64);
+            assert_eq!(
+                stats.allocations, 0,
+                "warm cohorts must not allocate: {stats:?}"
+            );
+            eprintln!(
+                "estimator_cohort {name:<5} n={n:<5}: {:>5} batched / {:>4} scalar, \
+                 {:.6}s",
+                stats.batched, stats.scalar_fallbacks, wall_s,
+            );
+            records.push(EstimatorCohortRecord {
+                cohort: n,
+                precision: name.to_owned(),
+                designs: stats.designs,
+                batched: stats.batched,
+                scalar_fallbacks: stats.scalar_fallbacks,
+                allocations: stats.allocations,
+                wall_s,
+            });
+        }
+    }
+
+    if let Some(path) = estimator_json_path() {
+        let vector = records.iter().any(|r| r.batched > 0);
+        let report = EstimatorReport {
+            vector,
+            cases: records,
+        };
+        report.write_to(&path).expect("write BENCH_estimator.json");
+        eprintln!("wrote {}", path.display());
+    }
+
+    let mut group = c.benchmark_group("estimator_cohort");
+    group.sample_size(20);
+    let pool = design_pool(Some(Precision::Int8));
+    let cohort = cohort_of(&pool, 1024);
+    group.bench_function("cohort_n1024_int8", |b| {
+        b.iter(|| {
+            ctx.estimate_cohort(&cohort, &mut rows, &mut scratch);
+            rows.len()
+        })
+    });
+    // The per-design loop the cohort kernel replaces, for the same 1024
+    // designs — the speedup readout of the SoA + vector pass.
+    group.bench_function("per_design_n1024_int8", |b| {
+        b.iter(|| {
+            rows.clear();
+            rows.extend(cohort.iter().map(|d| ctx.estimate(d).objectives()));
+            rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator_cohort);
+criterion_main!(benches);

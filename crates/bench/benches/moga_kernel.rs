@@ -1,16 +1,21 @@
 //! Criterion bench: the tiered dominance kernel — the MOGA selection
 //! machinery's receipts, seeding the `BENCH_moga.json` perf trajectory.
 //!
-//! For every `(N, M)` in `{64, 256, 1024} × {2, 3}` the setup phase sorts
-//! a deterministic random cloud through the tiered kernel, records the
-//! dominance-comparison counter next to the naive kernel's `N·(N−1)/2`
-//! pairwise bill, cross-checks the fronts against the retained naive
-//! oracle, and asserts the asymptotic win at the top scale. When
-//! `BENCH_MOGA_JSON` is set the records are written as `BENCH_moga.json`
-//! (see `sega_wire::report::MogaKernelReport`); the committed repo-root
-//! copy is the baseline CI's counter-based regression guard diffs
-//! against — deterministic counters, so the guard is stable on a 1-CPU
-//! runner where wall-clock is not.
+//! For every `(N, M)` in `{64, 256, 1024} × {2, 3, 4}` the setup phase
+//! sorts a deterministic random cloud through the tiered kernel, records
+//! the dominance-comparison and mask-word counters next to the naive
+//! kernel's `N·(N−1)/2` pairwise bill, cross-checks the fronts against
+//! the retained naive oracle, and asserts the asymptotic win at the top
+//! scale. When `BENCH_MOGA_JSON` is set the records are written as
+//! `BENCH_moga.json` (see `sega_wire::report::MogaKernelReport`); the
+//! committed repo-root copy is the baseline CI's counter-based
+//! regression guard diffs against — deterministic counters, so the guard
+//! is stable on a 1-CPU runner where wall-clock is not.
+//!
+//! `M=4` is the production DCIM shape: it runs the blocked branchless
+//! tier, whose bill is `word_ops` (64-lane mask words) rather than
+//! scalar comparisons — the guard compares the *effective* counter
+//! `comparisons + word_ops` against the pairwise bill.
 
 use std::time::Instant;
 
@@ -27,7 +32,17 @@ fn cloud(n: usize, m: usize, seed: u64) -> ObjectiveMatrix {
     ObjectiveMatrix::xorshift_cloud(n, m, None, seed)
 }
 
-const CASES: [(usize, usize); 6] = [(64, 2), (256, 2), (1024, 2), (64, 3), (256, 3), (1024, 3)];
+const CASES: [(usize, usize); 9] = [
+    (64, 2),
+    (256, 2),
+    (1024, 2),
+    (64, 3),
+    (256, 3),
+    (1024, 3),
+    (64, 4),
+    (256, 4),
+    (1024, 4),
+];
 
 fn bench_moga_kernel(c: &mut Criterion) {
     // Receipts, computed once: counters + wall clock per case, fronts
@@ -46,27 +61,36 @@ fn bench_moga_kernel(c: &mut Criterion) {
         let stats = scratch.stats();
 
         let rows: Vec<&[f64]> = matrix.iter_rows().collect();
-        let mut naive = non_dominated_sort_naive(&rows);
-        let mut tiered = fronts.clone();
-        for f in naive.iter_mut().chain(tiered.iter_mut()) {
-            f.sort_unstable();
+        let naive = non_dominated_sort_naive(&rows);
+        if m == 4 {
+            // The blocked tier reproduces the exact Deb front order.
+            assert_eq!(fronts, naive, "N={n} M={m}: blocked tier diverged");
+        } else {
+            let mut naive = naive;
+            let mut tiered = fronts.clone();
+            for f in naive.iter_mut().chain(tiered.iter_mut()) {
+                f.sort_unstable();
+            }
+            assert_eq!(tiered, naive, "N={n} M={m}: tiered kernel diverged");
         }
-        assert_eq!(tiered, naive, "N={n} M={m}: tiered kernel diverged");
 
         let naive_comparisons = (n * (n - 1) / 2) as u64;
+        let effective = stats.comparisons + stats.word_ops;
         if n == 1024 {
+            let factor = if m == 4 { 4 } else { 8 };
             assert!(
-                stats.comparisons * 8 < naive_comparisons,
-                "N={n} M={m}: {} comparisons not asymptotically below {naive_comparisons}",
-                stats.comparisons
+                effective * factor < naive_comparisons,
+                "N={n} M={m}: {effective} effective ops not asymptotically below \
+                 {naive_comparisons}",
             );
         }
         assert_eq!(stats.allocations, 0, "warm sorts must not allocate");
         eprintln!(
-            "moga_kernel N={n:<5} M={m}: {:>8} comparisons (naive {naive_comparisons:>7}, \
-             {:>5.1}x fewer), {} fronts, {:.6}s",
+            "moga_kernel N={n:<5} M={m}: {:>8} comparisons + {:>6} word ops \
+             (naive {naive_comparisons:>7}, {:>5.1}x fewer), {} fronts, {:.6}s",
             stats.comparisons,
-            naive_comparisons as f64 / stats.comparisons.max(1) as f64,
+            stats.word_ops,
+            naive_comparisons as f64 / effective.max(1) as f64,
             fronts.len(),
             wall_s,
         );
@@ -74,6 +98,7 @@ fn bench_moga_kernel(c: &mut Criterion) {
             n,
             m,
             comparisons: stats.comparisons,
+            word_ops: stats.word_ops,
             naive_comparisons,
             allocations: stats.allocations,
             fronts: fronts.len(),
@@ -90,8 +115,9 @@ fn bench_moga_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("moga_kernel");
     group.sample_size(10);
     for (n, m) in [(1024usize, 2usize), (1024, 3), (1024, 4)] {
-        // M=4 is the DCIM shape: it exercises the bitset fallback, so the
-        // timing trio shows all three tiers side by side.
+        // M=4 is the DCIM shape: it exercises the blocked branchless
+        // fallback, so the timing trio shows all three tiers side by
+        // side.
         let matrix = cloud(n, m, 7);
         let mut scratch = SortScratch::default();
         let mut fronts = Vec::new();

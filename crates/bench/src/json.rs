@@ -5,6 +5,6 @@
 
 pub use sega_wire::json::{Json, JsonError};
 pub use sega_wire::report::{
-    moga_json_path, pipeline_json_path, ConfigRecord, MogaKernelRecord, MogaKernelReport,
-    PipelineReport, RemoteTrafficRecord,
+    estimator_json_path, moga_json_path, pipeline_json_path, ConfigRecord, EstimatorCohortRecord,
+    EstimatorReport, MogaKernelRecord, MogaKernelReport, PipelineReport, RemoteTrafficRecord,
 };

@@ -26,11 +26,14 @@
 //!
 //! [`DcimProblem`]: crate::explore::DcimProblem
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use sega_cells::Technology;
-use sega_estimator::{DcimDesign, EstimationContext, OperatingConditions, Precision};
+use sega_estimator::{
+    CohortScratch, DcimDesign, EstimationContext, EstimatorStats, OperatingConditions, Precision,
+};
 use sega_parallel::Pool;
 
 use crate::explore::{Geometry, ParetoSolution};
@@ -132,6 +135,15 @@ pub trait CohortEvaluator: Send + Sync + std::fmt::Debug {
     /// point and estimate a front member or enumeration point reports.
     /// `None` for infeasible geometries.
     fn materialize(&self, g: &Geometry) -> Option<ParetoSolution>;
+
+    /// Cumulative estimator-kernel counters accumulated by this
+    /// evaluator: designs estimated, how many went through the vector
+    /// finish vs the scalar block, and scratch growth. Backends without
+    /// an in-process kernel (remote workers account on their own side)
+    /// report the zero default.
+    fn estimator_stats(&self) -> EstimatorStats {
+        EstimatorStats::default()
+    }
 }
 
 /// The in-process macro-model backend: the paper's closed-form estimator
@@ -154,6 +166,7 @@ impl EvalBackend for MacroModelBackend {
         Arc::new(MacroModelEvaluator {
             lens: GeometryLens::new(spec),
             ctx: EstimationContext::new(tech, conditions),
+            counters: Arc::new(EstimatorCounters::default()),
         })
     }
 }
@@ -172,26 +185,113 @@ struct MacroModelEvaluator {
     /// Voltage-realized technology + energy factor, hoisted once per
     /// binding so the innermost estimate never clones a [`Technology`].
     ctx: EstimationContext,
+    /// Kernel counters merged from every worker's thread-local scratch.
+    counters: Arc<EstimatorCounters>,
+}
+
+/// Atomic mirror of [`EstimatorStats`], so pool workers can merge their
+/// thread-local scratch counters without locking.
+#[derive(Debug, Default)]
+struct EstimatorCounters {
+    designs: AtomicU64,
+    batched: AtomicU64,
+    scalar_fallbacks: AtomicU64,
+    allocations: AtomicU64,
+}
+
+impl EstimatorCounters {
+    fn add(&self, delta: EstimatorStats) {
+        self.designs.fetch_add(delta.designs, Ordering::Relaxed);
+        self.batched.fetch_add(delta.batched, Ordering::Relaxed);
+        self.scalar_fallbacks
+            .fetch_add(delta.scalar_fallbacks, Ordering::Relaxed);
+        self.allocations
+            .fetch_add(delta.allocations, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> EstimatorStats {
+        EstimatorStats {
+            designs: self.designs.load(Ordering::Relaxed),
+            batched: self.batched.load(Ordering::Relaxed),
+            scalar_fallbacks: self.scalar_fallbacks.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-worker cohort workspace: the dense design list, the slot map
+    /// back into the chunk, the estimator's SoA lanes, and the row
+    /// output — all reused across chunks so steady-state evaluation
+    /// never allocates inside a worker.
+    static COHORT_TLS: RefCell<CohortWorkspace> = RefCell::new(CohortWorkspace::default());
+}
+
+#[derive(Default)]
+struct CohortWorkspace {
+    designs: Vec<DcimDesign>,
+    slots: Vec<usize>,
+    rows: Vec<[f64; 4]>,
+    scratch: CohortScratch,
 }
 
 impl MacroModelEvaluator {
-    fn objectives_of(&self, g: &Geometry) -> [f64; 4] {
-        match self.lens.design_of(g) {
-            Some(design) => self.ctx.estimate(&design).objectives(),
-            None => [f64::INFINITY; 4],
-        }
+    /// Runs the batched SoA estimator over one worker's chunk: map
+    /// feasible geometries into a dense design list, estimate the whole
+    /// list through [`EstimationContext::estimate_cohort`], then scatter
+    /// the rows back — infeasible slots stay `[+∞; 4]`.
+    fn evaluate_chunk(&self, chunk: &[Geometry]) -> Vec<[f64; 4]> {
+        COHORT_TLS.with(|tls| {
+            let ws = &mut *tls.borrow_mut();
+            ws.designs.clear();
+            ws.slots.clear();
+            let mut out = vec![[f64::INFINITY; 4]; chunk.len()];
+            for (slot, g) in chunk.iter().enumerate() {
+                if let Some(design) = self.lens.design_of(g) {
+                    ws.designs.push(design);
+                    ws.slots.push(slot);
+                }
+            }
+            self.ctx
+                .estimate_cohort(&ws.designs, &mut ws.rows, &mut ws.scratch);
+            for (&slot, &row) in ws.slots.iter().zip(&ws.rows) {
+                out[slot] = row;
+            }
+            self.counters.add(ws.scratch.stats());
+            ws.scratch.reset_stats();
+            out
+        })
     }
 }
 
 impl CohortEvaluator for MacroModelEvaluator {
     fn evaluate_cohort(&self, cohort: &[Geometry], pool: &Pool, workers: usize) -> Vec<[f64; 4]> {
-        pool.par_map_bounded(cohort, workers, |g| self.objectives_of(g))
+        if cohort.is_empty() {
+            return Vec::new();
+        }
+        // Chunk the cohort so each pool worker runs the batched kernel
+        // over a contiguous claim (instead of one estimate per work
+        // item). Four chunks per participant keeps the tail balanced
+        // while leaving each chunk long enough to fill vector lanes.
+        let participants = workers.max(1);
+        let chunk_len = cohort.len().div_ceil(participants * 4).max(1);
+        let chunks: Vec<&[Geometry]> = cohort.chunks(chunk_len).collect();
+        let evaluated = pool.par_map_bounded(&chunks, workers, |chunk| self.evaluate_chunk(chunk));
+        let mut out = Vec::with_capacity(cohort.len());
+        for rows in evaluated {
+            out.extend(rows);
+        }
+        out
     }
 
     fn materialize(&self, g: &Geometry) -> Option<ParetoSolution> {
         let design = self.lens.design_of(g)?;
         let estimate = self.ctx.estimate(&design);
         Some(ParetoSolution { design, estimate })
+    }
+
+    fn estimator_stats(&self) -> EstimatorStats {
+        self.counters.snapshot()
     }
 }
 
@@ -280,6 +380,10 @@ impl CohortEvaluator for InstrumentedEvaluator {
     fn materialize(&self, g: &Geometry) -> Option<ParetoSolution> {
         self.inner.materialize(g)
     }
+
+    fn estimator_stats(&self) -> EstimatorStats {
+        self.inner.estimator_stats()
+    }
 }
 
 #[cfg(test)]
@@ -359,6 +463,61 @@ mod tests {
         wrapped.evaluate_cohort(&[], &pool, 1);
         assert_eq!(instrumented.cohorts(), 1);
         assert_eq!(instrumented.name(), "instrumented");
+    }
+
+    #[test]
+    fn evaluator_accumulates_estimator_stats() {
+        let spec = UserSpec::new(8192, Precision::Int8).unwrap();
+        let evaluator = bind_default(&spec);
+        assert_eq!(evaluator.estimator_stats(), EstimatorStats::default());
+        let cohort: Vec<Geometry> = (1..=4)
+            .map(|k| Geometry {
+                log_h: 5,
+                log_l: 1,
+                k,
+            })
+            .collect();
+        let pool = Pool::for_threads(1);
+        let rows = evaluator.evaluate_cohort(&cohort, &pool, 1);
+        assert_eq!(rows.len(), 4);
+        let stats = evaluator.estimator_stats();
+        assert_eq!(stats.designs, 4, "all four geometries are feasible");
+        assert_eq!(stats.batched + stats.scalar_fallbacks, stats.designs);
+        // A second cohort accumulates rather than resets.
+        evaluator.evaluate_cohort(&cohort, &pool, 1);
+        assert_eq!(evaluator.estimator_stats().designs, 8);
+    }
+
+    #[test]
+    fn chunked_cohort_is_order_preserving_across_worker_counts() {
+        let spec = UserSpec::new(16384, Precision::Fp16).unwrap();
+        let evaluator = bind_default(&spec);
+        // A cohort long enough to split into many chunks, with an
+        // infeasible geometry buried mid-stream.
+        let mut cohort = Vec::new();
+        for log_h in 1..=6 {
+            for log_l in 0..=2 {
+                for k in 1..=4 {
+                    cohort.push(Geometry { log_h, log_l, k });
+                }
+            }
+        }
+        cohort.insert(
+            17,
+            Geometry {
+                log_h: 30,
+                log_l: 30,
+                k: 1,
+            },
+        );
+        let pool = Pool::for_threads(4);
+        let serial = evaluator.evaluate_cohort(&cohort, &pool, 1);
+        let fanned = evaluator.evaluate_cohort(&cohort, &pool, 4);
+        assert_eq!(serial.len(), cohort.len());
+        assert_eq!(serial[17], [f64::INFINITY; 4]);
+        let serial_bits: Vec<[u64; 4]> = serial.iter().map(|r| r.map(f64::to_bits)).collect();
+        let fanned_bits: Vec<[u64; 4]> = fanned.iter().map(|r| r.map(f64::to_bits)).collect();
+        assert_eq!(serial_bits, fanned_bits);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use sega_cells::Technology;
-use sega_estimator::{OperatingConditions, Precision};
+use sega_estimator::{EstimatorStats, OperatingConditions, Precision};
 use sega_moga::Nsga2Config;
 use sega_parallel::{resolve_threads, Pool};
 use sega_wire::{Json, Snapshot};
@@ -63,6 +63,13 @@ pub struct BatchReport {
     /// Total dominance comparisons/probes the selection kernel performed
     /// across all jobs — the batch-level perf receipt of the tiered sort.
     pub dominance_comparisons: u64,
+    /// Total 64-lane mask words the blocked dominance tier produced
+    /// across all jobs (the branchless complement of
+    /// [`dominance_comparisons`](Self::dominance_comparisons)).
+    pub dominance_word_ops: u64,
+    /// Estimator-kernel totals across all jobs: designs estimated, and
+    /// the vector/scalar split of their finish lanes.
+    pub estimator: EstimatorStats,
     /// Entries the shared cache held *before* the first job (the warm
     /// start, e.g. from a loaded `--cache-file`).
     pub preloaded_entries: usize,
@@ -177,6 +184,13 @@ pub fn run_batch(
             .iter()
             .map(|o| o.result.dominance.comparisons)
             .sum(),
+        dominance_word_ops: outcomes.iter().map(|o| o.result.dominance.word_ops).sum(),
+        estimator: outcomes
+            .iter()
+            .fold(EstimatorStats::default(), |mut acc, o| {
+                acc.merge(o.result.estimator);
+                acc
+            }),
         preloaded_entries,
         cache_entries: cache.len(),
         backend,
@@ -207,6 +221,13 @@ impl BatchReport {
                     (
                         "dominance_comparisons",
                         Json::from(self.dominance_comparisons),
+                    ),
+                    ("dominance_word_ops", Json::from(self.dominance_word_ops)),
+                    ("estimator_designs", Json::from(self.estimator.designs)),
+                    ("estimator_batched", Json::from(self.estimator.batched)),
+                    (
+                        "estimator_scalar_fallbacks",
+                        Json::from(self.estimator.scalar_fallbacks),
                     ),
                 ]),
             ),

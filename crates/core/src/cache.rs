@@ -44,7 +44,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use sega_cells::Technology;
-use sega_estimator::{OperatingConditions, Precision};
+use sega_estimator::{EstimatorStats, OperatingConditions, Precision};
 use sega_moga::DominanceStats;
 use sega_wire::snapshot::{EntryRecord, GeometryRecord, KeyRecord, Snapshot, SpaceRecord};
 
@@ -542,7 +542,12 @@ pub struct EvalStats {
     hits: AtomicUsize,
     misses: AtomicUsize,
     dominance_comparisons: AtomicU64,
+    dominance_word_ops: AtomicU64,
     dominance_allocations: AtomicU64,
+    estimator_designs: AtomicU64,
+    estimator_batched: AtomicU64,
+    estimator_scalar_fallbacks: AtomicU64,
+    estimator_allocations: AtomicU64,
 }
 
 impl EvalStats {
@@ -564,7 +569,20 @@ impl EvalStats {
     pub fn dominance(&self) -> DominanceStats {
         DominanceStats {
             comparisons: self.dominance_comparisons.load(Ordering::Relaxed),
+            word_ops: self.dominance_word_ops.load(Ordering::Relaxed),
             allocations: self.dominance_allocations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The estimator kernel's cohort counters for this run: designs
+    /// estimated, lanes finished through the vector path vs the scalar
+    /// block, and scratch growth (zero once warm).
+    pub fn estimator(&self) -> EstimatorStats {
+        EstimatorStats {
+            designs: self.estimator_designs.load(Ordering::Relaxed),
+            batched: self.estimator_batched.load(Ordering::Relaxed),
+            scalar_fallbacks: self.estimator_scalar_fallbacks.load(Ordering::Relaxed),
+            allocations: self.estimator_allocations.load(Ordering::Relaxed),
         }
     }
 
@@ -582,8 +600,31 @@ impl EvalStats {
             self.dominance_comparisons
                 .fetch_add(stats.comparisons, Ordering::Relaxed);
         }
+        if stats.word_ops > 0 {
+            self.dominance_word_ops
+                .fetch_add(stats.word_ops, Ordering::Relaxed);
+        }
         if stats.allocations > 0 {
             self.dominance_allocations
+                .fetch_add(stats.allocations, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_estimator(&self, stats: EstimatorStats) {
+        if stats.designs > 0 {
+            self.estimator_designs
+                .fetch_add(stats.designs, Ordering::Relaxed);
+        }
+        if stats.batched > 0 {
+            self.estimator_batched
+                .fetch_add(stats.batched, Ordering::Relaxed);
+        }
+        if stats.scalar_fallbacks > 0 {
+            self.estimator_scalar_fallbacks
+                .fetch_add(stats.scalar_fallbacks, Ordering::Relaxed);
+        }
+        if stats.allocations > 0 {
+            self.estimator_allocations
                 .fetch_add(stats.allocations, Ordering::Relaxed);
         }
     }
@@ -726,17 +767,47 @@ mod tests {
         assert_eq!(stats.dominance(), DominanceStats::default());
         stats.record_dominance(DominanceStats {
             comparisons: 10,
+            word_ops: 7,
             allocations: 2,
         });
         stats.record_dominance(DominanceStats {
             comparisons: 5,
+            word_ops: 0,
             allocations: 0,
         });
         assert_eq!(
             stats.dominance(),
             DominanceStats {
                 comparisons: 15,
+                word_ops: 7,
                 allocations: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_estimator_counters() {
+        let stats = EvalStats::default();
+        assert_eq!(stats.estimator(), EstimatorStats::default());
+        stats.record_estimator(EstimatorStats {
+            designs: 12,
+            batched: 8,
+            scalar_fallbacks: 4,
+            allocations: 3,
+        });
+        stats.record_estimator(EstimatorStats {
+            designs: 5,
+            batched: 4,
+            scalar_fallbacks: 1,
+            allocations: 0,
+        });
+        assert_eq!(
+            stats.estimator(),
+            EstimatorStats {
+                designs: 17,
+                batched: 12,
+                scalar_fallbacks: 5,
+                allocations: 3,
             }
         );
     }

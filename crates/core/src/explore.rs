@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex};
 use rand::Rng;
 
 use sega_cells::Technology;
-use sega_estimator::{DcimDesign, MacroEstimate, OperatingConditions};
+use sega_estimator::{DcimDesign, EstimatorStats, MacroEstimate, OperatingConditions};
 use sega_moga::{DominanceStats, Nsga2, Nsga2Config, ObjectiveMatrix, Problem};
 use sega_parallel::{resolve_threads, Pool};
 
@@ -241,6 +241,10 @@ pub struct ExplorationResult {
     /// Dominance-kernel counters of the run's selection sorts (also
     /// folded into the problem's [`EvalStats`]).
     pub dominance: DominanceStats,
+    /// Estimator-kernel counters of the run's cohort evaluations:
+    /// designs estimated and how many lanes went through the vector
+    /// finish vs the scalar block.
+    pub estimator: EstimatorStats,
 }
 
 impl ExplorationResult {
@@ -414,10 +418,15 @@ impl DcimProblem {
 
     /// Evaluates one geometry through the backend, bypassing the cache.
     fn evaluate_raw(&self, genome: &Geometry) -> [f64; 4] {
-        self.evaluator
+        let before = self.evaluator.estimator_stats();
+        let row = self
+            .evaluator
             .evaluate_cohort(std::slice::from_ref(genome), &self.pool, 1)
             .pop()
-            .expect("one objective vector per geometry")
+            .expect("one objective vector per geometry");
+        self.stats
+            .record_estimator(self.evaluator.estimator_stats().since(before));
+        row
     }
 
     /// The presentation-grade form of one geometry (design point + full
@@ -539,9 +548,12 @@ impl Problem for DcimProblem {
         }
 
         let workers = batch_workers(&self.pipeline, s.missing.len());
+        let before = self.evaluator.estimator_stats();
         let computed = self
             .evaluator
             .evaluate_cohort(&s.missing, &self.pool, workers);
+        self.stats
+            .record_estimator(self.evaluator.estimator_stats().since(before));
         for ((slot, genome), objectives) in s.missing_slots.iter().zip(&s.missing).zip(computed) {
             if self.pipeline.cache {
                 self.space.insert(*genome, objectives);
@@ -665,6 +677,7 @@ pub fn explore_pareto_with(
         cache_hits: problem.stats().hits() + result.interned,
         interned: result.interned,
         dominance: result.dominance,
+        estimator: problem.stats().estimator(),
     }
 }
 

@@ -620,6 +620,13 @@ impl CohortEvaluator for RemoteEvaluator {
         // a round-trip.
         self.fallback.materialize(g)
     }
+
+    fn estimator_stats(&self) -> sega_estimator::EstimatorStats {
+        // Remote workers run the same batched kernel on their own side
+        // and account for it locally; this evaluator only sees the
+        // in-process fallback's share.
+        self.fallback.estimator_stats()
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,381 @@
+//! Cohort-batched estimation: the design space explorer's estimator hot
+//! loop in structure-of-arrays form.
+//!
+//! [`EstimationContext::estimate_cohort`] evaluates a whole cohort of
+//! [`DcimDesign`]s in two phases:
+//!
+//! 1. **Lane build** — the cohort is transposed into SoA parameter
+//!    lanes (`unit_area`, `unit_delay`, `unit_energy`, `cycles`,
+//!    `macs`), integer and floating-point designs in separate
+//!    monomorphic loops. This phase runs the exact per-design component
+//!    models (`breakdown_int` / `breakdown_fp` / `stage_delay`) the
+//!    scalar estimator uses.
+//! 2. **Vector finish** — the physical-realization tail
+//!    ([`crate::macro_model::finish_lane`]) is applied across the
+//!    lanes in blocked loops: an `std::arch` AVX2 kernel (4 lanes per
+//!    iteration) behind runtime feature detection, with a scalar block
+//!    loop as the always-available fallback. Per-technology constants
+//!    (gate area/delay/energy, the conditions' energy factor) are
+//!    hoisted into broadcast registers once per cohort.
+//!
+//! **Bit-identity guarantee**: every lane undergoes the same IEEE-754
+//! binary operations in the same order as one
+//! [`EstimationContext::estimate`] call, so the produced objective rows
+//! are bit-identical to the per-design path — on the scalar block loop,
+//! on the AVX2 kernel, and regardless of cohort size or composition
+//! (property-tested in `tests/cohort_properties.rs`).
+//!
+//! Set `SEGA_FORCE_SCALAR=1` (or [`CohortScratch::set_force_scalar`])
+//! to pin the scalar block loop; [`EstimatorStats`] reports which path
+//! ran and whether the scratch had to grow.
+
+use crate::macro_model::{
+    breakdown_fp, breakdown_int, finish_lane, stage_delay, EstimationContext,
+};
+use crate::params::DcimDesign;
+
+/// Counters of the cohort estimator: how many designs were estimated
+/// and through which finish path.
+///
+/// All counters are **deterministic** for a given build, host and
+/// input, which makes the vector-path win and the zero-allocation
+/// steady state CI-guardable on a 1-CPU container where wall-clock is
+/// too noisy to assert on.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EstimatorStats {
+    /// Designs estimated (cohort sizes summed).
+    pub designs: u64,
+    /// Lanes finished by the AVX2 vector kernel.
+    pub batched: u64,
+    /// Lanes finished by the scalar block loop (non-x86_64 hosts,
+    /// forced-scalar mode, or the `cohort % 4` vector remainder).
+    pub scalar_fallbacks: u64,
+    /// Scratch buffers that had to grow (0 once the scratch is warm).
+    pub allocations: u64,
+}
+
+impl EstimatorStats {
+    /// Accumulates another counter into this one.
+    pub fn merge(&mut self, other: EstimatorStats) {
+        self.designs += other.designs;
+        self.batched += other.batched;
+        self.scalar_fallbacks += other.scalar_fallbacks;
+        self.allocations += other.allocations;
+    }
+
+    /// The counter delta accumulated since an earlier snapshot
+    /// (saturating, so a reset between snapshots reads as zero).
+    pub fn since(self, earlier: EstimatorStats) -> EstimatorStats {
+        EstimatorStats {
+            designs: self.designs.saturating_sub(earlier.designs),
+            batched: self.batched.saturating_sub(earlier.batched),
+            scalar_fallbacks: self
+                .scalar_fallbacks
+                .saturating_sub(earlier.scalar_fallbacks),
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+        }
+    }
+}
+
+/// Reusable working memory for [`EstimationContext::estimate_cohort`]:
+/// the SoA lanes, the Int/Fp slot lists and the accumulated
+/// [`EstimatorStats`]. One scratch serves any number of cohorts; a GA
+/// worker reuses it every generation so steady-state estimation
+/// performs zero allocations (asserted via the stats counters).
+#[derive(Debug)]
+pub struct CohortScratch {
+    unit_area: Vec<f64>,
+    unit_delay: Vec<f64>,
+    unit_energy: Vec<f64>,
+    cycles: Vec<f64>,
+    macs: Vec<f64>,
+    int_slots: Vec<usize>,
+    fp_slots: Vec<usize>,
+    force_scalar: bool,
+    stats: EstimatorStats,
+}
+
+impl Default for CohortScratch {
+    fn default() -> Self {
+        Self {
+            unit_area: Vec::new(),
+            unit_delay: Vec::new(),
+            unit_energy: Vec::new(),
+            cycles: Vec::new(),
+            macs: Vec::new(),
+            int_slots: Vec::new(),
+            fp_slots: Vec::new(),
+            force_scalar: force_scalar_env(),
+            stats: EstimatorStats::default(),
+        }
+    }
+}
+
+/// The `SEGA_FORCE_SCALAR` knob: any non-empty value other than `"0"`
+/// disables the vector kernel process-wide (cached on first read).
+fn force_scalar_env() -> bool {
+    static FORCE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCE
+        .get_or_init(|| std::env::var("SEGA_FORCE_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+/// Runtime AVX2 detection, cached process-wide.
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+impl CohortScratch {
+    /// The counters accumulated by every cohort that used this scratch
+    /// since construction (or the last [`CohortScratch::reset_stats`]).
+    pub fn stats(&self) -> EstimatorStats {
+        self.stats
+    }
+
+    /// Zeroes the accumulated counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = EstimatorStats::default();
+    }
+
+    /// Overrides the `SEGA_FORCE_SCALAR` environment default for
+    /// cohorts using this scratch: `true` pins the scalar block loop,
+    /// `false` re-enables the AVX2 kernel (where detected).
+    pub fn set_force_scalar(&mut self, force: bool) {
+        self.force_scalar = force;
+    }
+
+    /// Counts the buffers that must grow for a cohort of `n`, then
+    /// sizes the lanes.
+    fn prepare(&mut self, n: usize, out: &mut Vec<[f64; 4]>) {
+        let growing = [
+            self.unit_area.capacity(),
+            self.unit_delay.capacity(),
+            self.unit_energy.capacity(),
+            self.cycles.capacity(),
+            self.macs.capacity(),
+            self.int_slots.capacity(),
+            self.fp_slots.capacity(),
+            out.capacity(),
+        ]
+        .into_iter()
+        .filter(|&cap| cap < n)
+        .count();
+        self.stats.allocations += growing as u64;
+        for lane in [
+            &mut self.unit_area,
+            &mut self.unit_delay,
+            &mut self.unit_energy,
+            &mut self.cycles,
+            &mut self.macs,
+        ] {
+            lane.clear();
+            lane.resize(n, 0.0);
+        }
+        // Reserve the slot lists to the full cohort upfront so the
+        // `capacity < n` accounting above stays exact for them too.
+        self.int_slots.clear();
+        self.int_slots.reserve(n);
+        self.fp_slots.clear();
+        self.fp_slots.reserve(n);
+        out.clear();
+        out.resize(n, [0.0; 4]);
+    }
+}
+
+impl EstimationContext {
+    /// Estimates a whole cohort at once: `out` is cleared and refilled
+    /// with one objective row `[area_mm2, delay_ns, energy_per_pass_nj,
+    /// -tops]` per design, in cohort order — each row bit-identical to
+    /// `self.estimate(&designs[j]).objectives()`.
+    ///
+    /// See the module docs for the SoA/vector structure. A warm
+    /// `scratch` makes the call allocation-free.
+    pub fn estimate_cohort(
+        &self,
+        designs: &[DcimDesign],
+        out: &mut Vec<[f64; 4]>,
+        scratch: &mut CohortScratch,
+    ) {
+        let n = designs.len();
+        scratch.stats.designs += n as u64;
+        scratch.prepare(n, out);
+        // Phase 1: lane build, Int and Fp slots in separate monomorphic
+        // loops over the shared component models.
+        for (j, design) in designs.iter().enumerate() {
+            match design {
+                DcimDesign::Int(_) => scratch.int_slots.push(j),
+                DcimDesign::Fp(_) => scratch.fp_slots.push(j),
+            }
+        }
+        for s in 0..scratch.int_slots.len() {
+            let j = scratch.int_slots[s];
+            let DcimDesign::Int(p) = &designs[j] else {
+                unreachable!("int slot holds an Int design");
+            };
+            let b = breakdown_int(p);
+            scratch.unit_area[j] = b.total_area();
+            scratch.unit_delay[j] = stage_delay(&b);
+            scratch.unit_energy[j] = b.total_energy();
+            scratch.cycles[j] = f64::from(p.cycles_per_pass());
+            scratch.macs[j] = p.macs_per_pass() as f64;
+        }
+        for s in 0..scratch.fp_slots.len() {
+            let j = scratch.fp_slots[s];
+            let DcimDesign::Fp(p) = &designs[j] else {
+                unreachable!("fp slot holds an Fp design");
+            };
+            let b = breakdown_fp(p);
+            scratch.unit_area[j] = b.total_area();
+            scratch.unit_delay[j] = stage_delay(&b);
+            scratch.unit_energy[j] = b.total_energy();
+            scratch.cycles[j] = f64::from(p.cycles_per_pass());
+            scratch.macs[j] = p.macs_per_pass() as f64;
+        }
+        // Phase 2: blocked finish across the lanes, per-technology
+        // constants hoisted once.
+        let ga = self.tech.gate_area_um2;
+        let gd = self.tech.gate_delay_ns;
+        let ge = self.tech.gate_energy_fj;
+        let ef = self.energy_factor;
+        let mut start = 0usize;
+        #[cfg(target_arch = "x86_64")]
+        if !scratch.force_scalar && avx2_available() {
+            let vectorized = n - n % 4;
+            // SAFETY: AVX2 availability was checked at runtime, and the
+            // lanes were all sized to `n ≥ vectorized` in `prepare`.
+            #[allow(unsafe_code)]
+            unsafe {
+                avx2::finish_lanes(
+                    &scratch.unit_area[..vectorized],
+                    &scratch.unit_delay[..vectorized],
+                    &scratch.unit_energy[..vectorized],
+                    &scratch.cycles[..vectorized],
+                    &scratch.macs[..vectorized],
+                    &mut out[..vectorized],
+                    ga,
+                    gd,
+                    ge,
+                    ef,
+                );
+            }
+            scratch.stats.batched += vectorized as u64;
+            start = vectorized;
+        }
+        scratch.stats.scalar_fallbacks += (n - start) as u64;
+        for (j, row) in out.iter_mut().enumerate().take(n).skip(start) {
+            let lane = finish_lane(
+                scratch.unit_area[j],
+                scratch.unit_delay[j],
+                scratch.unit_energy[j],
+                scratch.cycles[j],
+                scratch.macs[j],
+                ga,
+                gd,
+                ge,
+                ef,
+            );
+            *row = [
+                lane.area_mm2,
+                lane.delay_ns,
+                lane.energy_per_pass_nj,
+                -lane.tops,
+            ];
+        }
+    }
+}
+
+/// The AVX2 finish kernel: [`finish_lane`]'s operation sequence on four
+/// f64 lanes per iteration, every step one IEEE-754 packed op on the
+/// same operands as the scalar loop — hence bit-identical results.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    #![allow(unsafe_code)]
+
+    use std::arch::x86_64::{
+        __m256d, _mm256_div_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+        _mm256_xor_pd,
+    };
+
+    /// Finishes `out.len()` lanes (a multiple of 4) from the SoA inputs.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn finish_lanes(
+        unit_area: &[f64],
+        unit_delay: &[f64],
+        unit_energy: &[f64],
+        cycles: &[f64],
+        macs: &[f64],
+        out: &mut [[f64; 4]],
+        gate_area_um2: f64,
+        gate_delay_ns: f64,
+        gate_energy_fj: f64,
+        energy_factor: f64,
+    ) {
+        let n = out.len();
+        assert_eq!(n % 4, 0, "vector span must be whole blocks");
+        assert!(
+            unit_area.len() == n
+                && unit_delay.len() == n
+                && unit_energy.len() == n
+                && cycles.len() == n
+                && macs.len() == n,
+            "lane length mismatch"
+        );
+        let ga = _mm256_set1_pd(gate_area_um2);
+        let gd = _mm256_set1_pd(gate_delay_ns);
+        let ge = _mm256_set1_pd(gate_energy_fj);
+        let ef = _mm256_set1_pd(energy_factor);
+        let micro = _mm256_set1_pd(1e-6);
+        let one = _mm256_set1_pd(1.0);
+        let two = _mm256_set1_pd(2.0);
+        let kilo = _mm256_set1_pd(1e3);
+        let sign = _mm256_set1_pd(-0.0);
+        let mut j = 0usize;
+        while j < n {
+            let ua = _mm256_loadu_pd(unit_area.as_ptr().add(j));
+            let ud = _mm256_loadu_pd(unit_delay.as_ptr().add(j));
+            let ue = _mm256_loadu_pd(unit_energy.as_ptr().add(j));
+            let cy = _mm256_loadu_pd(cycles.as_ptr().add(j));
+            let mc = _mm256_loadu_pd(macs.as_ptr().add(j));
+            // finish_lane, packed: same ops, same order.
+            let area_um2 = _mm256_mul_pd(ua, ga);
+            let delay_ns = _mm256_mul_pd(ud, gd);
+            let energy_fj = _mm256_mul_pd(ue, ge);
+            let epc = _mm256_mul_pd(_mm256_mul_pd(energy_fj, micro), ef);
+            let freq = _mm256_div_pd(one, delay_ns);
+            let ops = _mm256_mul_pd(two, mc);
+            let tops = _mm256_div_pd(_mm256_div_pd(_mm256_mul_pd(ops, freq), cy), kilo);
+            let area_mm2 = _mm256_mul_pd(area_um2, micro);
+            let epp = _mm256_mul_pd(epc, cy);
+            let neg_tops = _mm256_xor_pd(tops, sign);
+            // Transpose the four result vectors back into AoS rows.
+            let (a, d, e, t) = (
+                store4(area_mm2),
+                store4(delay_ns),
+                store4(epp),
+                store4(neg_tops),
+            );
+            for lane in 0..4 {
+                out[j + lane] = [a[lane], d[lane], e[lane], t[lane]];
+            }
+            j += 4;
+        }
+    }
+
+    #[inline]
+    unsafe fn store4(v: __m256d) -> [f64; 4] {
+        let mut a = [0.0f64; 4];
+        _mm256_storeu_pd(a.as_mut_ptr(), v);
+        a
+    }
+}

@@ -33,16 +33,21 @@
 //! # Ok::<(), sega_estimator::ParamError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the cohort kernel's AVX2 module opts in
+// to `std::arch` intrinsics behind runtime feature detection; everything
+// else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cohort;
 pub mod components;
 mod macro_model;
 mod metrics;
 mod params;
 mod precision;
 
+pub use cohort::{CohortScratch, EstimatorStats};
 pub use macro_model::{estimate, ComponentBreakdown, EstimationContext};
 pub use metrics::{MacroEstimate, OperatingConditions};
 pub use params::{DcimDesign, FpParams, IntParams, ParamError};
-pub use precision::Precision;
+pub use precision::{Precision, ALL_PRECISIONS};

@@ -102,18 +102,10 @@ pub fn estimate(
     tech: &Technology,
     conditions: &OperatingConditions,
 ) -> MacroEstimate {
-    // Borrow rather than clone: the nominal-voltage path (the common
-    // case — every paper experiment runs at the PDK's 0.9 V) is
-    // allocation-free, and only a genuine derating materializes a new
-    // `Technology`.
-    let derated;
-    let tech = if off_nominal(tech, conditions) {
-        derated = tech.at_voltage(conditions.voltage);
-        &derated
-    } else {
-        tech
-    };
-    estimate_realized(design, tech, conditions.energy_factor())
+    // One-shot context: voltage realization and the energy factor are
+    // derived in exactly one place, so this path cannot drift from
+    // [`EstimationContext::estimate`] (bit-identity is doc-tested there).
+    EstimationContext::new(tech, conditions).estimate(design)
 }
 
 fn off_nominal(tech: &Technology, conditions: &OperatingConditions) -> bool {
@@ -153,9 +145,9 @@ fn estimate_realized(design: &DcimDesign, tech: &Technology, energy_factor: f64)
 /// ```
 #[derive(Debug, Clone)]
 pub struct EstimationContext {
-    tech: Technology,
+    pub(crate) tech: Technology,
     conditions: OperatingConditions,
-    energy_factor: f64,
+    pub(crate) energy_factor: f64,
 }
 
 impl EstimationContext {
@@ -211,7 +203,7 @@ fn array_breakdown(n: u32, h: u32, l: u32, k: u32, bw: u32, bx: u32) -> Componen
 }
 
 /// Clock period: the slowest pipeline stage.
-fn stage_delay(b: &ComponentBreakdown) -> f64 {
+pub(crate) fn stage_delay(b: &ComponentBreakdown) -> f64 {
     let array_stage = b.input_buffer.delay + b.compute_units.delay + b.adder_trees.delay;
     let accumulate_stage = b.shift_accumulators.delay;
     let fuse_stage = b.result_fusion.delay + b.converters.delay;
@@ -220,6 +212,55 @@ fn stage_delay(b: &ComponentBreakdown) -> f64 {
         .max(accumulate_stage)
         .max(fuse_stage)
         .max(align_stage)
+}
+
+/// The physically-realized tail of one estimate, as computed by
+/// [`finish_lane`] — the exact operation sequence the cohort kernel's
+/// scalar and vector blocks replicate lane-for-lane.
+pub(crate) struct LaneFinish {
+    pub(crate) area_mm2: f64,
+    pub(crate) delay_ns: f64,
+    pub(crate) energy_per_cycle_nj: f64,
+    pub(crate) energy_per_pass_nj: f64,
+    pub(crate) tops: f64,
+}
+
+/// Realizes one unit-cost lane into physical objectives. This is the
+/// single source of truth for the per-lane operation order: the scalar
+/// [`finish`] path, the cohort kernel's scalar block loop, and the AVX2
+/// kernel all perform these operations in this sequence, which is what
+/// makes scalar and vector results bit-identical (every step is one
+/// IEEE-754 binary op on the same operands).
+// Flat scalar arguments by design: the cohort kernel feeds SoA lanes
+// and hoisted constants straight in, with no per-lane struct packing.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn finish_lane(
+    unit_area: f64,
+    unit_delay: f64,
+    unit_energy: f64,
+    cycles: f64,
+    macs: f64,
+    gate_area_um2: f64,
+    gate_delay_ns: f64,
+    gate_energy_fj: f64,
+    energy_factor: f64,
+) -> LaneFinish {
+    let area_um2 = unit_area * gate_area_um2;
+    let delay_ns = unit_delay * gate_delay_ns;
+    let energy_fj = unit_energy * gate_energy_fj;
+    let energy_per_cycle_nj = energy_fj * 1e-6 * energy_factor;
+    let freq_ghz = 1.0 / delay_ns;
+    // 1 MAC = 2 ops; a pass takes `cycles` cycles.
+    let ops_per_pass = 2.0 * macs;
+    let tops = ops_per_pass * freq_ghz / cycles / 1e3;
+    LaneFinish {
+        area_mm2: area_um2 * 1e-6,
+        delay_ns,
+        energy_per_cycle_nj,
+        energy_per_pass_nj: energy_per_cycle_nj * cycles,
+        tops,
+    }
 }
 
 fn finish(
@@ -234,31 +275,48 @@ fn finish(
         stage_delay(&breakdown),
         breakdown.total_energy(),
     );
-    let phys = tech.realize(unit);
-    let energy_per_cycle_nj = phys.energy_nj() * energy_factor;
-    let delay_ns = phys.delay_ns;
-    let freq_ghz = 1.0 / delay_ns;
-    // 1 MAC = 2 ops; a pass takes `cycles_per_pass` cycles.
-    let ops_per_pass = 2.0 * macs_per_pass as f64;
-    let tops = ops_per_pass * freq_ghz / cycles_per_pass as f64 / 1e3;
+    let lane = finish_lane(
+        unit.area,
+        unit.delay,
+        unit.energy,
+        cycles_per_pass as f64,
+        macs_per_pass as f64,
+        tech.gate_area_um2,
+        tech.gate_delay_ns,
+        tech.gate_energy_fj,
+        energy_factor,
+    );
     MacroEstimate {
         unit,
-        area_mm2: phys.area_mm2(),
-        delay_ns,
-        energy_per_cycle_nj,
-        energy_per_pass_nj: energy_per_cycle_nj * cycles_per_pass as f64,
+        area_mm2: lane.area_mm2,
+        delay_ns: lane.delay_ns,
+        energy_per_cycle_nj: lane.energy_per_cycle_nj,
+        energy_per_pass_nj: lane.energy_per_pass_nj,
         cycles_per_pass,
         macs_per_pass,
-        tops,
+        tops: lane.tops,
         breakdown,
     }
 }
 
+/// Table V's component breakdown: the multiplier-based integer macro.
+pub(crate) fn breakdown_int(p: &IntParams) -> ComponentBreakdown {
+    array_breakdown(p.n, p.h, p.l, p.k, p.bw, p.bx)
+}
+
+/// Table VI's component breakdown: the integer mantissa array plus the
+/// FP pre-alignment front end and `N/BM` INT-to-FP converters.
+pub(crate) fn breakdown_fp(p: &FpParams) -> ComponentBreakdown {
+    let mut b = array_breakdown(p.n, p.h, p.l, p.k, p.bm, p.bm);
+    b.pre_alignment = components::pre_alignment(p.h, p.be, p.bm);
+    b.converters = components::int_to_fp_converter(p.result_bits(), p.be) * (p.n / p.bm) as f64;
+    b
+}
+
 /// Table V: the multiplier-based integer macro.
 fn estimate_int(p: &IntParams, tech: &Technology, energy_factor: f64) -> MacroEstimate {
-    let b = array_breakdown(p.n, p.h, p.l, p.k, p.bw, p.bx);
     finish(
-        b,
+        breakdown_int(p),
         p.cycles_per_pass(),
         p.macs_per_pass(),
         tech,
@@ -266,15 +324,10 @@ fn estimate_int(p: &IntParams, tech: &Technology, energy_factor: f64) -> MacroEs
     )
 }
 
-/// Table VI: the pre-aligned floating-point macro — the integer mantissa
-/// array plus the FP pre-alignment front end and `N/BM` INT-to-FP
-/// converters.
+/// Table VI: the pre-aligned floating-point macro.
 fn estimate_fp(p: &FpParams, tech: &Technology, energy_factor: f64) -> MacroEstimate {
-    let mut b = array_breakdown(p.n, p.h, p.l, p.k, p.bm, p.bm);
-    b.pre_alignment = components::pre_alignment(p.h, p.be, p.bm);
-    b.converters = components::int_to_fp_converter(p.result_bits(), p.be) * (p.n / p.bm) as f64;
     finish(
-        b,
+        breakdown_fp(p),
         p.cycles_per_pass(),
         p.macs_per_pass(),
         tech,

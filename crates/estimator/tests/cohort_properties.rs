@@ -1,0 +1,181 @@
+//! Property tests for the cohort-batched estimator: bit-identity with
+//! the per-design path across all 8 precisions, random geometries and
+//! cohort compositions, on both the scalar and vector finish paths, and
+//! the zero-allocation steady state.
+
+use proptest::prelude::*;
+use sega_cells::Technology;
+use sega_estimator::{
+    CohortScratch, DcimDesign, EstimationContext, OperatingConditions, ALL_PRECISIONS,
+};
+
+/// Every valid design across the 8 precisions over a small geometry
+/// grid — the sample space the random cohorts draw from.
+fn design_pool() -> Vec<DcimDesign> {
+    let mut pool = Vec::new();
+    for &prec in &ALL_PRECISIONS {
+        let wb = prec.weight_bits();
+        for n_mult in [1u32, 2, 4] {
+            for h in [16u32, 64, 128] {
+                for l in [4u32, 16] {
+                    for k in [1u32, 2, 4] {
+                        if let Ok(d) = DcimDesign::for_precision(prec, n_mult * wb, h, l, k) {
+                            pool.push(d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        pool.iter().any(DcimDesign::is_float) && pool.iter().any(|d| !d.is_float()),
+        "pool must cover both architectures"
+    );
+    pool
+}
+
+fn conditions(idx: usize) -> OperatingConditions {
+    [
+        OperatingConditions::paper_default(),
+        OperatingConditions::dense(),
+        OperatingConditions {
+            voltage: 0.65,
+            ..OperatingConditions::paper_default()
+        },
+    ][idx]
+}
+
+fn row_bits(row: [f64; 4]) -> [u64; 4] {
+    row.map(f64::to_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `estimate_cohort` reproduces the per-design estimator bit for
+    /// bit, for arbitrary cohort sizes and Int/Fp mixes (including the
+    /// empty and single-design cohorts the 0..48 range generates).
+    #[test]
+    fn cohort_is_bit_identical_to_per_design_estimates(
+        picks in prop::collection::vec(any::<usize>(), 0..48),
+        cond_idx in 0usize..3,
+    ) {
+        let pool = design_pool();
+        let cohort: Vec<DcimDesign> =
+            picks.iter().map(|&ix| pool[ix % pool.len()]).collect();
+        let ctx = EstimationContext::new(&Technology::tsmc28(), &conditions(cond_idx));
+        let mut scratch = CohortScratch::default();
+        let mut rows = Vec::new();
+        ctx.estimate_cohort(&cohort, &mut rows, &mut scratch);
+        prop_assert_eq!(rows.len(), cohort.len());
+        for (design, &row) in cohort.iter().zip(&rows) {
+            prop_assert_eq!(
+                row_bits(row),
+                row_bits(ctx.estimate(design).objectives()),
+                "cohort row diverged for {}", design
+            );
+        }
+        let stats = scratch.stats();
+        prop_assert_eq!(stats.designs, cohort.len() as u64);
+        prop_assert_eq!(stats.batched + stats.scalar_fallbacks, cohort.len() as u64);
+    }
+
+    /// The forced-scalar block loop and the default (vector where
+    /// detected) path produce bit-identical rows.
+    #[test]
+    fn forced_scalar_matches_vector_path(
+        picks in prop::collection::vec(any::<usize>(), 1..64),
+        cond_idx in 0usize..3,
+    ) {
+        let pool = design_pool();
+        let cohort: Vec<DcimDesign> =
+            picks.iter().map(|&ix| pool[ix % pool.len()]).collect();
+        let ctx = EstimationContext::new(&Technology::tsmc28(), &conditions(cond_idx));
+        let mut scratch = CohortScratch::default();
+        let (mut vector_rows, mut scalar_rows) = (Vec::new(), Vec::new());
+        scratch.set_force_scalar(false);
+        ctx.estimate_cohort(&cohort, &mut vector_rows, &mut scratch);
+        scratch.set_force_scalar(true);
+        ctx.estimate_cohort(&cohort, &mut scalar_rows, &mut scratch);
+        prop_assert_eq!(scratch.stats().scalar_fallbacks >= cohort.len() as u64, true);
+        let vector_bits: Vec<[u64; 4]> = vector_rows.iter().map(|&r| row_bits(r)).collect();
+        let scalar_bits: Vec<[u64; 4]> = scalar_rows.iter().map(|&r| row_bits(r)).collect();
+        prop_assert_eq!(vector_bits, scalar_bits);
+    }
+}
+
+#[test]
+fn empty_cohort_yields_empty_rows() {
+    let ctx = EstimationContext::new(&Technology::tsmc28(), &OperatingConditions::paper_default());
+    let mut scratch = CohortScratch::default();
+    let mut rows = vec![[1.0; 4]; 3];
+    ctx.estimate_cohort(&[], &mut rows, &mut scratch);
+    assert!(rows.is_empty());
+    assert_eq!(scratch.stats().designs, 0);
+}
+
+#[test]
+fn mixed_interleaved_cohort_matches_per_design() {
+    let ctx = EstimationContext::new(&Technology::tsmc28(), &OperatingConditions::paper_default());
+    // Alternate Int and Fp designs so both lane-build loops scatter
+    // into interleaved slots.
+    let pool = design_pool();
+    let ints: Vec<_> = pool.iter().filter(|d| !d.is_float()).take(5).collect();
+    let fps: Vec<_> = pool.iter().filter(|d| d.is_float()).take(5).collect();
+    let cohort: Vec<DcimDesign> = ints
+        .iter()
+        .zip(&fps)
+        .flat_map(|(&&i, &&f)| [i, f])
+        .collect();
+    let mut scratch = CohortScratch::default();
+    let mut rows = Vec::new();
+    ctx.estimate_cohort(&cohort, &mut rows, &mut scratch);
+    for (design, &row) in cohort.iter().zip(&rows) {
+        assert_eq!(
+            row_bits(row),
+            row_bits(ctx.estimate(design).objectives()),
+            "{design}"
+        );
+    }
+}
+
+#[test]
+fn steady_state_cohorts_allocate_nothing() {
+    let ctx = EstimationContext::new(&Technology::tsmc28(), &OperatingConditions::paper_default());
+    let pool = design_pool();
+    let cohort: Vec<DcimDesign> = pool.iter().cycle().take(257).copied().collect();
+    let mut scratch = CohortScratch::default();
+    let mut rows = Vec::new();
+    ctx.estimate_cohort(&cohort, &mut rows, &mut scratch);
+    scratch.reset_stats();
+    for _ in 0..3 {
+        ctx.estimate_cohort(&cohort, &mut rows, &mut scratch);
+    }
+    let stats = scratch.stats();
+    assert_eq!(
+        stats.allocations, 0,
+        "warm cohorts must not allocate: {stats:?}"
+    );
+    assert_eq!(stats.designs, 3 * 257);
+    // Smaller warm cohorts (the common shrinking tail of a dedup'd
+    // batch) must not allocate either.
+    ctx.estimate_cohort(&cohort[..63], &mut rows, &mut scratch);
+    assert_eq!(scratch.stats().allocations, 0);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn vector_path_engages_on_avx2_hosts() {
+    if !std::is_x86_feature_detected!("avx2") {
+        return;
+    }
+    let ctx = EstimationContext::new(&Technology::tsmc28(), &OperatingConditions::paper_default());
+    let pool = design_pool();
+    let cohort: Vec<DcimDesign> = pool.iter().take(10).copied().collect();
+    let mut scratch = CohortScratch::default();
+    scratch.set_force_scalar(false);
+    let mut rows = Vec::new();
+    ctx.estimate_cohort(&cohort, &mut rows, &mut scratch);
+    assert_eq!(scratch.stats().batched, 8, "two full AVX2 blocks");
+    assert_eq!(scratch.stats().scalar_fallbacks, 2, "remainder lanes");
+}

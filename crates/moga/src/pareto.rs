@@ -100,12 +100,16 @@ fn dominance_pair(a: &[f64], b: &[f64]) -> (bool, bool) {
 /// and binary-search probes in the sweep/staircase tiers — the naive
 /// kernel performs exactly `N·(N−1)/2` of them per sort, so the counter
 /// makes the asymptotic win assertable in tests independent of wall
-/// clock. `allocations` counts buffers the kernel had to allocate
-/// fresh; a scratch-reusing steady state performs zero.
+/// clock. `word_ops` counts 64-point mask words produced by the blocked
+/// M=4 tier (one per objective per tile), each subsuming up to 64
+/// pairwise comparisons. `allocations` counts buffers the kernel had to
+/// allocate fresh; a scratch-reusing steady state performs zero.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct DominanceStats {
     /// Dominance comparisons / search probes performed.
     pub comparisons: u64,
+    /// 64-lane mask words produced by the blocked M=4 tier.
+    pub word_ops: u64,
     /// Buffers allocated (not recycled from scratch).
     pub allocations: u64,
 }
@@ -114,6 +118,7 @@ impl DominanceStats {
     /// Accumulates another counter into this one.
     pub fn merge(&mut self, other: DominanceStats) {
         self.comparisons += other.comparisons;
+        self.word_ops += other.word_ops;
         self.allocations += other.allocations;
     }
 }
@@ -147,7 +152,7 @@ pub fn non_dominated_sort_matrix(points: &ObjectiveMatrix) -> Vec<Vec<usize>> {
 /// [`DominanceStats`]. One scratch serves any number of sorts; a GA
 /// reuses it every generation so the sort performs no steady-state
 /// allocation.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SortScratch {
     /// Point indices in lexicographic row order.
     order: Vec<usize>,
@@ -165,9 +170,44 @@ pub struct SortScratch {
     bits: Vec<u64>,
     /// Fallback: how many points dominate each point.
     domination_count: Vec<usize>,
+    /// Blocked M=4 tier: objective-major transpose, 4 columns × n lanes.
+    cols: Vec<f64>,
+    /// Blocked M=4 tier: bitmask of NaN-free rows, ⌈n/64⌉ words.
+    valid: Vec<u64>,
+    /// Route the fallback through the per-pair path even for M=4.
+    force_scalar: bool,
     /// Flat staging matrix for the slice-based adapters.
     adapter: ObjectiveMatrix,
     stats: DominanceStats,
+}
+
+impl Default for SortScratch {
+    fn default() -> Self {
+        Self {
+            order: Vec::new(),
+            assigned: Vec::new(),
+            spare: Vec::new(),
+            last_f2: Vec::new(),
+            stairs: Vec::new(),
+            spare_stairs: Vec::new(),
+            bits: Vec::new(),
+            domination_count: Vec::new(),
+            cols: Vec::new(),
+            valid: Vec::new(),
+            force_scalar: force_scalar_env(),
+            adapter: ObjectiveMatrix::default(),
+            stats: DominanceStats::default(),
+        }
+    }
+}
+
+/// The `SEGA_FORCE_SCALAR` knob: any non-empty value other than `"0"`
+/// disables the blocked/vector kernels process-wide (cached on first
+/// read). [`SortScratch::set_force_scalar`] overrides it per scratch.
+fn force_scalar_env() -> bool {
+    static FORCE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCE
+        .get_or_init(|| std::env::var("SEGA_FORCE_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0"))
 }
 
 impl SortScratch {
@@ -180,6 +220,13 @@ impl SortScratch {
     /// Zeroes the accumulated counters.
     pub fn reset_stats(&mut self) {
         self.stats = DominanceStats::default();
+    }
+
+    /// Overrides the `SEGA_FORCE_SCALAR` environment default for sorts
+    /// using this scratch: `true` routes M=4 through the per-pair
+    /// scalar path, `false` re-enables the blocked tier.
+    pub fn set_force_scalar(&mut self, force: bool) {
+        self.force_scalar = force;
     }
 
     fn take_front(&mut self) -> Vec<usize> {
@@ -435,6 +482,13 @@ fn staircase_sort_m3(
 /// flat matrix, with the per-point adjacency lists replaced by row-major
 /// bitsets — `⌈N/64⌉` words per point, walked word-at-a-time during the
 /// peel. Produces fronts in exactly the order of the textbook algorithm.
+///
+/// For `M = 4` (the production objective count) the fill phase runs the
+/// blocked branchless tile kernel ([`bitset_fill_blocked_m4`]) unless
+/// scalar mode is forced; every other shape — and every NaN row — takes
+/// the per-pair scalar fill. Both fills populate the same bitset rows
+/// and domination counts, so the peel (and hence the Deb front order)
+/// is byte-identical between them.
 fn bitset_sort_fallback(
     points: &ObjectiveMatrix,
     scratch: &mut SortScratch,
@@ -449,19 +503,10 @@ fn bitset_sort_fallback(
     scratch.bits.resize(n * words, 0);
     scratch.domination_count.clear();
     scratch.domination_count.resize(n, 0);
-    for i in 0..n {
-        let row_i = points.row(i);
-        for j in (i + 1)..n {
-            scratch.stats.comparisons += 1;
-            let (i_dominates, j_dominates) = dominance_pair(row_i, points.row(j));
-            if i_dominates {
-                scratch.bits[i * words + j / 64] |= 1u64 << (j % 64);
-                scratch.domination_count[j] += 1;
-            } else if j_dominates {
-                scratch.bits[j * words + i / 64] |= 1u64 << (i % 64);
-                scratch.domination_count[i] += 1;
-            }
-        }
+    if points.width() == 4 && !scratch.force_scalar {
+        bitset_fill_blocked_m4(points, scratch, n, words);
+    } else {
+        bitset_fill_pairwise(points, scratch, n, words);
     }
     let mut current = scratch.take_front();
     current.extend((0..n).filter(|&i| scratch.domination_count[i] == 0));
@@ -484,6 +529,155 @@ fn bitset_sort_fallback(
         fronts.push(std::mem::replace(&mut current, next));
     }
     scratch.spare.push(current);
+}
+
+/// The seed per-pair fill: one branchy [`dominance_pair`] per unordered
+/// pair, counted in `comparisons`.
+fn bitset_fill_pairwise(
+    points: &ObjectiveMatrix,
+    scratch: &mut SortScratch,
+    n: usize,
+    words: usize,
+) {
+    for i in 0..n {
+        let row_i = points.row(i);
+        for j in (i + 1)..n {
+            scratch.stats.comparisons += 1;
+            let (i_dominates, j_dominates) = dominance_pair(row_i, points.row(j));
+            if i_dominates {
+                scratch.bits[i * words + j / 64] |= 1u64 << (j % 64);
+                scratch.domination_count[j] += 1;
+            } else if j_dominates {
+                scratch.bits[j * words + i / 64] |= 1u64 << (i % 64);
+                scratch.domination_count[i] += 1;
+            }
+        }
+    }
+}
+
+/// Blocked branchless fill for `M = 4`: the matrix is transposed into
+/// four objective-major columns, and each anchor row `i` is compared
+/// against 64-point tiles of rows `j > i` at once. Per objective the
+/// tile produces two lane masks — `a[m] ≤ v` and `a[m] < v` — built
+/// with bool-to-bit shifts (no data-dependent branches, and a shape
+/// LLVM autovectorizes); four `&`/`|` word reductions then yield "i
+/// dominates lane" and "lane dominates i" masks that merge straight
+/// into the peel's bitset rows. Work is counted in
+/// [`DominanceStats::word_ops`]: 4 mask words per processed tile, each
+/// standing in for up to 64 pairwise comparisons.
+///
+/// NaN rows are prefiltered into a validity bitmask and handled by the
+/// scalar [`dominance_pair`] path (the branchless `≤`/`<` identities
+/// below hold only for NaN-free lanes, including ±∞).
+fn bitset_fill_blocked_m4(
+    points: &ObjectiveMatrix,
+    scratch: &mut SortScratch,
+    n: usize,
+    words: usize,
+) {
+    if scratch.cols.capacity() < 4 * n || scratch.valid.capacity() < words {
+        scratch.stats.allocations += 1;
+    }
+    scratch.cols.clear();
+    scratch.cols.resize(4 * n, 0.0);
+    scratch.valid.clear();
+    scratch.valid.resize(words, 0);
+    let mut any_nan = false;
+    for j in 0..n {
+        let row = points.row(j);
+        for (m, &x) in row.iter().enumerate() {
+            scratch.cols[m * n + j] = x;
+        }
+        if row.iter().any(|x| x.is_nan()) {
+            any_nan = true;
+        } else {
+            scratch.valid[j / 64] |= 1u64 << (j % 64);
+        }
+    }
+    if any_nan {
+        // Every pair touching a NaN row keeps the exact scalar
+        // semantics; NaN/NaN pairs are processed once (as (j, i)).
+        for i in 0..n {
+            if scratch.valid[i / 64] >> (i % 64) & 1 == 1 {
+                continue;
+            }
+            let row_i = points.row(i);
+            for j in 0..n {
+                if j == i || (j < i && scratch.valid[j / 64] >> (j % 64) & 1 == 0) {
+                    continue;
+                }
+                scratch.stats.comparisons += 1;
+                let (i_dominates, j_dominates) = dominance_pair(row_i, points.row(j));
+                if i_dominates {
+                    scratch.bits[i * words + j / 64] |= 1u64 << (j % 64);
+                    scratch.domination_count[j] += 1;
+                } else if j_dominates {
+                    scratch.bits[j * words + i / 64] |= 1u64 << (i % 64);
+                    scratch.domination_count[i] += 1;
+                }
+            }
+        }
+    }
+    let (c0, rest) = scratch.cols.split_at(n);
+    let (c1, rest) = rest.split_at(n);
+    let (c2, c3) = rest.split_at(n);
+    let columns = [c0, c1, c2, c3];
+    for i in 0..n {
+        let ti = i % 64;
+        let first_block = i / 64;
+        if scratch.valid[first_block] >> ti & 1 == 0 {
+            continue;
+        }
+        let a = [c0[i], c1[i], c2[i], c3[i]];
+        let i_word = i * words;
+        let i_bit = 1u64 << ti;
+        for b in first_block..words {
+            // Only NaN-free lanes strictly after the anchor.
+            let mut mask = scratch.valid[b];
+            if b == first_block {
+                mask &= u64::MAX.checked_shl(ti as u32 + 1).unwrap_or(0);
+            }
+            if mask == 0 {
+                continue;
+            }
+            let base = b * 64;
+            let lanes = (n - base).min(64);
+            let mut i_le = u64::MAX; // a ≤ v in every objective
+            let mut i_lt = 0u64; // a < v in some objective
+            let mut j_le = u64::MAX; // v ≤ a in every objective (≡ !(a < v))
+            let mut j_lt = 0u64; // v < a in some objective (≡ !(a ≤ v))
+            for (am, col) in a.iter().zip(columns) {
+                let lane = &col[base..base + lanes];
+                let mut le = 0u64;
+                let mut lt = 0u64;
+                for (t, &v) in lane.iter().enumerate() {
+                    le |= u64::from(*am <= v) << t;
+                    lt |= u64::from(*am < v) << t;
+                }
+                i_le &= le;
+                i_lt |= lt;
+                j_le &= !lt;
+                j_lt |= !le;
+            }
+            scratch.stats.word_ops += 4;
+            let dom_i = i_le & i_lt & mask;
+            let dom_j = j_le & j_lt & mask;
+            scratch.bits[i_word + b] |= dom_i;
+            let mut w = dom_i;
+            while w != 0 {
+                let j = base + w.trailing_zeros() as usize;
+                w &= w - 1;
+                scratch.domination_count[j] += 1;
+            }
+            let mut w = dom_j;
+            while w != 0 {
+                let j = base + w.trailing_zeros() as usize;
+                w &= w - 1;
+                scratch.bits[j * words + first_block] |= i_bit;
+            }
+            scratch.domination_count[i] += dom_j.count_ones() as usize;
+        }
+    }
 }
 
 /// The textbook Deb et al. (2002) `O(M·N²)` non-dominated sort — the

@@ -101,6 +101,30 @@ proptest! {
         let pts = random_points(n, m, None, seed);
         prop_assert_eq!(sorted_fronts(tiered(&pts).0), sorted_fronts(naive(&pts)));
     }
+
+    /// The blocked branchless M=4 fill and the per-pair scalar fill
+    /// produce byte-identical fronts — same bitset rows, same counts,
+    /// same peel — for random and gridded clouds alike.
+    #[test]
+    fn m4_blocked_and_scalar_paths_agree(
+        n in 1usize..=96,
+        seed in 0u64..10_000,
+        quant in 0u32..2,
+    ) {
+        let quant = (quant == 1).then_some(4.0);
+        let pts = random_points(n, 4, quant, seed);
+        let matrix = ObjectiveMatrix::from_rows(&pts);
+        let mut blocked = SortScratch::default();
+        blocked.set_force_scalar(false);
+        let mut scalar = SortScratch::default();
+        scalar.set_force_scalar(true);
+        let (mut blocked_fronts, mut scalar_fronts) = (Vec::new(), Vec::new());
+        non_dominated_sort_matrix_into(&matrix, &mut blocked, &mut blocked_fronts);
+        non_dominated_sort_matrix_into(&matrix, &mut scalar, &mut scalar_fronts);
+        prop_assert_eq!(&blocked_fronts, &scalar_fronts);
+        prop_assert_eq!(scalar.stats().word_ops, 0);
+        prop_assert_eq!(scalar.stats().comparisons, naive_pairs(n));
+    }
 }
 
 /// N = 1024 across every tier: the tiered kernel equals the oracle at the
@@ -170,6 +194,78 @@ fn heavy_duplicates_at_scale_match_naive() {
         "duplicates must not be re-searched: {} comparisons",
         stats.comparisons
     );
+}
+
+/// The blocked M=4 tier reproduces the oracle's **exact front order**
+/// (not just the front sets) at the production scale, pays zero scalar
+/// pair comparisons on NaN-free data, and its word-op bill sits ≥4×
+/// below the naive pairwise bill — the ISSUE's acceptance criterion.
+#[test]
+fn m4_blocked_tier_beats_pairwise_bill_at_n1024() {
+    let pts = random_points(1024, 4, None, 0xB10C);
+    let (fronts, stats) = tiered(&pts);
+    assert_eq!(fronts, naive(&pts), "exact Deb front order");
+    assert_eq!(
+        stats.comparisons, 0,
+        "clean M=4 clouds never hit the scalar pair path"
+    );
+    let naive_bill = naive_pairs(1024);
+    assert!(
+        stats.word_ops * 4 <= naive_bill,
+        "M=4: {} word-ops vs naive {naive_bill} — less than a 4× win",
+        stats.word_ops
+    );
+}
+
+/// Forced-scalar mode routes M=4 through the per-pair fill and still
+/// produces byte-identical fronts, at exactly the pairwise bill.
+#[test]
+fn m4_forced_scalar_matches_blocked_at_scale() {
+    for (seed, quant) in [(1u64, None), (77, Some(4.0)), (0xFEED, None)] {
+        let pts = random_points(512, 4, quant, seed);
+        let matrix = ObjectiveMatrix::from_rows(&pts);
+        let mut blocked = SortScratch::default();
+        blocked.set_force_scalar(false);
+        let mut scalar = SortScratch::default();
+        scalar.set_force_scalar(true);
+        let (mut blocked_fronts, mut scalar_fronts) = (Vec::new(), Vec::new());
+        non_dominated_sort_matrix_into(&matrix, &mut blocked, &mut blocked_fronts);
+        non_dominated_sort_matrix_into(&matrix, &mut scalar, &mut scalar_fronts);
+        assert_eq!(blocked_fronts, scalar_fronts, "seed={seed}");
+        assert_eq!(scalar.stats().comparisons, naive_pairs(512));
+        assert_eq!(scalar.stats().word_ops, 0);
+        assert!(blocked.stats().word_ops > 0);
+    }
+}
+
+/// NaN rows inside an M=4 cloud take the scalar pair path while the
+/// clean rows stay blocked — the mixed fill still equals the oracle.
+#[test]
+fn m4_nan_rows_mix_scalar_and_blocked_paths() {
+    let mut pts = random_points(512, 4, None, 21);
+    for i in (0..512).step_by(97) {
+        pts[i][i % 4] = f64::NAN;
+    }
+    let (fronts, stats) = tiered(&pts);
+    assert_eq!(sorted_fronts(fronts), sorted_fronts(naive(&pts)));
+    assert!(
+        stats.comparisons > 0 && stats.word_ops > 0,
+        "expected both fill paths to engage: {stats:?}"
+    );
+}
+
+/// Duplicated rows plus an all-equal column at N=1024/M=4 — the
+/// degenerate shapes the blocked masks must get exactly right.
+#[test]
+fn m4_duplicates_and_collapsed_columns_match_naive_at_scale() {
+    let mut pts = random_points(512, 4, Some(5.0), 3);
+    let copy = pts.clone();
+    pts.extend(copy);
+    for p in pts.iter_mut() {
+        p[2] = 2.5;
+    }
+    let (fronts, _) = tiered(&pts);
+    assert_eq!(fronts, naive(&pts), "exact front order");
 }
 
 /// NaN rows at scale engage the fallback, whose comparison count is

@@ -150,6 +150,10 @@ pub struct MogaKernelRecord {
     pub m: usize,
     /// Dominance comparisons / search probes the tiered kernel performed.
     pub comparisons: u64,
+    /// 64-lane mask words the blocked branchless tier produced (0 for
+    /// the sweep/staircase/pairwise tiers; the M=4 tier bills here
+    /// instead of `comparisons`).
+    pub word_ops: u64,
     /// The naive kernel's pairwise bill for the same input.
     pub naive_comparisons: u64,
     /// Buffers the kernel allocated (0 once the scratch is warm).
@@ -166,6 +170,7 @@ impl MogaKernelRecord {
             ("n", Json::from(self.n)),
             ("m", Json::from(self.m)),
             ("comparisons", Json::from(self.comparisons)),
+            ("word_ops", Json::from(self.word_ops)),
             ("naive_comparisons", Json::from(self.naive_comparisons)),
             ("allocations", Json::from(self.allocations)),
             ("fronts", Json::from(self.fronts)),
@@ -213,6 +218,100 @@ pub fn moga_json_path() -> Option<std::path::PathBuf> {
     match raw.as_str() {
         "" => None,
         "1" | "true" => Some("BENCH_moga.json".into()),
+        path => Some(path.into()),
+    }
+}
+
+/// One measured cohort case of the `estimator_cohort` bench: the cohort
+/// shape, the batched kernel's counters, and the wall clock of one warm
+/// pass.
+///
+/// As with [`MogaKernelRecord`], the counters — not the wall-clock — are
+/// what CI's regression guard diffs against the committed
+/// `BENCH_estimator.json` baseline: `allocations` must stay 0 once warm,
+/// and `designs` must equal the cohort size exactly.
+#[derive(Debug, Clone)]
+pub struct EstimatorCohortRecord {
+    /// Designs in the cohort.
+    pub cohort: usize,
+    /// Precision name of the cohort's specification, or `"mixed"`.
+    pub precision: String,
+    /// Designs the kernel estimated (must equal `cohort`).
+    pub designs: u64,
+    /// Finish lanes that went through the vector path.
+    pub batched: u64,
+    /// Finish lanes that fell back to the scalar block (remainders and
+    /// non-vector hosts).
+    pub scalar_fallbacks: u64,
+    /// Scratch growth during the measured (warm) passes — 0 by contract.
+    pub allocations: u64,
+    /// Wall-clock of one warm cohort pass in seconds.
+    pub wall_s: f64,
+}
+
+impl EstimatorCohortRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cohort", Json::from(self.cohort)),
+            ("precision", Json::from(self.precision.clone())),
+            ("designs", Json::from(self.designs)),
+            ("batched", Json::from(self.batched)),
+            ("scalar_fallbacks", Json::from(self.scalar_fallbacks)),
+            ("allocations", Json::from(self.allocations)),
+            ("wall_s", Json::from(self.wall_s)),
+        ])
+    }
+}
+
+/// The full `BENCH_estimator.json` document: the batched estimator's
+/// counters, one record per cohort case, plus whether the vector path
+/// was available on the measuring host (so consumers can interpret the
+/// `batched`/`scalar_fallbacks` split).
+#[derive(Debug, Clone)]
+pub struct EstimatorReport {
+    /// Whether the runtime-dispatched vector kernel was active.
+    pub vector: bool,
+    /// One record per measured case, in measurement order.
+    pub cases: Vec<EstimatorCohortRecord>,
+}
+
+impl EstimatorReport {
+    /// Serializes the report to its canonical JSON text.
+    pub fn to_json_string(&self) -> String {
+        Json::obj([
+            ("bench", Json::from("estimator_cohort")),
+            ("vector", Json::from(self.vector)),
+            (
+                "cases",
+                Json::Arr(
+                    self.cases
+                        .iter()
+                        .map(EstimatorCohortRecord::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string() + "\n")
+    }
+}
+
+/// Resolves the `BENCH_ESTIMATOR_JSON` environment knob: unset → `None`
+/// (no file written); `"1"`/`"true"` → the default `BENCH_estimator.json`
+/// in the current directory; anything else → that path.
+pub fn estimator_json_path() -> Option<std::path::PathBuf> {
+    let raw = std::env::var("BENCH_ESTIMATOR_JSON").ok()?;
+    match raw.as_str() {
+        "" => None,
+        "1" | "true" => Some("BENCH_estimator.json".into()),
         path => Some(path.into()),
     }
 }
@@ -272,6 +371,7 @@ mod tests {
                 n: 1024,
                 m: 3,
                 comparisons: 40_000,
+                word_ops: 0,
                 naive_comparisons: 523_776,
                 allocations: 0,
                 fronts: 17,
@@ -281,7 +381,29 @@ mod tests {
         let text = report.to_json_string();
         assert!(text.starts_with(r#"{"bench":"moga_kernel","cases":["#));
         assert!(text.contains(r#""n":1024,"m":3,"comparisons":40000"#));
+        assert!(text.contains(r#""comparisons":40000,"word_ops":0"#));
         assert!(text.contains(r#""naive_comparisons":523776,"allocations":0,"fronts":17"#));
+        Json::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn estimator_report_schema_is_stable() {
+        let report = EstimatorReport {
+            vector: true,
+            cases: vec![EstimatorCohortRecord {
+                cohort: 1024,
+                precision: "int8".to_owned(),
+                designs: 1024,
+                batched: 1024,
+                scalar_fallbacks: 0,
+                allocations: 0,
+                wall_s: 0.0005,
+            }],
+        };
+        let text = report.to_json_string();
+        assert!(text.starts_with(r#"{"bench":"estimator_cohort","vector":true,"cases":["#));
+        assert!(text.contains(r#""cohort":1024,"precision":"int8","designs":1024"#));
+        assert!(text.contains(r#""batched":1024,"scalar_fallbacks":0,"allocations":0"#));
         Json::parse(&text).unwrap();
     }
 }

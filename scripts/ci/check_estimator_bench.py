@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Cohort-estimator regression guard.
+
+Usage: check_estimator_bench.py BASELINE_JSON FRESH_JSON
+
+Counter-based (deterministic), so it is stable on a noisy 1-CPU runner.
+For every cohort case of BENCH_estimator.json:
+
+* `designs` equals the cohort size exactly (every design estimated once),
+* `batched + scalar_fallbacks` partitions `designs` exactly,
+* `allocations` is 0 — the warm steady state must not allocate.
+
+When the fresh run reports the vector path active, every size-multiple-
+of-4 cohort must be fully batched (no silent degradation to the scalar
+block). The wall-clock fields are informational only.
+"""
+
+import json
+import sys
+
+
+def main() -> None:
+    baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    assert fresh["bench"] == "estimator_cohort", fresh.get("bench")
+    fresh_cases = {(c["cohort"], c["precision"]): c for c in fresh["cases"]}
+    for b in baseline["cases"]:
+        key = (b["cohort"], b["precision"])
+        c = fresh_cases.get(key)
+        assert c is not None, f"missing case {key}"
+        n = c["cohort"]
+        assert c["designs"] == n, f"{key}: designs {c['designs']} != cohort {n}"
+        assert c["batched"] + c["scalar_fallbacks"] == c["designs"], (
+            f"{key}: lane split does not partition the cohort: {c}"
+        )
+        assert c["allocations"] == 0, f"{key}: warm cohorts must not allocate: {c}"
+        if fresh["vector"] and n % 4 == 0:
+            assert c["scalar_fallbacks"] == 0, (
+                f"{key}: vector path active but {c['scalar_fallbacks']} lanes "
+                f"fell back to the scalar block"
+            )
+    print(
+        "estimator bench guard OK:",
+        len(baseline["cases"]),
+        "cases,",
+        "vector" if fresh["vector"] else "scalar",
+        "path",
+    )
+
+
+if __name__ == "__main__":
+    main()

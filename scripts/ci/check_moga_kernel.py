@@ -3,10 +3,15 @@
 
 Usage: check_moga_kernel.py BASELINE_JSON FRESH_JSON
 
-Counter-based (deterministic), so it is stable on a noisy 1-CPU runner:
-fails if the comparison count at N=1024/M=3 exceeds the committed
-BENCH_moga.json baseline by more than 5%, or if the tiered kernel stops
-being asymptotically below the naive pairwise bill.
+Counter-based (deterministic), so it is stable on a noisy 1-CPU runner.
+Two guarded cases:
+
+* N=1024/M=3 (the staircase tier): scalar comparisons within 5% of the
+  committed BENCH_moga.json baseline, and 8x below the naive pairwise
+  bill.
+* N=1024/M=4 (the production DCIM shape, blocked branchless tier): the
+  effective counter `comparisons + word_ops` within 5% of the baseline,
+  and at least 4x below the naive `N*(N-1)/2` bill.
 """
 
 import json
@@ -20,12 +25,18 @@ def case(doc, n, m):
     raise SystemExit(f"missing case n={n} m={m}")
 
 
+def effective(c):
+    # Older baselines predate the word_ops counter.
+    return c["comparisons"] + c.get("word_ops", 0)
+
+
 def main() -> None:
     baseline_path, fresh_path = sys.argv[1], sys.argv[2]
     with open(baseline_path) as f:
         baseline = json.load(f)
     with open(fresh_path) as f:
         fresh = json.load(f)
+
     b, f_ = case(baseline, 1024, 3), case(fresh, 1024, 3)
     limit = b["comparisons"] * 1.05
     assert f_["comparisons"] <= limit, (
@@ -36,11 +47,32 @@ def main() -> None:
         f"kernel no longer asymptotically below the pairwise bill: {f_}"
     )
     print(
-        "moga kernel guard OK:",
+        "moga kernel guard OK (M=3):",
         f_["comparisons"],
         "vs baseline",
         b["comparisons"],
         f"(naive {f_['naive_comparisons']})",
+    )
+
+    b4, f4 = case(baseline, 1024, 4), case(fresh, 1024, 4)
+    limit4 = effective(b4) * 1.05
+    assert effective(f4) <= limit4, (
+        f"effective dominance ops regressed at N=1024/M=4: "
+        f"{effective(f4)} > {limit4:.0f} (baseline {effective(b4)})"
+    )
+    assert effective(f4) * 4 <= f4["naive_comparisons"], (
+        f"blocked M=4 tier lost its 4x margin over the pairwise bill: {f4}"
+    )
+    assert f4["word_ops"] > 0, (
+        f"blocked M=4 tier not engaged (word_ops=0 at N=1024/M=4): {f4}"
+    )
+    assert f4["allocations"] == 0, f"warm M=4 sorts must not allocate: {f4}"
+    print(
+        "moga kernel guard OK (M=4):",
+        f"{f4['comparisons']} comparisons + {f4['word_ops']} word ops",
+        "vs baseline",
+        effective(b4),
+        f"(naive {f4['naive_comparisons']})",
     )
 
 

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Scalar/vector parity check over batch reports.
+
+Usage: check_scalar_parity.py DEFAULT_REPORT SCALAR_REPORT
+
+Byte-compares the exact objective bit patterns ("bits", 16-digit hex) of
+every front member between a default-path batch run and the same run
+with SEGA_FORCE_SCALAR=1 (every vector kernel disabled at runtime). Any
+divergence means a vector path is not bit-transparent.
+"""
+
+import json
+import sys
+
+
+def fronts(doc):
+    return [
+        [(m["design"], tuple(m["bits"])) for m in job["front"]]
+        for job in doc["jobs"]
+    ]
+
+
+def main() -> None:
+    default_path, scalar_path = sys.argv[1], sys.argv[2]
+    with open(default_path) as f:
+        default = json.load(f)
+    with open(scalar_path) as f:
+        scalar = json.load(f)
+
+    d, s = fronts(default), fronts(scalar)
+    assert len(d) == len(s), f"job count differs: {len(d)} vs {len(s)}"
+    members = 0
+    for i, (dj, sj) in enumerate(zip(d, s)):
+        assert dj == sj, (
+            f"job {i}: scalar front diverged from the vector path\n"
+            f"  default: {dj}\n  scalar:  {sj}"
+        )
+        members += len(dj)
+    assert members > 0, "reports carry no front members"
+    print(f"scalar parity OK: {len(d)} jobs, {members} front members bit-identical")
+
+
+if __name__ == "__main__":
+    main()
