@@ -17,6 +17,7 @@
 //! reports **0 distinct evaluations** — every objective vector is served
 //! from the warm cache, and the fronts are bit-identical to the cold run.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use sega_cells::Technology;
@@ -26,7 +27,12 @@ use sega_parallel::{resolve_threads, Pool};
 use sega_wire::{Json, Snapshot};
 
 use crate::cache::SharedEvalCache;
+use crate::checkpoint::{
+    jobs_fingerprint, load_journal, reconstruct_outcome, record_of_outcome, CheckpointConfig,
+    Header, Journal,
+};
 use crate::explore::{explore_pareto_with, ExplorationResult, PipelineOptions};
+use crate::remote::RemoteStats;
 use crate::spec::UserSpec;
 
 /// One batch entry: a specification and the exploration budget to spend
@@ -77,6 +83,27 @@ pub struct BatchReport {
     pub cache_entries: usize,
     /// Name of the estimator backend the batch ran on.
     pub backend: &'static str,
+    /// Fleet traffic stats when the batch ran on a remote backend (the
+    /// CLI fills this in after the run); serialized as the `"remote"`
+    /// object only when present, so in-process reports are unchanged.
+    pub remote: Option<RemoteStats>,
+    /// `false` when [`BatchControl::stop_after_jobs`] ended the run
+    /// before the job list did — the report covers only a prefix.
+    pub complete: bool,
+    /// Jobs reconstructed from a resume journal instead of executed.
+    pub resumed_jobs: usize,
+}
+
+/// Execution controls of [`run_batch_with`]: checkpointing and early
+/// stop. The default is plain [`run_batch`] behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct BatchControl {
+    /// Journal completed jobs to (or resume them from) a sidecar file.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Stop after *executing* this many jobs (resumed jobs don't count)
+    /// — the deterministic stand-in for a killed batch in resume tests
+    /// and CI.
+    pub stop_after_jobs: Option<usize>,
 }
 
 /// Parses a batch job file: either `{"jobs": [...]}` or a bare array,
@@ -150,6 +177,31 @@ pub fn run_batch(
     conditions: &OperatingConditions,
     pipeline: PipelineOptions,
 ) -> BatchReport {
+    run_batch_with(jobs, tech, conditions, pipeline, &BatchControl::default())
+        .expect("an uncheckpointed batch run cannot fail")
+}
+
+/// [`run_batch`] plus execution controls: journal completed jobs to a
+/// checkpoint file, resume a previously interrupted run, or stop early
+/// after a fixed number of executed jobs.
+///
+/// On resume, the journal's cache deltas warm-start the shared cache and
+/// the journaled jobs are reconstructed (not re-run) by re-materializing
+/// their fronts through the deterministic macro model — so the finished
+/// report is **byte-identical** to an uninterrupted run's.
+///
+/// # Errors
+///
+/// Checkpoint I/O failures, a journal whose fingerprint names a
+/// different job list, or a backend mismatch between the journal and
+/// this run. With no checkpoint configured this never fails.
+pub fn run_batch_with(
+    jobs: &[BatchJob],
+    tech: &Technology,
+    conditions: &OperatingConditions,
+    pipeline: PipelineOptions,
+    control: &BatchControl,
+) -> Result<BatchReport, String> {
     let cache = pipeline
         .shared_cache
         .clone()
@@ -168,15 +220,79 @@ pub fn run_batch(
         shared_cache: Some(Arc::clone(&cache)),
         ..pipeline
     };
-    let preloaded_entries = cache.len();
-    let outcomes: Vec<BatchOutcome> = jobs
-        .iter()
-        .map(|job| BatchOutcome {
+    let mut preloaded_entries = cache.len();
+
+    // Checkpoint setup: either replay an existing journal or start one.
+    let mut finished: BTreeMap<u64, crate::checkpoint::JobRecord> = BTreeMap::new();
+    let mut journal = match &control.checkpoint {
+        Some(cp) if cp.resume => {
+            let bytes = std::fs::read(&cp.path)
+                .map_err(|e| format!("cannot read checkpoint `{}`: {e}", cp.path.display()))?;
+            let loaded = load_journal(&bytes)?;
+            if loaded.header.fingerprint != jobs_fingerprint(jobs) {
+                return Err(format!(
+                    "checkpoint `{}` was written for a different job list",
+                    cp.path.display()
+                ));
+            }
+            if loaded.header.backend != backend {
+                return Err(format!(
+                    "checkpoint `{}` was written by the `{}` backend, this run uses `{backend}`",
+                    cp.path.display(),
+                    loaded.header.backend
+                ));
+            }
+            // The original run's warm-start size, so totals reproduce.
+            preloaded_entries = loaded.header.preloaded_entries as usize;
+            for record in loaded.records {
+                cache
+                    .load(&record.delta)
+                    .map_err(|e| format!("checkpoint delta: {e}"))?;
+                finished.insert(record.index, record);
+            }
+            Some(Journal::reopen(&cp.path, loaded.good_len)?)
+        }
+        Some(cp) => Some(Journal::create(
+            &cp.path,
+            &Header {
+                fingerprint: jobs_fingerprint(jobs),
+                preloaded_entries: preloaded_entries as u64,
+                backend: backend.to_owned(),
+            },
+        )?),
+        None => None,
+    };
+
+    // Snapshot baseline for per-job deltas (checkpoint mode only — the
+    // snapshot walk is not free and buys nothing without a journal).
+    let mut last_snapshot = journal.as_ref().map(|_| cache.snapshot());
+    let resumed_jobs = finished.len();
+    let mut outcomes: Vec<BatchOutcome> = Vec::with_capacity(jobs.len());
+    let mut executed = 0usize;
+    let mut complete = true;
+    for (index, job) in jobs.iter().enumerate() {
+        if let Some(record) = finished.get(&(index as u64)) {
+            outcomes.push(reconstruct_outcome(record, job, tech, conditions)?);
+            continue;
+        }
+        if control.stop_after_jobs == Some(executed) {
+            complete = false;
+            break;
+        }
+        let outcome = BatchOutcome {
             config: job.config.clone(),
             result: explore_pareto_with(&job.spec, tech, conditions, &job.config, inner.clone()),
-        })
-        .collect();
-    BatchReport {
+        };
+        if let Some(journal) = &mut journal {
+            let now = cache.snapshot();
+            let delta = now.diff(last_snapshot.as_ref().expect("baseline set with journal"));
+            journal.append(&record_of_outcome(index, &outcome, delta))?;
+            last_snapshot = Some(now);
+        }
+        outcomes.push(outcome);
+        executed += 1;
+    }
+    Ok(BatchReport {
         evaluations: outcomes.iter().map(|o| o.result.evaluations).sum(),
         distinct_evaluations: outcomes.iter().map(|o| o.result.distinct_evaluations).sum(),
         cache_hits: outcomes.iter().map(|o| o.result.cache_hits).sum(),
@@ -194,8 +310,11 @@ pub fn run_batch(
         preloaded_entries,
         cache_entries: cache.len(),
         backend,
+        remote: None,
+        complete,
+        resumed_jobs,
         outcomes,
-    }
+    })
 }
 
 impl BatchReport {
@@ -204,7 +323,7 @@ impl BatchReport {
     /// patterns (`"bits"`, 16-digit hex), so consumers can both read and
     /// byte-compare fronts.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("report", Json::from("sega-dcim-batch")),
             ("version", Json::from(sega_wire::FORMAT_VERSION)),
             ("backend", Json::from(self.backend)),
@@ -238,11 +357,34 @@ impl BatchReport {
                     ("entries", Json::from(self.cache_entries)),
                 ]),
             ),
-            (
-                "jobs",
-                Json::Arr(self.outcomes.iter().map(outcome_json).collect()),
-            ),
-        ])
+        ];
+        // The fleet ledger rides along only on remote runs, so
+        // in-process reports stay byte-stable across this addition.
+        if let Some(remote) = &self.remote {
+            fields.push((
+                "remote",
+                Json::obj([
+                    ("round_trips", Json::from(remote.round_trips)),
+                    ("requeues", Json::from(remote.requeues)),
+                    ("timeouts", Json::from(remote.timeouts)),
+                    ("worker_deaths", Json::from(remote.worker_deaths)),
+                    ("respawns", Json::from(remote.respawns)),
+                    (
+                        "fallback_geometries",
+                        Json::from(remote.fallback_geometries),
+                    ),
+                    ("geometries", Json::from(remote.geometries)),
+                    ("merged_entries", Json::from(remote.merged_entries)),
+                    ("workers_alive", Json::from(remote.workers_alive)),
+                    ("workers_spawned", Json::from(remote.workers_spawned)),
+                ]),
+            ));
+        }
+        fields.push((
+            "jobs",
+            Json::Arr(self.outcomes.iter().map(outcome_json).collect()),
+        ));
+        Json::obj(fields)
     }
 }
 

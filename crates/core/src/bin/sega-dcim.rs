@@ -10,8 +10,12 @@
 //!                   [--population N] [--generations N] [--seed N]
 //!                   [--threads N] [--shards N]
 //!                   [--backend macro|instrumented|remote] [--workers N]
-//!                   [--worker-log-dir DIR]
+//!                   [--worker-log-dir DIR] [--worker-deadline-ms N]
+//!                   [--restart-budget N] [--backoff-ms N] [--backoff-seed N]
+//!                   [--checkpoint FILE | --resume FILE] [--stop-after-jobs N]
 //! sega-dcim worker  --serve [--fail-after N] [--corrupt-after N]
+//!                   [--hang-after N] [--stall-ms N] [--truncate-after N]
+//!                   [--worker-id N] [--log]
 //! ```
 //!
 //! `--threads` bounds the exploration's evaluation pipeline (`0` = all
@@ -38,10 +42,24 @@
 //! remotely computed estimates land in the `--cache-file` like local
 //! ones.
 //!
+//! The remote fleet is **supervised**: every outstanding request carries
+//! a deadline (`--worker-deadline-ms`), a stalled or dead worker is
+//! buried and its work requeued, and buried workers are respawned under
+//! a per-worker `--restart-budget` with jittered exponential backoff
+//! (`--backoff-ms` base, `--backoff-seed` jitter seed — deterministic
+//! when seeded). `--checkpoint F` journals each completed batch job (and
+//! its cache delta) to `F`; after a crash or an early stop,
+//! `--resume F` skips the finished jobs, warm-starts the cache from the
+//! journal, and produces a report **byte-identical** to an uninterrupted
+//! run. `--stop-after-jobs N` stops after N executed jobs — the
+//! deterministic stand-in for `kill -9` in the CI resume arm.
+//!
 //! `worker` is the serving half of that protocol: it speaks frames on
 //! stdio and is only useful when launched by a coordinator (or a test).
-//! `--fail-after`/`--corrupt-after` are fault-injection knobs for the
-//! recovery test matrix.
+//! `--fail-after`/`--corrupt-after`/`--hang-after`/`--stall-ms`/
+//! `--truncate-after` are fault-injection knobs for the recovery test
+//! matrix; `--worker-id`/`--log` give every stderr line a
+//! `[+elapsed-ms wID rREQ]` prefix.
 
 use std::collections::HashMap;
 use std::fs;
@@ -49,7 +67,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use sega_dcim::batch::{decode_cache_file, encode_cache_file, parse_jobs, run_batch};
+use sega_dcim::batch::{decode_cache_file, encode_cache_file, parse_jobs, run_batch_with};
 use sega_dcim::report::{csv_table, markdown_table};
 use sega_dcim::{
     Compiler, DistillStrategy, ExplorationResult, InstrumentedBackend, PipelineOptions,
@@ -82,8 +100,12 @@ const USAGE: &str = "usage:
                      [--population N] [--generations N] [--seed N]
                      [--threads N] [--shards N]
                      [--backend macro|instrumented|remote] [--workers N]
-                     [--worker-log-dir DIR] [--inject-fault none|kill-one|corrupt-one]
-  sega-dcim worker   --serve [--fail-after N] [--corrupt-after N]
+                     [--worker-log-dir DIR] [--worker-deadline-ms N]
+                     [--restart-budget N] [--backoff-ms N] [--backoff-seed N]
+                     [--inject-fault none|kill-one|corrupt-one|hang-one|stall-one|truncate-one]
+                     [--checkpoint FILE | --resume FILE] [--stop-after-jobs N]
+  sega-dcim worker   --serve [--fail-after N] [--corrupt-after N] [--hang-after N]
+                     [--stall-ms N] [--truncate-after N] [--worker-id N] [--log]
 precisions:   int2 int4 int8 int16 fp8 fp16 bf16 fp32
 --threads:    evaluation pool width (0 = all hardware threads, 1 = serial;
               batch requires an explicit width >= 1, or omit the flag)
@@ -98,8 +120,20 @@ precisions:   int2 int4 int8 int16 fp8 fp16 bf16 fp32
               remote = a fleet of worker processes over the wire protocol)
 --workers:    worker processes for --backend remote (default 2, must be >= 1)
 --worker-log-dir: write each remote worker's stderr to DIR/worker-N.log
---inject-fault: sabotage remote worker 0 (none|kill-one|corrupt-one) — the
-              CI fault matrix; results must stay bit-identical regardless
+              (timestamped, created if missing, appended across respawns)
+--worker-deadline-ms: per-request deadline before a worker counts as stalled
+              (default 30000)
+--restart-budget: respawn attempts per buried worker (default 2; 0 disables)
+--backoff-ms: base of the jittered exponential respawn backoff (default 250)
+--backoff-seed: seed of the deterministic backoff jitter (default 0)
+--inject-fault: sabotage remote worker 0 (none|kill-one|corrupt-one|hang-one|
+              stall-one|truncate-one) — the CI fault matrix; results must
+              stay bit-identical regardless
+--checkpoint: journal completed jobs (and cache deltas) to FILE as they finish
+--resume:     skip the jobs FILE already records and warm-start from its deltas;
+              the finished report is byte-identical to an uninterrupted run
+--stop-after-jobs: stop after N executed jobs (requires --checkpoint or
+              --resume; the report is withheld — resume to finish the batch)
 --serve:      speak the framed eval protocol on stdio (workers are spawned by
               a coordinator, not run by hand)";
 
@@ -124,7 +158,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected `--flag`, got `{arg}`"))?;
         // Boolean flags take no value.
-        if key == "csv" || key == "no-cache" || key == "json" || key == "serve" {
+        if key == "csv" || key == "no-cache" || key == "json" || key == "serve" || key == "log" {
             flags.insert(key.to_owned(), "true".to_owned());
             continue;
         }
@@ -441,17 +475,44 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
         ));
     }
     let fault = flags.get("inject-fault").map(String::as_str);
-    if !matches!(fault, None | Some("none" | "kill-one" | "corrupt-one")) {
+    if !matches!(
+        fault,
+        None | Some(
+            "none" | "kill-one" | "corrupt-one" | "hang-one" | "stall-one" | "truncate-one"
+        )
+    ) {
         return Err(format!(
-            "unknown fault `{}` (expected none, kill-one or corrupt-one)",
+            "unknown fault `{}` (expected none, kill-one, corrupt-one, hang-one, \
+             stall-one or truncate-one)",
             fault.unwrap_or_default()
         ));
     }
+    let deadline_ms = get_positive(
+        flags,
+        "worker-deadline-ms",
+        "a zero deadline would bury every worker instantly",
+    )?;
+    let parse_u64 = |key: &str| -> Result<Option<u64>, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse().map_err(|e| format!("--{key}: {e} (got `{v}`)")))
+            .transpose()
+    };
+    let restart_budget = parse_u64("restart-budget")?; // 0 is valid: no respawns
+    let backoff_ms = parse_u64("backoff-ms")?; // 0 is valid: immediate respawn
+    let backoff_seed = parse_u64("backoff-seed")?;
     // Fleet-only flags on a non-remote backend would be silently inert —
     // which, for a fault-matrix run, means believing a fault path was
     // exercised when nothing was. Refuse instead.
     if backend_name != "remote" {
-        for flag in ["workers", "worker-log-dir"] {
+        for flag in [
+            "workers",
+            "worker-log-dir",
+            "worker-deadline-ms",
+            "restart-budget",
+            "backoff-ms",
+            "backoff-seed",
+        ] {
             if flags.contains_key(flag) {
                 return Err(format!("--{flag} requires --backend remote"));
             }
@@ -459,6 +520,30 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
         if !matches!(fault, None | Some("none")) {
             return Err("--inject-fault requires --backend remote".to_owned());
         }
+    }
+    // Checkpoint plumbing: --checkpoint starts a fresh journal, --resume
+    // continues one; they cannot both apply to one run.
+    if flags.contains_key("checkpoint") && flags.contains_key("resume") {
+        return Err("--checkpoint and --resume are mutually exclusive \
+                    (--resume keeps appending to the journal it resumes from)"
+            .to_owned());
+    }
+    let checkpoint = match (flags.get("checkpoint"), flags.get("resume")) {
+        (Some(path), None) => Some(sega_dcim::CheckpointConfig::fresh(path)),
+        (None, Some(path)) => Some(sega_dcim::CheckpointConfig::resume(path)),
+        _ => None,
+    };
+    let stop_after_jobs = get_positive(
+        flags,
+        "stop-after-jobs",
+        "stopping before the first job would journal nothing",
+    )?;
+    if stop_after_jobs.is_some() && checkpoint.is_none() {
+        return Err(
+            "--stop-after-jobs requires --checkpoint or --resume (an early stop \
+             without a journal just loses work)"
+                .to_owned(),
+        );
     }
 
     let jobs_path = flags.get("jobs").ok_or("missing --jobs")?;
@@ -514,18 +599,35 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
             let program = std::env::current_exe()
                 .map_err(|e| format!("cannot locate the worker binary: {e}"))?;
             let mut options = RemoteOptions::fleet(program, workers);
+            if let Some(ms) = deadline_ms {
+                options = options.with_deadline(std::time::Duration::from_millis(ms as u64));
+            }
+            if let Some(budget) = restart_budget {
+                options = options.with_restart_budget(budget as u32);
+            }
+            if backoff_ms.is_some() || backoff_seed.is_some() {
+                let base = std::time::Duration::from_millis(
+                    backoff_ms.unwrap_or(options.backoff_base.as_millis() as u64),
+                );
+                options = options.with_backoff(base, backoff_seed.unwrap_or(0));
+            }
             // The CI fault matrix: sabotage worker 0 and demand the run
             // still complete with bit-identical fronts. (The value was
-            // validated up front.)
+            // validated up front.) The stall is sized past the deadline
+            // so the slow responder reliably counts as stalled.
+            let stall_ms = 2 * options.deadline.as_millis().max(1);
             let sabotage = match fault {
-                Some("kill-one") => Some("--fail-after"),
-                Some("corrupt-one") => Some("--corrupt-after"),
+                Some("kill-one") => Some(("--fail-after", "1".to_owned())),
+                Some("corrupt-one") => Some(("--corrupt-after", "1".to_owned())),
+                Some("hang-one") => Some(("--hang-after", "1".to_owned())),
+                Some("stall-one") => Some(("--stall-ms", stall_ms.to_string())),
+                Some("truncate-one") => Some(("--truncate-after", "1".to_owned())),
                 _ => None,
             };
-            if let Some(knob) = sabotage {
+            if let Some((knob, value)) = sabotage {
                 options.workers[0] = options.workers[0]
                     .clone()
-                    .with_args([knob.to_owned(), "1".to_owned()]);
+                    .with_args([knob.to_owned(), value]);
             }
             if let Some(dir) = flags.get("worker-log-dir") {
                 options = options.with_log_dir(dir);
@@ -539,21 +641,41 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
         _ => {}
     };
 
-    let report = run_batch(
+    let control = sega_dcim::BatchControl {
+        checkpoint,
+        stop_after_jobs,
+    };
+    let mut report = run_batch_with(
         &jobs,
         &sega_cells::Technology::tsmc28(),
         &OperatingConditions::paper_default(),
         pipeline,
-    );
+        &control,
+    )?;
+    if let Some(backend) = &remote {
+        report.remote = Some(backend.stats());
+    }
 
-    let document = report.to_json().to_string();
-    match flags.get("report") {
-        Some(path) => {
-            fs::write(Path::new(path), document + "\n")
-                .map_err(|e| format!("cannot write report `{path}`: {e}"))?;
-            eprintln!("wrote batch report to {path}");
+    if report.complete {
+        let document = report.to_json().to_string();
+        match flags.get("report") {
+            Some(path) => {
+                fs::write(Path::new(path), document + "\n")
+                    .map_err(|e| format!("cannot write report `{path}`: {e}"))?;
+                eprintln!("wrote batch report to {path}");
+            }
+            None => println!("{document}"),
         }
-        None => println!("{document}"),
+    } else {
+        // A stopped run's report would cover only a prefix — withhold it
+        // so nothing downstream mistakes it for the batch's results.
+        eprintln!(
+            "stopped after {} executed job(s) ({} of {} journaled); \
+             resume with --resume to finish the batch",
+            report.outcomes.len() - report.resumed_jobs,
+            report.outcomes.len(),
+            jobs.len()
+        );
     }
 
     if let Some(path) = &cache_file {
@@ -586,14 +708,16 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
         let stats = backend.stats();
         eprintln!(
             "remote fleet: {}/{} workers alive, {} round-trips, {} geometries \
-             ({} requeued sub-cohorts, {} worker deaths, {} evaluated in-process), \
-             {} delta entries merged",
+             ({} requeued sub-cohorts, {} timeouts, {} worker deaths, {} respawns, \
+             {} evaluated in-process), {} delta entries merged",
             stats.workers_alive,
             stats.workers_spawned,
             stats.round_trips,
             stats.geometries,
             stats.requeues,
+            stats.timeouts,
             stats.worker_deaths,
+            stats.respawns,
             stats.fallback_geometries,
             stats.merged_entries,
         );
@@ -618,6 +742,11 @@ fn worker(flags: &HashMap<String, String>) -> Result<(), String> {
     let options = sega_dcim::WorkerOptions {
         fail_after: knob("fail-after")?,
         corrupt_after: knob("corrupt-after")?,
+        hang_after: knob("hang-after")?,
+        truncate_after: knob("truncate-after")?,
+        stall: knob("stall-ms")?.map(std::time::Duration::from_millis),
+        worker_id: knob("worker-id")?.unwrap_or(0),
+        log: flags.contains_key("log"),
     };
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();

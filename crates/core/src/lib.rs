@@ -68,6 +68,7 @@
 pub mod backend;
 pub mod batch;
 pub mod cache;
+pub mod checkpoint;
 pub mod compiler;
 pub mod distill;
 pub mod enumerate;
@@ -82,8 +83,9 @@ pub mod testbench;
 pub use backend::{
     CohortEvaluator, EvalBackend, GeometryLens, InstrumentedBackend, MacroModelBackend,
 };
-pub use batch::{run_batch, BatchJob, BatchOutcome, BatchReport};
+pub use batch::{run_batch, run_batch_with, BatchControl, BatchJob, BatchOutcome, BatchReport};
 pub use cache::{CacheKey, EvalStats, SharedEvalCache};
+pub use checkpoint::CheckpointConfig;
 pub use compiler::{CompileError, CompiledMacro, Compiler};
 pub use distill::DistillStrategy;
 pub use enumerate::{enumerate_design_space, enumerate_design_space_with, exhaustive_front};

@@ -27,22 +27,38 @@
 //! **bit-identical for every worker count**: partitioning only decides
 //! *where* a deterministic function is computed.
 //!
-//! # Failure semantics
+//! # Failure semantics: the worker lifecycle
 //!
-//! A worker that dies (EOF/IO error), answers garbage (frame or wire
-//! decode error), or answers the wrong shape (id/row-count mismatch) is
-//! marked dead and its sub-cohort is **requeued** to a surviving worker;
-//! when the whole fleet is gone, the sub-cohort is evaluated in-process
+//! Every worker moves through a supervised lifecycle: **healthy** →
+//! (**stalled** | **buried**) → **respawning** → **rejoined**. Each
+//! outstanding request carries a deadline (worker I/O runs on a
+//! reader-thread-per-worker, so the coordinator never blocks on a pipe):
+//! a worker that misses it is *stalled* and treated exactly like a
+//! death. A worker that dies (EOF/IO error), answers garbage (frame or
+//! wire decode error), answers the wrong shape (id/row-count mismatch),
+//! or stalls is **buried** — killed, reaped, its sub-cohort **requeued**
+//! to a surviving worker — and, while its per-worker restart budget
+//! lasts, scheduled for **respawn** under jittered exponential backoff
+//! (deterministic for a given [`RemoteOptions::backoff_seed`]). A
+//! respawned worker re-handshakes through the same versioned hello and
+//! *rejoins* the [`FleetState::assign`] rotation. When the whole fleet
+//! is gone and no respawn is due, the sub-cohort is evaluated in-process
 //! through the bound macro-model fallback. Every path produces exactly
 //! one row per requested geometry, so `EvalStats` accounting stays exact
-//! under any injected fault.
+//! — and the front stays bit-identical — under any fault schedule; the
+//! [`RemoteStats`] ledger always satisfies
+//! `workers_alive == workers_spawned − worker_deaths + respawns` and
+//! `timeouts ≤ worker_deaths`.
 
 use std::collections::HashMap;
 use std::io::{BufReader, Read, Write};
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use sega_cells::Technology;
 use sega_estimator::{OperatingConditions, Precision};
@@ -83,15 +99,60 @@ impl WorkerCommand {
     }
 }
 
+/// Default per-request deadline: generous enough that a healthy worker
+/// under CI load never trips it, small enough that a hung fleet member
+/// cannot stall a batch for long.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Default per-worker respawn budget.
+pub const DEFAULT_RESTART_BUDGET: u32 = 2;
+
+/// Default base of the exponential respawn backoff.
+pub const DEFAULT_BACKOFF_BASE: Duration = Duration::from_millis(250);
+
 /// Fleet configuration for [`RemoteBackend::spawn`].
+///
+/// The supervisor appends `--worker-id <index>` (and `--log` when
+/// [`log_dir`](Self::log_dir) is set) to every worker launch, so log
+/// lines carry stable identities across respawns.
 #[derive(Debug, Clone)]
 pub struct RemoteOptions {
     /// One launch command per worker.
     pub workers: Vec<WorkerCommand>,
     /// When set, each worker's stderr goes to
     /// `<log_dir>/worker-<index>.log` instead of being inherited (CI
-    /// uploads these as artifacts).
+    /// uploads these as artifacts). The directory is created if missing;
+    /// log files are opened in append mode so a respawned worker
+    /// continues its predecessor's log instead of erasing the evidence.
     pub log_dir: Option<PathBuf>,
+    /// How long the coordinator waits for any single response before
+    /// declaring the worker stalled and requeueing its sub-cohort.
+    pub deadline: Duration,
+    /// How many times a buried worker may be respawned. `0` disables
+    /// respawning (the PR-5 shrink-only fleet behaviour).
+    pub restart_budget: u32,
+    /// Base delay of the exponential respawn backoff: attempt `n` waits
+    /// `backoff_base · 2ⁿ · jitter` with jitter in `[1, 2)`. A zero base
+    /// respawns immediately (deterministic tests).
+    pub backoff_base: Duration,
+    /// Seed of the deterministic backoff jitter — the same seed, worker
+    /// index and attempt always yield the same delay.
+    pub backoff_seed: u64,
+}
+
+impl Default for RemoteOptions {
+    /// An empty fleet (which [`RemoteBackend::spawn`] rejects) with the
+    /// default supervision knobs — the base for struct-update syntax.
+    fn default() -> RemoteOptions {
+        RemoteOptions {
+            workers: Vec::new(),
+            log_dir: None,
+            deadline: DEFAULT_DEADLINE,
+            restart_budget: DEFAULT_RESTART_BUDGET,
+            backoff_base: DEFAULT_BACKOFF_BASE,
+            backoff_seed: 0,
+        }
+    }
 }
 
 impl RemoteOptions {
@@ -103,7 +164,7 @@ impl RemoteOptions {
         let command = WorkerCommand::serve(program.into());
         RemoteOptions {
             workers: vec![command; workers],
-            log_dir: None,
+            ..RemoteOptions::default()
         }
     }
 
@@ -111,6 +172,28 @@ impl RemoteOptions {
     #[must_use]
     pub fn with_log_dir(mut self, dir: impl Into<PathBuf>) -> RemoteOptions {
         self.log_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the per-request deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> RemoteOptions {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the per-worker respawn budget (`0` disables respawning).
+    #[must_use]
+    pub fn with_restart_budget(mut self, budget: u32) -> RemoteOptions {
+        self.restart_budget = budget;
+        self
+    }
+
+    /// Sets the backoff base and jitter seed.
+    #[must_use]
+    pub fn with_backoff(mut self, base: Duration, seed: u64) -> RemoteOptions {
+        self.backoff_base = base;
+        self.backoff_seed = seed;
         self
     }
 }
@@ -122,8 +205,16 @@ pub struct RemoteStats {
     pub round_trips: u64,
     /// Sub-cohorts re-dispatched after a worker failure.
     pub requeues: u64,
+    /// Responses that missed the per-request deadline (the worker was
+    /// declared stalled and buried; every timeout is also counted in
+    /// [`worker_deaths`](Self::worker_deaths)).
+    pub timeouts: u64,
     /// Workers that transitioned alive → dead.
     pub worker_deaths: u64,
+    /// Buried workers successfully respawned and rejoined. The ledger
+    /// `workers_alive == workers_spawned − worker_deaths + respawns`
+    /// holds at every quiescent point.
+    pub respawns: u64,
     /// Geometries evaluated in-process because no worker survived.
     pub fallback_geometries: u64,
     /// Geometries evaluated across the fleet (remote or fallback).
@@ -140,7 +231,9 @@ pub struct RemoteStats {
 struct RemoteCounters {
     round_trips: AtomicU64,
     requeues: AtomicU64,
+    timeouts: AtomicU64,
     worker_deaths: AtomicU64,
+    respawns: AtomicU64,
     fallback_geometries: AtomicU64,
     geometries: AtomicU64,
     merged_entries: AtomicU64,
@@ -157,12 +250,20 @@ impl Tally for AtomicU64 {
     }
 }
 
-/// One spawned worker process and its framed stdio transport.
+/// One spawned worker process: its framed stdin plus the reader thread
+/// draining its stdout into a channel, so receives can carry a deadline
+/// (`recv_timeout`) instead of blocking the coordinator on a pipe a hung
+/// worker will never write to.
 #[derive(Debug)]
 struct WorkerHandle {
     child: Child,
+    /// OS pid at spawn time — kept for the zombie audit after the child
+    /// handle has been reaped.
+    pid: u32,
     stdin: Option<ChildStdin>,
-    stdout: BufReader<ChildStdout>,
+    /// Frames (or the terminal transport error) from the reader thread.
+    incoming: Receiver<Result<Message, FrameError>>,
+    reader: Option<JoinHandle<()>>,
     alive: bool,
 }
 
@@ -174,22 +275,59 @@ impl WorkerHandle {
         }
     }
 
-    fn recv(&mut self) -> Result<Message, FrameError> {
-        frame::recv(&mut self.stdout)
+    /// The next frame, or [`FrameError::Timeout`] after `deadline` — the
+    /// hang-detection primitive. A disconnected channel means the reader
+    /// thread exited after forwarding its terminal error, so whatever
+    /// remains is an orderly EOF.
+    fn recv_deadline(&mut self, deadline: Duration) -> Result<Message, FrameError> {
+        match self.incoming.recv_timeout(deadline) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => Err(FrameError::Timeout { waited: deadline }),
+            Err(RecvTimeoutError::Disconnected) => Err(FrameError::Eof),
+        }
     }
 
-    /// Marks the worker dead and reaps the process.
+    /// Marks the worker dead, reaps the process and joins the reader
+    /// thread (bounded: the kill closes the pipe, so the reader's next
+    /// read returns immediately).
     fn kill(&mut self) {
         self.alive = false;
         self.stdin = None; // EOF, in case the process is still looping
         let _ = self.child.kill();
         let _ = self.child.wait();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
     }
+}
+
+/// Per-worker supervision bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct Supervision {
+    /// Respawn attempts consumed (successful or not).
+    restarts: u32,
+    /// When the next respawn attempt is due; `None` when none is
+    /// scheduled (healthy, or budget exhausted).
+    retry_at: Option<Instant>,
+}
+
+/// The supervision knobs, copied out of [`RemoteOptions`] at spawn.
+#[derive(Debug, Clone, Copy)]
+struct SupervisionConfig {
+    deadline: Duration,
+    restart_budget: u32,
+    backoff_base: Duration,
+    backoff_seed: u64,
 }
 
 #[derive(Debug)]
 struct FleetState {
     workers: Vec<WorkerHandle>,
+    supervise: Vec<Supervision>,
+    /// The launch commands, kept so a buried worker can be respawned
+    /// with its original configuration.
+    commands: Vec<WorkerCommand>,
+    log_dir: Option<PathBuf>,
     next_id: u64,
 }
 
@@ -215,6 +353,33 @@ impl FleetState {
     }
 }
 
+/// SplitMix64 — the deterministic jitter generator (self-contained, no
+/// RNG dependency; good dispersion from sequential seeds).
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The delay before respawn attempt `attempt` of worker `w`:
+/// `base · 2^attempt · jitter`, jitter deterministically in `[1, 2)`
+/// from `(seed, worker, attempt)` — so colliding respawns of different
+/// workers spread out, yet a seeded test replays the exact schedule.
+fn backoff_delay(config: &SupervisionConfig, worker: usize, attempt: u32) -> Duration {
+    let doubled = config
+        .backoff_base
+        .saturating_mul(1u32 << attempt.min(16));
+    let bits = splitmix64(config.backoff_seed ^ ((worker as u64) << 32) ^ u64::from(attempt));
+    let jitter = 1.0 + (bits >> 11) as f64 / (1u64 << 53) as f64;
+    doubled.mul_f64(jitter)
+}
+
+/// How long [`Fleet::drop`] waits for workers to exit after the shutdown
+/// frame before force-killing them — a dead coordinator must never hang
+/// on a hung worker.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(2);
+
 /// The spawned worker fleet: shared by every evaluator the backend
 /// binds. The transport exchange of one cohort holds the fleet lock, so
 /// concurrent explorations serialize at the pipe (the workers themselves
@@ -224,6 +389,56 @@ struct Fleet {
     state: Mutex<FleetState>,
     counters: RemoteCounters,
     spawned: usize,
+    config: SupervisionConfig,
+}
+
+impl Fleet {
+    /// Buries worker `w`: kill + reap (counted once per transition) and,
+    /// while the restart budget lasts, schedule a backed-off respawn.
+    fn bury(&self, state: &mut FleetState, w: usize) {
+        if !state.workers[w].alive {
+            return;
+        }
+        state.workers[w].kill();
+        self.counters.worker_deaths.add(1);
+        let sup = &mut state.supervise[w];
+        if sup.restarts < self.config.restart_budget {
+            sup.retry_at = Some(Instant::now() + backoff_delay(&self.config, w, sup.restarts));
+        }
+    }
+
+    /// The respawn pass: every buried worker whose backoff has elapsed
+    /// is relaunched with its original command and re-handshaken; on
+    /// success it rejoins the [`FleetState::assign`] rotation. Called at
+    /// cohort start and inside the recovery loop — never from a timer,
+    /// so a quiet backend spawns nothing behind the caller's back.
+    fn maintain(&self, state: &mut FleetState) {
+        let now = Instant::now();
+        for w in 0..state.workers.len() {
+            if state.workers[w].alive || !matches!(state.supervise[w].retry_at, Some(t) if t <= now)
+            {
+                continue;
+            }
+            state.supervise[w].retry_at = None;
+            let attempt = state.supervise[w].restarts;
+            match spawn_worker(&state.commands[w], w, state.log_dir.as_deref()) {
+                Ok(worker) => {
+                    state.workers[w] = worker;
+                    state.supervise[w].restarts = attempt + 1;
+                    self.counters.respawns.add(1);
+                }
+                Err(e) => {
+                    eprintln!("warning: respawn of worker {w} failed: {e}");
+                    let sup = &mut state.supervise[w];
+                    sup.restarts = attempt + 1;
+                    if sup.restarts < self.config.restart_budget {
+                        sup.retry_at =
+                            Some(Instant::now() + backoff_delay(&self.config, w, sup.restarts));
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Drop for Fleet {
@@ -232,12 +447,39 @@ impl Drop for Fleet {
             Ok(state) => state,
             Err(poisoned) => poisoned.into_inner(),
         };
+        // Ask every live worker to exit, then close its stdin — a
+        // healthy worker leaves on either signal.
         for worker in &mut state.workers {
             if worker.alive {
                 let _ = worker.send(&Message::Shutdown);
                 worker.stdin = None;
-                let _ = worker.child.wait();
-                worker.alive = false;
+            }
+        }
+        // Bounded wait: a worker that ignores the shutdown (hung fault
+        // injection, wedged estimator) is force-killed at the grace
+        // deadline, so dropping a backend can never hang the process —
+        // and every child is reaped, so none is left a zombie.
+        let deadline = Instant::now() + SHUTDOWN_GRACE;
+        for worker in &mut state.workers {
+            if !worker.alive {
+                continue; // already killed + reaped by `bury`
+            }
+            loop {
+                match worker.child.try_wait() {
+                    Ok(Some(_)) | Err(_) => break,
+                    Ok(None) => {
+                        if Instant::now() >= deadline {
+                            let _ = worker.child.kill();
+                            let _ = worker.child.wait();
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+            worker.alive = false;
+            if let Some(reader) = worker.reader.take() {
+                let _ = reader.join();
             }
         }
     }
@@ -271,10 +513,6 @@ impl RemoteBackend {
         if options.workers.is_empty() {
             return Err("a remote fleet needs at least one worker command".to_owned());
         }
-        if let Some(dir) = &options.log_dir {
-            std::fs::create_dir_all(dir)
-                .map_err(|e| format!("cannot create worker log dir `{}`: {e}", dir.display()))?;
-        }
         let mut workers: Vec<WorkerHandle> = Vec::with_capacity(options.workers.len());
         for (index, command) in options.workers.iter().enumerate() {
             match spawn_worker(command, index, options.log_dir.as_deref()) {
@@ -294,10 +532,19 @@ impl RemoteBackend {
             fleet: Arc::new(Fleet {
                 state: Mutex::new(FleetState {
                     workers,
+                    supervise: vec![Supervision::default(); spawned],
+                    commands: options.workers,
+                    log_dir: options.log_dir,
                     next_id: 0,
                 }),
                 counters: RemoteCounters::default(),
                 spawned,
+                config: SupervisionConfig {
+                    deadline: options.deadline,
+                    restart_budget: options.restart_budget,
+                    backoff_base: options.backoff_base,
+                    backoff_seed: options.backoff_seed,
+                },
             }),
             sink: Arc::new(SharedEvalCache::new()),
             fallback: MacroModelBackend,
@@ -324,7 +571,9 @@ impl RemoteBackend {
         RemoteStats {
             round_trips: c.round_trips.load(Ordering::Relaxed),
             requeues: c.requeues.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
             worker_deaths: c.worker_deaths.load(Ordering::Relaxed),
+            respawns: c.respawns.load(Ordering::Relaxed),
             fallback_geometries: c.fallback_geometries.load(Ordering::Relaxed),
             geometries: c.geometries.load(Ordering::Relaxed),
             merged_entries: c.merged_entries.load(Ordering::Relaxed),
@@ -337,6 +586,20 @@ impl RemoteBackend {
             workers_spawned: self.fleet.spawned,
         }
     }
+
+    /// The OS pids of every worker the fleet currently holds (alive or
+    /// buried) — the zombie audit in the spawned-process tests reads
+    /// `/proc/<pid>` through this.
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.fleet
+            .state
+            .lock()
+            .expect("fleet state poisoned")
+            .workers
+            .iter()
+            .map(|w| w.pid)
+            .collect()
+    }
 }
 
 fn spawn_worker(
@@ -344,17 +607,30 @@ fn spawn_worker(
     index: usize,
     log_dir: Option<&std::path::Path>,
 ) -> Result<WorkerHandle, String> {
+    let mut args = command.args.clone();
+    args.push("--worker-id".to_owned());
+    args.push(index.to_string());
     let stderr = match log_dir {
         Some(dir) => {
+            // Created here (not once at spawn) so respawns survive a CI
+            // step deleting the directory between arms; append mode so a
+            // respawned worker continues its predecessor's log instead
+            // of erasing the evidence.
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create worker log dir `{}`: {e}", dir.display()))?;
             let path = dir.join(format!("worker-{index}.log"));
-            let file = std::fs::File::create(&path)
-                .map_err(|e| format!("cannot create worker log `{}`: {e}", path.display()))?;
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| format!("cannot open worker log `{}`: {e}", path.display()))?;
+            args.push("--log".to_owned());
             Stdio::from(file)
         }
         None => Stdio::inherit(),
     };
     let mut child = Command::new(&command.program)
-        .args(&command.args)
+        .args(&args)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(stderr)
@@ -362,14 +638,38 @@ fn spawn_worker(
         .map_err(|e| format!("cannot spawn worker `{}`: {e}", command.program.display()))?;
     let stdin = child.stdin.take().expect("piped stdin");
     let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
-    // Hello handshake: the worker leads with its protocol version.
+    // Hello handshake: the worker leads with its protocol version. Read
+    // directly — the reader thread takes over only after the handshake,
+    // so a worker that never says hello fails the spawn loudly.
     match frame::recv(&mut stdout) {
-        Ok(Message::Hello { protocol }) if protocol == PROTOCOL_VERSION => Ok(WorkerHandle {
-            child,
-            stdin: Some(stdin),
-            stdout,
-            alive: true,
-        }),
+        Ok(Message::Hello { protocol }) if protocol == PROTOCOL_VERSION => {
+            let pid = child.id();
+            let (tx, incoming) = mpsc::channel();
+            let reader = std::thread::Builder::new()
+                .name(format!("sega-worker-{index}-reader"))
+                .spawn(move || loop {
+                    let result = frame::recv(&mut stdout);
+                    let stop = result.is_err();
+                    if tx.send(result).is_err() || stop {
+                        break;
+                    }
+                });
+            match reader {
+                Ok(reader) => Ok(WorkerHandle {
+                    child,
+                    pid,
+                    stdin: Some(stdin),
+                    incoming,
+                    reader: Some(reader),
+                    alive: true,
+                }),
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    Err(format!("worker {index} reader thread: {e}"))
+                }
+            }
+        }
         Ok(Message::Hello { protocol }) => {
             let _ = child.kill();
             let _ = child.wait();
@@ -474,8 +774,11 @@ impl RemoteEvaluator {
         self.collect(state, w, id, slots.len())
     }
 
-    /// Reads worker `w`'s next frame and validates it against the
-    /// expected correlation id and row count.
+    /// Reads worker `w`'s next frame — bounded by the fleet's
+    /// per-request deadline, so a hung worker surfaces as
+    /// [`FrameError::Timeout`] (counted) instead of blocking the batch —
+    /// and validates it against the expected correlation id and row
+    /// count.
     fn collect(
         &self,
         state: &mut FleetState,
@@ -483,7 +786,16 @@ impl RemoteEvaluator {
         id: u64,
         expected_rows: usize,
     ) -> Result<EvalResponse, FrameError> {
-        match state.workers[w].recv()? {
+        let frame = match state.workers[w].recv_deadline(self.fleet.config.deadline) {
+            Ok(frame) => frame,
+            Err(e) => {
+                if matches!(e, FrameError::Timeout { .. }) {
+                    self.fleet.counters.timeouts.add(1);
+                }
+                return Err(e);
+            }
+        };
+        match frame {
             Message::Response(resp) if resp.id == id && resp.rows.len() == expected_rows => {
                 Ok(resp)
             }
@@ -500,12 +812,10 @@ impl RemoteEvaluator {
         }
     }
 
-    /// Marks worker `w` dead (counted once per transition).
+    /// Buries worker `w` through the fleet's supervisor (kill + reap,
+    /// counted once per transition, respawn scheduled under the budget).
     fn bury(&self, state: &mut FleetState, w: usize) {
-        if state.workers[w].alive {
-            state.workers[w].kill();
-            self.fleet.counters.worker_deaths.add(1);
-        }
+        self.fleet.bury(state, w);
     }
 
     /// Applies one successful response: scatter rows into `out` by slot
@@ -536,6 +846,9 @@ impl CohortEvaluator for RemoteEvaluator {
         counters.geometries.add(cohort.len() as u64);
         let mut out = vec![[f64::NAN; 4]; cohort.len()];
         let mut state = self.fleet.state.lock().expect("fleet state poisoned");
+        // Respawn pass: buried workers whose backoff elapsed rejoin the
+        // rotation before this cohort partitions.
+        self.fleet.maintain(&mut state);
         let fleet_size = state.workers.len();
 
         // Partition by shard onto alive workers; orphans (no fleet left)
@@ -580,8 +893,12 @@ impl CohortEvaluator for RemoteEvaluator {
 
         // Phase 3 — recovery: re-dispatch failed sub-cohorts to
         // survivors (sequentially; this is the rare path), falling back
-        // to in-process evaluation when the fleet is exhausted.
+        // to in-process evaluation when the fleet is exhausted. Each
+        // round first readmits any respawn that has come due — but never
+        // *waits* for one: an empty rotation falls back in-process, and
+        // the front is bit-identical either way.
         while let Some(slots) = requeue.pop() {
+            self.fleet.maintain(&mut state);
             match state.assign(0) {
                 Some(w) => {
                     counters.requeues.add(1);
@@ -633,9 +950,10 @@ impl CohortEvaluator for RemoteEvaluator {
 // The worker side.
 // ---------------------------------------------------------------------
 
-/// Fault-injection knobs of [`serve_worker`] — the levers the CI
-/// distributed-fault matrix and the recovery tests pull through the real
-/// CLI (`--fail-after N`, `--corrupt-after N`).
+/// Fault-injection and identity knobs of [`serve_worker`] — the levers
+/// the CI distributed-fault matrix and the recovery tests pull through
+/// the real CLI (`--fail-after N`, `--corrupt-after N`, `--hang-after
+/// N`, `--stall-ms T`, `--truncate-after N`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WorkerOptions {
     /// Die (process exit, no response) upon receiving the request after
@@ -644,6 +962,23 @@ pub struct WorkerOptions {
     /// After serving this many requests, answer the next one with a
     /// garbage frame and exit.
     pub corrupt_after: Option<u64>,
+    /// After serving this many requests, hang forever on the next one —
+    /// never responding, never exiting. The coordinator's deadline is
+    /// the only way out.
+    pub hang_after: Option<u64>,
+    /// After serving this many requests, answer the next one with a
+    /// mid-frame EOF (length prefix promising more bytes than follow)
+    /// and exit.
+    pub truncate_after: Option<u64>,
+    /// Sleep this long before *every* response — the slow-responder
+    /// fault that trips deadlines without the worker ever dying on its
+    /// own.
+    pub stall: Option<Duration>,
+    /// This worker's stable identity (the supervisor passes
+    /// `--worker-id`); prefixes every log line.
+    pub worker_id: u64,
+    /// Emit the prefixed per-request log lines on stderr.
+    pub log: bool,
 }
 
 /// One key space the worker has bound: the estimator and the memo table.
@@ -701,6 +1036,16 @@ pub fn serve_worker(
     output: &mut impl Write,
     options: &WorkerOptions,
 ) -> Result<(), String> {
+    // Monotonic timestamp base for the log prefix: `[+   12.345ms w0 r7]`
+    // — elapsed-since-start, worker id, request id (r0 for lines outside
+    // any request).
+    let start = Instant::now();
+    let log = |request: u64, text: &str| {
+        if options.log {
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            eprintln!("[+{ms:>9.3}ms w{} r{request}] {text}", options.worker_id);
+        }
+    };
     frame::send(
         output,
         &Message::Hello {
@@ -708,6 +1053,7 @@ pub fn serve_worker(
         },
     )
     .map_err(|e| format!("worker hello: {e}"))?;
+    log(0, &format!("hello (protocol {PROTOCOL_VERSION})"));
     let cache = SharedEvalCache::new();
     let mut bindings: HashMap<u64, WorkerBinding> = HashMap::new();
     let pool = Pool::for_threads(1);
@@ -716,22 +1062,50 @@ pub fn serve_worker(
         let message = match frame::recv(input) {
             Ok(message) => message,
             // Coordinator gone (dropped pipes): an orderly exit too.
-            Err(FrameError::Eof) => return Ok(()),
+            Err(FrameError::Eof) => {
+                log(0, "stdin EOF, exiting");
+                return Ok(());
+            }
             Err(e) => return Err(format!("worker transport: {e}")),
         };
         let request = match message {
-            Message::Shutdown => return Ok(()),
+            Message::Shutdown => {
+                log(0, "shutdown frame, exiting");
+                return Ok(());
+            }
             Message::Request(request) => request,
             _ => return Err("coordinator sent a non-request frame".to_owned()),
         };
+        log(
+            request.id,
+            &format!("request: {} geometries", request.cohort.len()),
+        );
         if options.fail_after == Some(served) {
             // Simulated crash: die mid-batch without responding.
+            log(request.id, "injected fault: dying (exit 17)");
             std::process::exit(17);
         }
         if options.corrupt_after == Some(served) {
             // Simulated corruption: a well-framed garbage payload.
+            log(request.id, "injected fault: corrupt frame (exit 3)");
             let _ = frame::write_frame(output, b"\xde\xad\xbe\xef corrupt worker");
             std::process::exit(3);
+        }
+        if options.hang_after == Some(served) {
+            // Simulated hang: alive but never responding — only the
+            // coordinator's deadline (then kill) ends this.
+            log(request.id, "injected fault: hanging forever");
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        if options.truncate_after == Some(served) {
+            // Simulated mid-frame EOF: the length prefix promises a
+            // whole shutdown frame, half the payload follows.
+            log(request.id, "injected fault: truncated frame (exit 7)");
+            let payload = Message::Shutdown.encode();
+            let _ = frame::write_truncated_frame(output, &payload, payload.len() / 2);
+            std::process::exit(7);
         }
         let binding = match bindings.entry(request.key.fingerprint()) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
@@ -780,6 +1154,14 @@ pub fn serve_worker(
             });
             delta.canonicalize();
         }
+        let delta_len = delta.len();
+        if let Some(stall) = options.stall {
+            // Simulated slow responder: the answer is correct but late —
+            // with a stall past the coordinator's deadline this worker
+            // gets buried while still healthy.
+            log(request.id, &format!("injected fault: stalling {stall:?}"));
+            std::thread::sleep(stall);
+        }
         let response = Message::Response(EvalResponse {
             id: request.id,
             rows: rows
@@ -789,6 +1171,10 @@ pub fn serve_worker(
             delta,
         });
         frame::send(output, &response).map_err(|e| format!("worker response: {e}"))?;
+        log(
+            request.id,
+            &format!("response: {} rows, {delta_len} delta entries", cohort.len()),
+        );
         served += 1;
     }
 }

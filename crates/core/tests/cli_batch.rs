@@ -126,6 +126,10 @@ fn fleet_only_flags_are_rejected_without_the_remote_backend() {
         ["--inject-fault", "kill-one"],
         ["--workers", "3"],
         ["--worker-log-dir", "logs"],
+        ["--worker-deadline-ms", "2000"],
+        ["--restart-budget", "1"],
+        ["--backoff-ms", "100"],
+        ["--backoff-seed", "7"],
     ] {
         let output = run(&["batch", "--jobs", jobs, args[0], args[1]]);
         assert!(
@@ -138,6 +142,111 @@ fn fleet_only_flags_are_rejected_without_the_remote_backend() {
             "{args:?}: {stderr}"
         );
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_flags_validate_before_any_work() {
+    let dir = scratch("ckpt-flags");
+    let jobs = write_jobs(&dir);
+    let jobs = jobs.to_str().unwrap();
+    let ck = dir.join("ck.bin");
+    let ck = ck.to_str().unwrap();
+
+    // --checkpoint and --resume name conflicting journal intents.
+    let output = run(&["batch", "--jobs", jobs, "--checkpoint", ck, "--resume", ck]);
+    assert!(!output.status.success());
+    assert!(
+        stderr_of(&output).contains("mutually exclusive"),
+        "{}",
+        stderr_of(&output)
+    );
+    // An early stop without a journal just loses work.
+    let output = run(&["batch", "--jobs", jobs, "--stop-after-jobs", "1"]);
+    assert!(!output.status.success());
+    assert!(
+        stderr_of(&output).contains("requires --checkpoint or --resume"),
+        "{}",
+        stderr_of(&output)
+    );
+    // Zero executed jobs is a no-op dressed as a run.
+    let output = run(&[
+        "batch",
+        "--jobs",
+        jobs,
+        "--checkpoint",
+        ck,
+        "--stop-after-jobs",
+        "0",
+    ]);
+    assert!(!output.status.success());
+    assert!(
+        stderr_of(&output).contains("--stop-after-jobs"),
+        "{}",
+        stderr_of(&output)
+    );
+    // Resuming a journal that does not exist fails by name, not panic.
+    let output = run(&["batch", "--jobs", jobs, "--resume", ck]);
+    assert!(!output.status.success());
+    assert!(
+        stderr_of(&output).contains("cannot read checkpoint"),
+        "{}",
+        stderr_of(&output)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The CI resume arm at test scale: a checkpointed run stopped after one
+/// job withholds its report, and the `--resume` run's report file is
+/// **byte-identical** to the uninterrupted reference.
+#[test]
+fn checkpointed_batch_resume_is_byte_identical() {
+    let dir = scratch("ckpt-resume");
+    let jobs = write_jobs(&dir);
+    let jobs = jobs.to_str().unwrap();
+    let path = |name: &str| dir.join(name).to_str().unwrap().to_owned();
+
+    let reference = run(&["batch", "--jobs", jobs, "--report", &path("ref.json")]);
+    assert!(reference.status.success(), "{}", stderr_of(&reference));
+
+    let stopped = run(&[
+        "batch",
+        "--jobs",
+        jobs,
+        "--checkpoint",
+        &path("ck.bin"),
+        "--stop-after-jobs",
+        "1",
+        "--report",
+        &path("stopped.json"),
+    ]);
+    assert!(stopped.status.success(), "{}", stderr_of(&stopped));
+    let stderr = stderr_of(&stopped);
+    assert!(
+        stderr.contains("resume with --resume to finish the batch"),
+        "{stderr}"
+    );
+    assert!(
+        !dir.join("stopped.json").exists(),
+        "a stopped run must withhold its prefix report"
+    );
+
+    let resumed = run(&[
+        "batch",
+        "--jobs",
+        jobs,
+        "--resume",
+        &path("ck.bin"),
+        "--report",
+        &path("resumed.json"),
+    ]);
+    assert!(resumed.status.success(), "{}", stderr_of(&resumed));
+    let reference_bytes = std::fs::read(dir.join("ref.json")).expect("reference report");
+    let resumed_bytes = std::fs::read(dir.join("resumed.json")).expect("resumed report");
+    assert_eq!(
+        resumed_bytes, reference_bytes,
+        "resumed report must be byte-identical to the uninterrupted run"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -230,7 +339,15 @@ fn remote_batch_matches_macro_and_warm_starts_across_processes() {
         "warm rerun across processes"
     );
 
-    // Worker logs were produced for upload.
-    assert!(dir.join("wlogs").join("worker-0.log").is_file());
+    // Worker logs were produced for upload, and every line carries the
+    // correlatable prefix: monotonic timestamp, worker id, request id.
+    let log = std::fs::read_to_string(dir.join("wlogs").join("worker-0.log")).expect("worker log");
+    assert!(!log.is_empty(), "worker-0.log is empty");
+    for line in log.lines() {
+        assert!(
+            line.starts_with("[+") && line.contains("ms w0 r"),
+            "unprefixed log line: `{line}`"
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,18 +1,23 @@
 //! The distributed acceptance suite: fronts and evaluation accounting
 //! must be **bit-identical** across backend ∈ {macro, remote × {1,2,3}
-//! workers} — including when workers are killed mid-batch or answer
-//! corrupted frames — because the remote backend only moves *where* a
-//! deterministic function is computed, never *what* it computes.
+//! workers} — including when workers are killed mid-batch, answer
+//! corrupted or truncated frames, hang, or stall past the deadline —
+//! because the remote backend only moves *where* a deterministic
+//! function is computed, never *what* it computes.
 //!
 //! Every test here spawns real `sega-dcim worker --serve` processes
 //! (the binary under test, via `CARGO_BIN_EXE_sega-dcim`) and talks to
 //! them over the real framed stdio transport; the fault-injection knobs
-//! (`--fail-after`, `--corrupt-after`) are the worker's own CLI flags,
-//! so the recovery paths exercised here are exactly the ones a dying
-//! fleet member triggers in production.
+//! (`--fail-after`, `--corrupt-after`, `--hang-after`, `--stall-ms`,
+//! `--truncate-after`) are the worker's own CLI flags, so the recovery
+//! paths exercised here are exactly the ones a dying fleet member
+//! triggers in production. Supervision tests additionally assert the
+//! stats ledger (`alive == spawned − deaths + respawns`,
+//! `timeouts ≤ deaths`) and that no run leaks zombie processes.
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use proptest::prelude::*;
 use sega_cells::Technology;
@@ -61,15 +66,51 @@ fn explore(spec: &UserSpec, seed: u64, backend: Option<Arc<dyn EvalBackend>>) ->
 }
 
 /// A faulty fleet: `fleet_size` workers, with worker 0 carrying the
-/// given extra fault-injection flags.
+/// given extra fault-injection flags. Respawning is disabled so the
+/// exact-count assertions (one fault ⇒ one death, fleet shrinks) keep
+/// holding; the supervision tests below opt back in explicitly. The
+/// short deadline keeps hang/stall faults from slowing the suite.
 fn faulty_fleet(fleet_size: usize, fault_flags: &[(&str, u64)]) -> RemoteBackend {
-    let mut options = RemoteOptions::fleet(program(), fleet_size);
+    let mut options = RemoteOptions::fleet(program(), fleet_size)
+        .with_restart_budget(0)
+        .with_deadline(Duration::from_millis(500));
     options.workers[0] = options.workers[0].clone().with_args(
         fault_flags
             .iter()
             .flat_map(|(flag, n)| [format!("--{flag}"), n.to_string()]),
     );
     RemoteBackend::spawn(options).expect("spawn faulty fleet")
+}
+
+/// The supervision ledger law: every quiescent fleet satisfies
+/// `workers_alive == workers_spawned − worker_deaths + respawns` and
+/// `timeouts ≤ worker_deaths` (every timeout buries its worker).
+fn assert_ledger(stats: &sega_dcim::RemoteStats) {
+    assert_eq!(
+        stats.workers_alive as i64,
+        stats.workers_spawned as i64 - stats.worker_deaths as i64 + stats.respawns as i64,
+        "ledger violated: {stats:?}"
+    );
+    assert!(stats.timeouts <= stats.worker_deaths, "{stats:?}");
+}
+
+/// No worker pid may survive as a zombie once the backend is gone: a
+/// reaped child's `/proc/<pid>` entry either vanishes or (pid reuse)
+/// belongs to a non-zombie process.
+fn assert_no_zombies(pids: &[u32]) {
+    for &pid in pids {
+        let stat = match std::fs::read_to_string(format!("/proc/{pid}/stat")) {
+            Ok(stat) => stat,
+            Err(_) => continue, // fully reaped
+        };
+        // Field 3 of /proc/pid/stat, after the parenthesized comm.
+        let state = stat
+            .rsplit(')')
+            .next()
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or("?");
+        assert_ne!(state, "Z", "worker {pid} left a zombie");
+    }
 }
 
 fn assert_matches_baseline(run: &ExplorationResult, baseline: &ExplorationResult, label: &str) {
@@ -164,6 +205,161 @@ fn corrupt_frames_are_detected_and_requeued() {
 }
 
 #[test]
+fn hung_worker_trips_the_deadline_and_requeues() {
+    let spec = UserSpec::new(16384, Precision::Int8).unwrap();
+    let baseline = explore(&spec, 13, None);
+    // Worker 0 stops reading after its first answer but never exits:
+    // only the deadline can detect it. The stall must count as a
+    // timeout AND a death, and the survivor absorbs the requeued shard.
+    let backend = Arc::new(faulty_fleet(2, &[("hang-after", 1)]));
+    let pids = backend.worker_pids();
+    let run = explore(&spec, 13, Some(Arc::clone(&backend) as _));
+    assert_matches_baseline(&run, &baseline, "hung worker");
+    let stats = backend.stats();
+    assert_eq!(stats.worker_deaths, 1, "{stats:?}");
+    assert_eq!(stats.timeouts, 1, "{stats:?}");
+    assert!(stats.requeues >= 1, "{stats:?}");
+    assert_eq!(stats.workers_alive, 1, "{stats:?}");
+    assert_eq!(stats.fallback_geometries, 0, "{stats:?}");
+    assert_ledger(&stats);
+    drop(backend);
+    // The hung child was killed, not abandoned: no zombie survives.
+    assert_no_zombies(&pids);
+}
+
+#[test]
+fn stalled_worker_is_buried_by_the_deadline() {
+    let spec = UserSpec::new(16384, Precision::Bf16).unwrap();
+    let baseline = explore(&spec, 17, None);
+    // Worker 0 answers every request 1.5s late — three deadlines past
+    // the fleet's 500ms budget — so its very first response times out.
+    let backend = Arc::new(faulty_fleet(2, &[("stall-ms", 1500)]));
+    let run = explore(&spec, 17, Some(Arc::clone(&backend) as _));
+    assert_matches_baseline(&run, &baseline, "stalled worker");
+    let stats = backend.stats();
+    assert_eq!(stats.worker_deaths, 1, "{stats:?}");
+    assert_eq!(stats.timeouts, 1, "{stats:?}");
+    assert_eq!(stats.workers_alive, 1, "{stats:?}");
+    assert_eq!(stats.fallback_geometries, 0, "{stats:?}");
+    assert_ledger(&stats);
+}
+
+#[test]
+fn truncated_frames_bury_the_worker() {
+    let spec = UserSpec::new(16384, Precision::Int4).unwrap();
+    let baseline = explore(&spec, 19, None);
+    // Worker 0 answers its first request, then writes half a frame and
+    // exits — the torn tail must read as a death, never as a reply.
+    let backend = Arc::new(faulty_fleet(2, &[("truncate-after", 1)]));
+    let run = explore(&spec, 19, Some(Arc::clone(&backend) as _));
+    assert_matches_baseline(&run, &baseline, "truncated frame");
+    let stats = backend.stats();
+    assert_eq!(stats.worker_deaths, 1, "{stats:?}");
+    assert!(stats.requeues >= 1, "{stats:?}");
+    assert_eq!(stats.workers_alive, 1, "{stats:?}");
+    assert_eq!(stats.fallback_geometries, 0, "{stats:?}");
+    assert_ledger(&stats);
+}
+
+#[test]
+fn buried_workers_respawn_and_rejoin_the_rotation() {
+    let spec = UserSpec::new(8192, Precision::Int8).unwrap();
+    let baseline = explore(&spec, 23, None);
+    // A single worker that dies on every first request, with a restart
+    // budget of 1 and zero backoff: the supervisor must respawn it once
+    // (deterministically, immediately), route traffic to the respawn —
+    // proven by the SECOND death, which only the respawned process can
+    // die — then exhaust the budget and fall back in-process.
+    let mut options = RemoteOptions::fleet(program(), 1)
+        .with_restart_budget(1)
+        .with_backoff(Duration::ZERO, 42)
+        .with_deadline(Duration::from_millis(500));
+    options.workers[0] = options.workers[0]
+        .clone()
+        .with_args(["--fail-after".to_owned(), "0".to_owned()]);
+    let backend = Arc::new(RemoteBackend::spawn(options).expect("spawn fleet"));
+    let run = explore(&spec, 23, Some(Arc::clone(&backend) as _));
+    assert_matches_baseline(&run, &baseline, "respawn then budget exhaustion");
+    let stats = backend.stats();
+    assert_eq!(stats.worker_deaths, 2, "{stats:?}");
+    assert_eq!(stats.respawns, 1, "{stats:?}");
+    assert_eq!(stats.workers_spawned, 1, "{stats:?}");
+    assert_eq!(stats.workers_alive, 0, "{stats:?}");
+    assert_eq!(
+        stats.fallback_geometries as usize, run.distinct_evaluations,
+        "{stats:?}"
+    );
+    assert_ledger(&stats);
+}
+
+#[test]
+fn teardown_leaves_no_zombies_behind() {
+    // A healthy fleet: Drop's graceful shutdown must reap every child.
+    let backend = RemoteBackend::spawn(RemoteOptions::fleet(program(), 3)).expect("spawn fleet");
+    let pids = backend.worker_pids();
+    assert_eq!(pids.len(), 3);
+    drop(backend);
+    assert_no_zombies(&pids);
+
+    // A fleet whose worker never answers: Drop's bounded grace period
+    // must escalate to kill and still reap it.
+    let backend = Arc::new(faulty_fleet(1, &[("hang-after", 0)]));
+    let pids = backend.worker_pids();
+    let spec = UserSpec::new(8192, Precision::Int8).unwrap();
+    let _ = explore(&spec, 29, Some(Arc::clone(&backend) as _));
+    drop(backend);
+    assert_no_zombies(&pids);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The fault-schedule determinism matrix: for every sampled
+    /// fault ∈ {kill, corrupt, hang, stall, truncate}, fleet size
+    /// ∈ {1,2,3} and injection point, the front and the evaluation
+    /// accounting stay bit-identical to the macro backend, and the
+    /// supervision ledger adds up exactly.
+    #[test]
+    fn fault_matrix_preserves_fronts_and_the_ledger(
+        fault_idx in 0usize..5,
+        fleet_size in 1usize..=3,
+        inject in 0u64..2,
+        seed in 0u64..1000,
+    ) {
+        let spec = UserSpec::new(16384, Precision::Int8).unwrap();
+        let baseline = explore(&spec, seed, None);
+        let fault: (&str, u64) = match fault_idx {
+            0 => ("fail-after", inject),
+            1 => ("corrupt-after", inject),
+            2 => ("hang-after", inject),
+            3 => ("truncate-after", inject),
+            // A stall hits every response, so the injection point is
+            // the stall length: always past the 500ms fleet deadline.
+            _ => ("stall-ms", 1200),
+        };
+        let backend = Arc::new(faulty_fleet(fleet_size, &[fault]));
+        let pids = backend.worker_pids();
+        let run = explore(&spec, seed, Some(Arc::clone(&backend) as _));
+        assert_matches_baseline(
+            &run,
+            &baseline,
+            &format!("fault {fault:?} x{fleet_size}"),
+        );
+        let stats = backend.stats();
+        assert_ledger(&stats);
+        prop_assert_eq!(stats.respawns, 0, "restart budget is 0 here");
+        prop_assert_eq!(stats.workers_spawned, fleet_size);
+        prop_assert_eq!(stats.workers_alive, fleet_size - stats.worker_deaths as usize);
+        // Work is conserved: every distinct geometry went through the
+        // fleet exactly once (remotely or via in-process fallback).
+        prop_assert_eq!(stats.geometries, run.distinct_evaluations as u64);
+        prop_assert!(stats.fallback_geometries <= stats.geometries);
+        drop(backend);
+        assert_no_zombies(&pids);
+    }
+}
+
+#[test]
 fn whole_fleet_death_falls_back_in_process() {
     let spec = UserSpec::new(8192, Precision::Int8).unwrap();
     let baseline = explore(&spec, 3, None);
@@ -255,7 +451,7 @@ fn spawn_rejects_an_empty_fleet() {
     for options in [
         RemoteOptions {
             workers: vec![],
-            log_dir: None,
+            ..RemoteOptions::default()
         },
         RemoteOptions::fleet(program(), 0),
     ] {
@@ -275,6 +471,7 @@ fn partial_spawn_failure_reaps_the_spawned_workers() {
             WorkerCommand::serve("/nonexistent/sega-dcim"),
         ],
         log_dir: Some(dir.clone()),
+        ..RemoteOptions::default()
     };
     let err = RemoteBackend::spawn(options).expect_err("partial spawn must fail");
     assert!(err.contains("cannot spawn worker"), "{err}");
@@ -294,6 +491,7 @@ fn spawn_rejects_a_peer_that_never_says_hello() {
     let err = RemoteBackend::spawn(RemoteOptions {
         workers: vec![command],
         log_dir: Some(dir.clone()),
+        ..RemoteOptions::default()
     })
     .expect_err("handshake must fail");
     assert!(err.contains("handshake failed"), "{err}");

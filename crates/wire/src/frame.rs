@@ -45,7 +45,8 @@ pub const PROTOCOL_VERSION: u32 = 1;
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
 /// A transport failure: either the byte stream broke (I/O, EOF,
-/// oversized frame) or the bytes arrived but don't decode.
+/// oversized frame, deadline missed) or the bytes arrived but don't
+/// decode.
 #[derive(Debug)]
 pub enum FrameError {
     /// The underlying stream failed mid-frame.
@@ -56,6 +57,13 @@ pub enum FrameError {
     TooLarge {
         /// Declared payload length.
         declared: usize,
+    },
+    /// No frame arrived within the receiver's deadline — the peer is
+    /// stalled or hung. Produced by deadline-aware receivers (the frame
+    /// functions here block indefinitely; supervision layers wrap them).
+    Timeout {
+        /// How long the receiver waited.
+        waited: std::time::Duration,
     },
     /// The payload arrived but is not a valid protocol message.
     Wire(WireError),
@@ -71,6 +79,9 @@ impl std::fmt::Display for FrameError {
                     f,
                     "frame declares {declared} bytes (limit {MAX_FRAME_BYTES})"
                 )
+            }
+            FrameError::Timeout { waited } => {
+                write!(f, "no frame within {waited:?} (peer stalled)")
             }
             FrameError::Wire(e) => write!(f, "frame payload: {e}"),
         }
@@ -101,6 +112,27 @@ impl From<WireError> for FrameError {
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a deliberately **truncated** frame: the length prefix promises
+/// the full `payload`, but only the first `keep` bytes follow (then a
+/// flush). When the writer subsequently closes the stream, the receiver
+/// sees a mid-frame EOF — [`FrameError::Io`], never the orderly
+/// [`FrameError::Eof`]. This is a fault-injection helper for chaos
+/// testing the supervision layer; a correct peer never calls it.
+///
+/// # Errors
+///
+/// [`FrameError::Io`] from the underlying stream.
+pub fn write_truncated_frame(
+    w: &mut impl Write,
+    payload: &[u8],
+    keep: usize,
+) -> Result<(), FrameError> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload[..keep.min(payload.len())])?;
     w.flush()?;
     Ok(())
 }
@@ -437,6 +469,37 @@ mod tests {
         }
         let mut empty: &[u8] = &[];
         assert!(matches!(recv(&mut empty).unwrap_err(), FrameError::Eof));
+    }
+
+    #[test]
+    fn truncated_frames_surface_as_mid_frame_io_errors() {
+        // The chaos helper: a frame whose prefix promises more bytes
+        // than follow. A receiver that then hits EOF must report a
+        // mid-frame Io error, never the orderly Eof.
+        let payload = Message::Shutdown.encode();
+        for keep in [0, 1, payload.len() - 1] {
+            let mut stream = Vec::new();
+            write_truncated_frame(&mut stream, &payload, keep).unwrap();
+            let mut cursor = stream.as_slice();
+            assert!(
+                matches!(recv(&mut cursor).unwrap_err(), FrameError::Io(_)),
+                "keep={keep} must be a mid-frame error"
+            );
+        }
+        // keep >= len degenerates to a complete frame.
+        let mut stream = Vec::new();
+        write_truncated_frame(&mut stream, &payload, payload.len() + 7).unwrap();
+        let mut cursor = stream.as_slice();
+        assert!(matches!(recv(&mut cursor).unwrap(), Message::Shutdown));
+    }
+
+    #[test]
+    fn timeout_errors_render_the_deadline() {
+        let e = FrameError::Timeout {
+            waited: std::time::Duration::from_millis(250),
+        };
+        let text = e.to_string();
+        assert!(text.contains("250ms") && text.contains("stalled"), "{text}");
     }
 
     #[test]

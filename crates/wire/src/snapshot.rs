@@ -261,6 +261,45 @@ impl Snapshot {
             .collect();
     }
 
+    /// The entries present in `self` but absent from `base` (matched by
+    /// geometry, values untouched), as a canonical snapshot — the
+    /// **delta** that, merged back into `base`, reproduces `self`
+    /// whenever `base ⊆ self`:
+    /// `base.merge(&self.diff(&base)) == self`.
+    ///
+    /// This is the journaling primitive: a batch checkpoint records only
+    /// what each job added to the cache, not the whole cache again.
+    /// Both snapshots are expected canonical (as every constructor here
+    /// leaves them); entries are compared by geometry only, consistent
+    /// with [`Snapshot::merge`]'s receiver-wins semantics.
+    #[must_use]
+    pub fn diff(&self, base: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for space in &self.spaces {
+            let entries: Vec<EntryRecord> = match base.spaces.iter().find(|s| s.key == space.key) {
+                None => space.entries.clone(),
+                Some(known) => space
+                    .entries
+                    .iter()
+                    .filter(|e| {
+                        known
+                            .entries
+                            .binary_search_by(|k| k.geometry.cmp(&e.geometry))
+                            .is_err()
+                    })
+                    .copied()
+                    .collect(),
+            };
+            if !entries.is_empty() {
+                out.spaces.push(SpaceRecord {
+                    key: space.key.clone(),
+                    entries,
+                });
+            }
+        }
+        out
+    }
+
     /// Encodes to the compact binary form (magic + version header, kind
     /// tag, then per space: fingerprint, key, entry count, entries).
     pub fn encode_binary(&self) -> Vec<u8> {
@@ -658,6 +697,39 @@ mod tests {
         assert_eq!(aa, a);
         // Union counts: one shared entry between a and b.
         assert_eq!(ab.len(), a.len() + b.len() - 1);
+    }
+
+    #[test]
+    fn diff_is_the_inverse_of_merge_for_supersets() {
+        let base = sample();
+        // Grow the base: one new entry in an existing space, one new space.
+        let mut grown = base.clone();
+        grown.merge(&{
+            let mut s = Snapshot {
+                spaces: vec![
+                    SpaceRecord {
+                        key: key("INT8", 16384),
+                        entries: vec![entry(9, 9, 9, [1.0, f64::NAN, 3.0, 4.0])],
+                    },
+                    SpaceRecord {
+                        key: key("FP32", 4096),
+                        entries: vec![entry(1, 1, 1, [f64::INFINITY; 4])],
+                    },
+                ],
+            };
+            s.canonicalize();
+            s
+        });
+        let delta = grown.diff(&base);
+        assert_eq!(delta.len(), 2, "only the two new entries travel");
+        // Inverse law: base ∪ delta == grown (bitwise, via EntryRecord).
+        let mut rebuilt = base.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, grown);
+        assert_eq!(rebuilt.encode_binary(), grown.encode_binary());
+        // Degenerate cases: diff against self and against empty.
+        assert!(grown.diff(&grown).is_empty());
+        assert_eq!(grown.diff(&Snapshot::default()), grown);
     }
 
     #[test]
