@@ -8,11 +8,12 @@
 //! sega-dcim estimate --n 32 --h 128 --l 16 --k 4 --precision int8 [--json]
 //! sega-dcim batch   --jobs FILE [--cache-file FILE] [--report FILE]
 //!                   [--population N] [--generations N] [--seed N]
-//!                   [--threads N] [--shards N]
+//!                   [--threads N] [--shards N] [--speculate]
 //!                   [--backend macro|instrumented|remote] [--workers N]
 //!                   [--worker-log-dir DIR] [--worker-deadline-ms N]
 //!                   [--restart-budget N] [--backoff-ms N] [--backoff-seed N]
 //!                   [--checkpoint FILE | --resume FILE] [--stop-after-jobs N]
+//!                   [--checkpoint-generations N] [--stop-after-progress N]
 //! sega-dcim worker  --serve [--fail-after N] [--corrupt-after N]
 //!                   [--hang-after N] [--stall-ms N] [--truncate-after N]
 //!                   [--worker-id N] [--log]
@@ -53,6 +54,16 @@
 //! journal, and produces a report **byte-identical** to an uninterrupted
 //! run. `--stop-after-jobs N` stops after N executed jobs — the
 //! deterministic stand-in for `kill -9` in the CI resume arm.
+//! `--checkpoint-generations G` additionally journals the NSGA-II driver
+//! state *inside* each job every G bred generations, so `--resume` picks
+//! an interrupted exploration up at its last generation boundary instead
+//! of re-running it; `--stop-after-progress N` abandons the run right
+//! after the Nth such record — the mid-job kill stand-in.
+//!
+//! `--speculate` overlaps generations: while a cohort is in flight on
+//! the backend, the next one is bred from cache-hit rows and predicted
+//! misses, then re-bred if the real rows disagree — the committed
+//! trajectory (and front) is bit-identical to the synchronous loop.
 //!
 //! `worker` is the serving half of that protocol: it speaks frames on
 //! stdio and is only useful when launched by a coordinator (or a test).
@@ -98,12 +109,13 @@ const USAGE: &str = "usage:
   sega-dcim estimate --n N --h H --l L --k K --precision P [--json]
   sega-dcim batch    --jobs FILE [--cache-file FILE] [--report FILE]
                      [--population N] [--generations N] [--seed N]
-                     [--threads N] [--shards N]
+                     [--threads N] [--shards N] [--speculate]
                      [--backend macro|instrumented|remote] [--workers N]
                      [--worker-log-dir DIR] [--worker-deadline-ms N]
                      [--restart-budget N] [--backoff-ms N] [--backoff-seed N]
                      [--inject-fault none|kill-one|corrupt-one|hang-one|stall-one|truncate-one]
                      [--checkpoint FILE | --resume FILE] [--stop-after-jobs N]
+                     [--checkpoint-generations N] [--stop-after-progress N]
   sega-dcim worker   --serve [--fail-after N] [--corrupt-after N] [--hang-after N]
                      [--stall-ms N] [--truncate-after N] [--worker-id N] [--log]
 precisions:   int2 int4 int8 int16 fp8 fp16 bf16 fp32
@@ -129,11 +141,19 @@ precisions:   int2 int4 int8 int16 fp8 fp16 bf16 fp32
 --inject-fault: sabotage remote worker 0 (none|kill-one|corrupt-one|hang-one|
               stall-one|truncate-one) — the CI fault matrix; results must
               stay bit-identical regardless
+--speculate:  breed each generation speculatively while the previous cohort is
+              still in flight (predicted rows for cache misses, re-bred on
+              mismatch); fronts stay bit-identical to the synchronous loop
 --checkpoint: journal completed jobs (and cache deltas) to FILE as they finish
 --resume:     skip the jobs FILE already records and warm-start from its deltas;
               the finished report is byte-identical to an uninterrupted run
 --stop-after-jobs: stop after N executed jobs (requires --checkpoint or
               --resume; the report is withheld — resume to finish the batch)
+--checkpoint-generations: also journal the GA driver state inside each job
+              every N bred generations, so --resume continues an interrupted
+              exploration at its last journaled generation boundary
+--stop-after-progress: abandon the run after the Nth mid-job progress record
+              (requires --checkpoint-generations; the mid-job kill stand-in)
 --serve:      speak the framed eval protocol on stdio (workers are spawned by
               a coordinator, not run by hand)";
 
@@ -158,7 +178,13 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected `--flag`, got `{arg}`"))?;
         // Boolean flags take no value.
-        if key == "csv" || key == "no-cache" || key == "json" || key == "serve" || key == "log" {
+        if key == "csv"
+            || key == "no-cache"
+            || key == "json"
+            || key == "serve"
+            || key == "log"
+            || key == "speculate"
+        {
             flags.insert(key.to_owned(), "true".to_owned());
             continue;
         }
@@ -529,7 +555,22 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
             .to_owned());
     }
     let checkpoint = match (flags.get("checkpoint"), flags.get("resume")) {
-        (Some(path), None) => Some(sega_dcim::CheckpointConfig::fresh(path)),
+        (Some(path), None) => {
+            // Fail (or mkdir) now, not after the first job has already
+            // burned minutes of exploration: Journal::create would only
+            // discover a missing directory when it opens the file.
+            if let Some(parent) = Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() && !parent.exists() {
+                    fs::create_dir_all(parent).map_err(|e| {
+                        format!(
+                            "cannot create checkpoint directory `{}`: {e}",
+                            parent.display()
+                        )
+                    })?;
+                }
+            }
+            Some(sega_dcim::CheckpointConfig::fresh(path))
+        }
         (None, Some(path)) => Some(sega_dcim::CheckpointConfig::resume(path)),
         _ => None,
     };
@@ -542,6 +583,31 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err(
             "--stop-after-jobs requires --checkpoint or --resume (an early stop \
              without a journal just loses work)"
+                .to_owned(),
+        );
+    }
+    let checkpoint_generations = get_positive(
+        flags,
+        "checkpoint-generations",
+        "omit the flag for job-granular journaling only",
+    )?
+    .unwrap_or(0);
+    if checkpoint_generations > 0 && checkpoint.is_none() {
+        return Err(
+            "--checkpoint-generations requires --checkpoint or --resume (mid-job \
+             progress records need a journal to land in)"
+                .to_owned(),
+        );
+    }
+    let stop_after_progress = get_positive(
+        flags,
+        "stop-after-progress",
+        "stopping before the first progress record would journal nothing",
+    )?;
+    if stop_after_progress.is_some() && checkpoint_generations == 0 {
+        return Err(
+            "--stop-after-progress requires --checkpoint-generations (without it \
+             no progress record is ever written, so the run would never stop)"
                 .to_owned(),
         );
     }
@@ -586,6 +652,9 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut pipeline = PipelineOptions::default().with_shared_cache(Arc::clone(&cache));
     if let Some(t) = threads {
         pipeline.threads = t;
+    }
+    if flags.contains_key("speculate") {
+        pipeline.speculate = true;
     }
     let mut instrumented: Option<Arc<InstrumentedBackend>> = None;
     let mut remote: Option<Arc<RemoteBackend>> = None;
@@ -644,6 +713,8 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
     let control = sega_dcim::BatchControl {
         checkpoint,
         stop_after_jobs,
+        checkpoint_generations,
+        stop_after_progress,
     };
     let mut report = run_batch_with(
         &jobs,
@@ -689,27 +760,38 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
         );
     }
 
-    eprintln!(
-        "{} jobs: {} evaluations, {} distinct estimates, {} cache hits ({} warm-start entries)",
+    // Accumulate the whole stats block and emit it with ONE write_all:
+    // per-line eprintln! takes and releases the stderr lock between
+    // lines, so worker stderr (forwarded by the log pump threads under
+    // --worker-log-dir) can interleave mid-block and garble the summary.
+    use std::io::Write as _;
+    let mut summary = format!(
+        "{} jobs: {} evaluations, {} distinct estimates, {} cache hits ({} warm-start entries)\n",
         report.outcomes.len(),
         report.evaluations,
         report.distinct_evaluations,
         report.cache_hits,
         report.preloaded_entries
     );
+    if report.speculation.speculated > 0 {
+        summary.push_str(&format!(
+            "speculation: {} cohorts bred ahead, {} confirmed, {} re-bred\n",
+            report.speculation.speculated, report.speculation.confirmed, report.speculation.rebred,
+        ));
+    }
     if let Some(backend) = instrumented {
-        eprintln!(
-            "backend traffic: {} cohorts, {} geometries",
+        summary.push_str(&format!(
+            "backend traffic: {} cohorts, {} geometries\n",
             backend.cohorts(),
             backend.geometries()
-        );
+        ));
     }
     if let Some(backend) = remote {
         let stats = backend.stats();
-        eprintln!(
+        summary.push_str(&format!(
             "remote fleet: {}/{} workers alive, {} round-trips, {} geometries \
              ({} requeued sub-cohorts, {} timeouts, {} worker deaths, {} respawns, \
-             {} evaluated in-process), {} delta entries merged",
+             {} evaluated in-process), {} delta entries merged\n",
             stats.workers_alive,
             stats.workers_spawned,
             stats.round_trips,
@@ -720,8 +802,9 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
             stats.respawns,
             stats.fallback_geometries,
             stats.merged_entries,
-        );
+        ));
     }
+    let _ = std::io::stderr().lock().write_all(summary.as_bytes());
     Ok(())
 }
 

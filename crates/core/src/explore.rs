@@ -30,10 +30,13 @@ use rand::Rng;
 
 use sega_cells::Technology;
 use sega_estimator::{DcimDesign, EstimatorStats, MacroEstimate, OperatingConditions};
-use sega_moga::{DominanceStats, Nsga2, Nsga2Config, ObjectiveMatrix, Problem};
+use sega_moga::{
+    DominanceStats, DriverPhase, DriverState, Nsga2Config, Nsga2Driver, Nsga2Result,
+    ObjectiveMatrix, Problem, SpeculationStats,
+};
 use sega_parallel::{resolve_threads, Pool};
 
-use crate::backend::{default_backend, CohortEvaluator, EvalBackend, GeometryLens};
+use crate::backend::{default_backend, CohortEvaluator, EvalBackend, EvalTicket, GeometryLens};
 use crate::cache::{CacheKey, EvalStats, FxHashMap, KeySpace, SharedEvalCache};
 use crate::spec::UserSpec;
 
@@ -82,6 +85,16 @@ pub struct PipelineOptions {
     /// so the choice can never change a front — only where and how fast
     /// estimates happen.
     pub backend: Option<Arc<dyn EvalBackend>>,
+    /// Overlap evaluation with breeding: while a generation's cohort is
+    /// in flight on the backend, breed the next generation against
+    /// *predicted* rows (cache hits exact, misses pessimistically `+∞`)
+    /// and reconcile when the true rows land — a mispredict rewinds and
+    /// re-breeds, so the committed trajectory is **bit-identical** to
+    /// the synchronous loop for every prediction outcome (see
+    /// [`Nsga2Driver::speculate`]). The bet is accounted in
+    /// [`ExplorationResult::speculation`]. Off by default: it only pays
+    /// when evaluation has real latency to hide (a remote fleet).
+    pub speculate: bool,
 }
 
 impl Default for PipelineOptions {
@@ -93,6 +106,7 @@ impl Default for PipelineOptions {
             pool: None,
             shared_cache: None,
             backend: None,
+            speculate: false,
         }
     }
 }
@@ -143,6 +157,14 @@ impl PipelineOptions {
     #[must_use]
     pub fn with_backend(mut self, backend: Arc<dyn EvalBackend>) -> Self {
         self.backend = Some(backend);
+        self
+    }
+
+    /// Enables the speculative breed-ahead loop (see
+    /// [`PipelineOptions::speculate`]).
+    #[must_use]
+    pub fn speculative(mut self) -> Self {
+        self.speculate = true;
         self
     }
 }
@@ -245,6 +267,11 @@ pub struct ExplorationResult {
     /// designs estimated and how many lanes went through the vector
     /// finish vs the scalar block.
     pub estimator: EstimatorStats,
+    /// The speculative loop's ledger (all zero unless
+    /// [`PipelineOptions::speculate`] was on):
+    /// `speculated == confirmed + rebred` always holds, and the front is
+    /// bit-identical to the synchronous loop either way.
+    pub speculation: SpeculationStats,
 }
 
 impl ExplorationResult {
@@ -326,6 +353,38 @@ struct BatchScratch {
     missing: Vec<Geometry>,
     /// `missing[i]`'s index into `distinct`.
     missing_slots: Vec<usize>,
+}
+
+/// One cohort between [`DcimProblem::begin_cohort`] and
+/// [`DcimProblem::finish_cohort`]: the dedup tables, what the cache
+/// already knew, and the [`EvalTicket`] for the misses in flight on the
+/// backend. Owns its buffers (unlike the synchronous path's shared
+/// [`BatchScratch`]) because it outlives the call that created it.
+pub struct PendingCohort {
+    /// Input genomes in the cohort (pre-dedup).
+    total: usize,
+    /// For every input genome, its index into the distinct list.
+    slots: Vec<usize>,
+    /// Cache-resolved objectives per distinct geometry (`None` = in
+    /// flight on the backend).
+    resolved: Vec<Option<[f64; 4]>>,
+    /// The cache misses submitted to the backend.
+    missing: Vec<Geometry>,
+    /// `missing[i]`'s index into the distinct list.
+    missing_slots: Vec<usize>,
+    /// The backend's handle on the in-flight misses.
+    ticket: Box<dyn EvalTicket>,
+    /// Estimator counters at submit time, so `finish_cohort` records the
+    /// same delta the synchronous path would.
+    before: EstimatorStats,
+}
+
+impl PendingCohort {
+    /// How many of the cohort's distinct geometries are cache misses
+    /// still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.missing.len()
+    }
 }
 
 impl DcimProblem {
@@ -414,6 +473,105 @@ impl DcimProblem {
     /// The persistent pool this problem's batches run on.
     pub fn pool(&self) -> &Arc<Pool> {
         &self.pool
+    }
+
+    /// The asynchronous half-open form of
+    /// [`evaluate_batch_into`](Problem::evaluate_batch_into): dedup the
+    /// cohort, resolve what the cache knows, and **submit** the misses
+    /// to the backend without waiting — the caller gets a
+    /// [`PendingCohort`] to finish later and may do useful work (breed
+    /// the next speculative generation) in between. The dedup, probe and
+    /// submit logic mirrors the synchronous path exactly, so
+    /// `begin_cohort` + [`finish_cohort`](Self::finish_cohort) produces
+    /// the same rows and the same accounting as one
+    /// `evaluate_batch_into` call.
+    pub fn begin_cohort(&self, genomes: &[Geometry]) -> PendingCohort {
+        let mut index_of: FxHashMap<Geometry, usize> = FxHashMap::default();
+        let mut distinct: Vec<Geometry> = Vec::new();
+        let mut slots: Vec<usize> = Vec::with_capacity(genomes.len());
+        for g in genomes {
+            let slot = *index_of.entry(*g).or_insert_with(|| {
+                distinct.push(*g);
+                distinct.len() - 1
+            });
+            slots.push(slot);
+        }
+        let mut resolved: Vec<Option<[f64; 4]>> = vec![None; distinct.len()];
+        let mut missing: Vec<Geometry> = Vec::new();
+        let mut missing_slots: Vec<usize> = Vec::new();
+        if self.pipeline.cache {
+            for (i, g) in distinct.iter().enumerate() {
+                match self.space.get(g) {
+                    Some(objectives) => resolved[i] = Some(objectives),
+                    None => {
+                        missing.push(*g);
+                        missing_slots.push(i);
+                    }
+                }
+            }
+        } else {
+            missing.extend_from_slice(&distinct);
+            missing_slots.extend(0..distinct.len());
+        }
+        let workers = batch_workers(&self.pipeline, missing.len());
+        let before = self.evaluator.estimator_stats();
+        let ticket = self.evaluator.submit_cohort(&missing, &self.pool, workers);
+        PendingCohort {
+            total: genomes.len(),
+            slots,
+            resolved,
+            missing,
+            missing_slots,
+            ticket,
+            before,
+        }
+    }
+
+    /// The speculative survivor estimate for an in-flight cohort: cache
+    /// hits answer with their exact rows, outstanding misses predict
+    /// `+∞` on every objective (certainly dominated, so a predicted miss
+    /// never displaces a real survivor). Deliberately **never** polls
+    /// the ticket: the prediction is a pure function of the seed and the
+    /// cache history, so [`ExplorationResult::speculation`] is
+    /// reproducible run-over-run instead of depending on worker timing.
+    pub fn predicted_rows(&self, pending: &PendingCohort) -> ObjectiveMatrix {
+        let mut rows = ObjectiveMatrix::with_capacity(4, pending.total);
+        for &slot in &pending.slots {
+            rows.push_row(&pending.resolved[slot].unwrap_or([f64::INFINITY; 4]));
+        }
+        rows
+    }
+
+    /// Waits out a [`begin_cohort`](Self::begin_cohort) ticket and
+    /// completes the batch exactly as the synchronous path would:
+    /// estimator delta recorded, fresh rows installed into the cache,
+    /// hit/miss accounting, and one objective row per input genome.
+    pub fn finish_cohort(&self, pending: PendingCohort) -> ObjectiveMatrix {
+        let PendingCohort {
+            total,
+            slots,
+            mut resolved,
+            missing,
+            missing_slots,
+            ticket,
+            before,
+        } = pending;
+        let computed = ticket.wait();
+        self.stats
+            .record_estimator(self.evaluator.estimator_stats().since(before));
+        for ((slot, genome), objectives) in missing_slots.iter().zip(&missing).zip(computed) {
+            if self.pipeline.cache {
+                self.space.insert(*genome, objectives);
+            }
+            resolved[*slot] = Some(objectives);
+        }
+        self.stats.record(total - missing.len(), missing.len());
+        self.cache.record(total - missing.len(), missing.len());
+        let mut rows = ObjectiveMatrix::with_capacity(4, total);
+        for &slot in &slots {
+            rows.push_row(&resolved[slot].expect("every distinct geometry resolved"));
+        }
+        rows
     }
 
     /// Evaluates one geometry through the backend, bypassing the cache.
@@ -649,8 +807,134 @@ pub fn explore_pareto_with(
     config: &Nsga2Config,
     pipeline: PipelineOptions,
 ) -> ExplorationResult {
+    explore_pareto_resumable(
+        spec,
+        tech,
+        conditions,
+        config,
+        pipeline,
+        None,
+        0,
+        &mut |_| true,
+    )
+    .expect("an exploration without checkpoints cannot be interrupted")
+}
+
+/// Everything needed to continue an exploration from a generation
+/// boundary in another process: the GA driver's complete state plus the
+/// problem-level accounting recorded so far. The *cache contents*
+/// accumulated since the exploration began travel separately (a
+/// [`Snapshot`](sega_wire::Snapshot) delta in the batch checkpoint
+/// journal) — with both restored, the resumed run's front and accounting
+/// match the uninterrupted run exactly.
+#[derive(Debug, Clone)]
+pub struct ExploreResume {
+    /// The GA state at a `Breed`-phase generation boundary.
+    pub driver: DriverState<Geometry>,
+    /// Cache hits the problem's stats had recorded.
+    pub hits: usize,
+    /// Distinct evaluations (misses) the problem's stats had recorded.
+    pub misses: usize,
+    /// Estimator-kernel counters recorded so far.
+    pub estimator: EstimatorStats,
+}
+
+/// [`explore_pareto_with`] with mid-exploration checkpointing and
+/// resume: every `checkpoint_every` generations (0 = never) the driver
+/// state and accounting are offered to `on_checkpoint` at a generation
+/// boundary; returning `false` abandons the run (the caller has
+/// persisted the state and wants to stop — the interruption test path),
+/// yielding `None`. Passing a previously captured [`ExploreResume`]
+/// continues that run: the RNG stream, counters and (given the caller
+/// also restored the cache) the front are exactly those of an
+/// uninterrupted run — except the dominance `allocations` counter, which
+/// measures scratch-buffer warmth the resumed process must rebuild.
+///
+/// Speculation ([`PipelineOptions::speculate`]) composes: a cohort whose
+/// commit lands on a checkpoint boundary takes the synchronous path so
+/// the driver passes through the `Breed` boundary where state export is
+/// defined.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_pareto_resumable(
+    spec: &UserSpec,
+    tech: &Technology,
+    conditions: &OperatingConditions,
+    config: &Nsga2Config,
+    pipeline: PipelineOptions,
+    resume: Option<ExploreResume>,
+    checkpoint_every: usize,
+    on_checkpoint: &mut dyn FnMut(&ExploreResume) -> bool,
+) -> Option<ExplorationResult> {
+    let speculate = pipeline.speculate;
     let problem = DcimProblem::with_options(*spec, tech.clone(), *conditions, pipeline);
-    let result = Nsga2::new(config.clone()).run(&problem);
+    let mut driver = match resume {
+        Some(resume) => {
+            // Replay the accounting the interrupted run had already
+            // recorded, so the final report matches an uninterrupted
+            // run's.
+            problem.stats().record(resume.hits, resume.misses);
+            problem.cache().record(resume.hits, resume.misses);
+            problem.stats().record_estimator(resume.estimator);
+            Nsga2Driver::from_state(resume.driver)
+        }
+        None => Nsga2Driver::new(config.clone(), problem.objectives()),
+    };
+    let mut last_checkpoint = driver.bred();
+    let result = loop {
+        match driver.phase() {
+            DriverPhase::Breed => {
+                let bred = driver.bred();
+                if checkpoint_every > 0
+                    && bred > 0
+                    && bred % checkpoint_every == 0
+                    && bred != last_checkpoint
+                {
+                    last_checkpoint = bred;
+                    let state = ExploreResume {
+                        driver: driver.export_state(),
+                        hits: problem.stats().hits(),
+                        misses: problem.stats().distinct_evaluations(),
+                        estimator: problem.stats().estimator(),
+                    };
+                    if !on_checkpoint(&state) {
+                        return None;
+                    }
+                }
+                driver.breed(&problem);
+            }
+            DriverPhase::Submitted => {
+                // A cohort committing onto a checkpoint boundary stays
+                // synchronous so the driver reaches the Breed boundary
+                // where `export_state` is defined.
+                let boundary = checkpoint_every > 0 && driver.bred() % checkpoint_every == 0;
+                if speculate && !driver.is_final_cohort() && !boundary {
+                    let pending = problem.begin_cohort(driver.pending());
+                    let predicted = problem.predicted_rows(&pending);
+                    driver.speculate(&problem, &predicted);
+                    let actual = problem.finish_cohort(pending);
+                    driver.resolve(&problem, &actual);
+                } else {
+                    let mut rows = ObjectiveMatrix::with_capacity(4, driver.pending().len());
+                    let cohort = driver.pending().to_vec();
+                    problem.evaluate_batch_into(&cohort, &mut rows);
+                    driver.provide_rows(&rows);
+                }
+            }
+            DriverPhase::Reconcile => driver.reconcile(),
+            DriverPhase::Select => driver.select(),
+            DriverPhase::Done => break driver.into_result(),
+        }
+    };
+    Some(conclude(&problem, spec, result))
+}
+
+/// Materializes a finished GA run into the exploration report: front
+/// solutions presented and deduplicated, accounting folded together.
+fn conclude(
+    problem: &DcimProblem,
+    spec: &UserSpec,
+    result: Nsga2Result<Geometry>,
+) -> ExplorationResult {
     problem.stats().record_dominance(result.dominance);
     let mut solutions: Vec<ParetoSolution> = result
         .front
@@ -678,6 +962,7 @@ pub fn explore_pareto_with(
         interned: result.interned,
         dominance: result.dominance,
         estimator: problem.stats().estimator(),
+        speculation: result.speculation,
     }
 }
 

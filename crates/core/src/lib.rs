@@ -81,7 +81,7 @@ mod spec;
 pub mod testbench;
 
 pub use backend::{
-    CohortEvaluator, EvalBackend, GeometryLens, InstrumentedBackend, MacroModelBackend,
+    CohortEvaluator, EvalBackend, EvalTicket, GeometryLens, InstrumentedBackend, MacroModelBackend,
 };
 pub use batch::{run_batch, run_batch_with, BatchControl, BatchJob, BatchOutcome, BatchReport};
 pub use cache::{CacheKey, EvalStats, SharedEvalCache};
@@ -90,7 +90,8 @@ pub use compiler::{CompileError, CompiledMacro, Compiler};
 pub use distill::DistillStrategy;
 pub use enumerate::{enumerate_design_space, enumerate_design_space_with, exhaustive_front};
 pub use explore::{
-    explore_pareto, explore_pareto_with, ExplorationResult, ParetoSolution, PipelineOptions,
+    explore_pareto, explore_pareto_resumable, explore_pareto_with, ExplorationResult,
+    ExploreResume, ParetoSolution, PipelineOptions,
 };
 pub use mixed::{explore_mixed, explore_mixed_with, MixedExploration};
 pub use remote::{RemoteBackend, RemoteOptions, RemoteStats, WorkerCommand, WorkerOptions};

@@ -67,7 +67,7 @@ use sega_wire::frame::{self, EvalRequest, EvalResponse, FrameError, Message, PRO
 use sega_wire::snapshot::{EntryRecord, SpaceRecord};
 use sega_wire::{GeometryRecord, KeyRecord, Snapshot};
 
-use crate::backend::{CohortEvaluator, EvalBackend, MacroModelBackend};
+use crate::backend::{CohortEvaluator, EvalBackend, EvalTicket, MacroModelBackend};
 use crate::cache::{CacheKey, FxHasher, SharedEvalCache};
 use crate::explore::{Geometry, ParetoSolution};
 use crate::spec::UserSpec;
@@ -263,6 +263,15 @@ struct WorkerHandle {
     stdin: Option<ChildStdin>,
     /// Frames (or the terminal transport error) from the reader thread.
     incoming: Receiver<Result<Message, FrameError>>,
+    /// Responses drained off the channel while looking for a different
+    /// correlation id — with multiple cohorts in flight (the async
+    /// submit/wait seam), worker responses can arrive interleaved, and a
+    /// ticket collecting its own id must park the others here rather
+    /// than drop them.
+    stash: HashMap<u64, EvalResponse>,
+    /// A terminal frame/transport error drained by a non-blocking
+    /// harvest, replayed to the next collect against this worker.
+    pending_error: Option<FrameError>,
     reader: Option<JoinHandle<()>>,
     alive: bool,
 }
@@ -367,9 +376,7 @@ fn splitmix64(seed: u64) -> u64 {
 /// from `(seed, worker, attempt)` — so colliding respawns of different
 /// workers spread out, yet a seeded test replays the exact schedule.
 fn backoff_delay(config: &SupervisionConfig, worker: usize, attempt: u32) -> Duration {
-    let doubled = config
-        .backoff_base
-        .saturating_mul(1u32 << attempt.min(16));
+    let doubled = config.backoff_base.saturating_mul(1u32 << attempt.min(16));
     let bits = splitmix64(config.backoff_seed ^ ((worker as u64) << 32) ^ u64::from(attempt));
     let jitter = 1.0 + (bits >> 11) as f64 / (1u64 << 53) as f64;
     doubled.mul_f64(jitter)
@@ -660,6 +667,8 @@ fn spawn_worker(
                     pid,
                     stdin: Some(stdin),
                     incoming,
+                    stash: HashMap::new(),
+                    pending_error: None,
                     reader: Some(reader),
                     alive: true,
                 }),
@@ -711,8 +720,11 @@ impl EvalBackend for RemoteBackend {
 }
 
 /// [`RemoteBackend`] bound to one exploration's invariants: the key
-/// record every request carries, plus the shared fleet.
-#[derive(Debug)]
+/// record every request carries, plus the shared fleet. `Clone` is
+/// cheap (a key record and three `Arc`s) — a [`RemoteTicket`] carries a
+/// clone so an in-flight cohort can outlive the borrow that submitted
+/// it.
+#[derive(Debug, Clone)]
 struct RemoteEvaluator {
     key: KeyRecord,
     fleet: Arc<Fleet>,
@@ -738,6 +750,43 @@ fn record_of(g: &Geometry) -> GeometryRecord {
         log_l: g.log_l,
         k: g.k,
     }
+}
+
+/// A response with the right correlation id but the wrong number of rows
+/// is malformed — the id already matched, so only the shape can lie.
+fn validate_shape(
+    resp: EvalResponse,
+    id: u64,
+    expected_rows: usize,
+) -> Result<EvalResponse, FrameError> {
+    if resp.rows.len() == expected_rows {
+        Ok(resp)
+    } else {
+        Err(FrameError::Wire(sega_wire::WireError::Malformed(format!(
+            "response shape mismatch: id {} rows {} (expected id {id} rows {expected_rows})",
+            resp.id,
+            resp.rows.len()
+        ))))
+    }
+}
+
+/// One cohort between [`RemoteEvaluator::submit_inner`] and
+/// [`RemoteEvaluator::wait_inner`]: the dispatched requests, the
+/// sub-cohorts that already need recovery, and the output rows filled in
+/// so far. The fleet lock is **not** held across this gap — that is the
+/// point of the async seam — so responses landing while the coordinator
+/// does other work wait in the worker channels (or another ticket's
+/// collect parks them in the per-worker stash).
+#[derive(Debug)]
+struct InflightCohort {
+    cohort: Vec<Geometry>,
+    out: Vec<[f64; 4]>,
+    /// `(worker, correlation id, cohort slots)` in dispatch order.
+    inflight: Vec<(usize, u64, Vec<usize>)>,
+    /// Sub-cohorts whose dispatch already failed (worker buried).
+    requeue: Vec<Vec<usize>>,
+    /// Slots that never had a live worker — straight to the fallback.
+    orphans: Vec<usize>,
 }
 
 impl RemoteEvaluator {
@@ -774,11 +823,14 @@ impl RemoteEvaluator {
         self.collect(state, w, id, slots.len())
     }
 
-    /// Reads worker `w`'s next frame — bounded by the fleet's
-    /// per-request deadline, so a hung worker surfaces as
+    /// Reads worker `w`'s response for correlation id `id` — bounded by
+    /// the fleet's per-request deadline, so a hung worker surfaces as
     /// [`FrameError::Timeout`] (counted) instead of blocking the batch —
-    /// and validates it against the expected correlation id and row
-    /// count.
+    /// and validates its row count. The stash is consulted first and
+    /// fed in turn: with several cohorts in flight on the async seam,
+    /// the worker's responses can arrive interleaved, so a frame
+    /// answering a *different* id is parked for that id's collect
+    /// instead of being treated as a protocol error.
     fn collect(
         &self,
         state: &mut FleetState,
@@ -786,29 +838,60 @@ impl RemoteEvaluator {
         id: u64,
         expected_rows: usize,
     ) -> Result<EvalResponse, FrameError> {
-        let frame = match state.workers[w].recv_deadline(self.fleet.config.deadline) {
-            Ok(frame) => frame,
-            Err(e) => {
-                if matches!(e, FrameError::Timeout { .. }) {
-                    self.fleet.counters.timeouts.add(1);
-                }
+        loop {
+            if let Some(resp) = state.workers[w].stash.remove(&id) {
+                return validate_shape(resp, id, expected_rows);
+            }
+            if let Some(e) = state.workers[w].pending_error.take() {
                 return Err(e);
             }
-        };
-        match frame {
-            Message::Response(resp) if resp.id == id && resp.rows.len() == expected_rows => {
-                Ok(resp)
+            let frame = match state.workers[w].recv_deadline(self.fleet.config.deadline) {
+                Ok(frame) => frame,
+                Err(e) => {
+                    if matches!(e, FrameError::Timeout { .. }) {
+                        self.fleet.counters.timeouts.add(1);
+                    }
+                    return Err(e);
+                }
+            };
+            match frame {
+                Message::Response(resp) if resp.id == id => {
+                    return validate_shape(resp, id, expected_rows);
+                }
+                Message::Response(resp) => {
+                    state.workers[w].stash.insert(resp.id, resp);
+                }
+                _ => {
+                    return Err(FrameError::Wire(sega_wire::WireError::Malformed(
+                        "worker sent a non-response frame".to_owned(),
+                    )))
+                }
             }
-            Message::Response(resp) => Err(FrameError::Wire(sega_wire::WireError::Malformed(
-                format!(
-                    "response shape mismatch: id {} rows {} (expected id {id} rows {expected_rows})",
-                    resp.id,
-                    resp.rows.len()
-                ),
-            ))),
-            _ => Err(FrameError::Wire(sega_wire::WireError::Malformed(
-                "worker sent a non-response frame".to_owned(),
-            ))),
+        }
+    }
+
+    /// Drains worker `w`'s channel without blocking, parking responses in
+    /// the stash and a terminal error in `pending_error` — the
+    /// [`EvalTicket::poll`] primitive.
+    fn harvest(&self, state: &mut FleetState, w: usize) {
+        loop {
+            match state.workers[w].incoming.try_recv() {
+                Ok(Ok(Message::Response(resp))) => {
+                    state.workers[w].stash.insert(resp.id, resp);
+                }
+                Ok(Ok(_)) => {
+                    state.workers[w].pending_error =
+                        Some(FrameError::Wire(sega_wire::WireError::Malformed(
+                            "worker sent a non-response frame".to_owned(),
+                        )));
+                    return;
+                }
+                Ok(Err(e)) => {
+                    state.workers[w].pending_error = Some(e);
+                    return;
+                }
+                Err(_) => return, // empty or disconnected: nothing buffered
+            }
         }
     }
 
@@ -835,16 +918,27 @@ impl RemoteEvaluator {
         }
         self.fleet.counters.round_trips.add(1);
     }
-}
 
-impl CohortEvaluator for RemoteEvaluator {
-    fn evaluate_cohort(&self, cohort: &[Geometry], pool: &Pool, workers: usize) -> Vec<[f64; 4]> {
-        if cohort.is_empty() {
-            return Vec::new();
+    /// Phase 1 of a cohort — partition and pipelined dispatch. Writes
+    /// every sub-cohort request before returning, so the fleet computes
+    /// while the coordinator does other work (breeding the next
+    /// speculative generation, say); the lock is released when this
+    /// returns.
+    fn submit_inner(&self, cohort: &[Geometry]) -> InflightCohort {
+        let mut flight = InflightCohort {
+            cohort: cohort.to_vec(),
+            out: vec![[f64::NAN; 4]; cohort.len()],
+            inflight: Vec::new(),
+            requeue: Vec::new(),
+            orphans: Vec::new(),
+        };
+        if flight.cohort.is_empty() {
+            return flight;
         }
-        let counters = &self.fleet.counters;
-        counters.geometries.add(cohort.len() as u64);
-        let mut out = vec![[f64::NAN; 4]; cohort.len()];
+        self.fleet
+            .counters
+            .geometries
+            .add(flight.cohort.len() as u64);
         let mut state = self.fleet.state.lock().expect("fleet state poisoned");
         // Respawn pass: buried workers whose backoff elapsed rejoin the
         // rotation before this cohort partitions.
@@ -852,38 +946,71 @@ impl CohortEvaluator for RemoteEvaluator {
         let fleet_size = state.workers.len();
 
         // Partition by shard onto alive workers; orphans (no fleet left)
-        // go straight to the in-process fallback below.
+        // go straight to the in-process fallback at wait time.
         let mut parts: Vec<Vec<usize>> = vec![Vec::new(); fleet_size];
-        let mut orphans: Vec<usize> = Vec::new();
-        for (i, g) in cohort.iter().enumerate() {
+        for (i, g) in flight.cohort.iter().enumerate() {
             match state.assign(worker_of(g, fleet_size)) {
                 Some(w) => parts[w].push(i),
-                None => orphans.push(i),
+                None => flight.orphans.push(i),
             }
         }
 
-        // Phase 1 — pipeline: write every sub-cohort request before
-        // reading any response, so the fleet computes concurrently.
-        let mut inflight: Vec<(usize, u64, Vec<usize>)> = Vec::new();
-        let mut requeue: Vec<Vec<usize>> = Vec::new();
+        // Pipeline: write every sub-cohort request before reading any
+        // response, so the fleet computes concurrently.
         for (w, slots) in parts.into_iter().enumerate() {
             if slots.is_empty() {
                 continue;
             }
-            match self.dispatch(&mut state, w, cohort, &slots) {
-                Ok(id) => inflight.push((w, id, slots)),
+            match self.dispatch(&mut state, w, &flight.cohort, &slots) {
+                Ok(id) => flight.inflight.push((w, id, slots)),
                 Err(_) => {
                     self.bury(&mut state, w);
-                    requeue.push(slots);
+                    flight.requeue.push(slots);
                 }
             }
         }
+        flight
+    }
+
+    /// How many of the flight's geometries already have a response
+    /// buffered (applied rows are not tracked separately before wait, so
+    /// this counts stashed/channel-landed sub-cohorts) — a cheap
+    /// progress probe, never blocking.
+    fn poll_inner(&self, flight: &InflightCohort) -> usize {
+        if flight.cohort.is_empty() {
+            return 0;
+        }
+        let mut state = self.fleet.state.lock().expect("fleet state poisoned");
+        let mut landed = 0;
+        for &(w, id, ref slots) in &flight.inflight {
+            self.harvest(&mut state, w);
+            if state.workers[w].stash.contains_key(&id) {
+                landed += slots.len();
+            }
+        }
+        landed
+    }
+
+    /// Phases 2 and 3 of a cohort — collect in dispatch order, then the
+    /// recovery loop (requeue to survivors, in-process fallback when the
+    /// fleet is exhausted). Consumes the flight and returns one row per
+    /// cohort geometry, exactly like the synchronous
+    /// [`CohortEvaluator::evaluate_cohort`].
+    fn wait_inner(&self, mut flight: InflightCohort, pool: &Pool, workers: usize) -> Vec<[f64; 4]> {
+        if flight.cohort.is_empty() {
+            return flight.out;
+        }
+        let counters = &self.fleet.counters;
+        let cohort = &flight.cohort;
+        let out = &mut flight.out;
+        let mut requeue = std::mem::take(&mut flight.requeue);
+        let mut state = self.fleet.state.lock().expect("fleet state poisoned");
 
         // Phase 2 — collect, in dispatch order. Any failure requeues the
         // sub-cohort; the worker is dead either way.
-        for (w, id, slots) in inflight {
+        for (w, id, slots) in std::mem::take(&mut flight.inflight) {
             match self.collect(&mut state, w, id, slots.len()) {
-                Ok(resp) => self.apply(&resp, &slots, &mut out),
+                Ok(resp) => self.apply(&resp, &slots, out),
                 Err(_) => {
                     self.bury(&mut state, w);
                     requeue.push(slots);
@@ -903,7 +1030,7 @@ impl CohortEvaluator for RemoteEvaluator {
                 Some(w) => {
                     counters.requeues.add(1);
                     match self.exchange(&mut state, w, cohort, &slots) {
-                        Ok(resp) => self.apply(&resp, &slots, &mut out),
+                        Ok(resp) => self.apply(&resp, &slots, out),
                         Err(_) => {
                             self.bury(&mut state, w);
                             requeue.push(slots);
@@ -920,15 +1047,72 @@ impl CohortEvaluator for RemoteEvaluator {
                 }
             }
         }
-        if !orphans.is_empty() {
-            counters.fallback_geometries.add(orphans.len() as u64);
-            let sub: Vec<Geometry> = orphans.iter().map(|&i| cohort[i]).collect();
+        drop(state);
+        if !flight.orphans.is_empty() {
+            counters
+                .fallback_geometries
+                .add(flight.orphans.len() as u64);
+            let sub: Vec<Geometry> = flight.orphans.iter().map(|&i| cohort[i]).collect();
             let rows = self.fallback.evaluate_cohort(&sub, pool, workers);
-            for (&slot, row) in orphans.iter().zip(rows) {
+            for (&slot, row) in flight.orphans.iter().zip(rows) {
                 out[slot] = row;
             }
         }
-        out
+        flight.out
+    }
+}
+
+/// A remote cohort in flight: the [`EvalTicket`] face of
+/// [`InflightCohort`]. Holds a clone of its evaluator (an `Arc` fan-out)
+/// so the ticket is `'static` and can outlive the exploration step that
+/// submitted it.
+struct RemoteTicket {
+    evaluator: RemoteEvaluator,
+    flight: Option<InflightCohort>,
+    pool: Arc<Pool>,
+    workers: usize,
+}
+
+impl EvalTicket for RemoteTicket {
+    fn poll(&mut self) -> usize {
+        match &self.flight {
+            Some(flight) => self.evaluator.poll_inner(flight),
+            None => 0,
+        }
+    }
+
+    fn wait(self: Box<Self>) -> Vec<[f64; 4]> {
+        let ticket = *self;
+        let flight = ticket.flight.expect("ticket waited twice");
+        ticket
+            .evaluator
+            .wait_inner(flight, &ticket.pool, ticket.workers)
+    }
+}
+
+impl CohortEvaluator for RemoteEvaluator {
+    fn evaluate_cohort(&self, cohort: &[Geometry], pool: &Pool, workers: usize) -> Vec<[f64; 4]> {
+        if cohort.is_empty() {
+            return Vec::new();
+        }
+        // The synchronous path is literally submit-then-wait — there is
+        // one transport code path, the async seam, and this is its
+        // degenerate use.
+        self.wait_inner(self.submit_inner(cohort), pool, workers)
+    }
+
+    fn submit_cohort(
+        &self,
+        cohort: &[Geometry],
+        pool: &Arc<Pool>,
+        workers: usize,
+    ) -> Box<dyn EvalTicket> {
+        Box::new(RemoteTicket {
+            evaluator: self.clone(),
+            flight: Some(self.submit_inner(cohort)),
+            pool: Arc::clone(pool),
+            workers,
+        })
     }
 
     fn materialize(&self, g: &Geometry) -> Option<ParetoSolution> {

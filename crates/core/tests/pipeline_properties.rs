@@ -3,14 +3,17 @@
 //! their combinations — must return a **bit-identical** Pareto front for
 //! the same seed, and the evaluation accounting must be exact.
 
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use proptest::prelude::*;
 use sega_cells::Technology;
 use sega_dcim::explore::DcimProblem;
 use sega_dcim::{
-    explore_mixed_with, explore_pareto_with, ExplorationResult, InstrumentedBackend,
-    MacroModelBackend, PipelineOptions, SharedEvalCache, UserSpec,
+    explore_mixed_with, explore_pareto_resumable, explore_pareto_with, EvalBackend,
+    ExplorationResult, ExploreResume, InstrumentedBackend, MacroModelBackend, PipelineOptions,
+    RemoteBackend, RemoteOptions, SharedEvalCache, UserSpec,
 };
 use sega_estimator::{OperatingConditions, Precision};
 use sega_moga::{Nsga2Config, Problem};
@@ -399,4 +402,236 @@ fn cached_exploration_reaches_5x_fewer_estimates_at_default_budget() {
         run.estimator.batched + run.estimator.scalar_fallbacks,
         run.estimator.designs
     );
+}
+
+// ---------------------------------------------------------------------------
+// The speculative loop: breeding generation g+1 while generation g's
+// cohort is still in flight must be invisible in every committed number
+// — fronts AND accounting bit-identical to the synchronous loop, on
+// every backend, even with workers dying or hanging mid-run — and the
+// speculation ledger must partition exactly.
+// ---------------------------------------------------------------------------
+
+fn program() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_sega-dcim"))
+}
+
+/// A budget that actually converges: the low mutation rate lets late
+/// cohorts consist entirely of already-cached genomes, which is the
+/// only way a speculation can confirm (a predicted `+∞` miss row never
+/// matches a real estimate).
+fn small_cfg(seed: u64) -> Nsga2Config {
+    Nsga2Config {
+        population: 10,
+        generations: 12,
+        mutation_rate: 0.05,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn run_small(
+    spec: &UserSpec,
+    seed: u64,
+    speculate: bool,
+    backend: Option<Arc<dyn EvalBackend>>,
+) -> ExplorationResult {
+    let pipeline = PipelineOptions {
+        threads: 1,
+        cache: true,
+        min_batch_per_worker: 1,
+        speculate,
+        backend,
+        ..Default::default()
+    };
+    explore_pareto_with(
+        spec,
+        &Technology::tsmc28(),
+        &OperatingConditions::paper_default(),
+        &small_cfg(seed),
+        pipeline,
+    )
+}
+
+/// Everything the synchronous loop commits, compared field by field:
+/// the front and the full evaluation accounting.
+fn assert_committed_identical(run: &ExplorationResult, baseline: &ExplorationResult, label: &str) {
+    assert_eq!(
+        run.objective_matrix(),
+        baseline.objective_matrix(),
+        "{label}: front diverged from the synchronous loop"
+    );
+    assert_eq!(run.evaluations, baseline.evaluations, "{label}");
+    assert_eq!(
+        run.distinct_evaluations, baseline.distinct_evaluations,
+        "{label}"
+    );
+    assert_eq!(run.cache_hits, baseline.cache_hits, "{label}");
+    assert_eq!(run.interned, baseline.interned, "{label}");
+}
+
+/// The speculation ledger law: every speculated cohort either stood or
+/// was re-bred, nothing else.
+fn assert_speculation_ledger(run: &ExplorationResult, label: &str) {
+    assert_eq!(
+        run.speculation.speculated,
+        run.speculation.confirmed + run.speculation.rebred,
+        "{label}: ledger must partition ({:?})",
+        run.speculation
+    );
+}
+
+#[test]
+fn speculative_loop_is_bit_identical_across_backends_and_faults() {
+    let spec = UserSpec::new(8192, Precision::Int8).unwrap();
+    let seed = 41;
+    let baseline = run_small(&spec, seed, false, None);
+    assert_eq!(
+        baseline.speculation.speculated, 0,
+        "sync loop never speculates"
+    );
+
+    // The macro backend first: one speculation per non-final cohort.
+    let run = run_small(&spec, seed, true, None);
+    assert_committed_identical(&run, &baseline, "speculative macro");
+    assert_speculation_ledger(&run, "speculative macro");
+    assert_eq!(
+        run.speculation.speculated,
+        small_cfg(seed).generations as u64,
+        "every cohort but the final one is bred ahead"
+    );
+    assert!(
+        run.speculation.confirmed > 0,
+        "a converged fault-free run must confirm fully-cached cohorts: {:?}",
+        run.speculation
+    );
+
+    // Remote fleets: every size, healthy and sabotaged. Respawning is
+    // off and the deadline short, as in the remote acceptance suite.
+    for fleet_size in [1usize, 2, 3] {
+        for fault in [None, Some(("fail-after", 1u64)), Some(("hang-after", 1))] {
+            let mut options = RemoteOptions::fleet(program(), fleet_size)
+                .with_restart_budget(0)
+                .with_deadline(Duration::from_millis(500));
+            if let Some((flag, n)) = fault {
+                options.workers[0] = options.workers[0]
+                    .clone()
+                    .with_args([format!("--{flag}"), n.to_string()]);
+            }
+            let backend = Arc::new(RemoteBackend::spawn(options).expect("spawn fleet"))
+                as Arc<dyn EvalBackend>;
+            let label = format!("speculative remote x{fleet_size} fault {fault:?}");
+            let run = run_small(&spec, seed, true, Some(backend));
+            assert_committed_identical(&run, &baseline, &label);
+            assert_speculation_ledger(&run, &label);
+            if fault.is_none() {
+                assert!(
+                    run.speculation.confirmed > 0,
+                    "{label}: fault-free remote arm must confirm: {:?}",
+                    run.speculation
+                );
+            }
+        }
+    }
+}
+
+/// Stopping an exploration at a journaled generation boundary and
+/// resuming from the exported driver state reproduces the uninterrupted
+/// run's front and accounting — with and without speculation. The
+/// shared cache plays the role of the batch journal's snapshot delta.
+#[test]
+fn mid_exploration_checkpoint_resume_matches_the_uninterrupted_run() {
+    let spec = UserSpec::new(16384, Precision::Int8).unwrap();
+    let tech = Technology::tsmc28();
+    let conditions = OperatingConditions::paper_default();
+    let config = small_cfg(43);
+    for speculate in [false, true] {
+        let pipeline = |cache: &Arc<SharedEvalCache>| {
+            PipelineOptions {
+                threads: 1,
+                cache: true,
+                min_batch_per_worker: 1,
+                speculate,
+                ..Default::default()
+            }
+            .with_shared_cache(Arc::clone(cache))
+        };
+
+        let reference_cache = Arc::new(SharedEvalCache::new());
+        let reference = explore_pareto_resumable(
+            &spec,
+            &tech,
+            &conditions,
+            &config,
+            pipeline(&reference_cache),
+            None,
+            2,
+            &mut |_| true,
+        )
+        .expect("uninterrupted run");
+
+        // The "killed" run: capture the second checkpoint, then refuse
+        // to continue — exactly what `--stop-after-progress 2` does.
+        let cache = Arc::new(SharedEvalCache::new());
+        let mut captured: Option<ExploreResume> = None;
+        let mut checkpoints = 0usize;
+        let interrupted = explore_pareto_resumable(
+            &spec,
+            &tech,
+            &conditions,
+            &config,
+            pipeline(&cache),
+            None,
+            2,
+            &mut |state| {
+                checkpoints += 1;
+                if checkpoints == 2 {
+                    captured = Some(state.clone());
+                    false
+                } else {
+                    true
+                }
+            },
+        );
+        assert!(interrupted.is_none(), "the run must report the abandon");
+        let resume = captured.expect("two generation boundaries must pass");
+
+        let resumed = explore_pareto_resumable(
+            &spec,
+            &tech,
+            &conditions,
+            &config,
+            pipeline(&cache),
+            Some(resume),
+            2,
+            &mut |_| true,
+        )
+        .expect("resumed run");
+        let label = format!("resume (speculate: {speculate})");
+        assert_committed_identical(&resumed, &reference, &label);
+        // Scratch-allocation counters (dominance and estimator) depend
+        // on process-local buffer warmth and are exempt from the resume
+        // contract; the work counters and the speculation ledger are not.
+        assert_eq!(
+            resumed.dominance.comparisons, reference.dominance.comparisons,
+            "{label}"
+        );
+        assert_eq!(
+            resumed.dominance.word_ops, reference.dominance.word_ops,
+            "{label}"
+        );
+        assert_eq!(
+            resumed.estimator.designs, reference.estimator.designs,
+            "{label}"
+        );
+        assert_eq!(
+            resumed.estimator.batched, reference.estimator.batched,
+            "{label}"
+        );
+        assert_eq!(
+            resumed.estimator.scalar_fallbacks, reference.estimator.scalar_fallbacks,
+            "{label}"
+        );
+        assert_eq!(resumed.speculation, reference.speculation, "{label}");
+    }
 }

@@ -65,6 +65,23 @@ pub struct Individual<G> {
     pub crowding: f64,
 }
 
+/// The speculation ledger of one run: how often the driver bred a
+/// generation against predicted objective rows before the true rows had
+/// landed, and how each bet settled. The ledger law
+/// `speculated == confirmed + rebred` holds whenever no speculation is
+/// still outstanding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpeculationStats {
+    /// Generations bred speculatively (one per [`Nsga2Driver::speculate`]).
+    pub speculated: u64,
+    /// Speculations whose predicted rows matched the true rows
+    /// bit-for-bit — the speculative breeding stood.
+    pub confirmed: u64,
+    /// Speculations rolled back and re-bred because the true rows
+    /// differed from the prediction.
+    pub rebred: u64,
+}
+
 /// The outcome of an NSGA-II run.
 #[derive(Debug, Clone)]
 pub struct Nsga2Result<G> {
@@ -83,8 +100,11 @@ pub struct Nsga2Result<G> {
     /// [`Nsga2Config::intern`] is off.
     pub interned: usize,
     /// Dominance-kernel work counters accumulated across every
-    /// non-dominated sort of the run.
+    /// non-dominated sort of the run (honest totals: mispredicted
+    /// speculations keep the sorting work they discarded).
     pub dominance: DominanceStats,
+    /// The speculation ledger — all zero for a plain synchronous run.
+    pub speculation: SpeculationStats,
 }
 
 /// The NSGA-II algorithm (elitist fast-non-dominated-sorting GA with
@@ -101,6 +121,7 @@ pub struct Nsga2 {
 /// generation's selection machinery walks contiguous memory and never
 /// allocates per individual. [`Individual`]s are materialized only at
 /// the result boundary.
+#[derive(Clone)]
 struct Pop<G> {
     genomes: Vec<G>,
     objs: ObjectiveMatrix,
@@ -162,154 +183,631 @@ impl Nsga2 {
     /// evaluated, the result is bit-identical regardless of how the batch
     /// schedules the work — serially, across a thread pool, or through a
     /// memoizing cache — and regardless of whether interning is on.
+    ///
+    /// This is the thin synchronous driver loop over [`Nsga2Driver`]:
+    /// breed → evaluate-in-place → reconcile → select until done.
     pub fn run<P: Problem>(&self, problem: &P) -> Nsga2Result<P::Genome> {
-        let cfg = &self.config;
-        let m = problem.objectives();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut evaluations = 0usize;
-        // All per-generation working memory lives here and is reused for
-        // the whole run: the cohort buffer, the SoA population, and the
-        // sort/crowding/interning scratch. The evolution loop performs no
-        // steady-state buffer allocation.
-        let mut scratch = EvolutionScratch::new(m);
-        let mut cohort: Vec<P::Genome> = Vec::with_capacity(cfg.population);
-        let mut pop: Pop<P::Genome> = Pop {
-            genomes: Vec::with_capacity(2 * cfg.population),
-            objs: ObjectiveMatrix::with_capacity(m, 2 * cfg.population),
-            rank: Vec::new(),
-            crowding: Vec::new(),
-        };
+        Nsga2Driver::new(self.config.clone(), problem.objectives()).run_to_completion(problem)
+    }
+}
 
-        // Phase 1: breed the initial cohort (RNG only, no evaluation).
-        cohort.extend((0..cfg.population).map(|_| {
-            let mut g = problem.random_genome(&mut rng);
-            problem.repair(&mut g);
-            g
-        }));
+/// Where a [`Nsga2Driver`] stands in its step cycle.
+///
+/// The cycle is `Breed → Submitted → Reconcile → Select → Breed …`,
+/// ending in `Done` after the final cohort's selection. Every transition
+/// is an explicit method call, so a caller can interleave arbitrary work
+/// — remote evaluation, checkpointing, speculation — between steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverPhase {
+    /// Ready to breed the next cohort ([`Nsga2Driver::breed`]).
+    Breed,
+    /// A cohort is bred and awaiting objective rows
+    /// ([`Nsga2Driver::pending`] → [`Nsga2Driver::provide_rows`], or
+    /// [`Nsga2Driver::speculate`]).
+    Submitted,
+    /// Rows are staged and ready to install ([`Nsga2Driver::reconcile`]).
+    Reconcile,
+    /// The pool is ready for environmental selection
+    /// ([`Nsga2Driver::select`]).
+    Select,
+    /// The run is complete ([`Nsga2Driver::into_result`]).
+    Done,
+}
 
-        // Phase 2: evaluate the cohort in one interned batch.
-        evaluate_cohort(problem, cfg.intern, &mut cohort, &mut pop, &mut scratch);
-        evaluations += pop.len();
-        rank_population(&mut pop, &mut scratch);
+/// One bred-but-unevaluated cohort, owned by the driver (not the shared
+/// scratch) so a speculative breed of generation g+1 cannot clobber the
+/// interning products of the still-outstanding generation g.
+#[derive(Clone)]
+struct PendingBatch<G> {
+    /// The full bred cohort, duplicates included (appended to the
+    /// population at reconcile).
+    cohort: Vec<G>,
+    /// The deduplicated genomes actually submitted for evaluation
+    /// (empty when interning is off — the cohort itself is submitted).
+    distinct: Vec<G>,
+    /// `slots[i]` = row index in the evaluated batch serving
+    /// `cohort[i]` (unused when interning is off).
+    slots: Vec<usize>,
+}
 
-        for _ in 0..cfg.generations {
-            // Breed the full offspring cohort via binary tournament +
-            // crossover + mutation…
-            debug_assert!(cohort.is_empty(), "cohort drained by evaluation");
-            while cohort.len() < cfg.population {
-                let a = tournament(&pop, &mut rng);
-                let b = tournament(&pop, &mut rng);
-                let mut child = if rng.gen_bool(cfg.crossover_rate) {
-                    problem.crossover(&pop.genomes[a], &pop.genomes[b], &mut rng)
-                } else {
-                    pop.genomes[a].clone()
-                };
-                if rng.gen_bool(cfg.mutation_rate) {
-                    problem.mutate(&mut child, &mut rng);
-                }
-                problem.repair(&mut child);
-                cohort.push(child);
-            }
-            evaluations += cohort.len();
-
-            // …evaluate it in one interned batch, then run elitist
-            // environmental selection over parents ∪ offspring (in place:
-            // survivors are moved, not cloned).
-            evaluate_cohort(problem, cfg.intern, &mut cohort, &mut pop, &mut scratch);
-            select_survivors(&mut pop, cfg.population, &mut scratch);
-        }
-
-        let front = extract_front(&pop);
-        let interned = scratch.interned;
-        let dominance = scratch.sort.stats();
-        Nsga2Result {
-            front,
-            population: pop.into_individuals(),
-            evaluations,
-            generations: cfg.generations,
-            interned,
-            dominance,
+impl<G> Default for PendingBatch<G> {
+    fn default() -> Self {
+        PendingBatch {
+            cohort: Vec::new(),
+            distinct: Vec::new(),
+            slots: Vec::new(),
         }
     }
 }
 
-/// Batch-evaluates a bred cohort, draining `genomes` (so the cohort
-/// buffer's capacity is reused next generation) and appending the
-/// genomes + objective rows to `pop` (ranks are assigned by the caller's
-/// selection pass). With interning on, duplicates are resolved here and
-/// only the distinct genomes reach the problem.
-fn evaluate_cohort<P: Problem>(
+/// Everything [`Nsga2Driver::resolve`] needs to rewind a mispredicted
+/// speculation: the pre-speculation RNG stream, population, pending
+/// cohort and counters, plus the predicted rows the bet was placed on.
+struct SpecSnapshot<G> {
+    rng: StdRng,
+    pop: Pop<G>,
+    pending: PendingBatch<G>,
+    bred: usize,
+    evaluations: usize,
+    interned: usize,
+    predicted: ObjectiveMatrix,
+}
+
+/// Exported driver state — everything needed to resume an NSGA-II run
+/// exactly where it stopped, in plain-old-data form so the wire layer
+/// can serialize it without reaching into the driver's internals.
+///
+/// Only capturable between generations ([`DriverPhase::Breed`] with no
+/// speculation outstanding — see [`Nsga2Driver::export_state`]); a
+/// driver rebuilt by [`Nsga2Driver::from_state`] continues the run
+/// bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverState<G> {
+    /// The run configuration (seed included — the RNG stream position
+    /// itself lives in [`rng`](Self::rng)).
+    pub config: Nsga2Config,
+    /// The raw xoshiro256++ state words of the run's RNG.
+    pub rng: [u64; 4],
+    /// The current population's genomes.
+    pub genomes: Vec<G>,
+    /// The current population's objective rows (same order).
+    pub objectives: ObjectiveMatrix,
+    /// The current population's non-domination ranks.
+    pub rank: Vec<usize>,
+    /// The current population's crowding distances.
+    pub crowding: Vec<f64>,
+    /// Cohorts bred so far (1 = the initial population).
+    pub bred: usize,
+    /// Objective evaluations requested so far.
+    pub evaluations: usize,
+    /// Duplicates served by the interning layer so far.
+    pub interned: usize,
+    /// Dominance-kernel counters accumulated so far. `comparisons` and
+    /// `word_ops` are pure functions of the sorted data and resume
+    /// exactly; `allocations` additionally counts post-resume scratch
+    /// re-warming (buffers the uninterrupted run had already grown).
+    pub dominance: DominanceStats,
+    /// The speculation ledger so far.
+    pub speculation: SpeculationStats,
+}
+
+/// `Nsga2::run` unrolled into an explicitly resumable state machine.
+///
+/// The driver owns the run's complete state — genomes, the flat
+/// [`ObjectiveMatrix`], rank/crowding vectors, RNG stream, counters —
+/// and exposes the evolution loop as discrete steps (see
+/// [`DriverPhase`]). The synchronous [`Nsga2::run`] is a thin loop over
+/// these steps; callers that evaluate asynchronously instead hold the
+/// driver in `Submitted` while the cohort is in flight, and may:
+///
+/// * **speculate** ([`Self::speculate`]): breed generation g+1 against
+///   predicted rows while g is still outstanding, then settle the bet
+///   with [`Self::resolve`] when the true rows land — a bit-for-bit
+///   match keeps the speculative work, a mismatch rewinds and re-breeds
+///   from the true rows, so the committed trajectory is always
+///   bit-identical to the synchronous loop by construction;
+/// * **checkpoint** ([`Self::export_state`] / [`Self::from_state`]):
+///   serialize the run between generations and resume it elsewhere,
+///   continuing the exact RNG stream and counters.
+pub struct Nsga2Driver<G> {
+    config: Nsga2Config,
+    objectives: usize,
+    rng: StdRng,
+    pop: Pop<G>,
+    scratch: EvolutionScratch<G>,
+    pending: PendingBatch<G>,
+    /// Rows staged by `provide_rows`, one per submitted genome.
+    provided: ObjectiveMatrix,
+    phase: DriverPhase,
+    /// Cohorts bred so far; breed #1 is the initial random population.
+    bred: usize,
+    evaluations: usize,
+    /// Dominance counters carried in from an imported [`DriverState`]
+    /// (the live counters accumulate in `scratch.sort`).
+    dominance_base: DominanceStats,
+    speculation: SpeculationStats,
+    snapshot: Option<SpecSnapshot<G>>,
+}
+
+impl<G: Clone + PartialEq> Nsga2Driver<G> {
+    /// A fresh driver at [`DriverPhase::Breed`], about to breed the
+    /// initial population. `objectives` is the problem's objective count
+    /// (the width of every objective row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is smaller than 2.
+    pub fn new(config: Nsga2Config, objectives: usize) -> Nsga2Driver<G> {
+        assert!(config.population >= 2, "population must be at least 2");
+        Nsga2Driver {
+            rng: StdRng::seed_from_u64(config.seed),
+            pop: Pop {
+                genomes: Vec::with_capacity(2 * config.population),
+                objs: ObjectiveMatrix::with_capacity(objectives, 2 * config.population),
+                rank: Vec::new(),
+                crowding: Vec::new(),
+            },
+            scratch: EvolutionScratch::new(objectives),
+            pending: PendingBatch {
+                cohort: Vec::with_capacity(config.population),
+                distinct: Vec::new(),
+                slots: Vec::new(),
+            },
+            provided: ObjectiveMatrix::new(objectives),
+            phase: DriverPhase::Breed,
+            bred: 0,
+            evaluations: 0,
+            dominance_base: DominanceStats::default(),
+            speculation: SpeculationStats::default(),
+            snapshot: None,
+            objectives,
+            config,
+        }
+    }
+
+    /// The driver's current phase.
+    pub fn phase(&self) -> DriverPhase {
+        self.phase
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &Nsga2Config {
+        &self.config
+    }
+
+    /// True when the outstanding cohort is the run's last — selection
+    /// after it completes the run, so there is no next generation to
+    /// speculate on.
+    pub fn is_final_cohort(&self) -> bool {
+        self.phase == DriverPhase::Submitted && self.bred == self.config.generations + 1
+    }
+
+    /// The speculation ledger so far.
+    pub fn speculation_stats(&self) -> SpeculationStats {
+        self.speculation
+    }
+
+    /// Cohorts bred so far (1 = the initial population; the driver is
+    /// done once `generations + 1` cohorts have been bred and selected).
+    pub fn bred(&self) -> usize {
+        self.bred
+    }
+
+    /// Breeds the next cohort: the initial random population on the
+    /// first call, a tournament/crossover/mutation offspring cohort
+    /// afterwards. All RNG draws for the cohort happen here, before any
+    /// evaluation — the batch-first property the determinism argument
+    /// rests on. With interning on, the cohort is deduplicated here too.
+    ///
+    /// Transitions `Breed → Submitted`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called out of phase.
+    pub fn breed<P: Problem<Genome = G>>(&mut self, problem: &P) {
+        assert_eq!(self.phase, DriverPhase::Breed, "breed out of phase");
+        debug_assert!(self.pending.cohort.is_empty(), "cohort installed");
+        {
+            let Nsga2Driver {
+                config,
+                rng,
+                pop,
+                pending,
+                ..
+            } = self;
+            if pop.genomes.is_empty() {
+                for _ in 0..config.population {
+                    let mut g = problem.random_genome(rng);
+                    problem.repair(&mut g);
+                    pending.cohort.push(g);
+                }
+            } else {
+                while pending.cohort.len() < config.population {
+                    let a = tournament(pop, rng);
+                    let b = tournament(pop, rng);
+                    let mut child = if rng.gen_bool(config.crossover_rate) {
+                        problem.crossover(&pop.genomes[a], &pop.genomes[b], rng)
+                    } else {
+                        pop.genomes[a].clone()
+                    };
+                    if rng.gen_bool(config.mutation_rate) {
+                        problem.mutate(&mut child, rng);
+                    }
+                    problem.repair(&mut child);
+                    pending.cohort.push(child);
+                }
+            }
+        }
+        if self.config.intern {
+            intern_cohort(
+                problem,
+                &self.pending.cohort,
+                &mut self.pending.distinct,
+                &mut self.pending.slots,
+                &mut self.scratch,
+            );
+            self.scratch.interned += self.pending.cohort.len() - self.pending.distinct.len();
+        }
+        self.bred += 1;
+        self.phase = DriverPhase::Submitted;
+    }
+
+    /// The genomes awaiting evaluation: the deduplicated distinct list
+    /// with interning on, the full cohort otherwise. Evaluate these (in
+    /// order) and hand the rows back through [`Self::provide_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when no cohort is outstanding.
+    pub fn pending(&self) -> &[G] {
+        assert_eq!(self.phase, DriverPhase::Submitted, "no cohort outstanding");
+        if self.config.intern {
+            &self.pending.distinct
+        } else {
+            &self.pending.cohort
+        }
+    }
+
+    /// Stages the objective rows of [`Self::pending`] (same order).
+    ///
+    /// Transitions `Submitted → Reconcile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called out of phase or with a mismatched row count.
+    pub fn provide_rows(&mut self, rows: &ObjectiveMatrix) {
+        assert_eq!(self.phase, DriverPhase::Submitted, "rows out of phase");
+        assert_eq!(rows.len(), self.pending().len(), "row count mismatch");
+        assert_eq!(rows.width(), self.objectives, "objective width mismatch");
+        self.provided.clear();
+        for i in 0..rows.len() {
+            self.provided.push_row_from(rows, i);
+        }
+        self.phase = DriverPhase::Reconcile;
+    }
+
+    /// Evaluates the pending cohort in place through the problem's batch
+    /// hook — the synchronous path [`Nsga2::run`] takes.
+    fn evaluate_pending<P: Problem<Genome = G>>(&mut self, problem: &P) {
+        assert_eq!(self.phase, DriverPhase::Submitted, "no cohort outstanding");
+        self.provided.clear();
+        let list = if self.config.intern {
+            &self.pending.distinct
+        } else {
+            &self.pending.cohort
+        };
+        problem.evaluate_batch_into(list, &mut self.provided);
+        self.phase = DriverPhase::Reconcile;
+    }
+
+    /// Installs the staged rows: scatters them into the population's
+    /// objective matrix by intern slot (or appends directly with
+    /// interning off), appends the cohort's genomes, and counts the
+    /// evaluations.
+    ///
+    /// Transitions `Reconcile → Select`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called out of phase.
+    pub fn reconcile(&mut self) {
+        assert_eq!(self.phase, DriverPhase::Reconcile, "reconcile out of phase");
+        let before = self.pop.objs.len();
+        if self.config.intern {
+            for &slot in &self.pending.slots {
+                self.pop.objs.push_row_from(&self.provided, slot);
+            }
+        } else {
+            for i in 0..self.provided.len() {
+                self.pop.objs.push_row_from(&self.provided, i);
+            }
+        }
+        debug_assert_eq!(
+            self.pop.objs.len() - before,
+            self.pending.cohort.len(),
+            "batch arity"
+        );
+        self.evaluations += self.pending.cohort.len();
+        self.pop.genomes.append(&mut self.pending.cohort);
+        self.pending.distinct.clear();
+        self.pending.slots.clear();
+        self.pop.rank.resize(self.pop.len(), 0);
+        self.pop.crowding.resize(self.pop.len(), 0.0);
+        self.phase = DriverPhase::Select;
+    }
+
+    /// Environmental selection: ranks the initial population on the
+    /// first cycle, elitist survivor selection over parents ∪ offspring
+    /// afterwards.
+    ///
+    /// Transitions `Select → Breed`, or `Select → Done` after the final
+    /// cohort.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called out of phase.
+    pub fn select(&mut self) {
+        assert_eq!(self.phase, DriverPhase::Select, "select out of phase");
+        if self.bred == 1 {
+            rank_population(&mut self.pop, &mut self.scratch);
+        } else {
+            select_survivors(&mut self.pop, self.config.population, &mut self.scratch);
+        }
+        self.phase = if self.bred == self.config.generations + 1 {
+            DriverPhase::Done
+        } else {
+            DriverPhase::Breed
+        };
+    }
+
+    /// Places a speculative bet on the outstanding cohort: installs
+    /// `predicted` rows (same shape [`Self::provide_rows`] expects),
+    /// selects, and breeds the next generation — all before the true
+    /// rows have landed. The pre-bet state is snapshotted; settle with
+    /// [`Self::resolve`] once the true rows arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no cohort is outstanding or a speculation is already
+    /// unsettled.
+    pub fn speculate<P: Problem<Genome = G>>(&mut self, problem: &P, predicted: &ObjectiveMatrix) {
+        assert_eq!(self.phase, DriverPhase::Submitted, "speculate out of phase");
+        assert!(self.snapshot.is_none(), "speculation already outstanding");
+        self.snapshot = Some(SpecSnapshot {
+            rng: self.rng.clone(),
+            pop: self.pop.clone(),
+            pending: self.pending.clone(),
+            bred: self.bred,
+            evaluations: self.evaluations,
+            interned: self.scratch.interned,
+            predicted: predicted.clone(),
+        });
+        self.speculation.speculated += 1;
+        self.provide_rows(predicted);
+        self.reconcile();
+        self.select();
+        if self.phase == DriverPhase::Breed {
+            self.breed(problem);
+        }
+    }
+
+    /// Settles the outstanding speculation against the true rows.
+    ///
+    /// A bit-for-bit match confirms the bet — the speculatively bred
+    /// generation stands, and the driver is already `Submitted` on it
+    /// (counted in [`SpeculationStats::confirmed`]; returns `true`).
+    /// A mismatch rewinds to the snapshot and replays the install /
+    /// select / breed sequence from the true rows — exactly what the
+    /// synchronous loop would have computed (counted in
+    /// [`SpeculationStats::rebred`]; returns `false`). Dominance
+    /// counters are **not** rewound: discarded speculative sorting work
+    /// is reported honestly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no speculation is outstanding.
+    pub fn resolve<P: Problem<Genome = G>>(
+        &mut self,
+        problem: &P,
+        actual: &ObjectiveMatrix,
+    ) -> bool {
+        let snap = self.snapshot.take().expect("no speculation outstanding");
+        if bits_equal(&snap.predicted, actual) {
+            self.speculation.confirmed += 1;
+            return true;
+        }
+        self.speculation.rebred += 1;
+        self.rng = snap.rng;
+        self.pop = snap.pop;
+        self.pending = snap.pending;
+        self.bred = snap.bred;
+        self.evaluations = snap.evaluations;
+        self.scratch.interned = snap.interned;
+        self.phase = DriverPhase::Submitted;
+        self.provide_rows(actual);
+        self.reconcile();
+        self.select();
+        if self.phase == DriverPhase::Breed {
+            self.breed(problem);
+        }
+        false
+    }
+
+    /// Exports the run state between generations, for serialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the driver is at [`DriverPhase::Breed`] (a
+    /// generation boundary) with no speculation outstanding.
+    pub fn export_state(&self) -> DriverState<G> {
+        assert_eq!(
+            self.phase,
+            DriverPhase::Breed,
+            "export only at a generation boundary"
+        );
+        assert!(self.snapshot.is_none(), "speculation outstanding");
+        let mut dominance = self.dominance_base;
+        dominance.merge(self.scratch.sort.stats());
+        DriverState {
+            config: self.config.clone(),
+            rng: self.rng.state(),
+            genomes: self.pop.genomes.clone(),
+            objectives: self.pop.objs.clone(),
+            rank: self.pop.rank.clone(),
+            crowding: self.pop.crowding.clone(),
+            bred: self.bred,
+            evaluations: self.evaluations,
+            interned: self.scratch.interned,
+            dominance,
+            speculation: self.speculation,
+        }
+    }
+
+    /// Rebuilds a driver from exported state; the resumed run continues
+    /// bit-identically to one that never stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's population is smaller than 2.
+    pub fn from_state(state: DriverState<G>) -> Nsga2Driver<G> {
+        assert!(
+            state.config.population >= 2,
+            "population must be at least 2"
+        );
+        let objectives = state.objectives.width();
+        let mut scratch = EvolutionScratch::new(objectives);
+        scratch.interned = state.interned;
+        Nsga2Driver {
+            rng: StdRng::from_state(state.rng),
+            pop: Pop {
+                genomes: state.genomes,
+                objs: state.objectives,
+                rank: state.rank,
+                crowding: state.crowding,
+            },
+            scratch,
+            pending: PendingBatch::default(),
+            provided: ObjectiveMatrix::new(objectives),
+            phase: DriverPhase::Breed,
+            bred: state.bred,
+            evaluations: state.evaluations,
+            dominance_base: state.dominance,
+            speculation: state.speculation,
+            snapshot: None,
+            objectives,
+            config: state.config,
+        }
+    }
+
+    /// Finalizes a completed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the driver is [`DriverPhase::Done`].
+    pub fn into_result(self) -> Nsga2Result<G> {
+        assert_eq!(self.phase, DriverPhase::Done, "run not complete");
+        let front = extract_front(&self.pop);
+        let mut dominance = self.dominance_base;
+        dominance.merge(self.scratch.sort.stats());
+        Nsga2Result {
+            front,
+            population: self.pop.into_individuals(),
+            evaluations: self.evaluations,
+            generations: self.config.generations,
+            interned: self.scratch.interned,
+            dominance,
+            speculation: self.speculation,
+        }
+    }
+
+    /// Drives the remaining steps synchronously (evaluating through the
+    /// problem's batch hook) and finalizes — the body of [`Nsga2::run`].
+    pub fn run_to_completion<P: Problem<Genome = G>>(mut self, problem: &P) -> Nsga2Result<G> {
+        while self.phase != DriverPhase::Done {
+            match self.phase {
+                DriverPhase::Breed => self.breed(problem),
+                DriverPhase::Submitted => self.evaluate_pending(problem),
+                DriverPhase::Reconcile => self.reconcile(),
+                DriverPhase::Select => self.select(),
+                DriverPhase::Done => unreachable!(),
+            }
+        }
+        self.into_result()
+    }
+}
+
+/// `true` when the two matrices hold bit-identical rows — the
+/// speculation confirmation predicate (IEEE `==` would treat `-0.0` and
+/// `0.0` as equal and `NaN` as unequal to itself; bits are what the
+/// committed-trajectory guarantee is stated in).
+fn bits_equal(a: &ObjectiveMatrix, b: &ObjectiveMatrix) -> bool {
+    a.len() == b.len()
+        && a.width() == b.width()
+        && a.as_flat()
+            .iter()
+            .zip(b.as_flat())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Interns a bred cohort: `slots[i]` = index of `cohort[i]` in
+/// `distinct`, resolved by the problem's hash key when it provides one,
+/// by linear equality scan otherwise. The hash buckets and intrusive
+/// collision chain live in the shared scratch (cleared per use); the
+/// distinct list and slot map land in the caller's (cohort-owned)
+/// buffers.
+fn intern_cohort<P: Problem>(
     problem: &P,
-    intern: bool,
-    cohort: &mut Vec<P::Genome>,
-    pop: &mut Pop<P::Genome>,
+    cohort: &[P::Genome],
+    distinct: &mut Vec<P::Genome>,
+    slots: &mut Vec<usize>,
     scratch: &mut EvolutionScratch<P::Genome>,
 ) {
-    let before = pop.objs.len();
-    if intern {
-        // Intern the cohort: slot[i] = index of cohort[i] in `distinct`,
-        // resolved by the problem's hash key when it provides one, by
-        // linear equality scan otherwise.
-        scratch.slots.clear();
-        scratch.distinct.clear();
-        scratch.chain.clear();
-        scratch.buckets.clear();
-        for g in cohort.iter() {
-            let slot = match problem.intern_key(g) {
-                Some(key) => match scratch.buckets.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(head) => {
-                        // Walk the bucket's intrusive chain, confirming
-                        // with `==` (keys may collide).
-                        let mut d = *head.get();
-                        loop {
-                            if scratch.distinct[d] == *g {
-                                break d;
+    slots.clear();
+    distinct.clear();
+    scratch.chain.clear();
+    scratch.buckets.clear();
+    for g in cohort.iter() {
+        let slot = match problem.intern_key(g) {
+            Some(key) => match scratch.buckets.entry(key) {
+                std::collections::hash_map::Entry::Occupied(head) => {
+                    // Walk the bucket's intrusive chain, confirming
+                    // with `==` (keys may collide).
+                    let mut d = *head.get();
+                    loop {
+                        if distinct[d] == *g {
+                            break d;
+                        }
+                        match scratch.chain[d] {
+                            usize::MAX => {
+                                let fresh = distinct.len();
+                                distinct.push(g.clone());
+                                scratch.chain.push(usize::MAX);
+                                scratch.chain[d] = fresh;
+                                break fresh;
                             }
-                            match scratch.chain[d] {
-                                usize::MAX => {
-                                    let fresh = scratch.distinct.len();
-                                    scratch.distinct.push(g.clone());
-                                    scratch.chain.push(usize::MAX);
-                                    scratch.chain[d] = fresh;
-                                    break fresh;
-                                }
-                                next => d = next,
-                            }
+                            next => d = next,
                         }
                     }
-                    std::collections::hash_map::Entry::Vacant(head) => {
-                        let fresh = scratch.distinct.len();
-                        scratch.distinct.push(g.clone());
-                        scratch.chain.push(usize::MAX);
-                        head.insert(fresh);
-                        fresh
-                    }
-                },
-                None => match scratch.distinct.iter().position(|d| d == g) {
-                    Some(d) => d,
-                    None => {
-                        scratch.distinct.push(g.clone());
-                        scratch.chain.push(usize::MAX);
-                        scratch.distinct.len() - 1
-                    }
-                },
-            };
-            scratch.slots.push(slot);
-        }
-        scratch.interned += cohort.len() - scratch.distinct.len();
-        scratch.batch.clear();
-        problem.evaluate_batch_into(&scratch.distinct, &mut scratch.batch);
-        debug_assert_eq!(scratch.batch.len(), scratch.distinct.len(), "batch arity");
-        for &slot in &scratch.slots {
-            pop.objs.push_row_from(&scratch.batch, slot);
-        }
-    } else {
-        problem.evaluate_batch_into(cohort, &mut pop.objs);
+                }
+                std::collections::hash_map::Entry::Vacant(head) => {
+                    let fresh = distinct.len();
+                    distinct.push(g.clone());
+                    scratch.chain.push(usize::MAX);
+                    head.insert(fresh);
+                    fresh
+                }
+            },
+            None => match distinct.iter().position(|d| d == g) {
+                Some(d) => d,
+                None => {
+                    distinct.push(g.clone());
+                    scratch.chain.push(usize::MAX);
+                    distinct.len() - 1
+                }
+            },
+        };
+        slots.push(slot);
     }
-    debug_assert_eq!(pop.objs.len() - before, cohort.len(), "batch arity");
-    pop.genomes.append(cohort);
-    pop.rank.resize(pop.len(), 0);
-    pop.crowding.resize(pop.len(), 0.0);
 }
 
 /// Binary tournament by (rank, crowding) — the NSGA-II crowded-comparison
@@ -342,8 +840,11 @@ fn rank_population<G>(pop: &mut Pop<G>, scratch: &mut EvolutionScratch<G>) {
 }
 
 /// Reusable per-generation working memory of the evolution loop: the
-/// survivor plan, the sort/crowding buffers, the interning tables, and
-/// the SoA staging area. One instance serves a whole run.
+/// survivor plan, the sort/crowding buffers, the interning hash tables,
+/// and the SoA staging area. One instance serves a whole run. (The
+/// per-cohort interning *products* — distinct list and slot map — live
+/// in the driver's [`PendingBatch`] instead, because a speculative breed
+/// must not clobber the outstanding cohort's.)
 struct EvolutionScratch<G> {
     sort: SortScratch,
     crowd: CrowdingScratch,
@@ -356,17 +857,13 @@ struct EvolutionScratch<G> {
     taken: Vec<Option<G>>,
     next_genomes: Vec<G>,
     next_objs: ObjectiveMatrix,
-    /// Interning: cohort slot → distinct index, the distinct list, the
-    /// hash buckets (key → first distinct index, collisions threaded
-    /// through the intrusive `chain` so clearing drops no allocations),
-    /// and the distinct batch's objective rows.
-    slots: Vec<usize>,
-    distinct: Vec<G>,
+    /// Interning hash buckets: key → first distinct index, collisions
+    /// threaded through the intrusive `chain` so clearing drops no
+    /// allocations.
     buckets: HashMap<u64, usize>,
     /// `chain[d]`: next distinct index sharing `d`'s intern key
     /// (`usize::MAX` terminates).
     chain: Vec<usize>,
-    batch: ObjectiveMatrix,
     /// Duplicates resolved by interning across the whole run.
     interned: usize,
 }
@@ -384,11 +881,8 @@ impl<G> EvolutionScratch<G> {
             taken: Vec::new(),
             next_genomes: Vec::new(),
             next_objs: ObjectiveMatrix::new(objectives),
-            slots: Vec::new(),
-            distinct: Vec::new(),
             buckets: HashMap::new(),
             chain: Vec::new(),
-            batch: ObjectiveMatrix::new(objectives),
             interned: 0,
         }
     }
@@ -750,5 +1244,207 @@ mod tests {
             population: 1,
             ..Default::default()
         });
+    }
+
+    // -----------------------------------------------------------------
+    // Nsga2Driver state-machine tests.
+    // -----------------------------------------------------------------
+
+    /// Bitwise equality of two results: fronts, population, accounting.
+    fn assert_results_identical(a: &Nsga2Result<f64>, b: &Nsga2Result<f64>) {
+        let rows = |inds: &[Individual<f64>]| -> Vec<(u64, Vec<u64>, usize)> {
+            inds.iter()
+                .map(|i| {
+                    (
+                        i.genome.to_bits(),
+                        i.objectives.iter().map(|o| o.to_bits()).collect(),
+                        i.rank,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(rows(&a.front), rows(&b.front), "fronts differ");
+        assert_eq!(
+            rows(&a.population),
+            rows(&b.population),
+            "populations differ"
+        );
+        assert_eq!(a.evaluations, b.evaluations, "evaluations differ");
+        assert_eq!(a.interned, b.interned, "interned differ");
+        assert_eq!(a.generations, b.generations);
+    }
+
+    /// Steps a driver with explicit `provide_rows` calls — the external
+    /// (async-seam) protocol — and returns the result.
+    fn step_driver(cfg: Nsga2Config) -> Nsga2Result<f64> {
+        let mut driver: Nsga2Driver<f64> = Nsga2Driver::new(cfg, Sch.objectives());
+        let mut rows = ObjectiveMatrix::new(2);
+        loop {
+            match driver.phase() {
+                DriverPhase::Breed => driver.breed(&Sch),
+                DriverPhase::Submitted => {
+                    rows.clear();
+                    Sch.evaluate_batch_into(driver.pending(), &mut rows);
+                    driver.provide_rows(&rows);
+                }
+                DriverPhase::Reconcile => driver.reconcile(),
+                DriverPhase::Select => driver.select(),
+                DriverPhase::Done => break,
+            }
+        }
+        driver.into_result()
+    }
+
+    #[test]
+    fn driver_steps_match_run_bit_for_bit() {
+        for seed in [1u64, 7, 42, 20250808] {
+            for intern in [true, false] {
+                let cfg = Nsga2Config {
+                    population: 24,
+                    generations: 15,
+                    seed,
+                    intern,
+                    ..Default::default()
+                };
+                let reference = Nsga2::new(cfg.clone()).run(&Sch);
+                let stepped = step_driver(cfg);
+                assert_results_identical(&reference, &stepped);
+                assert_eq!(reference.dominance, stepped.dominance, "dominance differs");
+                assert_eq!(stepped.speculation, SpeculationStats::default());
+            }
+        }
+    }
+
+    #[test]
+    fn driver_state_round_trips_mid_run() {
+        for seed in [3u64, 11] {
+            let cfg = Nsga2Config {
+                population: 20,
+                generations: 12,
+                seed,
+                ..Default::default()
+            };
+            let reference = Nsga2::new(cfg.clone()).run(&Sch);
+
+            // Run half the generations, export at a generation boundary,
+            // serialize nothing (the state is plain data), rebuild, finish.
+            let mut driver: Nsga2Driver<f64> = Nsga2Driver::new(cfg.clone(), Sch.objectives());
+            let mut rows = ObjectiveMatrix::new(2);
+            while driver.phase() != DriverPhase::Done {
+                if driver.phase() == DriverPhase::Breed && driver.bred() == cfg.generations / 2 {
+                    break;
+                }
+                match driver.phase() {
+                    DriverPhase::Breed => driver.breed(&Sch),
+                    DriverPhase::Submitted => {
+                        rows.clear();
+                        Sch.evaluate_batch_into(driver.pending(), &mut rows);
+                        driver.provide_rows(&rows);
+                    }
+                    DriverPhase::Reconcile => driver.reconcile(),
+                    DriverPhase::Select => driver.select(),
+                    DriverPhase::Done => unreachable!(),
+                }
+            }
+            let state = driver.export_state();
+            drop(driver);
+            let resumed = Nsga2Driver::from_state(state.clone());
+            let finished = resumed.run_to_completion(&Sch);
+            assert_results_identical(&reference, &finished);
+            // The data-dependent dominance counters carry across the
+            // export/import seam exactly; `allocations` is a scratch-
+            // warmth artifact (a resumed run re-allocates buffers the
+            // uninterrupted run had warm) and is excluded.
+            assert_eq!(
+                reference.dominance.comparisons,
+                finished.dominance.comparisons
+            );
+            assert_eq!(reference.dominance.word_ops, finished.dominance.word_ops);
+            // The exported state itself round-trips structurally.
+            assert_eq!(state, Nsga2Driver::from_state(state.clone()).export_state());
+        }
+    }
+
+    #[test]
+    fn speculation_with_exact_predictions_confirms() {
+        let cfg = Nsga2Config {
+            population: 16,
+            generations: 10,
+            seed: 13,
+            ..Default::default()
+        };
+        let reference = Nsga2::new(cfg.clone()).run(&Sch);
+        let mut driver: Nsga2Driver<f64> = Nsga2Driver::new(cfg, Sch.objectives());
+        let mut rows = ObjectiveMatrix::new(2);
+        loop {
+            match driver.phase() {
+                DriverPhase::Breed => driver.breed(&Sch),
+                DriverPhase::Submitted => {
+                    rows.clear();
+                    Sch.evaluate_batch_into(driver.pending(), &mut rows);
+                    if driver.is_final_cohort() {
+                        driver.provide_rows(&rows);
+                    } else {
+                        // A perfect oracle: predict exactly the true rows.
+                        driver.speculate(&Sch, &rows);
+                        assert!(driver.resolve(&Sch, &rows), "exact prediction must confirm");
+                    }
+                }
+                DriverPhase::Reconcile => driver.reconcile(),
+                DriverPhase::Select => driver.select(),
+                DriverPhase::Done => break,
+            }
+        }
+        let result = driver.into_result();
+        assert_results_identical(&reference, &result);
+        let s = result.speculation;
+        assert!(s.speculated > 0 && s.confirmed == s.speculated && s.rebred == 0);
+        assert_eq!(s.speculated, s.confirmed + s.rebred, "ledger law");
+    }
+
+    #[test]
+    fn speculation_with_wrong_predictions_rebreeds_bit_identically() {
+        let cfg = Nsga2Config {
+            population: 16,
+            generations: 10,
+            seed: 17,
+            ..Default::default()
+        };
+        let reference = Nsga2::new(cfg.clone()).run(&Sch);
+        let mut driver: Nsga2Driver<f64> = Nsga2Driver::new(cfg, Sch.objectives());
+        let mut rows = ObjectiveMatrix::new(2);
+        let mut wrong = ObjectiveMatrix::new(2);
+        loop {
+            match driver.phase() {
+                DriverPhase::Breed => driver.breed(&Sch),
+                DriverPhase::Submitted => {
+                    rows.clear();
+                    Sch.evaluate_batch_into(driver.pending(), &mut rows);
+                    if driver.is_final_cohort() {
+                        driver.provide_rows(&rows);
+                    } else {
+                        // A hopeless oracle: predict +∞ everywhere.
+                        wrong.clear();
+                        for _ in 0..rows.len() {
+                            wrong.push_row(&[f64::INFINITY, f64::INFINITY]);
+                        }
+                        driver.speculate(&Sch, &wrong);
+                        assert!(
+                            !driver.resolve(&Sch, &rows),
+                            "wrong prediction must rebreed"
+                        );
+                    }
+                }
+                DriverPhase::Reconcile => driver.reconcile(),
+                DriverPhase::Select => driver.select(),
+                DriverPhase::Done => break,
+            }
+        }
+        let result = driver.into_result();
+        // The committed trajectory is the synchronous one, bit for bit.
+        assert_results_identical(&reference, &result);
+        let s = result.speculation;
+        assert!(s.speculated > 0 && s.rebred == s.speculated && s.confirmed == 0);
+        assert_eq!(s.speculated, s.confirmed + s.rebred, "ledger law");
     }
 }

@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod driver;
 pub mod frame;
 pub mod json;
 pub mod report;
 pub mod snapshot;
 
 pub use binary::{Reader, WireError, Writer};
+pub use driver::DriverStateRecord;
 pub use frame::{EvalRequest, EvalResponse, FrameError, Message, PROTOCOL_VERSION};
 pub use json::{Json, JsonError};
 pub use snapshot::{EntryRecord, GeometryRecord, KeyRecord, Snapshot, SpaceRecord};

@@ -33,8 +33,34 @@ pub struct ConfigRecord {
     pub distinct_evaluations: usize,
     /// Evaluations served from memory (cache or intra-batch dedup).
     pub cache_hits: usize,
+    /// Speculative-loop ledger; `None` for synchronous arms.
+    pub speculation: Option<SpeculationRecord>,
     /// Remote-backend traffic counters; `None` for in-process arms.
     pub remote: Option<RemoteTrafficRecord>,
+}
+
+/// The speculative loop's ledger: what breeding ahead of the in-flight
+/// cohort cost and bought. Counter-based — `speculated` partitions
+/// exactly into `confirmed + rebred`, so CI can guard the confirm rate
+/// without touching wall-clock.
+#[derive(Debug, Clone)]
+pub struct SpeculationRecord {
+    /// Cohorts bred ahead of their predecessor's results.
+    pub speculated: u64,
+    /// Speculated cohorts whose predicted rows matched the real ones.
+    pub confirmed: u64,
+    /// Speculated cohorts rewound and re-bred after a misprediction.
+    pub rebred: u64,
+}
+
+impl SpeculationRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("speculated", Json::from(self.speculated)),
+            ("confirmed", Json::from(self.confirmed)),
+            ("rebred", Json::from(self.rebred)),
+        ])
+    }
 }
 
 /// The remote arm's transport accounting: what one exploration cost in
@@ -74,6 +100,9 @@ impl ConfigRecord {
             ),
             ("cache_hits", Json::from(self.cache_hits)),
         ];
+        if let Some(speculation) = &self.speculation {
+            fields.push(("speculation", speculation.to_json()));
+        }
         if let Some(remote) = &self.remote {
             fields.push(("remote", remote.to_json()));
         }
@@ -332,6 +361,7 @@ mod tests {
                     evaluations: 12100,
                     distinct_evaluations: 12100,
                     cache_hits: 0,
+                    speculation: None,
                     remote: None,
                 },
                 ConfigRecord {
@@ -340,6 +370,11 @@ mod tests {
                     evaluations: 12100,
                     distinct_evaluations: 600,
                     cache_hits: 11500,
+                    speculation: Some(SpeculationRecord {
+                        speculated: 12,
+                        confirmed: 2,
+                        rebred: 10,
+                    }),
                     remote: Some(RemoteTrafficRecord {
                         workers: 3,
                         round_trips: 363,
@@ -360,6 +395,12 @@ mod tests {
         assert!(text.contains(
             r#""remote":{"workers":3,"round_trips":363,"requeues":0,"worker_deaths":0}"#
         ));
+        // Synchronous arms carry no speculation block; speculative arms
+        // carry the ledger ahead of the remote accounting.
+        assert!(!text.contains(r#""name":"serial_uncached","wall_s":0.25,"speculation""#));
+        assert!(
+            text.contains(r#""speculation":{"speculated":12,"confirmed":2,"rebred":10},"remote""#)
+        );
         // The report is valid JSON by our own parser.
         Json::parse(&text).unwrap();
     }

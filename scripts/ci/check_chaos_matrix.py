@@ -8,10 +8,15 @@ REFERENCE is the fault-free in-process batch report; RESUMED is the
 report file produced by `--resume` after a run was stopped mid-batch
 (`--stop-after-jobs`, the deterministic stand-in for `kill -9`); each
 ARM=REPORT names a fault-injected remote run, ARM one of kill, corrupt,
-hang, stall, truncate. Asserts the supervision acceptance criteria:
+hang, stall, truncate, spec-stall (the `--speculate` loop under a
+stalled worker). Asserts the supervision acceptance criteria:
 
 * every fault arm's fronts are **byte-identical** to the reference (the
-  reports carry exact objective bit patterns, so `==` is bitwise);
+  reports carry exact objective bit patterns, so `==` is bitwise) —
+  including the speculative arm, whose committed trajectory must match
+  the synchronous reference regardless of mispredictions;
+* the speculative arm's ledger partitions exactly
+  (`speculated == confirmed + rebred`) and actually speculated;
 * the resumed report is byte-identical to the reference *as a file* —
   checkpoint replay reconstructs the uninterrupted run exactly;
 * each arm's `remote` stats ledger adds up exactly:
@@ -26,8 +31,9 @@ hang, stall, truncate. Asserts the supervision acceptance criteria:
 import json
 import sys
 
-TIMEOUT_ARMS = {"hang", "stall"}
-KNOWN_ARMS = {"kill", "corrupt", "hang", "stall", "truncate"}
+TIMEOUT_ARMS = {"hang", "stall", "spec-stall"}
+SPECULATIVE_ARMS = {"spec-stall"}
+KNOWN_ARMS = {"kill", "corrupt", "hang", "stall", "truncate", "spec-stall"}
 
 
 def load(path):
@@ -98,6 +104,19 @@ def main() -> None:
         assert remote["fallback_geometries"] == 0, (
             f"{path}: the healthy workers should have absorbed the load: {remote}"
         )
+        if arm in SPECULATIVE_ARMS:
+            spec = doc.get("speculation")
+            assert spec, f"{path}: the speculative arm reported no ledger"
+            assert spec["speculated"] == spec["confirmed"] + spec["rebred"], (
+                f"{path}: speculation ledger does not partition: {spec}"
+            )
+            assert spec["speculated"] > 0, (
+                f"{path}: the speculative loop never bred ahead: {spec}"
+            )
+        else:
+            assert "speculation" not in doc, (
+                f"{path}: a synchronous arm must not speculate"
+            )
         print(
             f"chaos arm {arm}: front OK, ledger OK "
             f"({remote['worker_deaths']} deaths, {remote['timeouts']} timeouts, "

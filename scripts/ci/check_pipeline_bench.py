@@ -10,10 +10,19 @@ uploading the artifact:
   evaluations — the cross-exploration memoization guarantee;
 * every configuration's accounting partitions exactly
   (`evaluations == distinct_evaluations + cache_hits`);
-* every configuration agrees on the total evaluation count (the GA's
-  request stream is pipeline-invariant);
+* every main-budget configuration agrees on the total evaluation count
+  (the GA's request stream is pipeline-invariant); the `speculative_*`
+  arms run their own small low-mutation budget and must agree with
+  *their* synchronous reference (`speculative_sync_ref`) instead;
+* every speculative arm's ledger partitions
+  (`speculated == confirmed + rebred`, hence `rebred <= speculated`) and
+  confirms at least one cohort — all bench arms are fault-free, so a
+  zero confirm rate means prediction regressed;
 * when the remote arms ran, they completed real round-trips on a healthy
   fleet (no deaths on an un-faulted run).
+
+All counter-based: nothing here reads `wall_s`, so the guard is stable
+on the 1-CPU CI runner.
 """
 
 import json
@@ -32,7 +41,12 @@ def main() -> None:
         f"warm shared-cache run must be estimator-free: {warm}"
     )
 
-    evaluations = {c["evaluations"] for c in doc["configs"]}
+    main_arms = [
+        c for c in doc["configs"] if not c["name"].startswith("speculative_")
+    ]
+    spec_arms = [c for c in doc["configs"] if c["name"].startswith("speculative_")]
+
+    evaluations = {c["evaluations"] for c in main_arms}
     assert len(evaluations) == 1, (
         f"the GA request stream must be pipeline-invariant: {evaluations}"
     )
@@ -41,15 +55,46 @@ def main() -> None:
             f"accounting does not partition for {c['name']}: {c}"
         )
 
+    sync_ref = configs.get("speculative_sync_ref")
+    assert sync_ref is not None, f"missing speculative_sync_ref in {sorted(configs)}"
+    assert "speculation" not in sync_ref, (
+        f"the synchronous reference must not speculate: {sync_ref}"
+    )
+    speculated_arms = [c for c in spec_arms if c.get("speculation")]
+    assert speculated_arms, f"no speculative arm carried a ledger: {sorted(configs)}"
+    for c in speculated_arms:
+        s = c["speculation"]
+        assert s["speculated"] == s["confirmed"] + s["rebred"], (
+            f"speculation ledger does not partition for {c['name']}: {s}"
+        )
+        assert s["rebred"] <= s["speculated"], (
+            f"more rebreeds than speculations for {c['name']}: {s}"
+        )
+        assert s["confirmed"] > 0, (
+            f"fault-free arm {c['name']} confirmed nothing — prediction regressed: {s}"
+        )
+        # The committed trajectory is bit-identical to the synchronous
+        # loop's (asserted on the fronts in the bench itself); here the
+        # accounting must agree too.
+        for key in ("evaluations", "distinct_evaluations", "cache_hits"):
+            assert c[key] == sync_ref[key], (
+                f"{c['name']}: {key} {c[key]} != synchronous reference "
+                f"{sync_ref[key]}"
+            )
+
     remote_arms = [c for c in doc["configs"] if c.get("remote")]
     for c in remote_arms:
         r = c["remote"]
         assert r["round_trips"] > 0, f"remote arm made no round-trips: {c}"
         assert r["worker_deaths"] == 0, f"un-faulted fleet lost workers: {c}"
     names = [c["name"] for c in remote_arms]
+    ledgers = {
+        c["name"]: c["speculation"]["confirmed"] for c in speculated_arms
+    }
     print(
         f"pipeline bench guard OK: warm run 0 distinct, "
-        f"{len(doc['configs'])} configs, remote arms {names or 'absent'}"
+        f"{len(doc['configs'])} configs, remote arms {names or 'absent'}, "
+        f"speculative confirms {ledgers}"
     )
 
 
