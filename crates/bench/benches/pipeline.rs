@@ -153,9 +153,15 @@ fn bench_pipeline(c: &mut Criterion) {
                     speculation: None,
                     remote: Some(RemoteTrafficRecord {
                         workers,
+                        transport: stats.transport.name().to_owned(),
                         round_trips: stats.round_trips,
                         requeues: stats.requeues,
                         worker_deaths: stats.worker_deaths,
+                        respawns: stats.respawns,
+                        rejoins: stats.rejoins,
+                        workers_alive: stats.workers_alive,
+                        workers_spawned: stats.workers_spawned,
+                        capacities: stats.capacities.clone(),
                     }),
                 });
                 fronts.push(("remote", run));
@@ -301,9 +307,15 @@ fn bench_pipeline(c: &mut Criterion) {
             assert_eq!(stats.worker_deaths, 0, "healthy fleet expected: {stats:?}");
             RemoteTrafficRecord {
                 workers: 3,
+                transport: stats.transport.name().to_owned(),
                 round_trips: stats.round_trips,
                 requeues: stats.requeues,
                 worker_deaths: stats.worker_deaths,
+                respawns: stats.respawns,
+                rejoins: stats.rejoins,
+                workers_alive: stats.workers_alive,
+                workers_spawned: stats.workers_spawned,
+                capacities: stats.capacities.clone(),
             }
         });
         eprintln!(

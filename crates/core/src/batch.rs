@@ -461,11 +461,13 @@ impl BatchReport {
             fields.push((
                 "remote",
                 Json::obj([
+                    ("transport", Json::from(remote.transport.name())),
                     ("round_trips", Json::from(remote.round_trips)),
                     ("requeues", Json::from(remote.requeues)),
                     ("timeouts", Json::from(remote.timeouts)),
                     ("worker_deaths", Json::from(remote.worker_deaths)),
                     ("respawns", Json::from(remote.respawns)),
+                    ("rejoins", Json::from(remote.rejoins)),
                     (
                         "fallback_geometries",
                         Json::from(remote.fallback_geometries),
@@ -474,6 +476,10 @@ impl BatchReport {
                     ("merged_entries", Json::from(remote.merged_entries)),
                     ("workers_alive", Json::from(remote.workers_alive)),
                     ("workers_spawned", Json::from(remote.workers_spawned)),
+                    (
+                        "capacities",
+                        Json::Arr(remote.capacities.iter().map(|&c| Json::from(c)).collect()),
+                    ),
                 ]),
             ));
         }

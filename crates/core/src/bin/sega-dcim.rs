@@ -14,9 +14,15 @@
 //!                   [--restart-budget N] [--backoff-ms N] [--backoff-seed N]
 //!                   [--checkpoint FILE | --resume FILE] [--stop-after-jobs N]
 //!                   [--checkpoint-generations N] [--stop-after-progress N]
-//! sega-dcim worker  --serve [--fail-after N] [--corrupt-after N]
-//!                   [--hang-after N] [--stall-ms N] [--truncate-after N]
-//!                   [--worker-id N] [--log]
+//! sega-dcim serve   --listen ADDR [--cache-file FILE] [--threads N]
+//!                   [--backend macro|remote] [--workers N] [--transport T]
+//!                   [--hello-deadline-ms N] [--idle-timeout-ms N]
+//!                   [--grace-ms N] [--log]
+//! sega-dcim worker  --serve | --connect ADDR [--fail-after N]
+//!                   [--corrupt-after N] [--hang-after N] [--stall-ms N]
+//!                   [--truncate-after N] [--drop-conn-after N]
+//!                   [--reconnect-after N] [--late-hello-ms N]
+//!                   [--capacity N] [--worker-id N] [--log]
 //! ```
 //!
 //! `--threads` bounds the exploration's evaluation pipeline (`0` = all
@@ -65,11 +71,32 @@
 //! misses, then re-bred if the real rows disagree — the committed
 //! trajectory (and front) is bit-identical to the synchronous loop.
 //!
-//! `worker` is the serving half of that protocol: it speaks frames on
-//! stdio and is only useful when launched by a coordinator (or a test).
+//! `--transport stdio|unix|tcp` picks the fleet's link: stdio pipes
+//! (the default), a Unix domain socket, or TCP on `127.0.0.1` — fronts
+//! and accounting are bit-identical across all three. On the socket
+//! transports a worker whose *connection* drops is buried + requeued
+//! like a dead process, but the process may reconnect and **rejoin**
+//! under the same `--restart-budget` (the ledger gains a `rejoins`
+//! term).
+//!
+//! `serve` runs the long-lived daemon: it listens on `--listen
+//! unix:/path.sock` or `tcp:host:port`, accepts framed batch jobs from
+//! many concurrent clients, and multiplexes them onto one shared eval
+//! cache (warm-started from and flushed to `--cache-file`), so a repeat
+//! batch from a second client answers with **0 distinct evaluations**.
+//! `batch --connect ADDR` is the matching client (`--drain` asks the
+//! daemon to flush and exit after the batch); SIGTERM or a client's
+//! `--drain` triggers the graceful drain: stop accepting, finish
+//! in-flight jobs under `--grace-ms`, flush the snapshot, exit.
+//!
+//! `worker` is the serving half of the fleet protocol: it speaks frames
+//! on stdio (`--serve`) or dials a coordinator's hub (`--connect ADDR`)
+//! and is only useful when launched by a coordinator (or a test).
 //! `--fail-after`/`--corrupt-after`/`--hang-after`/`--stall-ms`/
-//! `--truncate-after` are fault-injection knobs for the recovery test
-//! matrix; `--worker-id`/`--log` give every stderr line a
+//! `--truncate-after`/`--drop-conn-after`/`--reconnect-after`/
+//! `--late-hello-ms` are fault-injection knobs for the recovery test
+//! matrix; `--capacity` sets the weight the hello advertises;
+//! `--worker-id`/`--log` give every stderr line a
 //! `[+elapsed-ms wID rREQ]` prefix.
 
 use std::collections::HashMap;
@@ -113,11 +140,20 @@ const USAGE: &str = "usage:
                      [--backend macro|instrumented|remote] [--workers N]
                      [--worker-log-dir DIR] [--worker-deadline-ms N]
                      [--restart-budget N] [--backoff-ms N] [--backoff-seed N]
-                     [--inject-fault none|kill-one|corrupt-one|hang-one|stall-one|truncate-one]
+                     [--transport stdio|unix|tcp]
+                     [--inject-fault none|kill-one|corrupt-one|hang-one|stall-one|
+                                     truncate-one|drop-conn-one|reconnect-one]
                      [--checkpoint FILE | --resume FILE] [--stop-after-jobs N]
                      [--checkpoint-generations N] [--stop-after-progress N]
-  sega-dcim worker   --serve [--fail-after N] [--corrupt-after N] [--hang-after N]
-                     [--stall-ms N] [--truncate-after N] [--worker-id N] [--log]
+  sega-dcim batch    --jobs FILE --connect ADDR [--drain] [--report FILE]
+                     [--population N] [--generations N] [--seed N]
+  sega-dcim serve    --listen ADDR [--cache-file FILE] [--threads N]
+                     [--backend macro|remote] [--workers N] [--transport stdio|unix|tcp]
+                     [--hello-deadline-ms N] [--idle-timeout-ms N] [--grace-ms N] [--log]
+  sega-dcim worker   --serve | --connect ADDR [--fail-after N] [--corrupt-after N]
+                     [--hang-after N] [--stall-ms N] [--truncate-after N]
+                     [--drop-conn-after N] [--reconnect-after N] [--late-hello-ms N]
+                     [--capacity N] [--worker-id N] [--log]
 precisions:   int2 int4 int8 int16 fp8 fp16 bf16 fp32
 --threads:    evaluation pool width (0 = all hardware threads, 1 = serial;
               batch requires an explicit width >= 1, or omit the flag)
@@ -138,9 +174,11 @@ precisions:   int2 int4 int8 int16 fp8 fp16 bf16 fp32
 --restart-budget: respawn attempts per buried worker (default 2; 0 disables)
 --backoff-ms: base of the jittered exponential respawn backoff (default 250)
 --backoff-seed: seed of the deterministic backoff jitter (default 0)
+--transport:  how the remote fleet links up (stdio pipes, unix socket, or tcp
+              on 127.0.0.1); fronts are bit-identical across all three
 --inject-fault: sabotage remote worker 0 (none|kill-one|corrupt-one|hang-one|
-              stall-one|truncate-one) — the CI fault matrix; results must
-              stay bit-identical regardless
+              stall-one|truncate-one|drop-conn-one|reconnect-one) — the CI
+              fault matrix; results must stay bit-identical regardless
 --speculate:  breed each generation speculatively while the previous cohort is
               still in flight (predicted rows for cache misses, re-bred on
               mismatch); fronts stay bit-identical to the synchronous loop
@@ -154,6 +192,19 @@ precisions:   int2 int4 int8 int16 fp8 fp16 bf16 fp32
               exploration at its last journaled generation boundary
 --stop-after-progress: abandon the run after the Nth mid-job progress record
               (requires --checkpoint-generations; the mid-job kill stand-in)
+--connect:    batch: run the jobs on a `sega-dcim serve` daemon at ADDR
+              (unix:/path.sock or tcp:host:port) instead of in-process;
+              worker: dial a coordinator's socket hub at ADDR
+--drain:      after the last job, ask the connected daemon to flush its cache
+              snapshot and exit (requires --connect)
+--listen:     the daemon's accept address (unix:/path.sock or tcp:host:port;
+              tcp:host:0 picks a free port and logs it with --log)
+--hello-deadline-ms / --idle-timeout-ms / --grace-ms:
+              daemon connection-lifecycle knobs — how long a fresh connection
+              may take to say hello, how long a quiet one is kept, and how
+              long a drain waits for in-flight work
+--capacity:   the weight a worker's hello advertises (>= 1); the coordinator
+              partitions shards proportionally to the fleet's weights
 --serve:      speak the framed eval protocol on stdio (workers are spawned by
               a coordinator, not run by hand)";
 
@@ -165,6 +216,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "explore" => explore(&flags),
         "estimate" => estimate_cmd(&flags),
         "batch" => batch(&flags),
+        "serve" => serve_cmd(&flags),
         "worker" => worker(&flags),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -184,6 +236,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             || key == "serve"
             || key == "log"
             || key == "speculate"
+            || key == "drain"
         {
             flags.insert(key.to_owned(), "true".to_owned());
             continue;
@@ -482,7 +535,80 @@ fn get_positive(
     }
 }
 
+/// Runs the batch against a `sega-dcim serve` daemon instead of
+/// in-process: the daemon owns the backend, cache and checkpointing, so
+/// every local-execution flag is rejected up front rather than silently
+/// ignored.
+fn batch_connected(flags: &HashMap<String, String>, raw_addr: &str) -> Result<(), String> {
+    let addr = sega_dcim::ListenAddr::parse(raw_addr)?;
+    for flag in [
+        "backend",
+        "cache-file",
+        "threads",
+        "shards",
+        "speculate",
+        "workers",
+        "worker-log-dir",
+        "worker-deadline-ms",
+        "restart-budget",
+        "backoff-ms",
+        "backoff-seed",
+        "transport",
+        "inject-fault",
+        "checkpoint",
+        "resume",
+        "stop-after-jobs",
+        "checkpoint-generations",
+        "stop-after-progress",
+    ] {
+        if flags.contains_key(flag) {
+            return Err(format!(
+                "--{flag} does not apply with --connect (the daemon owns the \
+                 backend, cache and checkpointing)"
+            ));
+        }
+    }
+    let jobs_path = flags.get("jobs").ok_or("missing --jobs")?;
+    let jobs_text = fs::read_to_string(jobs_path)
+        .map_err(|e| format!("cannot read job file `{jobs_path}`: {e}"))?;
+    let mut defaults = Nsga2Config::default();
+    if let Some(p) = get_u32_opt(flags, "population")? {
+        defaults.population = p as usize;
+    }
+    if let Some(g) = get_u32_opt(flags, "generations")? {
+        defaults.generations = g as usize;
+    }
+    if let Some(s) = flags.get("seed") {
+        defaults.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
+    }
+    let jobs = parse_jobs(&jobs_text, &defaults)?;
+    let report = sega_dcim::run_batch_connected(&addr, &jobs, flags.contains_key("drain"))?;
+    let document = report.to_json().to_string();
+    match flags.get("report") {
+        Some(path) => {
+            fs::write(Path::new(path), document + "\n")
+                .map_err(|e| format!("cannot write report `{path}`: {e}"))?;
+            eprintln!("wrote batch report to {path}");
+        }
+        None => println!("{document}"),
+    }
+    eprintln!(
+        "{} jobs on daemon {addr}: {} evaluations, {} distinct estimates, {} cache hits",
+        report.outcomes.len(),
+        report.evaluations,
+        report.distinct_evaluations,
+        report.cache_hits
+    );
+    Ok(())
+}
+
 fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(raw_addr) = flags.get("connect") {
+        return batch_connected(flags, raw_addr);
+    }
+    if flags.contains_key("drain") {
+        return Err("--drain requires --connect (only a daemon can be drained)".to_owned());
+    }
     // Validate every scheduling knob before any file is read or worker
     // spawned, so a typo fails in microseconds with a precise message.
     let threads = get_positive(
@@ -504,15 +630,27 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
     if !matches!(
         fault,
         None | Some(
-            "none" | "kill-one" | "corrupt-one" | "hang-one" | "stall-one" | "truncate-one"
+            "none"
+                | "kill-one"
+                | "corrupt-one"
+                | "hang-one"
+                | "stall-one"
+                | "truncate-one"
+                | "drop-conn-one"
+                | "reconnect-one"
         )
     ) {
         return Err(format!(
             "unknown fault `{}` (expected none, kill-one, corrupt-one, hang-one, \
-             stall-one or truncate-one)",
+             stall-one, truncate-one, drop-conn-one or reconnect-one)",
             fault.unwrap_or_default()
         ));
     }
+    let transport = flags
+        .get("transport")
+        .map(|raw| sega_dcim::TransportKind::parse(raw))
+        .transpose()?
+        .unwrap_or_default();
     let deadline_ms = get_positive(
         flags,
         "worker-deadline-ms",
@@ -538,6 +676,7 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
             "restart-budget",
             "backoff-ms",
             "backoff-seed",
+            "transport",
         ] {
             if flags.contains_key(flag) {
                 return Err(format!("--{flag} requires --backend remote"));
@@ -667,7 +806,7 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
         "remote" => {
             let program = std::env::current_exe()
                 .map_err(|e| format!("cannot locate the worker binary: {e}"))?;
-            let mut options = RemoteOptions::fleet(program, workers);
+            let mut options = RemoteOptions::fleet(program, workers).with_transport(transport);
             if let Some(ms) = deadline_ms {
                 options = options.with_deadline(std::time::Duration::from_millis(ms as u64));
             }
@@ -691,6 +830,8 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
                 Some("hang-one") => Some(("--hang-after", "1".to_owned())),
                 Some("stall-one") => Some(("--stall-ms", stall_ms.to_string())),
                 Some("truncate-one") => Some(("--truncate-after", "1".to_owned())),
+                Some("drop-conn-one") => Some(("--drop-conn-after", "1".to_owned())),
+                Some("reconnect-one") => Some(("--reconnect-after", "1".to_owned())),
                 _ => None,
             };
             if let Some((knob, value)) = sabotage {
@@ -789,9 +930,10 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(backend) = remote {
         let stats = backend.stats();
         summary.push_str(&format!(
-            "remote fleet: {}/{} workers alive, {} round-trips, {} geometries \
+            "remote fleet ({}): {}/{} workers alive, {} round-trips, {} geometries \
              ({} requeued sub-cohorts, {} timeouts, {} worker deaths, {} respawns, \
-             {} evaluated in-process), {} delta entries merged\n",
+             {} rejoins, {} evaluated in-process), {} delta entries merged\n",
+            stats.transport.name(),
             stats.workers_alive,
             stats.workers_spawned,
             stats.round_trips,
@@ -800,6 +942,7 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
             stats.timeouts,
             stats.worker_deaths,
             stats.respawns,
+            stats.rejoins,
             stats.fallback_geometries,
             stats.merged_entries,
         ));
@@ -808,14 +951,126 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// The serving half of the remote protocol: frames on stdio until the
-/// coordinator shuts us down or closes the pipe.
-fn worker(flags: &HashMap<String, String>) -> Result<(), String> {
-    if !flags.contains_key("serve") {
-        return Err(
-            "worker requires --serve (it is launched by a coordinator, not run by hand)".to_owned(),
-        );
+/// Bridges SIGTERM to the process-wide drain flag: the daemon's accept
+/// loop polls [`sega_dcim::drain_flag`] and begins its graceful drain
+/// (stop accepting, finish in-flight, flush, exit) when the flag flips.
+/// The handler body is a single atomic store — async-signal-safe.
+fn install_sigterm_drain() {
+    extern "C" fn on_sigterm(_signum: i32) {
+        sega_dcim::drain_flag().store(true, std::sync::atomic::Ordering::SeqCst);
     }
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+/// The long-lived daemon: accept framed batch jobs on `--listen` from
+/// many concurrent clients, multiplexed onto one shared eval cache (and
+/// optionally a remote worker fleet), until SIGTERM or a client's
+/// shutdown frame drains it.
+fn serve_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let raw = flags.get("listen").ok_or("missing --listen")?;
+    let listen = sega_dcim::ListenAddr::parse(raw)?;
+    let mut options = sega_dcim::ServeOptions::new(listen);
+    options.cache_file = flags.get("cache-file").map(PathBuf::from);
+    options.log = flags.contains_key("log");
+    if let Some(t) = get_positive(
+        flags,
+        "threads",
+        "omit the flag to use all hardware threads",
+    )? {
+        options.threads = t;
+    }
+    let knob_ms = |key: &str,
+                   hint: &str,
+                   default: std::time::Duration|
+     -> Result<std::time::Duration, String> {
+        Ok(get_positive(flags, key, hint)?
+            .map(|ms| std::time::Duration::from_millis(ms as u64))
+            .unwrap_or(default))
+    };
+    options.hello_deadline = knob_ms(
+        "hello-deadline-ms",
+        "a zero deadline would drop every connection instantly",
+        options.hello_deadline,
+    )?;
+    options.idle_timeout = knob_ms(
+        "idle-timeout-ms",
+        "a zero timeout would close every quiet connection instantly",
+        options.idle_timeout,
+    )?;
+    options.grace = knob_ms(
+        "grace-ms",
+        "a zero grace would abandon every in-flight job on drain",
+        options.grace,
+    )?;
+
+    let backend_name = flags.get("backend").map(String::as_str).unwrap_or("macro");
+    if backend_name != "remote" {
+        for flag in ["workers", "transport"] {
+            if flags.contains_key(flag) {
+                return Err(format!("--{flag} requires --backend remote"));
+            }
+        }
+    }
+    let _fleet: Option<Arc<RemoteBackend>> = match backend_name {
+        "macro" => None,
+        "remote" => {
+            let workers =
+                get_positive(flags, "workers", "a remote fleet needs at least one worker")?
+                    .unwrap_or(2);
+            let transport = flags
+                .get("transport")
+                .map(|raw| sega_dcim::TransportKind::parse(raw))
+                .transpose()?
+                .unwrap_or_default();
+            let program = std::env::current_exe()
+                .map_err(|e| format!("cannot locate the worker binary: {e}"))?;
+            let fleet_options = RemoteOptions::fleet(program, workers).with_transport(transport);
+            // The fleet's snapshot deltas sink into the daemon's cache,
+            // so remotely computed estimates warm later clients too.
+            let cache = Arc::new(SharedEvalCache::new());
+            let backend =
+                Arc::new(RemoteBackend::spawn(fleet_options)?.with_sink(Arc::clone(&cache)));
+            options.cache = Some(cache);
+            options.backend = Some(Arc::clone(&backend) as _);
+            Some(backend)
+        }
+        other => {
+            return Err(format!(
+                "unknown backend `{other}` (serve runs macro or remote)"
+            ))
+        }
+    };
+
+    install_sigterm_drain();
+    let report = sega_dcim::serve(options)?;
+    eprintln!(
+        "serve: {} connections, {} jobs, {} hello timeouts, {} idle closes, \
+         drained {}, {} cache entries flushed",
+        report.connections,
+        report.jobs,
+        report.hello_timeouts,
+        report.idle_closed,
+        if report.drained_clean {
+            "clean"
+        } else {
+            "dirty"
+        },
+        report.cache_entries,
+    );
+    Ok(())
+}
+
+/// The serving half of the remote protocol: frames on stdio (`--serve`,
+/// the coordinator launched us on pipes) or over a dialed socket
+/// (`--connect ADDR`, the coordinator runs a hub) until it shuts us
+/// down or closes the link.
+fn worker(flags: &HashMap<String, String>) -> Result<(), String> {
     let knob = |key: &str| -> Result<Option<u64>, String> {
         flags
             .get(key)
@@ -828,9 +1083,24 @@ fn worker(flags: &HashMap<String, String>) -> Result<(), String> {
         hang_after: knob("hang-after")?,
         truncate_after: knob("truncate-after")?,
         stall: knob("stall-ms")?.map(std::time::Duration::from_millis),
+        drop_conn_after: knob("drop-conn-after")?,
+        reconnect_after: knob("reconnect-after")?,
+        late_hello: knob("late-hello-ms")?.map(std::time::Duration::from_millis),
+        capacity: knob("capacity")?.unwrap_or(1).min(u64::from(u32::MAX)) as u32,
         worker_id: knob("worker-id")?.unwrap_or(0),
         log: flags.contains_key("log"),
     };
+    if let Some(raw) = flags.get("connect") {
+        let addr = sega_dcim::ListenAddr::parse(raw)?;
+        return sega_dcim::run_connected_worker(&addr, &options);
+    }
+    if !flags.contains_key("serve") {
+        return Err(
+            "worker requires --serve or --connect ADDR (it is launched by a \
+             coordinator, not run by hand)"
+                .to_owned(),
+        );
+    }
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut input = stdin.lock();

@@ -77,6 +77,7 @@ pub mod mixed;
 pub mod remote;
 pub mod report;
 pub mod runtime;
+pub mod serve;
 mod spec;
 pub mod testbench;
 
@@ -94,7 +95,11 @@ pub use explore::{
     ExploreResume, ParetoSolution, PipelineOptions,
 };
 pub use mixed::{explore_mixed, explore_mixed_with, MixedExploration};
-pub use remote::{RemoteBackend, RemoteOptions, RemoteStats, WorkerCommand, WorkerOptions};
+pub use remote::{
+    run_connected_worker, RemoteBackend, RemoteOptions, RemoteStats, TransportKind, WorkerCommand,
+    WorkerOptions,
+};
+pub use serve::{drain_flag, run_batch_connected, serve, ListenAddr, ServeOptions, ServeReport};
 pub use spec::{ExplorerLimits, SpecError, UserSpec};
 pub use testbench::{generate_int_testbench, Testbench};
 

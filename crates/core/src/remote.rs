@@ -5,11 +5,27 @@
 //! # Topology
 //!
 //! [`RemoteBackend::spawn`] launches N workers (`sega-dcim worker
-//! --serve` by default) with piped stdio; each worker answers
-//! [`sega_wire::frame`] eval-requests until shutdown or stdin EOF. One
-//! fleet serves every binding the backend hands out, so a whole batch
-//! run — many specs, many precisions — shares the same N processes, and
-//! each worker memoizes its own [`SharedEvalCache`] across requests.
+//! --serve` by default); each worker answers [`sega_wire::frame`]
+//! eval-requests until shutdown or transport EOF. One fleet serves every
+//! binding the backend hands out, so a whole batch run — many specs,
+//! many precisions — shares the same N processes, and each worker
+//! memoizes its own [`SharedEvalCache`] across requests.
+//!
+//! # Transport
+//!
+//! The frame protocol is stream-agnostic, and the fleet link is a
+//! pluggable [`TransportKind`] seam: **stdio** (piped child stdin/stdout,
+//! the default), **unix-socket**, and **tcp** (loopback). Socket workers
+//! are launched with `worker --connect ADDR` and dial back into the
+//! coordinator's accept hub, where their capability hello
+//! ([`sega_wire::frame::Hello`]: protocol version, capacity weight,
+//! armed faults) is read under the same deadline as any request; the
+//! negotiated capacity weights drive [`worker_of_weighted`], the
+//! weighted shard partition that replaces static shard-mod when a
+//! heterogeneous fleet reports uneven capacities (an all-ones fleet
+//! partitions exactly like the historical `hash % N`). The front is
+//! bit-identical across every transport and weighting — partitioning
+//! only decides *where* a deterministic function is computed.
 //!
 //! # Dispatch
 //!
@@ -41,20 +57,30 @@
 //! lasts, scheduled for **respawn** under jittered exponential backoff
 //! (deterministic for a given [`RemoteOptions::backoff_seed`]). A
 //! respawned worker re-handshakes through the same versioned hello and
-//! *rejoins* the [`FleetState::assign`] rotation. When the whole fleet
-//! is gone and no respawn is due, the sub-cohort is evaluated in-process
-//! through the bound macro-model fallback. Every path produces exactly
-//! one row per requested geometry, so `EvalStats` accounting stays exact
-//! — and the front stays bit-identical — under any fault schedule; the
+//! *rejoins* the [`FleetState::assign`] rotation. On a socket transport
+//! a dropped worker has a second path back: the still-running process may
+//! **reconnect** on its own and, while its retry window is open, be
+//! *adopted* back into its rotation slot without a relaunch — counted in
+//! [`RemoteStats::rejoins`], never double-counting in-flight work (the
+//! buried connection's sub-cohort was already requeued at bury time).
+//! The hello exchange itself runs under the per-request deadline, at
+//! first spawn and on every reconnect: a worker that launches (or
+//! connects) and never says hello is counted in
+//! [`RemoteStats::timeouts`], buried like a stall, and fleet
+//! construction proceeds without it. When the whole fleet is gone and no
+//! respawn is due, the sub-cohort is evaluated in-process through the
+//! bound macro-model fallback. Every path produces exactly one row per
+//! requested geometry, so `EvalStats` accounting stays exact — and the
+//! front stays bit-identical — under any fault schedule; the
 //! [`RemoteStats`] ledger always satisfies
-//! `workers_alive == workers_spawned − worker_deaths + respawns` and
-//! `timeouts ≤ worker_deaths`.
+//! `workers_alive == workers_spawned − worker_deaths + respawns + rejoins`
+//! and `timeouts ≤ worker_deaths`.
 
 use std::collections::HashMap;
 use std::io::{BufReader, Read, Write};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -63,14 +89,60 @@ use std::time::{Duration, Instant};
 use sega_cells::Technology;
 use sega_estimator::{OperatingConditions, Precision};
 use sega_parallel::Pool;
-use sega_wire::frame::{self, EvalRequest, EvalResponse, FrameError, Message, PROTOCOL_VERSION};
+use sega_wire::frame::{
+    self, EvalRequest, EvalResponse, FrameError, Hello, Message, PROTOCOL_VERSION,
+};
 use sega_wire::snapshot::{EntryRecord, SpaceRecord};
 use sega_wire::{GeometryRecord, KeyRecord, Snapshot};
 
 use crate::backend::{CohortEvaluator, EvalBackend, EvalTicket, MacroModelBackend};
 use crate::cache::{CacheKey, FxHasher, SharedEvalCache};
 use crate::explore::{Geometry, ParetoSolution};
+use crate::serve::{connect_with_retry, ListenAddr, Listener, Stream};
 use crate::spec::UserSpec;
+
+/// The fleet link: how the coordinator and its worker processes talk.
+/// The frame protocol, the supervision laws, and the resulting fronts
+/// are identical on every variant — only the byte pipe differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Piped child stdin/stdout — the zero-configuration default.
+    #[default]
+    Stdio,
+    /// A Unix domain socket under the temp dir; workers dial back in
+    /// with `worker --connect`, which enables reconnect-and-rejoin.
+    Unix,
+    /// A loopback TCP socket (`127.0.0.1:0`, port negotiated at bind) —
+    /// the machine-spanning transport, exercised here on localhost.
+    Tcp,
+}
+
+impl TransportKind {
+    /// The report/CLI name: `stdio`, `unix-socket` or `tcp`.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Stdio => "stdio",
+            TransportKind::Unix => "unix-socket",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    /// Parses a CLI `--transport` value.
+    ///
+    /// # Errors
+    ///
+    /// Names the accepted values.
+    pub fn parse(raw: &str) -> Result<TransportKind, String> {
+        match raw {
+            "stdio" => Ok(TransportKind::Stdio),
+            "unix" | "unix-socket" => Ok(TransportKind::Unix),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!(
+                "unknown transport `{other}` (expected stdio, unix or tcp)"
+            )),
+        }
+    }
+}
 
 /// How to launch one worker process.
 #[derive(Debug, Clone)]
@@ -138,6 +210,9 @@ pub struct RemoteOptions {
     /// Seed of the deterministic backoff jitter — the same seed, worker
     /// index and attempt always yield the same delay.
     pub backoff_seed: u64,
+    /// The fleet link. Socket transports additionally enable the
+    /// reconnect-and-rejoin path (see [`RemoteStats::rejoins`]).
+    pub transport: TransportKind,
 }
 
 impl Default for RemoteOptions {
@@ -151,6 +226,7 @@ impl Default for RemoteOptions {
             restart_budget: DEFAULT_RESTART_BUDGET,
             backoff_base: DEFAULT_BACKOFF_BASE,
             backoff_seed: 0,
+            transport: TransportKind::Stdio,
         }
     }
 }
@@ -196,10 +272,17 @@ impl RemoteOptions {
         self.backoff_seed = seed;
         self
     }
+
+    /// Sets the fleet link (default [`TransportKind::Stdio`]).
+    #[must_use]
+    pub fn with_transport(mut self, transport: TransportKind) -> RemoteOptions {
+        self.transport = transport;
+        self
+    }
 }
 
 /// A point-in-time copy of the fleet's traffic counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RemoteStats {
     /// Request/response exchanges completed successfully.
     pub round_trips: u64,
@@ -211,10 +294,14 @@ pub struct RemoteStats {
     pub timeouts: u64,
     /// Workers that transitioned alive → dead.
     pub worker_deaths: u64,
-    /// Buried workers successfully respawned and rejoined. The ledger
-    /// `workers_alive == workers_spawned − worker_deaths + respawns`
-    /// holds at every quiescent point.
+    /// Buried workers successfully *relaunched* by the supervisor. The
+    /// ledger `workers_alive == workers_spawned − worker_deaths +
+    /// respawns + rejoins` holds at every quiescent point.
     pub respawns: u64,
+    /// Buried socket workers whose still-running process reconnected on
+    /// its own and was adopted back into its rotation slot — the
+    /// relaunch-free half of the recovery ledger.
+    pub rejoins: u64,
     /// Geometries evaluated in-process because no worker survived.
     pub fallback_geometries: u64,
     /// Geometries evaluated across the fleet (remote or fallback).
@@ -225,6 +312,12 @@ pub struct RemoteStats {
     pub workers_alive: usize,
     /// Workers the fleet was spawned with.
     pub workers_spawned: usize,
+    /// The fleet link the stats describe.
+    pub transport: TransportKind,
+    /// Per-worker negotiated capacity weights (hello capability
+    /// exchange), in worker-index order — the weights
+    /// [`worker_of_weighted`] partitions by.
+    pub capacities: Vec<u32>,
 }
 
 #[derive(Debug, Default)]
@@ -234,6 +327,7 @@ struct RemoteCounters {
     timeouts: AtomicU64,
     worker_deaths: AtomicU64,
     respawns: AtomicU64,
+    rejoins: AtomicU64,
     fallback_geometries: AtomicU64,
     geometries: AtomicU64,
     merged_entries: AtomicU64,
@@ -250,17 +344,46 @@ impl Tally for AtomicU64 {
     }
 }
 
-/// One spawned worker process: its framed stdin plus the reader thread
-/// draining its stdout into a channel, so receives can carry a deadline
-/// (`recv_timeout`) instead of blocking the coordinator on a pipe a hung
-/// worker will never write to.
+/// The coordinator's write half of one worker link.
+#[derive(Debug)]
+enum WriteHalf {
+    /// The child's piped stdin (stdio transport).
+    Stdio(ChildStdin),
+    /// The accepted socket connection (unix/tcp transport).
+    Socket(Stream),
+}
+
+impl Write for WriteHalf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            WriteHalf::Stdio(stdin) => stdin.write(buf),
+            WriteHalf::Socket(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            WriteHalf::Stdio(stdin) => stdin.flush(),
+            WriteHalf::Socket(stream) => stream.flush(),
+        }
+    }
+}
+
+/// One fleet member: its framed write half plus the reader thread
+/// draining its read half into a channel, so receives can carry a
+/// deadline (`recv_timeout`) instead of blocking the coordinator on a
+/// link a hung worker will never write to.
 #[derive(Debug)]
 struct WorkerHandle {
-    child: Child,
+    /// The launched process. `None` only transiently, while a rejoin
+    /// adoption moves the handle to the reconnected link — the process
+    /// of a soft-buried socket worker stays owned (and is reaped at
+    /// respawn or fleet drop) even while its connection is gone.
+    child: Option<Child>,
     /// OS pid at spawn time — kept for the zombie audit after the child
     /// handle has been reaped.
     pid: u32,
-    stdin: Option<ChildStdin>,
+    writer: Option<WriteHalf>,
     /// Frames (or the terminal transport error) from the reader thread.
     incoming: Receiver<Result<Message, FrameError>>,
     /// Responses drained off the channel while looking for a different
@@ -274,12 +397,14 @@ struct WorkerHandle {
     pending_error: Option<FrameError>,
     reader: Option<JoinHandle<()>>,
     alive: bool,
+    /// The partition weight this worker's hello negotiated (≥ 1).
+    capacity: u32,
 }
 
 impl WorkerHandle {
     fn send(&mut self, message: &Message) -> Result<(), FrameError> {
-        match &mut self.stdin {
-            Some(stdin) => frame::send(stdin, message),
+        match &mut self.writer {
+            Some(writer) => frame::send(writer, message),
             None => Err(FrameError::Eof),
         }
     }
@@ -296,17 +421,45 @@ impl WorkerHandle {
         }
     }
 
-    /// Marks the worker dead, reaps the process and joins the reader
-    /// thread (bounded: the kill closes the pipe, so the reader's next
-    /// read returns immediately).
-    fn kill(&mut self) {
+    /// `true` when the link is a socket — the transports whose buried
+    /// workers may reconnect and rejoin.
+    fn is_socket(&self) -> bool {
+        matches!(self.writer, Some(WriteHalf::Socket(_)))
+    }
+
+    /// Tears down the transport link and joins the reader thread. The
+    /// socket shutdown wakes a reader blocked on a socket; a stdio
+    /// reader blocked on the child's stdout only wakes at pipe EOF, so
+    /// `kill` must reap the process *before* calling this.
+    fn close_link(&mut self) {
         self.alive = false;
-        self.stdin = None; // EOF, in case the process is still looping
-        let _ = self.child.kill();
-        let _ = self.child.wait();
+        if let Some(WriteHalf::Socket(stream)) = &self.writer {
+            stream.disconnect();
+        }
+        self.writer = None;
         if let Some(reader) = self.reader.take() {
             let _ = reader.join();
         }
+    }
+
+    /// Soft bury (socket transports): the link dies, the process keeps
+    /// running — it may reconnect and rejoin while the retry window is
+    /// open, and is reaped at respawn or fleet drop otherwise.
+    fn disconnect(&mut self) {
+        self.close_link();
+    }
+
+    /// Hard bury: marks the worker dead, reaps the process and joins the
+    /// reader thread. The process dies first: a hung stdio worker's
+    /// reader is blocked on its stdout pipe and only the EOF from the
+    /// child's death can wake it for the join in `close_link`.
+    fn kill(&mut self) {
+        self.alive = false;
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.close_link();
     }
 }
 
@@ -327,6 +480,139 @@ struct SupervisionConfig {
     restart_budget: u32,
     backoff_base: Duration,
     backoff_seed: u64,
+    transport: TransportKind,
+}
+
+/// The socket accept hub: the listener the fleet's workers dial back
+/// into, and the parking lot where their capability hellos wait for the
+/// supervisor. The accept thread reads each connection's hello under the
+/// per-request deadline (a connected-but-mute peer is cut loose, never
+/// awaited), then parks the identified link by its `peer_id` — the
+/// worker index whose rotation slot it claims. Both initial spawns and
+/// reconnecting workers arrive through the same lot; the spawn loop and
+/// [`Fleet::maintain`]'s rejoin pass are the only consumers.
+#[derive(Debug)]
+struct HubShared {
+    /// Identified links waiting for adoption, by claimed worker index.
+    /// A worker reconnecting twice replaces its stale parked link.
+    pending: Mutex<HashMap<u64, (Stream, Hello)>>,
+    stop: AtomicBool,
+    /// Live connections whose hello is still being read — counted so a
+    /// spawn poll can distinguish "not yet connected" from "connected,
+    /// hello in flight" near the deadline edge.
+    greeting: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct SocketHub {
+    addr: ListenAddr,
+    shared: Arc<HubShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SocketHub {
+    /// Binds a fresh coordinator listen address for `transport` and
+    /// starts the accept thread.
+    fn start(transport: TransportKind, hello_deadline: Duration) -> Result<SocketHub, String> {
+        static NEXT_HUB: AtomicU64 = AtomicU64::new(0);
+        let requested = match transport {
+            TransportKind::Unix => ListenAddr::Unix(std::env::temp_dir().join(format!(
+                "sega-fleet-{}-{}.sock",
+                std::process::id(),
+                NEXT_HUB.fetch_add(1, Ordering::Relaxed)
+            ))),
+            TransportKind::Tcp => ListenAddr::Tcp("127.0.0.1:0".to_owned()),
+            TransportKind::Stdio => return Err("stdio transport has no socket hub".to_owned()),
+        };
+        let (listener, addr) = Listener::bind(&requested)
+            .map_err(|e| format!("cannot bind fleet hub `{requested}`: {e}"))?;
+        listener
+            .set_nonblocking()
+            .map_err(|e| format!("cannot poll fleet hub `{addr}`: {e}"))?;
+        let shared = Arc::new(HubShared {
+            pending: Mutex::new(HashMap::new()),
+            stop: AtomicBool::new(false),
+            greeting: AtomicUsize::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("sega-fleet-hub".to_owned())
+            .spawn(move || {
+                while !accept_shared.stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok(mut stream) => {
+                            accept_shared.greeting.fetch_add(1, Ordering::SeqCst);
+                            // The hello runs under the same deadline as
+                            // any request: a mute peer is dropped here.
+                            let _ = stream.set_read_timeout(Some(hello_deadline));
+                            if let Ok(Message::Hello(hello)) = frame::recv(&mut stream) {
+                                if hello.role == "worker" {
+                                    let _ = stream.set_read_timeout(None);
+                                    accept_shared
+                                        .pending
+                                        .lock()
+                                        .expect("hub lot poisoned")
+                                        .insert(hello.peer_id, (stream, hello));
+                                }
+                            }
+                            accept_shared.greeting.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .map_err(|e| format!("cannot start fleet hub thread: {e}"))?;
+        Ok(SocketHub {
+            addr,
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// Waits up to `deadline` for the link claiming worker index `index`
+    /// to finish its hello and park. `None` is the hello timeout.
+    fn claim(&self, index: usize, deadline: Duration) -> Option<(Stream, Hello)> {
+        let due = Instant::now() + deadline;
+        loop {
+            if let Some(parked) = self
+                .shared
+                .pending
+                .lock()
+                .expect("hub lot poisoned")
+                .remove(&(index as u64))
+            {
+                return Some(parked);
+            }
+            // Grace past the nominal deadline while a hello is actively
+            // in flight, so a worker that connected in time is not
+            // tombstoned over scheduler jitter in the accept thread.
+            if Instant::now() >= due && self.shared.greeting.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Discards a stale parked link for worker `index`, if any.
+    fn evict(&self, index: usize) {
+        self.shared
+            .pending
+            .lock()
+            .expect("hub lot poisoned")
+            .remove(&(index as u64));
+    }
+}
+
+impl Drop for SocketHub {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -397,16 +683,29 @@ struct Fleet {
     counters: RemoteCounters,
     spawned: usize,
     config: SupervisionConfig,
+    /// The socket accept hub (`None` on stdio) — reconnecting workers
+    /// park here until the rejoin pass adopts them.
+    hub: Option<SocketHub>,
 }
 
 impl Fleet {
-    /// Buries worker `w`: kill + reap (counted once per transition) and,
-    /// while the restart budget lasts, schedule a backed-off respawn.
+    /// Buries worker `w` (counted once per transition) and, while the
+    /// restart budget lasts, schedules a backed-off respawn. On stdio
+    /// the process is killed and reaped with its link; on a socket
+    /// transport only the *link* dies — the process may reconnect and
+    /// rejoin inside the retry window (the rejoin pass), and is reaped
+    /// at respawn or fleet drop otherwise. Either way the sub-cohort was
+    /// already requeued by the caller, so a later rejoin can never
+    /// double-count in-flight work.
     fn bury(&self, state: &mut FleetState, w: usize) {
         if !state.workers[w].alive {
             return;
         }
-        state.workers[w].kill();
+        if state.workers[w].is_socket() {
+            state.workers[w].disconnect();
+        } else {
+            state.workers[w].kill();
+        }
         self.counters.worker_deaths.add(1);
         let sup = &mut state.supervise[w];
         if sup.restarts < self.config.restart_budget {
@@ -414,12 +713,54 @@ impl Fleet {
         }
     }
 
-    /// The respawn pass: every buried worker whose backoff has elapsed
-    /// is relaunched with its original command and re-handshaken; on
+    /// The recovery pass, two halves. **Rejoin** (socket transports):
+    /// a buried worker whose still-running process has reconnected and
+    /// parked in the hub is adopted back into its rotation slot — no
+    /// relaunch, counted in `rejoins`, budget charged like a respawn.
+    /// **Respawn**: every buried worker whose backoff has elapsed is
+    /// relaunched with its original command and re-handshaken; on
     /// success it rejoins the [`FleetState::assign`] rotation. Called at
     /// cohort start and inside the recovery loop — never from a timer,
     /// so a quiet backend spawns nothing behind the caller's back.
     fn maintain(&self, state: &mut FleetState) {
+        if let Some(hub) = &self.hub {
+            for w in 0..state.workers.len() {
+                if state.workers[w].alive || state.supervise[w].retry_at.is_none() {
+                    // Healthy, or retry budget closed: any parked link
+                    // for this slot is stale — drop it.
+                    hub.evict(w);
+                    continue;
+                }
+                let Some((stream, hello)) = hub
+                    .shared
+                    .pending
+                    .lock()
+                    .expect("hub lot poisoned")
+                    .remove(&(w as u64))
+                else {
+                    continue;
+                };
+                if hello.protocol != PROTOCOL_VERSION {
+                    continue;
+                }
+                // The reconnecting process IS the child this handle
+                // already owns — move it into the adopted handle, never
+                // kill it.
+                let child = state.workers[w].child.take();
+                let pid = state.workers[w].pid;
+                match adopt_link(child, pid, stream, &hello, w) {
+                    Ok(handle) => {
+                        state.workers[w] = handle;
+                        state.supervise[w].restarts += 1;
+                        state.supervise[w].retry_at = None;
+                        self.counters.rejoins.add(1);
+                    }
+                    Err(e) => {
+                        eprintln!("warning: rejoin of worker {w} failed: {e}");
+                    }
+                }
+            }
+        }
         let now = Instant::now();
         for w in 0..state.workers.len() {
             if state.workers[w].alive || !matches!(state.supervise[w].retry_at, Some(t) if t <= now)
@@ -428,13 +769,48 @@ impl Fleet {
             }
             state.supervise[w].retry_at = None;
             let attempt = state.supervise[w].restarts;
-            match spawn_worker(&state.commands[w], w, state.log_dir.as_deref()) {
+            // A fresh launch replaces whatever is left of the old
+            // incarnation: reap its (soft-buried) process and discard
+            // any stale parked reconnect, so the hub key is free for the
+            // relaunch's hello.
+            if let Some(child) = state.workers[w].child.as_mut() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            if let Some(hub) = &self.hub {
+                hub.evict(w);
+            }
+            let respawned = spawn_worker_on(
+                &state.commands[w],
+                w,
+                state.log_dir.as_deref(),
+                &self.config,
+                self.hub.as_ref(),
+            );
+            match respawned {
                 Ok(worker) => {
                     state.workers[w] = worker;
                     state.supervise[w].restarts = attempt + 1;
                     self.counters.respawns.add(1);
                 }
-                Err(e) => {
+                Err(SpawnError::HelloTimeout(tombstone)) => {
+                    // The relaunch came up but never said hello inside
+                    // the deadline: it was killed and entombed. Count
+                    // the full cycle — respawn, timeout, death — so the
+                    // ledger stays balanced (net-zero on `alive`) and
+                    // `timeouts ≤ worker_deaths` still holds.
+                    state.workers[w] = *tombstone;
+                    self.counters.respawns.add(1);
+                    self.counters.timeouts.add(1);
+                    self.counters.worker_deaths.add(1);
+                    let sup = &mut state.supervise[w];
+                    sup.restarts = attempt + 1;
+                    if sup.restarts < self.config.restart_budget {
+                        sup.retry_at =
+                            Some(Instant::now() + backoff_delay(&self.config, w, sup.restarts));
+                    }
+                }
+                Err(SpawnError::Fatal(e)) => {
                     eprintln!("warning: respawn of worker {w} failed: {e}");
                     let sup = &mut state.supervise[w];
                     sup.restarts = attempt + 1;
@@ -454,34 +830,44 @@ impl Drop for Fleet {
             Ok(state) => state,
             Err(poisoned) => poisoned.into_inner(),
         };
-        // Ask every live worker to exit, then close its stdin — a
+        // Ask every live worker to exit, then close its link — a
         // healthy worker leaves on either signal.
         for worker in &mut state.workers {
             if worker.alive {
                 let _ = worker.send(&Message::Shutdown);
-                worker.stdin = None;
+                if let Some(WriteHalf::Socket(stream)) = &worker.writer {
+                    stream.disconnect();
+                }
+                worker.writer = None;
             }
         }
         // Bounded wait: a worker that ignores the shutdown (hung fault
         // injection, wedged estimator) is force-killed at the grace
         // deadline, so dropping a backend can never hang the process —
-        // and every child is reaped, so none is left a zombie.
+        // and every child is reaped, so none is left a zombie. Dead
+        // workers are reaped too: a soft-buried socket worker's process
+        // outlives its link on purpose (the rejoin window), and this is
+        // where that purpose ends.
         let deadline = Instant::now() + SHUTDOWN_GRACE;
         for worker in &mut state.workers {
-            if !worker.alive {
-                continue; // already killed + reaped by `bury`
-            }
-            loop {
-                match worker.child.try_wait() {
-                    Ok(Some(_)) | Err(_) => break,
-                    Ok(None) => {
-                        if Instant::now() >= deadline {
-                            let _ = worker.child.kill();
-                            let _ = worker.child.wait();
-                            break;
+            if let Some(child) = worker.child.as_mut() {
+                if worker.alive {
+                    loop {
+                        match child.try_wait() {
+                            Ok(Some(_)) | Err(_) => break,
+                            Ok(None) => {
+                                if Instant::now() >= deadline {
+                                    let _ = child.kill();
+                                    let _ = child.wait();
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
                         }
-                        std::thread::sleep(Duration::from_millis(5));
                     }
+                } else {
+                    let _ = child.kill();
+                    let _ = child.wait();
                 }
             }
             worker.alive = false;
@@ -510,21 +896,60 @@ impl RemoteBackend {
     /// Spawns the fleet and completes the hello handshake with every
     /// worker.
     ///
+    /// A worker that launches but misses the hello **deadline** (the
+    /// per-request deadline applies to the handshake too) does *not*
+    /// fail the spawn: it is killed, entombed, counted in
+    /// [`RemoteStats::timeouts`] and [`RemoteStats::worker_deaths`], and
+    /// scheduled for respawn under the budget — a never-helloing peer
+    /// must not stall fleet construction.
+    ///
     /// # Errors
     ///
-    /// An empty fleet, the launch error, or a protocol-version mismatch
-    /// of the first worker that fails — failing the whole spawn keeps
-    /// configuration mistakes loud (a *later* death is handled by
-    /// requeueing instead).
+    /// An empty fleet, the launch error, a garbage/EOF handshake, or a
+    /// protocol-version mismatch of the first worker that fails —
+    /// failing the whole spawn keeps configuration mistakes loud (a
+    /// *later* death is handled by requeueing instead).
     pub fn spawn(options: RemoteOptions) -> Result<RemoteBackend, String> {
         if options.workers.is_empty() {
             return Err("a remote fleet needs at least one worker command".to_owned());
         }
+        let config = SupervisionConfig {
+            deadline: options.deadline,
+            restart_budget: options.restart_budget,
+            backoff_base: options.backoff_base,
+            backoff_seed: options.backoff_seed,
+            transport: options.transport,
+        };
+        let hub = match options.transport {
+            TransportKind::Stdio => None,
+            TransportKind::Unix | TransportKind::Tcp => {
+                Some(SocketHub::start(options.transport, options.deadline)?)
+            }
+        };
         let mut workers: Vec<WorkerHandle> = Vec::with_capacity(options.workers.len());
+        let mut supervise = vec![Supervision::default(); options.workers.len()];
+        let mut timeouts: u64 = 0;
         for (index, command) in options.workers.iter().enumerate() {
-            match spawn_worker(command, index, options.log_dir.as_deref()) {
+            let spawned = spawn_worker_on(
+                command,
+                index,
+                options.log_dir.as_deref(),
+                &config,
+                hub.as_ref(),
+            );
+            match spawned {
                 Ok(worker) => workers.push(worker),
-                Err(e) => {
+                Err(SpawnError::HelloTimeout(tombstone)) => {
+                    // Buried like a stall: counted, entombed, respawn
+                    // scheduled under the budget — construction proceeds.
+                    timeouts += 1;
+                    if config.restart_budget > 0 {
+                        supervise[index].retry_at =
+                            Some(Instant::now() + backoff_delay(&config, index, 0));
+                    }
+                    workers.push(*tombstone);
+                }
+                Err(SpawnError::Fatal(e)) => {
                     // Reap the part of the fleet that did spawn — a
                     // failed spawn must not leak zombie processes.
                     for worker in &mut workers {
@@ -535,23 +960,22 @@ impl RemoteBackend {
             }
         }
         let spawned = workers.len();
+        let counters = RemoteCounters::default();
+        counters.timeouts.add(timeouts);
+        counters.worker_deaths.add(timeouts);
         Ok(RemoteBackend {
             fleet: Arc::new(Fleet {
                 state: Mutex::new(FleetState {
                     workers,
-                    supervise: vec![Supervision::default(); spawned],
+                    supervise,
                     commands: options.workers,
                     log_dir: options.log_dir,
                     next_id: 0,
                 }),
-                counters: RemoteCounters::default(),
+                counters,
                 spawned,
-                config: SupervisionConfig {
-                    deadline: options.deadline,
-                    restart_budget: options.restart_budget,
-                    backoff_base: options.backoff_base,
-                    backoff_seed: options.backoff_seed,
-                },
+                config,
+                hub,
             }),
             sink: Arc::new(SharedEvalCache::new()),
             fallback: MacroModelBackend,
@@ -575,22 +999,21 @@ impl RemoteBackend {
     /// The fleet's traffic counters, now.
     pub fn stats(&self) -> RemoteStats {
         let c = &self.fleet.counters;
+        let state = self.fleet.state.lock().expect("fleet state poisoned");
         RemoteStats {
             round_trips: c.round_trips.load(Ordering::Relaxed),
             requeues: c.requeues.load(Ordering::Relaxed),
             timeouts: c.timeouts.load(Ordering::Relaxed),
             worker_deaths: c.worker_deaths.load(Ordering::Relaxed),
             respawns: c.respawns.load(Ordering::Relaxed),
+            rejoins: c.rejoins.load(Ordering::Relaxed),
             fallback_geometries: c.fallback_geometries.load(Ordering::Relaxed),
             geometries: c.geometries.load(Ordering::Relaxed),
             merged_entries: c.merged_entries.load(Ordering::Relaxed),
-            workers_alive: self
-                .fleet
-                .state
-                .lock()
-                .expect("fleet state poisoned")
-                .alive_count(),
+            workers_alive: state.alive_count(),
             workers_spawned: self.fleet.spawned,
+            transport: self.fleet.config.transport,
+            capacities: state.workers.iter().map(|w| w.capacity).collect(),
         }
     }
 
@@ -609,12 +1032,117 @@ impl RemoteBackend {
     }
 }
 
-fn spawn_worker(
+/// How one worker spawn failed.
+enum SpawnError {
+    /// Configuration-grade failure (launch error, garbage/EOF handshake,
+    /// protocol skew): the whole spawn fails loudly.
+    Fatal(String),
+    /// The worker launched but missed the hello **deadline**: it was
+    /// killed, and construction continues with this tombstone in the
+    /// slot — the caller counts the timeout+death and schedules respawn.
+    HelloTimeout(Box<WorkerHandle>),
+}
+
+/// Starts the reader thread for one worker link and assembles its live
+/// handle.
+fn live_handle(
+    child: Option<Child>,
+    pid: u32,
+    writer: WriteHalf,
+    mut read_half: Box<dyn Read + Send>,
+    index: usize,
+    capacity: u32,
+) -> Result<WorkerHandle, String> {
+    let (tx, incoming) = mpsc::channel();
+    let reader = std::thread::Builder::new()
+        .name(format!("sega-worker-{index}-reader"))
+        .spawn(move || loop {
+            let result = frame::recv(&mut read_half);
+            let stop = result.is_err();
+            if tx.send(result).is_err() || stop {
+                break;
+            }
+        })
+        .map_err(|e| format!("worker {index} reader thread: {e}"))?;
+    Ok(WorkerHandle {
+        child,
+        pid,
+        writer: Some(writer),
+        incoming,
+        stash: HashMap::new(),
+        pending_error: None,
+        reader: Some(reader),
+        alive: true,
+        capacity: capacity.max(1),
+    })
+}
+
+/// Kills and entombs a worker that never said hello: a dead handle
+/// (closed channel, capacity 1) holding the reaped child for the audit
+/// trail.
+fn entomb(mut child: Child) -> Box<WorkerHandle> {
+    let pid = child.id();
+    let _ = child.kill();
+    let _ = child.wait();
+    let (_closed, incoming) = mpsc::channel();
+    Box::new(WorkerHandle {
+        child: Some(child),
+        pid,
+        writer: None,
+        incoming,
+        stash: HashMap::new(),
+        pending_error: None,
+        reader: None,
+        alive: false,
+        capacity: 1,
+    })
+}
+
+/// Adopts an identified socket link (initial hello or reconnect) into a
+/// live handle for rotation slot `index`.
+fn adopt_link(
+    child: Option<Child>,
+    pid: u32,
+    stream: Stream,
+    hello: &Hello,
+    index: usize,
+) -> Result<WorkerHandle, String> {
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| format!("worker {index} link clone: {e}"))?;
+    // Clones share the socket's read timeout; clear the hub's hello
+    // deadline so in-service reads block until the coordinator's own
+    // channel deadline decides.
+    read_half
+        .set_read_timeout(None)
+        .map_err(|e| format!("worker {index} link timeout reset: {e}"))?;
+    live_handle(
+        child,
+        pid,
+        WriteHalf::Socket(stream),
+        Box::new(BufReader::new(read_half)),
+        index,
+        hello.capacity,
+    )
+}
+
+fn spawn_worker_on(
     command: &WorkerCommand,
     index: usize,
     log_dir: Option<&std::path::Path>,
-) -> Result<WorkerHandle, String> {
+    config: &SupervisionConfig,
+    hub: Option<&SocketHub>,
+) -> Result<WorkerHandle, SpawnError> {
+    let fatal = SpawnError::Fatal;
     let mut args = command.args.clone();
+    if let Some(hub) = hub {
+        // Socket transport: the worker dials back into the hub instead
+        // of serving its stdio (`--connect` takes precedence over
+        // `--serve` in the worker CLI, so the standard serve command
+        // works unchanged on every transport).
+        args.push("--connect".to_owned());
+        args.push(hub.addr.to_string());
+    }
     args.push("--worker-id".to_owned());
     args.push(index.to_string());
     let stderr = match log_dir {
@@ -623,78 +1151,99 @@ fn spawn_worker(
             // step deleting the directory between arms; append mode so a
             // respawned worker continues its predecessor's log instead
             // of erasing the evidence.
-            std::fs::create_dir_all(dir)
-                .map_err(|e| format!("cannot create worker log dir `{}`: {e}", dir.display()))?;
+            std::fs::create_dir_all(dir).map_err(|e| {
+                fatal(format!(
+                    "cannot create worker log dir `{}`: {e}",
+                    dir.display()
+                ))
+            })?;
             let path = dir.join(format!("worker-{index}.log"));
             let file = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(&path)
-                .map_err(|e| format!("cannot open worker log `{}`: {e}", path.display()))?;
+                .map_err(|e| fatal(format!("cannot open worker log `{}`: {e}", path.display())))?;
             args.push("--log".to_owned());
             Stdio::from(file)
         }
         None => Stdio::inherit(),
     };
+    let stdio = hub.is_none();
     let mut child = Command::new(&command.program)
         .args(&args)
-        .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
+        .stdin(if stdio { Stdio::piped() } else { Stdio::null() })
+        .stdout(if stdio { Stdio::piped() } else { Stdio::null() })
         .stderr(stderr)
         .spawn()
-        .map_err(|e| format!("cannot spawn worker `{}`: {e}", command.program.display()))?;
-    let stdin = child.stdin.take().expect("piped stdin");
-    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
-    // Hello handshake: the worker leads with its protocol version. Read
-    // directly — the reader thread takes over only after the handshake,
-    // so a worker that never says hello fails the spawn loudly.
-    match frame::recv(&mut stdout) {
-        Ok(Message::Hello { protocol }) if protocol == PROTOCOL_VERSION => {
-            let pid = child.id();
-            let (tx, incoming) = mpsc::channel();
-            let reader = std::thread::Builder::new()
-                .name(format!("sega-worker-{index}-reader"))
-                .spawn(move || loop {
-                    let result = frame::recv(&mut stdout);
-                    let stop = result.is_err();
-                    if tx.send(result).is_err() || stop {
-                        break;
-                    }
-                });
-            match reader {
-                Ok(reader) => Ok(WorkerHandle {
-                    child,
-                    pid,
-                    stdin: Some(stdin),
-                    incoming,
-                    stash: HashMap::new(),
-                    pending_error: None,
-                    reader: Some(reader),
-                    alive: true,
-                }),
-                Err(e) => {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                    Err(format!("worker {index} reader thread: {e}"))
-                }
-            }
-        }
-        Ok(Message::Hello { protocol }) => {
-            let _ = child.kill();
-            let _ = child.wait();
-            Err(format!(
-                "worker {index} speaks protocol {protocol}, coordinator speaks {PROTOCOL_VERSION}"
+        .map_err(|e| {
+            fatal(format!(
+                "cannot spawn worker `{}`: {e}",
+                command.program.display()
             ))
+        })?;
+
+    if let Some(hub) = hub {
+        // Socket handshake: the hub's accept thread reads the hello
+        // under the deadline and parks the identified link by worker
+        // index; claim it here.
+        return match hub.claim(index, config.deadline) {
+            Some((stream, hello)) if hello.protocol == PROTOCOL_VERSION => {
+                let pid = child.id();
+                adopt_link(Some(child), pid, stream, &hello, index).map_err(fatal)
+            }
+            Some((_, hello)) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                Err(fatal(format!(
+                    "worker {index} speaks protocol {}, coordinator speaks {PROTOCOL_VERSION}",
+                    hello.protocol
+                )))
+            }
+            None => Err(SpawnError::HelloTimeout(entomb(child))),
+        };
+    }
+
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let pid = child.id();
+    // Hello handshake under the per-request deadline: the reader thread
+    // starts first and the hello arrives through its channel, so a
+    // worker that never says hello costs one deadline, not forever.
+    let mut handle = live_handle(
+        Some(child),
+        pid,
+        WriteHalf::Stdio(stdin),
+        Box::new(stdout),
+        index,
+        1,
+    )
+    .map_err(fatal)?;
+    match handle.incoming.recv_timeout(config.deadline) {
+        Ok(Ok(Message::Hello(hello))) if hello.protocol == PROTOCOL_VERSION => {
+            handle.capacity = hello.capacity.max(1);
+            Ok(handle)
         }
-        Ok(_) => {
-            let _ = child.kill();
-            let _ = child.wait();
-            Err(format!("worker {index} sent a non-hello first frame"))
+        Ok(Ok(Message::Hello(hello))) => {
+            handle.kill();
+            Err(fatal(format!(
+                "worker {index} speaks protocol {}, coordinator speaks {PROTOCOL_VERSION}",
+                hello.protocol
+            )))
         }
-        Err(e) => {
-            let _ = child.kill();
-            let _ = child.wait();
-            Err(format!("worker {index} handshake failed: {e}"))
+        Ok(Ok(_)) => {
+            handle.kill();
+            Err(fatal(format!(
+                "worker {index} sent a non-hello first frame"
+            )))
+        }
+        Ok(Err(e)) => {
+            handle.kill();
+            Err(fatal(format!("worker {index} handshake failed: {e}")))
+        }
+        Err(_) => {
+            handle.kill();
+            let child = handle.child.take().expect("spawned child");
+            Err(SpawnError::HelloTimeout(entomb(child)))
         }
     }
 }
@@ -732,16 +1281,31 @@ struct RemoteEvaluator {
     fallback: Arc<dyn CohortEvaluator>,
 }
 
-/// The worker a geometry belongs to: the same Fx-hash the cache's
-/// [`KeySpace`](crate::cache::KeySpace) shards by, reduced modulo the
-/// fleet size — the `KeySpace` shards are the partition unit, so one
+/// The worker a geometry belongs to under the negotiated capacity
+/// weights: the same Fx-hash the cache's
+/// [`KeySpace`](crate::cache::KeySpace) shards by, reduced into one of
+/// `Σ capacities` shares and mapped to the worker owning that share —
+/// a worker advertising capacity `c` owns `c` consecutive shares. With
+/// all-ones capacities (every stdio fleet, and any socket fleet that
+/// does not opt in) this is exactly the historical `hash % N`, so the
+/// partition — and every worker's memoized shard — is unchanged. The
+/// function is deterministic per `(geometry, capacities)`, so one
 /// geometry always lands on the same (alive) worker and worker-side
 /// memoization actually hits.
-fn worker_of(g: &Geometry, fleet_size: usize) -> usize {
+pub fn worker_of_weighted(g: &Geometry, capacities: &[u32]) -> usize {
     use std::hash::{Hash, Hasher};
+    let total: u64 = capacities.iter().map(|&c| u64::from(c.max(1))).sum();
     let mut h = FxHasher::default();
     g.hash(&mut h);
-    (h.finish() as usize) % fleet_size
+    let mut share = h.finish() % total.max(1);
+    for (w, &c) in capacities.iter().enumerate() {
+        let owned = u64::from(c.max(1));
+        if share < owned {
+            return w;
+        }
+        share -= owned;
+    }
+    capacities.len().saturating_sub(1)
 }
 
 fn record_of(g: &Geometry) -> GeometryRecord {
@@ -945,11 +1509,15 @@ impl RemoteEvaluator {
         self.fleet.maintain(&mut state);
         let fleet_size = state.workers.len();
 
-        // Partition by shard onto alive workers; orphans (no fleet left)
-        // go straight to the in-process fallback at wait time.
+        // Partition by weighted shard onto alive workers; orphans (no
+        // fleet left) go straight to the in-process fallback at wait
+        // time. The capacity vector covers dead workers too (their last
+        // negotiated weight), so the preferred assignment is stable
+        // across deaths and `assign` alone decides the detour.
+        let capacities: Vec<u32> = state.workers.iter().map(|w| w.capacity).collect();
         let mut parts: Vec<Vec<usize>> = vec![Vec::new(); fleet_size];
         for (i, g) in flight.cohort.iter().enumerate() {
-            match state.assign(worker_of(g, fleet_size)) {
+            match state.assign(worker_of_weighted(g, &capacities)) {
                 Some(w) => parts[w].push(i),
                 None => flight.orphans.push(i),
             }
@@ -1158,11 +1726,67 @@ pub struct WorkerOptions {
     /// fault that trips deadlines without the worker ever dying on its
     /// own.
     pub stall: Option<Duration>,
+    /// After serving this many requests, drop the connection on the next
+    /// one and **exit** — the link and the process die together (on
+    /// stdio this is indistinguishable from `fail_after`; on a socket it
+    /// exercises the connection-death path).
+    pub drop_conn_after: Option<u64>,
+    /// After serving this many requests, drop the connection on the next
+    /// one but **keep running and reconnect** — the rejoin fault: the
+    /// coordinator buries + requeues, then adopts the returning link
+    /// under the retry budget. One-shot per process (a connected worker
+    /// disarms it after firing, or every rejoin would immediately
+    /// re-drop).
+    pub reconnect_after: Option<u64>,
+    /// Sleep this long before sending the hello — the late-hello fault
+    /// that trips the handshake deadline without the worker dying.
+    pub late_hello: Option<Duration>,
+    /// The capacity weight this worker advertises in its hello (`0` is
+    /// clamped to 1) — heterogeneous fleets weight the shard partition
+    /// by it.
+    pub capacity: u32,
     /// This worker's stable identity (the supervisor passes
     /// `--worker-id`); prefixes every log line.
     pub worker_id: u64,
     /// Emit the prefixed per-request log lines on stderr.
     pub log: bool,
+}
+
+impl WorkerOptions {
+    /// The fault names this configuration arms, advertised in the hello
+    /// so chaos runs are self-describing in supervisor logs.
+    fn armed_faults(&self) -> Vec<String> {
+        let mut faults = Vec::new();
+        let mut arm = |armed: bool, name: &str| {
+            if armed {
+                faults.push(name.to_owned());
+            }
+        };
+        arm(self.fail_after.is_some(), "fail-after");
+        arm(self.corrupt_after.is_some(), "corrupt-after");
+        arm(self.hang_after.is_some(), "hang-after");
+        arm(self.truncate_after.is_some(), "truncate-after");
+        arm(self.stall.is_some(), "stall");
+        arm(self.drop_conn_after.is_some(), "drop-conn-after");
+        arm(self.reconnect_after.is_some(), "reconnect-after");
+        arm(self.late_hello.is_some(), "late-hello");
+        faults
+    }
+}
+
+/// Why one worker session ended — the connected-worker loop decides
+/// from this whether to reconnect or exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerExit {
+    /// The peer asked for an orderly shutdown.
+    Shutdown,
+    /// The peer's side of the link closed.
+    Eof,
+    /// The armed `drop-conn-after` fault fired: drop the link and exit.
+    DropConn,
+    /// The armed `reconnect-after` fault fired: drop the link, keep the
+    /// process (and its memo cache), dial back in.
+    Reconnect,
 }
 
 /// One key space the worker has bound: the estimator and the memo table.
@@ -1220,6 +1844,83 @@ pub fn serve_worker(
     output: &mut impl Write,
     options: &WorkerOptions,
 ) -> Result<(), String> {
+    let cache = SharedEvalCache::new();
+    let mut bindings: HashMap<u64, WorkerBinding> = HashMap::new();
+    let pool = Pool::for_threads(1);
+    let mut served: u64 = 0;
+    // On stdio every session-ending event — shutdown, EOF, a fired
+    // connection fault — ends the process; there is no link to re-dial.
+    serve_session(
+        input,
+        output,
+        options,
+        &cache,
+        &mut bindings,
+        &pool,
+        &mut served,
+    )
+    .map(|_| ())
+}
+
+/// Runs a socket worker: dial `addr`, serve a session, and — when the
+/// armed `reconnect-after` fault drops the link — dial back in with the
+/// memo cache intact, exercising the coordinator's rejoin path. The
+/// body of `sega-dcim worker --connect ADDR`.
+///
+/// # Errors
+///
+/// Connect failures and transport/protocol failures, as
+/// [`serve_worker`].
+pub fn run_connected_worker(addr: &ListenAddr, options: &WorkerOptions) -> Result<(), String> {
+    let mut options = *options;
+    let cache = SharedEvalCache::new();
+    let mut bindings: HashMap<u64, WorkerBinding> = HashMap::new();
+    let pool = Pool::for_threads(1);
+    let mut served: u64 = 0;
+    loop {
+        let stream = connect_with_retry(addr, Duration::from_secs(10))?;
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("worker link clone: {e}"))?,
+        );
+        let mut writer = stream;
+        let exit = serve_session(
+            &mut reader,
+            &mut writer,
+            &options,
+            &cache,
+            &mut bindings,
+            &pool,
+            &mut served,
+        )?;
+        writer.disconnect();
+        match exit {
+            WorkerExit::Reconnect => {
+                // One-shot: a rejoined worker that kept the fault armed
+                // would drop its link again on the first request.
+                options.reconnect_after = None;
+            }
+            WorkerExit::Shutdown | WorkerExit::Eof | WorkerExit::DropConn => return Ok(()),
+        }
+    }
+}
+
+/// One hello-to-exit worker session over an established link — the
+/// transport-agnostic core shared by the stdio and socket workers. The
+/// cache, bindings, pool and served count live with the *caller* (the
+/// process), so a reconnecting worker rejoins with its memoization
+/// intact.
+#[allow(clippy::too_many_lines)]
+fn serve_session(
+    input: &mut impl Read,
+    output: &mut impl Write,
+    options: &WorkerOptions,
+    cache: &SharedEvalCache,
+    bindings: &mut HashMap<u64, WorkerBinding>,
+    pool: &Pool,
+    served: &mut u64,
+) -> Result<WorkerExit, String> {
     // Monotonic timestamp base for the log prefix: `[+   12.345ms w0 r7]`
     // — elapsed-since-start, worker id, request id (r0 for lines outside
     // any request).
@@ -1230,33 +1931,39 @@ pub fn serve_worker(
             eprintln!("[+{ms:>9.3}ms w{} r{request}] {text}", options.worker_id);
         }
     };
-    frame::send(
-        output,
-        &Message::Hello {
-            protocol: PROTOCOL_VERSION,
-        },
-    )
-    .map_err(|e| format!("worker hello: {e}"))?;
-    log(0, &format!("hello (protocol {PROTOCOL_VERSION})"));
-    let cache = SharedEvalCache::new();
-    let mut bindings: HashMap<u64, WorkerBinding> = HashMap::new();
-    let pool = Pool::for_threads(1);
-    let mut served: u64 = 0;
+    if let Some(delay) = options.late_hello {
+        // Injected fault: the handshake-deadline trip — connect (or
+        // launch) but leave the coordinator waiting for the hello.
+        log(0, &format!("injected fault: delaying hello {delay:?}"));
+        std::thread::sleep(delay);
+    }
+    let mut hello = Hello::worker(options.worker_id, options.capacity);
+    hello.faults = options.armed_faults();
+    frame::send(output, &Message::Hello(hello)).map_err(|e| format!("worker hello: {e}"))?;
+    log(
+        0,
+        &format!(
+            "hello (protocol {PROTOCOL_VERSION}, capacity {})",
+            options.capacity.max(1)
+        ),
+    );
     loop {
         let message = match frame::recv(input) {
             Ok(message) => message,
-            // Coordinator gone (dropped pipes): an orderly exit too.
+            // Coordinator gone (dropped pipes / closed socket): an
+            // orderly exit too.
             Err(FrameError::Eof) => {
-                log(0, "stdin EOF, exiting");
-                return Ok(());
+                log(0, "link EOF, session over");
+                return Ok(WorkerExit::Eof);
             }
             Err(e) => return Err(format!("worker transport: {e}")),
         };
         let request = match message {
             Message::Shutdown => {
                 log(0, "shutdown frame, exiting");
-                return Ok(());
+                return Ok(WorkerExit::Shutdown);
             }
+            Message::Heartbeat => continue,
             Message::Request(request) => request,
             _ => return Err("coordinator sent a non-request frame".to_owned()),
         };
@@ -1264,18 +1971,33 @@ pub fn serve_worker(
             request.id,
             &format!("request: {} geometries", request.cohort.len()),
         );
-        if options.fail_after == Some(served) {
+        if options.drop_conn_after == Some(*served) {
+            // Simulated connection drop: the request is swallowed and
+            // the link dies — the coordinator sees EOF and buries.
+            log(request.id, "injected fault: dropping connection");
+            return Ok(WorkerExit::DropConn);
+        }
+        if options.reconnect_after == Some(*served) {
+            // Simulated link flap: same swallowed request, but the
+            // process survives to dial back in and rejoin.
+            log(
+                request.id,
+                "injected fault: dropping connection to reconnect",
+            );
+            return Ok(WorkerExit::Reconnect);
+        }
+        if options.fail_after == Some(*served) {
             // Simulated crash: die mid-batch without responding.
             log(request.id, "injected fault: dying (exit 17)");
             std::process::exit(17);
         }
-        if options.corrupt_after == Some(served) {
+        if options.corrupt_after == Some(*served) {
             // Simulated corruption: a well-framed garbage payload.
             log(request.id, "injected fault: corrupt frame (exit 3)");
             let _ = frame::write_frame(output, b"\xde\xad\xbe\xef corrupt worker");
             std::process::exit(3);
         }
-        if options.hang_after == Some(served) {
+        if options.hang_after == Some(*served) {
             // Simulated hang: alive but never responding — only the
             // coordinator's deadline (then kill) ends this.
             log(request.id, "injected fault: hanging forever");
@@ -1283,7 +2005,7 @@ pub fn serve_worker(
                 std::thread::sleep(Duration::from_secs(3600));
             }
         }
-        if options.truncate_after == Some(served) {
+        if options.truncate_after == Some(*served) {
             // Simulated mid-frame EOF: the length prefix promises a
             // whole shutdown frame, half the payload follows.
             log(request.id, "injected fault: truncated frame (exit 7)");
@@ -1294,7 +2016,7 @@ pub fn serve_worker(
         let binding = match bindings.entry(request.key.fingerprint()) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(bind_worker(&request.key, &cache)?)
+                v.insert(bind_worker(&request.key, cache)?)
             }
         };
         let cohort: Vec<Geometry> = request
@@ -1320,7 +2042,7 @@ pub fn serve_worker(
                 }
             }
         }
-        let computed = binding.evaluator.evaluate_cohort(&missing, &pool, 1);
+        let computed = binding.evaluator.evaluate_cohort(&missing, pool, 1);
         let mut delta_entries = Vec::with_capacity(computed.len());
         for ((slot, g), objectives) in missing_slots.iter().zip(&missing).zip(computed) {
             binding.space.insert(*g, objectives);
@@ -1359,7 +2081,7 @@ pub fn serve_worker(
             request.id,
             &format!("response: {} rows, {delta_len} delta entries", cohort.len()),
         );
-        served += 1;
+        *served += 1;
     }
 }
 
@@ -1387,15 +2109,146 @@ mod tests {
     #[test]
     fn worker_partition_is_deterministic_and_total() {
         for fleet_size in [1usize, 2, 3, 5] {
+            let ones = vec![1u32; fleet_size];
             for log_h in 0..8 {
                 for k in 1..=8 {
                     let g = Geometry { log_h, log_l: 1, k };
-                    let w = worker_of(&g, fleet_size);
+                    let w = worker_of_weighted(&g, &ones);
                     assert!(w < fleet_size);
-                    assert_eq!(w, worker_of(&g, fleet_size), "stable per geometry");
+                    assert_eq!(w, worker_of_weighted(&g, &ones), "stable per geometry");
                 }
             }
         }
+    }
+
+    /// The capability-weighted partition degenerates to the historical
+    /// `hash % N` on all-ones capacities — the stdio byte-compat law —
+    /// and weights shares proportionally otherwise.
+    #[test]
+    fn weighted_partition_degenerates_to_modulo_on_equal_capacity() {
+        use std::hash::{Hash, Hasher};
+        let mut counts = [0usize; 3];
+        for log_h in 0..16 {
+            for log_l in 0..8 {
+                for k in 1..=8 {
+                    let g = Geometry { log_h, log_l, k };
+                    let mut h = FxHasher::default();
+                    g.hash(&mut h);
+                    let modulo = (h.finish() % 3) as usize;
+                    assert_eq!(worker_of_weighted(&g, &[1, 1, 1]), modulo);
+                    // A zero capacity is clamped to one share.
+                    assert_eq!(worker_of_weighted(&g, &[0, 1, 1]), modulo);
+                    counts[worker_of_weighted(&g, &[4, 1, 1])] += 1;
+                }
+            }
+        }
+        // Worker 0 owns 4 of 6 shares: it must receive the strict
+        // majority of a uniform geometry population.
+        assert!(
+            counts[0] > counts[1] + counts[2],
+            "weighted shares not honoured: {counts:?}"
+        );
+    }
+
+    /// A session armed with `reconnect-after` swallows the triggering
+    /// request, reports [`WorkerExit::Reconnect`], and keeps its memo
+    /// cache for the next session — driven over in-memory buffers.
+    #[test]
+    fn sessions_exit_for_reconnect_and_resume_with_their_cache() {
+        let tech = Technology::tsmc28();
+        let cond = OperatingConditions::paper_default();
+        let key = CacheKey::new(&tech, &cond, Precision::Int8, 8192).to_record();
+        let cohort = vec![GeometryRecord {
+            log_h: 5,
+            log_l: 1,
+            k: 4,
+        }];
+        let request = |id| {
+            let mut buf = Vec::new();
+            frame::send(
+                &mut buf,
+                &Message::Request(EvalRequest {
+                    id,
+                    key: key.clone(),
+                    cohort: cohort.clone(),
+                }),
+            )
+            .unwrap();
+            buf
+        };
+        let options = WorkerOptions {
+            reconnect_after: Some(1),
+            ..WorkerOptions::default()
+        };
+        let cache = SharedEvalCache::new();
+        let mut bindings = HashMap::new();
+        let pool = Pool::for_threads(1);
+        let mut served = 0u64;
+
+        // Session 1: serve one request, then the fault fires on the
+        // second — which is swallowed, exactly like a lost in-flight
+        // sub-cohort.
+        let mut input = request(1);
+        input.extend(request(2));
+        let mut output = Vec::new();
+        let exit = serve_session(
+            &mut input.as_slice(),
+            &mut output,
+            &options,
+            &cache,
+            &mut bindings,
+            &pool,
+            &mut served,
+        )
+        .unwrap();
+        assert_eq!(exit, WorkerExit::Reconnect);
+        assert_eq!(served, 1);
+
+        // Session 2 (the rejoined link): the same geometry is served
+        // from the memo cache — an empty delta proves nothing was
+        // recomputed, i.e. the rejoin really kept the process state.
+        let disarmed = WorkerOptions::default();
+        let mut input = request(3);
+        frame::send(&mut input, &Message::Shutdown).unwrap();
+        let mut output = Vec::new();
+        let exit = serve_session(
+            &mut input.as_slice(),
+            &mut output,
+            &disarmed,
+            &cache,
+            &mut bindings,
+            &pool,
+            &mut served,
+        )
+        .unwrap();
+        assert_eq!(exit, WorkerExit::Shutdown);
+        let mut cursor = output.as_slice();
+        assert!(matches!(
+            frame::recv(&mut cursor).unwrap(),
+            Message::Hello(_)
+        ));
+        match frame::recv(&mut cursor).unwrap() {
+            Message::Response(resp) => {
+                assert_eq!(resp.id, 3);
+                assert!(resp.delta.is_empty(), "memo cache lost across sessions");
+            }
+            other => panic!("expected a response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hellos_advertise_armed_faults() {
+        let options = WorkerOptions {
+            fail_after: Some(3),
+            reconnect_after: Some(1),
+            late_hello: Some(Duration::from_millis(1)),
+            ..WorkerOptions::default()
+        };
+        assert_eq!(
+            options.armed_faults(),
+            vec!["fail-after", "reconnect-after", "late-hello"]
+        );
+        assert!(WorkerOptions::default().armed_faults().is_empty());
     }
 
     /// The worker loop is transport-agnostic: drive it over in-memory
@@ -1440,12 +2293,15 @@ mod tests {
         .unwrap();
 
         let mut cursor = output.as_slice();
-        assert!(matches!(
-            frame::recv(&mut cursor).unwrap(),
-            Message::Hello {
-                protocol: PROTOCOL_VERSION
+        match frame::recv(&mut cursor).unwrap() {
+            Message::Hello(hello) => {
+                assert_eq!(hello.protocol, PROTOCOL_VERSION);
+                assert_eq!(hello.role, "worker");
+                assert!(hello.capacity >= 1);
+                assert!(hello.faults.is_empty());
             }
-        ));
+            other => panic!("expected a hello, got {other:?}"),
+        }
         let expected = MacroModelBackend.bind(&spec, &tech, &cond);
         let pool = Pool::for_threads(1);
         let geoms: Vec<Geometry> = cohort

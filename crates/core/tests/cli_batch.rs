@@ -294,7 +294,7 @@ fn remote_batch_matches_macro_and_warm_starts_across_processes() {
         ]);
         assert!(output.status.success(), "{}", stderr_of(&output));
         let stderr = stderr_of(&output);
-        assert!(stderr.contains("remote fleet:"), "{stderr}");
+        assert!(stderr.contains("remote fleet (stdio):"), "{stderr}");
     }
     let warm = run(&[
         "batch",

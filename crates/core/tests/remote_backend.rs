@@ -12,8 +12,14 @@
 //! `--truncate-after`) are the worker's own CLI flags, so the recovery
 //! paths exercised here are exactly the ones a dying fleet member
 //! triggers in production. Supervision tests additionally assert the
-//! stats ledger (`alive == spawned − deaths + respawns`,
+//! stats ledger (`alive == spawned − deaths + respawns + rejoins`,
 //! `timeouts ≤ deaths`) and that no run leaks zombie processes.
+//!
+//! The transport matrix runs the same acceptance property over all
+//! three fleet links — stdio pipes, a Unix domain socket and TCP on
+//! localhost — including the connection-scoped faults
+//! (`--drop-conn-after`, `--reconnect-after`) that only exist once the
+//! link can die separately from the process.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -23,7 +29,7 @@ use proptest::prelude::*;
 use sega_cells::Technology;
 use sega_dcim::{
     explore_pareto_with, EvalBackend, ExplorationResult, PipelineOptions, RemoteBackend,
-    RemoteOptions, SharedEvalCache, UserSpec, WorkerCommand,
+    RemoteOptions, SharedEvalCache, TransportKind, UserSpec, WorkerCommand,
 };
 use sega_estimator::{OperatingConditions, Precision};
 use sega_moga::Nsga2Config;
@@ -83,12 +89,15 @@ fn faulty_fleet(fleet_size: usize, fault_flags: &[(&str, u64)]) -> RemoteBackend
 }
 
 /// The supervision ledger law: every quiescent fleet satisfies
-/// `workers_alive == workers_spawned − worker_deaths + respawns` and
-/// `timeouts ≤ worker_deaths` (every timeout buries its worker).
+/// `workers_alive == workers_spawned − worker_deaths + respawns +
+/// rejoins` and `timeouts ≤ worker_deaths` (every timeout buries its
+/// worker; every rejoin revives a buried one without a fresh process).
 fn assert_ledger(stats: &sega_dcim::RemoteStats) {
     assert_eq!(
         stats.workers_alive as i64,
-        stats.workers_spawned as i64 - stats.worker_deaths as i64 + stats.respawns as i64,
+        stats.workers_spawned as i64 - stats.worker_deaths as i64
+            + stats.respawns as i64
+            + stats.rejoins as i64,
         "ledger violated: {stats:?}"
     );
     assert!(stats.timeouts <= stats.worker_deaths, "{stats:?}");
@@ -496,6 +505,150 @@ fn spawn_rejects_a_peer_that_never_says_hello() {
     .expect_err("handshake must fail");
     assert!(err.contains("handshake failed"), "{err}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+const TRANSPORTS: [TransportKind; 3] = [
+    TransportKind::Stdio,
+    TransportKind::Unix,
+    TransportKind::Tcp,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The transport acceptance property (ISSUE 9): fronts and
+    /// accounting are bit-identical across transport ∈ {stdio,
+    /// unix-socket, tcp} × workers ∈ {1,2,3} × fault ∈ {none, kill-one,
+    /// drop-conn-one, reconnect-one}, with the extended rejoin ledger
+    /// law holding and no process leaked. The long backoff keeps the
+    /// deterministic paths (bury → requeue → maybe rejoin) from racing
+    /// a timed respawn on a slow runner.
+    #[test]
+    fn fronts_are_bit_identical_across_transports_and_connection_faults(
+        transport_idx in 0usize..3,
+        fleet_size in 1usize..=3,
+        fault_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let transport = TRANSPORTS[transport_idx];
+        let spec = UserSpec::new(16384, Precision::Int8).unwrap();
+        let baseline = explore(&spec, seed, None);
+        let mut options = RemoteOptions::fleet(program(), fleet_size)
+            .with_transport(transport)
+            .with_restart_budget(1)
+            .with_backoff(Duration::from_secs(60), 0)
+            .with_deadline(Duration::from_millis(500));
+        let fault: Option<(&str, u64)> = match fault_idx {
+            0 => None,
+            1 => Some(("fail-after", 1)),
+            2 => Some(("drop-conn-after", 1)),
+            _ => Some(("reconnect-after", 1)),
+        };
+        if let Some((flag, n)) = fault {
+            options.workers[0] = options.workers[0]
+                .clone()
+                .with_args([format!("--{flag}"), n.to_string()]);
+        }
+        let backend = Arc::new(RemoteBackend::spawn(options).expect("spawn fleet"));
+        let pids = backend.worker_pids();
+        let run = explore(&spec, seed, Some(Arc::clone(&backend) as _));
+        assert_matches_baseline(
+            &run,
+            &baseline,
+            &format!("{} x{fleet_size} fault {fault:?}", transport.name()),
+        );
+        let stats = backend.stats();
+        assert_ledger(&stats);
+        prop_assert_eq!(stats.transport, transport);
+        prop_assert_eq!(stats.workers_spawned, fleet_size);
+        prop_assert_eq!(stats.capacities.len(), fleet_size);
+        if fault.is_none() {
+            prop_assert_eq!(stats.worker_deaths, 0, "{:?}", stats);
+            prop_assert_eq!(stats.workers_alive, fleet_size, "{:?}", stats);
+        }
+        // Rejoining is a socket-transport concept: a stdio worker's link
+        // and process die together, so nothing can ever come back.
+        if transport == TransportKind::Stdio {
+            prop_assert_eq!(stats.rejoins, 0, "{:?}", stats);
+        }
+        // Work is conserved under every fault: each distinct geometry
+        // was evaluated exactly once, remotely or via fallback.
+        prop_assert_eq!(stats.geometries, run.distinct_evaluations as u64);
+        drop(backend);
+        assert_no_zombies(&pids);
+    }
+}
+
+#[test]
+fn a_worker_that_never_says_hello_cannot_stall_fleet_construction() {
+    // Worker 0 sleeps 60s before its hello — far past the 300ms
+    // deadline. Spawning the fleet must return promptly with the silent
+    // peer entombed (a timeout AND a death, retry scheduled under the
+    // budget), and the survivor must carry the run to the bit-identical
+    // front.
+    let spec = UserSpec::new(8192, Precision::Int8).unwrap();
+    let baseline = explore(&spec, 31, None);
+    let mut options = RemoteOptions::fleet(program(), 2)
+        .with_restart_budget(1)
+        .with_backoff(Duration::from_secs(120), 0)
+        .with_deadline(Duration::from_millis(300));
+    options.workers[0] = options.workers[0]
+        .clone()
+        .with_args(["--late-hello-ms".to_owned(), "60000".to_owned()]);
+    let started = std::time::Instant::now();
+    let backend = Arc::new(RemoteBackend::spawn(options).expect("spawn proceeds past the mute"));
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "construction must not wait out the 60s mute"
+    );
+    let pids = backend.worker_pids();
+    let run = explore(&spec, 31, Some(Arc::clone(&backend) as _));
+    assert_matches_baseline(&run, &baseline, "late hello at spawn");
+    let stats = backend.stats();
+    assert_eq!(stats.timeouts, 1, "{stats:?}");
+    assert_eq!(stats.worker_deaths, 1, "{stats:?}");
+    assert_eq!(stats.workers_alive, 1, "{stats:?}");
+    assert_eq!(stats.respawns, 0, "backoff holds the retry: {stats:?}");
+    assert_ledger(&stats);
+    drop(backend);
+    assert_no_zombies(&pids);
+}
+
+#[test]
+fn a_dropped_socket_worker_reconnects_and_rejoins() {
+    // Socket fleet of 2; worker 0 drops its connection after one served
+    // request but keeps running and redials. The coordinator buries +
+    // requeues it (front stays bit-identical), then readopts the parked
+    // link under the budget — `rejoins` must tick without any fresh
+    // process. The 60s backoff guarantees a respawn can never race the
+    // rejoin; repeat explorations give the supervisor maintenance
+    // passes until the adoption lands.
+    let spec = UserSpec::new(16384, Precision::Int8).unwrap();
+    let mut options = RemoteOptions::fleet(program(), 2)
+        .with_transport(TransportKind::Unix)
+        .with_restart_budget(1)
+        .with_backoff(Duration::from_secs(60), 0)
+        .with_deadline(Duration::from_secs(5));
+    options.workers[0] = options.workers[0]
+        .clone()
+        .with_args(["--reconnect-after".to_owned(), "1".to_owned()]);
+    let backend = Arc::new(RemoteBackend::spawn(options).expect("spawn fleet"));
+    let pids = backend.worker_pids();
+    for seed in 0..10u64 {
+        let baseline = explore(&spec, seed, None);
+        let run = explore(&spec, seed, Some(Arc::clone(&backend) as _));
+        assert_matches_baseline(&run, &baseline, "reconnect fault");
+        if backend.stats().rejoins >= 1 {
+            break;
+        }
+    }
+    let stats = backend.stats();
+    assert!(stats.rejoins >= 1, "worker never rejoined: {stats:?}");
+    assert_eq!(stats.respawns, 0, "rejoin must beat the respawn: {stats:?}");
+    assert_eq!(stats.workers_alive, 2, "{stats:?}");
+    assert_ledger(&stats);
+    drop(backend);
+    assert_no_zombies(&pids);
 }
 
 #[test]

@@ -64,26 +64,50 @@ impl SpeculationRecord {
 }
 
 /// The remote arm's transport accounting: what one exploration cost in
-/// round-trips across a worker fleet.
+/// round-trips across a worker fleet, and the supervision ledger CI
+/// checks (`workers_alive == workers_spawned − worker_deaths + respawns
+/// + rejoins`).
 #[derive(Debug, Clone)]
 pub struct RemoteTrafficRecord {
     /// Worker processes in the fleet.
     pub workers: usize,
+    /// Transport the fleet linked over (`stdio`, `unix-socket`, `tcp`).
+    pub transport: String,
     /// Request/response exchanges completed.
     pub round_trips: u64,
     /// Sub-cohorts re-dispatched after a worker failure.
     pub requeues: u64,
     /// Workers that died during the run.
     pub worker_deaths: u64,
+    /// Buried workers replaced by a fresh process under the budget.
+    pub respawns: u64,
+    /// Buried socket workers readopted after reconnecting.
+    pub rejoins: u64,
+    /// Workers alive at the end of the run.
+    pub workers_alive: usize,
+    /// Workers launched at fleet construction.
+    pub workers_spawned: usize,
+    /// Each live worker's hello-negotiated capacity weight, in slot
+    /// order.
+    pub capacities: Vec<u32>,
 }
 
 impl RemoteTrafficRecord {
     fn to_json(&self) -> Json {
         Json::obj([
             ("workers", Json::from(self.workers)),
+            ("transport", Json::from(self.transport.clone())),
             ("round_trips", Json::from(self.round_trips)),
             ("requeues", Json::from(self.requeues)),
             ("worker_deaths", Json::from(self.worker_deaths)),
+            ("respawns", Json::from(self.respawns)),
+            ("rejoins", Json::from(self.rejoins)),
+            ("workers_alive", Json::from(self.workers_alive)),
+            ("workers_spawned", Json::from(self.workers_spawned)),
+            (
+                "capacities",
+                Json::Arr(self.capacities.iter().map(|&c| Json::from(c)).collect()),
+            ),
         ])
     }
 }
@@ -377,9 +401,15 @@ mod tests {
                     }),
                     remote: Some(RemoteTrafficRecord {
                         workers: 3,
+                        transport: "unix-socket".to_owned(),
                         round_trips: 363,
                         requeues: 0,
-                        worker_deaths: 0,
+                        worker_deaths: 1,
+                        respawns: 0,
+                        rejoins: 1,
+                        workers_alive: 3,
+                        workers_spawned: 3,
+                        capacities: vec![1, 2, 1],
                     }),
                 },
             ],
@@ -391,9 +421,10 @@ mod tests {
         assert!(text.contains(r#""name":"serial_uncached","wall_s":0.25,"evaluations":12100"#));
         assert!(text.contains(r#""distinct_evaluations":12100,"cache_hits":0"#));
         // In-process arms carry no remote block; the remote arm carries
-        // its transport accounting.
+        // its transport accounting plus the supervision ledger
+        // (alive == spawned − deaths + respawns + rejoins).
         assert!(text.contains(
-            r#""remote":{"workers":3,"round_trips":363,"requeues":0,"worker_deaths":0}"#
+            r#""remote":{"workers":3,"transport":"unix-socket","round_trips":363,"requeues":0,"worker_deaths":1,"respawns":0,"rejoins":1,"workers_alive":3,"workers_spawned":3,"capacities":[1,2,1]}"#
         ));
         // Synchronous arms carry no speculation block; speculative arms
         // carry the ledger ahead of the remote accounting.

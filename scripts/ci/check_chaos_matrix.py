@@ -9,7 +9,9 @@ report file produced by `--resume` after a run was stopped mid-batch
 (`--stop-after-jobs`, the deterministic stand-in for `kill -9`); each
 ARM=REPORT names a fault-injected remote run, ARM one of kill, corrupt,
 hang, stall, truncate, spec-stall (the `--speculate` loop under a
-stalled worker). Asserts the supervision acceptance criteria:
+stalled worker), drop-conn (the link dies with the process, socket
+transport) or reconnect (the link dies but the process redials and
+rejoins). Asserts the supervision acceptance criteria:
 
 * every fault arm's fronts are **byte-identical** to the reference (the
   reports carry exact objective bit patterns, so `==` is bitwise) —
@@ -20,12 +22,12 @@ stalled worker). Asserts the supervision acceptance criteria:
 * the resumed report is byte-identical to the reference *as a file* —
   checkpoint replay reconstructs the uninterrupted run exactly;
 * each arm's `remote` stats ledger adds up exactly:
-  `workers_alive == workers_spawned - worker_deaths + respawns`,
+  `workers_alive == workers_spawned - worker_deaths + respawns + rejoins`,
   `timeouts <= worker_deaths` (every timeout buries its worker);
 * the injected fault demonstrably fired: at least one death and one
   requeued sub-cohort per arm, at least one timeout on the hang/stall
-  arms, and no in-process fallback (the healthy majority absorbs the
-  load).
+  arms, at least one rejoin on the reconnect arm, and no in-process
+  fallback (the healthy majority absorbs the load).
 """
 
 import json
@@ -33,7 +35,17 @@ import sys
 
 TIMEOUT_ARMS = {"hang", "stall", "spec-stall"}
 SPECULATIVE_ARMS = {"spec-stall"}
-KNOWN_ARMS = {"kill", "corrupt", "hang", "stall", "truncate", "spec-stall"}
+REJOIN_ARMS = {"reconnect"}
+KNOWN_ARMS = {
+    "kill",
+    "corrupt",
+    "hang",
+    "stall",
+    "truncate",
+    "spec-stall",
+    "drop-conn",
+    "reconnect",
+}
 
 
 def load(path):
@@ -50,10 +62,11 @@ def check_ledger(name, remote):
     spawned = remote["workers_spawned"]
     deaths = remote["worker_deaths"]
     respawns = remote["respawns"]
+    rejoins = remote["rejoins"]
     timeouts = remote["timeouts"]
-    assert alive == spawned - deaths + respawns, (
+    assert alive == spawned - deaths + respawns + rejoins, (
         f"{name}: ledger violated: alive {alive} != spawned {spawned} "
-        f"- deaths {deaths} + respawns {respawns}"
+        f"- deaths {deaths} + respawns {respawns} + rejoins {rejoins}"
     )
     assert timeouts <= deaths, (
         f"{name}: {timeouts} timeouts but only {deaths} deaths "
@@ -101,6 +114,13 @@ def main() -> None:
             assert remote["timeouts"] >= 1, (
                 f"{path}: a {arm} fault must be detected by the deadline: {remote}"
             )
+        if arm in REJOIN_ARMS:
+            assert remote["rejoins"] >= 1, (
+                f"{path}: the dropped worker never rejoined: {remote}"
+            )
+            assert remote["transport"] != "stdio", (
+                f"{path}: rejoining requires a socket transport: {remote}"
+            )
         assert remote["fallback_geometries"] == 0, (
             f"{path}: the healthy workers should have absorbed the load: {remote}"
         )
@@ -118,9 +138,10 @@ def main() -> None:
                 f"{path}: a synchronous arm must not speculate"
             )
         print(
-            f"chaos arm {arm}: front OK, ledger OK "
+            f"chaos arm {arm} [{remote['transport']}]: front OK, ledger OK "
             f"({remote['worker_deaths']} deaths, {remote['timeouts']} timeouts, "
-            f"{remote['respawns']} respawns, {remote['requeues']} requeues)"
+            f"{remote['respawns']} respawns, {remote['rejoins']} rejoins, "
+            f"{remote['requeues']} requeues)"
         )
 
     print(

@@ -19,7 +19,9 @@ uploading the artifact:
   confirms at least one cohort — all bench arms are fault-free, so a
   zero confirm rate means prediction regressed;
 * when the remote arms ran, they completed real round-trips on a healthy
-  fleet (no deaths on an un-faulted run).
+  fleet (no deaths on an un-faulted run), name their transport, carry one
+  negotiated capacity per worker, and satisfy the extended supervision
+  ledger `alive == spawned - deaths + respawns + rejoins`.
 
 All counter-based: nothing here reads `wall_s`, so the guard is stable
 on the 1-CPU CI runner.
@@ -87,6 +89,18 @@ def main() -> None:
         r = c["remote"]
         assert r["round_trips"] > 0, f"remote arm made no round-trips: {c}"
         assert r["worker_deaths"] == 0, f"un-faulted fleet lost workers: {c}"
+        assert r["transport"] in ("stdio", "unix-socket", "tcp"), (
+            f"remote arm names an unknown transport: {c}"
+        )
+        assert r["workers_alive"] == (
+            r["workers_spawned"] - r["worker_deaths"] + r["respawns"] + r["rejoins"]
+        ), f"supervision ledger does not balance for {c['name']}: {r}"
+        assert len(r["capacities"]) == r["workers"], (
+            f"one negotiated capacity per worker expected: {r}"
+        )
+        assert all(cap >= 1 for cap in r["capacities"]), (
+            f"capacities are clamped to >= 1 at the hello: {r}"
+        )
     names = [c["name"] for c in remote_arms]
     ledgers = {
         c["name"]: c["speculation"]["confirmed"] for c in speculated_arms
