@@ -32,13 +32,14 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sega_bench::json::{
-    pipeline_json_path, ConfigRecord, PipelineReport, RemoteTrafficRecord, SpeculationRecord,
+    pipeline_json_path, CacheTrafficRecord, ConfigRecord, PipelineReport, RemoteTrafficRecord,
+    SpeculationRecord,
 };
 use sega_bench::{quick_nsga_config, FIG7_PRECISIONS};
 use sega_cells::Technology;
 use sega_dcim::{
-    explore_mixed_with, explore_pareto_with, PipelineOptions, RemoteBackend, RemoteOptions,
-    SharedEvalCache, UserSpec,
+    explore_mixed_with, explore_pareto_with, CacheStore, PipelineOptions, RemoteBackend,
+    RemoteOptions, SharedEvalCache, UserSpec,
 };
 use sega_estimator::{OperatingConditions, Precision};
 use sega_moga::Nsga2Config;
@@ -118,6 +119,7 @@ fn bench_pipeline(c: &mut Criterion) {
             cache_hits: run.cache_hits,
             speculation: None,
             remote: None,
+            cache: None,
         });
         fronts.push((name, run));
     }
@@ -163,6 +165,7 @@ fn bench_pipeline(c: &mut Criterion) {
                         workers_spawned: stats.workers_spawned,
                         capacities: stats.capacities.clone(),
                     }),
+                    cache: None,
                 });
                 fronts.push(("remote", run));
             }
@@ -194,6 +197,7 @@ fn bench_pipeline(c: &mut Criterion) {
             cache_hits: run.cache_hits,
             speculation: None,
             remote: None,
+            cache: None,
         });
         if run_idx == 2 {
             assert_eq!(
@@ -203,6 +207,67 @@ fn bench_pipeline(c: &mut Criterion) {
         }
         fronts.push(("shared_cache", run));
     }
+
+    // The persistent-store scenario: two explorations through *separate*
+    // caches bridged only by an on-disk segment store — the cross-process
+    // warm start. Run 1 fills its cache and saves delta segments; run 2
+    // starts from a cold cache, loads the segments back, and must answer
+    // everything from the warm start (hit_rate exactly 1.0 — CI-guarded).
+    let store_dir = std::env::temp_dir().join(format!("sega-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    for run_idx in 1..=2 {
+        let mut store = CacheStore::dir(&store_dir, 4).expect("create segment store");
+        let cache = Arc::new(SharedEvalCache::new());
+        let outcome = store.load().expect("load segment store");
+        let preloaded_entries = outcome.snapshot.len();
+        if preloaded_entries > 0 {
+            cache
+                .load(&outcome.snapshot)
+                .expect("warm-start from store");
+        }
+        let pipeline = PipelineOptions {
+            threads: 0,
+            cache: true,
+            min_batch_per_worker: 1,
+            ..Default::default()
+        }
+        .with_shared_cache(Arc::clone(&cache));
+        let started = Instant::now();
+        let run = explore_pareto_with(&spec, &tech, &cond, &default_cfg, pipeline);
+        let wall_s = started.elapsed().as_secs_f64();
+        store.save(&cache.snapshot()).expect("save segment store");
+        let stats = store.stats();
+        if run_idx == 2 {
+            assert_eq!(
+                run.distinct_evaluations, 0,
+                "a warm segment store must serve the whole second run"
+            );
+        }
+        records.push(ConfigRecord {
+            name: format!("segment_store_run{run_idx}"),
+            wall_s,
+            evaluations: run.evaluations,
+            distinct_evaluations: run.distinct_evaluations,
+            cache_hits: run.cache_hits,
+            speculation: None,
+            remote: None,
+            cache: Some(CacheTrafficRecord {
+                hit_rate: if run.evaluations > 0 {
+                    run.cache_hits as f64 / run.evaluations as f64
+                } else {
+                    0.0
+                },
+                preloaded_entries,
+                segments: stats.segments,
+                segments_appended: stats.segments_appended,
+                compactions: stats.compactions,
+                bytes_read: stats.bytes_read,
+                bytes_written: stats.bytes_written,
+            }),
+        });
+        fronts.push(("segment_store", run));
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
 
     let reference = fronts[0].1.objective_matrix();
     for (name, run) in &fronts {
@@ -262,6 +327,7 @@ fn bench_pipeline(c: &mut Criterion) {
         cache_hits: sync.cache_hits,
         speculation: None,
         remote: None,
+        cache: None,
     });
     let mut speculative_arms = vec![("speculative_macro".to_owned(), None)];
     match worker_binary() {
@@ -334,6 +400,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 rebred: s.rebred,
             }),
             remote,
+            cache: None,
         });
     }
 

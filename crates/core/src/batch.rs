@@ -90,11 +90,38 @@ pub struct BatchReport {
     /// CLI fills this in after the run); serialized as the `"remote"`
     /// object only when present, so in-process reports are unchanged.
     pub remote: Option<RemoteStats>,
+    /// Persistent cache-store activity (segments loaded/skipped,
+    /// appends, compactions, bytes) when the run used a cache file or
+    /// segment directory; serialized as the `"cache"` object's nested
+    /// `"store"` only when present, so storeless reports are unchanged.
+    pub store: Option<crate::store::StoreStats>,
+    /// Anti-entropy accounting when the run sync-pulled a daemon's
+    /// cache (`--connect` with a local store); serialized as the
+    /// `"cache"` object's nested `"sync"` only when present.
+    pub sync: Option<CacheSyncStats>,
     /// `false` when [`BatchControl::stop_after_jobs`] ended the run
     /// before the job list did — the report covers only a prefix.
     pub complete: bool,
     /// Jobs reconstructed from a resume journal instead of executed.
     pub resumed_jobs: usize,
+}
+
+/// Anti-entropy accounting of a connected batch run: what the digest
+/// exchanges against the daemon's cache actually moved, versus what
+/// full-snapshot transfers would have cost in their place.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSyncStats {
+    /// Digest exchanges completed (one per sync pull).
+    pub exchanges: u64,
+    /// Entries the digests proved both sides already shared (skipped).
+    pub matched_entries: u64,
+    /// Entries the syncs actually shipped and installed locally.
+    pub synced_entries: u64,
+    /// Bytes of encoded delta snapshot the syncs moved.
+    pub bytes_synced: u64,
+    /// Bytes the responder's full snapshots would have moved instead —
+    /// `bytes_synced ≤ full_snapshot_bytes` is the saving, made visible.
+    pub full_snapshot_bytes: u64,
 }
 
 /// Execution controls of [`run_batch_with`]: checkpointing and early
@@ -396,6 +423,8 @@ pub fn run_batch_with(
         cache_entries: cache.len(),
         backend,
         remote: None,
+        store: None,
+        sync: None,
         complete,
         resumed_jobs,
         outcomes,
@@ -435,13 +464,7 @@ impl BatchReport {
                     ),
                 ]),
             ),
-            (
-                "cache",
-                Json::obj([
-                    ("preloaded_entries", Json::from(self.preloaded_entries)),
-                    ("entries", Json::from(self.cache_entries)),
-                ]),
-            ),
+            ("cache", self.cache_json()),
         ];
         // The speculation ledger rides along only when the speculative
         // loop actually ran, so synchronous reports stay byte-stable.
@@ -474,6 +497,10 @@ impl BatchReport {
                     ),
                     ("geometries", Json::from(remote.geometries)),
                     ("merged_entries", Json::from(remote.merged_entries)),
+                    ("rejoin_syncs", Json::from(remote.rejoin_syncs)),
+                    ("sync_entries", Json::from(remote.sync_entries)),
+                    ("sync_bytes", Json::from(remote.sync_bytes)),
+                    ("sync_full_bytes", Json::from(remote.sync_full_bytes)),
                     ("workers_alive", Json::from(remote.workers_alive)),
                     ("workers_spawned", Json::from(remote.workers_spawned)),
                     (
@@ -487,6 +514,51 @@ impl BatchReport {
             "jobs",
             Json::Arr(self.outcomes.iter().map(outcome_json).collect()),
         ));
+        Json::obj(fields)
+    }
+
+    /// The `"cache"` stats object: warm-start and final entry counts,
+    /// the hit rate, and — only when a persistent store or an
+    /// anti-entropy sync was active — their nested ledgers.
+    fn cache_json(&self) -> Json {
+        let hit_rate = if self.evaluations > 0 {
+            self.cache_hits as f64 / self.evaluations as f64
+        } else {
+            0.0
+        };
+        let mut fields = vec![
+            ("preloaded_entries", Json::from(self.preloaded_entries)),
+            ("entries", Json::from(self.cache_entries)),
+            ("hit_rate", Json::from(hit_rate)),
+        ];
+        if let Some(store) = &self.store {
+            fields.push((
+                "store",
+                Json::obj([
+                    ("segments", Json::from(store.segments)),
+                    ("segments_loaded", Json::from(store.segments_loaded)),
+                    ("segments_skipped", Json::from(store.segments_skipped)),
+                    ("segments_filtered", Json::from(store.segments_filtered)),
+                    ("entries_loaded", Json::from(store.entries_loaded)),
+                    ("segments_appended", Json::from(store.segments_appended)),
+                    ("compactions", Json::from(store.compactions)),
+                    ("bytes_read", Json::from(store.bytes_read)),
+                    ("bytes_written", Json::from(store.bytes_written)),
+                ]),
+            ));
+        }
+        if let Some(sync) = &self.sync {
+            fields.push((
+                "sync",
+                Json::obj([
+                    ("exchanges", Json::from(sync.exchanges)),
+                    ("matched_entries", Json::from(sync.matched_entries)),
+                    ("synced_entries", Json::from(sync.synced_entries)),
+                    ("bytes_synced", Json::from(sync.bytes_synced)),
+                    ("full_snapshot_bytes", Json::from(sync.full_snapshot_bytes)),
+                ]),
+            ));
+        }
         Json::obj(fields)
     }
 }

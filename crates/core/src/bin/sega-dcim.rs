@@ -105,11 +105,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use sega_dcim::batch::{decode_cache_file, encode_cache_file, parse_jobs, run_batch_with};
+use sega_dcim::batch::{parse_jobs, run_batch_with};
 use sega_dcim::report::{csv_table, markdown_table};
 use sega_dcim::{
-    Compiler, DistillStrategy, ExplorationResult, InstrumentedBackend, PipelineOptions,
-    RemoteBackend, RemoteOptions, SharedEvalCache, UserSpec,
+    BatchJob, CacheKey, CacheStore, Compiler, DistillStrategy, ExplorationResult,
+    InstrumentedBackend, PipelineOptions, RemoteBackend, RemoteOptions, SharedEvalCache, UserSpec,
 };
 use sega_estimator::{estimate, DcimDesign, MacroEstimate, OperatingConditions, Precision};
 use sega_layout::export::to_ascii;
@@ -134,7 +134,8 @@ const USAGE: &str = "usage:
                      [--population N] [--generations N] [--seed N] [--threads N] [--no-cache] [--out DIR]
   sega-dcim explore  --wstore N --precision P [--threads N] [--no-cache] [--csv | --json]
   sega-dcim estimate --n N --h H --l L --k K --precision P [--json]
-  sega-dcim batch    --jobs FILE [--cache-file FILE] [--report FILE]
+  sega-dcim batch    --jobs FILE [--cache-file FILE | --cache-dir DIR] [--report FILE]
+                     [--cache-max-segments N]
                      [--population N] [--generations N] [--seed N]
                      [--threads N] [--shards N] [--speculate]
                      [--backend macro|instrumented|remote] [--workers N]
@@ -146,8 +147,10 @@ const USAGE: &str = "usage:
                      [--checkpoint FILE | --resume FILE] [--stop-after-jobs N]
                      [--checkpoint-generations N] [--stop-after-progress N]
   sega-dcim batch    --jobs FILE --connect ADDR [--drain] [--report FILE]
+                     [--cache-file FILE | --cache-dir DIR] [--cache-max-segments N]
                      [--population N] [--generations N] [--seed N]
-  sega-dcim serve    --listen ADDR [--cache-file FILE] [--threads N]
+  sega-dcim serve    --listen ADDR [--cache-file FILE | --cache-dir DIR] [--threads N]
+                     [--cache-max-segments N]
                      [--backend macro|remote] [--workers N] [--transport stdio|unix|tcp]
                      [--hello-deadline-ms N] [--idle-timeout-ms N] [--grace-ms N] [--log]
   sega-dcim worker   --serve | --connect ADDR [--fail-after N] [--corrupt-after N]
@@ -163,6 +166,13 @@ precisions:   int2 int4 int8 int16 fp8 fp16 bf16 fp32
               \"population\":..,\"generations\":..,\"seed\":..}, ...]}
 --cache-file: load the eval cache before the batch, save it after (warm start;
               binary snapshot, or JSON text when the path ends in .json)
+--cache-dir:  like --cache-file, but an append-only directory of fingerprinted
+              snapshot segments: a save appends only the delta, a load skips
+              segments no job needs, and a crash-torn trailing segment is
+              skipped with a warning instead of aborting; with --connect the
+              local store anti-entropy-syncs missing entries from the daemon
+--cache-max-segments: compaction budget for --cache-dir (default 8): a save
+              past the budget folds every segment into one
 --report:     write the batch results JSON here (default: stdout)
 --backend:    estimator backend (default macro; instrumented = macro + counters;
               remote = a fleet of worker processes over the wire protocol)
@@ -535,15 +545,91 @@ fn get_positive(
     }
 }
 
+/// The persistent cache store the `--cache-file` / `--cache-dir` flags
+/// describe: `None` when neither is given, and an error when both are
+/// (one cache, one home) or when `--cache-max-segments` has no
+/// directory to budget.
+fn cache_store_of(flags: &HashMap<String, String>) -> Result<Option<CacheStore>, String> {
+    let max_segments = get_positive(
+        flags,
+        "cache-max-segments",
+        "a zero budget could never hold a segment",
+    )?;
+    match (flags.get("cache-dir"), flags.get("cache-file")) {
+        (Some(_), Some(_)) => Err(
+            "--cache-file and --cache-dir are mutually exclusive (one persistent \
+             home per cache)"
+                .to_owned(),
+        ),
+        (Some(dir), None) => {
+            CacheStore::dir(dir, max_segments.unwrap_or(sega_dcim::DEFAULT_MAX_SEGMENTS)).map(Some)
+        }
+        (None, file) => {
+            if max_segments.is_some() {
+                return Err(
+                    "--cache-max-segments requires --cache-dir (only the segment \
+                     directory compacts)"
+                        .to_owned(),
+                );
+            }
+            Ok(file.map(CacheStore::file))
+        }
+    }
+}
+
+/// The key-space fingerprints a job list touches — the partial-load
+/// filter: store segments holding none of these are skipped without
+/// reading their payload.
+fn job_space_fingerprints(jobs: &[BatchJob]) -> std::collections::HashSet<u64> {
+    let tech = sega_cells::Technology::tsmc28();
+    let conditions = OperatingConditions::paper_default();
+    jobs.iter()
+        .map(|job| {
+            CacheKey::new(&tech, &conditions, job.spec.precision, job.spec.wstore)
+                .to_record()
+                .fingerprint()
+        })
+        .collect()
+}
+
+/// Warm-starts `cache` from `store`, printing any skipped-segment
+/// warnings, restricted to the key spaces `jobs` can touch.
+fn warm_start(
+    store: &mut CacheStore,
+    cache: &SharedEvalCache,
+    jobs: &[BatchJob],
+) -> Result<(), String> {
+    let wanted = job_space_fingerprints(jobs);
+    let outcome = store.load_filtered(Some(&wanted))?;
+    for warning in &outcome.warnings {
+        eprintln!("warning: {warning}");
+    }
+    if outcome.snapshot.is_empty() {
+        eprintln!(
+            "cache store {} holds nothing for these jobs, starting cold",
+            store.path().display()
+        );
+    } else {
+        let installed = cache.load(&outcome.snapshot).map_err(|e| e.to_string())?;
+        eprintln!(
+            "loaded {} cached estimates from {}",
+            installed,
+            store.path().display()
+        );
+    }
+    Ok(())
+}
+
 /// Runs the batch against a `sega-dcim serve` daemon instead of
 /// in-process: the daemon owns the backend, cache and checkpointing, so
 /// every local-execution flag is rejected up front rather than silently
-/// ignored.
+/// ignored. (`--cache-file`/`--cache-dir` stay *client-side*: a local
+/// store is warm-started before the jobs and anti-entropy-synced with
+/// the daemon, so a redial moves only missing entries.)
 fn batch_connected(flags: &HashMap<String, String>, raw_addr: &str) -> Result<(), String> {
     let addr = sega_dcim::ListenAddr::parse(raw_addr)?;
     for flag in [
         "backend",
-        "cache-file",
         "threads",
         "shards",
         "speculate",
@@ -582,7 +668,13 @@ fn batch_connected(flags: &HashMap<String, String>, raw_addr: &str) -> Result<()
         defaults.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
     }
     let jobs = parse_jobs(&jobs_text, &defaults)?;
-    let report = sega_dcim::run_batch_connected(&addr, &jobs, flags.contains_key("drain"))?;
+    let mut store = cache_store_of(flags)?;
+    let report = sega_dcim::run_batch_connected_with(
+        &addr,
+        &jobs,
+        flags.contains_key("drain"),
+        store.as_mut(),
+    )?;
     let document = report.to_json().to_string();
     match flags.get("report") {
         Some(path) => {
@@ -599,6 +691,12 @@ fn batch_connected(flags: &HashMap<String, String>, raw_addr: &str) -> Result<()
         report.distinct_evaluations,
         report.cache_hits
     );
+    if let Some(sync) = &report.sync {
+        eprintln!(
+            "cache sync: {} exchanges, {} entries pulled ({} of {} full-snapshot bytes)",
+            sync.exchanges, sync.synced_entries, sync.bytes_synced, sync.full_snapshot_bytes
+        );
+    }
     Ok(())
 }
 
@@ -766,26 +864,14 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let jobs = parse_jobs(&jobs_text, &defaults)?;
 
-    // One shared cache for the whole batch, warm-started from the cache
-    // file when present.
+    // One shared cache for the whole batch, warm-started from the
+    // persistent store (--cache-file blob or --cache-dir segments) when
+    // present. The load is partial: only the key spaces this job list
+    // touches come off disk.
     let cache = Arc::new(SharedEvalCache::with_shards(shards));
-    let cache_file = flags.get("cache-file").map(PathBuf::from);
-    if let Some(path) = &cache_file {
-        match fs::read(path) {
-            Ok(bytes) => {
-                let snapshot = decode_cache_file(&bytes)?;
-                let installed = cache.load(&snapshot).map_err(|e| e.to_string())?;
-                eprintln!(
-                    "loaded {} cached estimates from {}",
-                    installed,
-                    path.display()
-                );
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                eprintln!("cache file {} not found, starting cold", path.display());
-            }
-            Err(e) => return Err(format!("cannot read cache file `{}`: {e}", path.display())),
-        }
+    let mut store = cache_store_of(flags)?;
+    if let Some(store) = &mut store {
+        warm_start(store, &cache, &jobs)?;
     }
 
     let mut pipeline = PipelineOptions::default().with_shared_cache(Arc::clone(&cache));
@@ -867,6 +953,17 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(backend) = &remote {
         report.remote = Some(backend.stats());
     }
+    // Persist before emitting the report so its "cache" object carries
+    // the save's append/compaction accounting too.
+    if let Some(store) = &mut store {
+        store.save(&cache.snapshot())?;
+        report.store = Some(store.stats());
+        eprintln!(
+            "saved {} cached estimates to {}",
+            cache.len(),
+            store.path().display()
+        );
+    }
 
     if report.complete {
         let document = report.to_json().to_string();
@@ -887,17 +984,6 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
             report.outcomes.len() - report.resumed_jobs,
             report.outcomes.len(),
             jobs.len()
-        );
-    }
-
-    if let Some(path) = &cache_file {
-        let bytes = encode_cache_file(&cache.snapshot(), path);
-        fs::write(path, bytes)
-            .map_err(|e| format!("cannot write cache file `{}`: {e}", path.display()))?;
-        eprintln!(
-            "saved {} cached estimates to {}",
-            cache.len(),
-            path.display()
         );
     }
 
@@ -946,6 +1032,26 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
             stats.fallback_geometries,
             stats.merged_entries,
         ));
+        if stats.rejoin_syncs > 0 {
+            summary.push_str(&format!(
+                "rejoin sync: {} exchanges, {} entries restored ({} of {} full-snapshot bytes)\n",
+                stats.rejoin_syncs, stats.sync_entries, stats.sync_bytes, stats.sync_full_bytes,
+            ));
+        }
+    }
+    if let Some(stats) = &report.store {
+        summary.push_str(&format!(
+            "cache store: {} segment(s) ({} loaded, {} filtered, {} skipped), \
+             {} appended, {} compaction(s), {} B read, {} B written\n",
+            stats.segments,
+            stats.segments_loaded,
+            stats.segments_filtered,
+            stats.segments_skipped,
+            stats.segments_appended,
+            stats.compactions,
+            stats.bytes_read,
+            stats.bytes_written,
+        ));
     }
     let _ = std::io::stderr().lock().write_all(summary.as_bytes());
     Ok(())
@@ -977,6 +1083,28 @@ fn serve_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     let listen = sega_dcim::ListenAddr::parse(raw)?;
     let mut options = sega_dcim::ServeOptions::new(listen);
     options.cache_file = flags.get("cache-file").map(PathBuf::from);
+    options.cache_dir = flags.get("cache-dir").map(PathBuf::from);
+    if options.cache_file.is_some() && options.cache_dir.is_some() {
+        return Err(
+            "--cache-file and --cache-dir are mutually exclusive (one persistent \
+             home per cache)"
+                .to_owned(),
+        );
+    }
+    if let Some(n) = get_positive(
+        flags,
+        "cache-max-segments",
+        "a zero budget could never hold a segment",
+    )? {
+        if options.cache_dir.is_none() {
+            return Err(
+                "--cache-max-segments requires --cache-dir (only the segment \
+                 directory compacts)"
+                    .to_owned(),
+            );
+        }
+        options.cache_max_segments = n;
+    }
     options.log = flags.contains_key("log");
     if let Some(t) = get_positive(
         flags,

@@ -79,12 +79,15 @@ pub mod report;
 pub mod runtime;
 pub mod serve;
 mod spec;
+pub mod store;
 pub mod testbench;
 
 pub use backend::{
     CohortEvaluator, EvalBackend, EvalTicket, GeometryLens, InstrumentedBackend, MacroModelBackend,
 };
-pub use batch::{run_batch, run_batch_with, BatchControl, BatchJob, BatchOutcome, BatchReport};
+pub use batch::{
+    run_batch, run_batch_with, BatchControl, BatchJob, BatchOutcome, BatchReport, CacheSyncStats,
+};
 pub use cache::{CacheKey, EvalStats, SharedEvalCache};
 pub use checkpoint::CheckpointConfig;
 pub use compiler::{CompileError, CompiledMacro, Compiler};
@@ -99,8 +102,12 @@ pub use remote::{
     run_connected_worker, RemoteBackend, RemoteOptions, RemoteStats, TransportKind, WorkerCommand,
     WorkerOptions,
 };
-pub use serve::{drain_flag, run_batch_connected, serve, ListenAddr, ServeOptions, ServeReport};
+pub use serve::{
+    drain_flag, run_batch_connected, run_batch_connected_with, serve, ListenAddr, ServeOptions,
+    ServeReport,
+};
 pub use spec::{ExplorerLimits, SpecError, UserSpec};
+pub use store::{CacheStore, LoadOutcome, StoreStats, DEFAULT_MAX_SEGMENTS};
 pub use testbench::{generate_int_testbench, Testbench};
 
 // Re-export the workspace layers under one roof for downstream users.

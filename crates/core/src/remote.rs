@@ -90,10 +90,11 @@ use sega_cells::Technology;
 use sega_estimator::{OperatingConditions, Precision};
 use sega_parallel::Pool;
 use sega_wire::frame::{
-    self, EvalRequest, EvalResponse, FrameError, Hello, Message, PROTOCOL_VERSION,
+    self, EvalRequest, EvalResponse, FrameError, Hello, Message, SyncEntries, SyncRequest,
+    SyncResponse, PROTOCOL_VERSION,
 };
 use sega_wire::snapshot::{EntryRecord, SpaceRecord};
-use sega_wire::{GeometryRecord, KeyRecord, Snapshot};
+use sega_wire::{plan_delta, CacheDigest, GeometryRecord, KeyRecord, Snapshot};
 
 use crate::backend::{CohortEvaluator, EvalBackend, EvalTicket, MacroModelBackend};
 use crate::cache::{CacheKey, FxHasher, SharedEvalCache};
@@ -308,6 +309,18 @@ pub struct RemoteStats {
     pub geometries: u64,
     /// Cache entries installed into the sink from worker deltas.
     pub merged_entries: u64,
+    /// Anti-entropy digest exchanges completed against rejoined workers
+    /// (one per successful rejoin when a sink is attached).
+    pub rejoin_syncs: u64,
+    /// Cache entries the rejoin syncs installed into the sink — estimates
+    /// the worker computed while its link was down, recovered without
+    /// recomputation.
+    pub sync_entries: u64,
+    /// Bytes of encoded delta snapshot the rejoin syncs actually moved.
+    pub sync_bytes: u64,
+    /// Bytes a full-snapshot exchange would have moved in their place —
+    /// `sync_bytes ≤ sync_full_bytes` is the anti-entropy saving.
+    pub sync_full_bytes: u64,
     /// Workers still alive right now.
     pub workers_alive: usize,
     /// Workers the fleet was spawned with.
@@ -331,6 +344,10 @@ struct RemoteCounters {
     fallback_geometries: AtomicU64,
     geometries: AtomicU64,
     merged_entries: AtomicU64,
+    rejoin_syncs: AtomicU64,
+    sync_entries: AtomicU64,
+    sync_bytes: AtomicU64,
+    sync_full_bytes: AtomicU64,
 }
 
 /// `counters.round_trips.add(1)` — all counters are monotonic tallies.
@@ -722,7 +739,14 @@ impl Fleet {
     /// success it rejoins the [`FleetState::assign`] rotation. Called at
     /// cohort start and inside the recovery loop — never from a timer,
     /// so a quiet backend spawns nothing behind the caller's back.
-    fn maintain(&self, state: &mut FleetState) {
+    ///
+    /// With a `sink`, every adopted rejoin is followed by an
+    /// anti-entropy digest exchange ([`Fleet::sync_rejoined`]): the
+    /// worker may hold estimates it computed while its link was down
+    /// (the response that died with the link), and the sync recovers
+    /// them into the sink without recomputation — moving only the
+    /// entries the digests prove missing, never a whole snapshot.
+    fn maintain(&self, state: &mut FleetState, sink: Option<&SharedEvalCache>) {
         if let Some(hub) = &self.hub {
             for w in 0..state.workers.len() {
                 if state.workers[w].alive || state.supervise[w].retry_at.is_none() {
@@ -754,6 +778,16 @@ impl Fleet {
                         state.supervise[w].restarts += 1;
                         state.supervise[w].retry_at = None;
                         self.counters.rejoins.add(1);
+                        // Recover what the worker computed while its
+                        // link was down. A failed exchange re-buries:
+                        // the link just proved itself unreliable, and
+                        // the next maintain pass can try again.
+                        if let Some(sink) = sink {
+                            if let Err(e) = self.sync_rejoined(&mut state.workers[w], sink) {
+                                eprintln!("warning: rejoin sync of worker {w} failed: {e}");
+                                self.bury(state, w);
+                            }
+                        }
                     }
                     Err(e) => {
                         eprintln!("warning: rejoin of worker {w} failed: {e}");
@@ -821,6 +855,43 @@ impl Fleet {
                 }
             }
         }
+    }
+
+    /// One anti-entropy exchange against a just-rejoined worker: send
+    /// the sink's digest, receive the plan summary and the missing
+    /// entries, union-merge them into the sink. Runs synchronously on a
+    /// fresh link with nothing in flight, bounded by the per-request
+    /// deadline — a silent worker fails the exchange instead of pinning
+    /// the maintenance pass.
+    fn sync_rejoined(
+        &self,
+        worker: &mut WorkerHandle,
+        sink: &SharedEvalCache,
+    ) -> Result<(), String> {
+        let id = self.counters.rejoins.load(Ordering::Relaxed);
+        let digest = CacheDigest::of(&sink.snapshot());
+        worker
+            .send(&Message::SyncRequest(SyncRequest { id, digest }))
+            .map_err(|e| format!("sync request: {e}"))?;
+        let deadline = self.config.deadline;
+        let summary = match worker.recv_deadline(deadline) {
+            Ok(Message::SyncResponse(resp)) if resp.id == id => resp,
+            Ok(other) => return Err(format!("expected a sync summary, got {other:?}")),
+            Err(e) => return Err(format!("sync summary: {e}")),
+        };
+        let entries = match worker.recv_deadline(deadline) {
+            Ok(Message::SyncEntries(entries)) if entries.id == id => entries,
+            Ok(other) => return Err(format!("expected sync entries, got {other:?}")),
+            Err(e) => return Err(format!("sync entries: {e}")),
+        };
+        let installed = sink
+            .load(&entries.delta)
+            .map_err(|e| format!("sync delta rejected: {e}"))?;
+        self.counters.rejoin_syncs.add(1);
+        self.counters.sync_entries.add(installed as u64);
+        self.counters.sync_bytes.add(summary.delta_bytes);
+        self.counters.sync_full_bytes.add(summary.full_bytes);
+        Ok(())
     }
 }
 
@@ -1010,6 +1081,10 @@ impl RemoteBackend {
             fallback_geometries: c.fallback_geometries.load(Ordering::Relaxed),
             geometries: c.geometries.load(Ordering::Relaxed),
             merged_entries: c.merged_entries.load(Ordering::Relaxed),
+            rejoin_syncs: c.rejoin_syncs.load(Ordering::Relaxed),
+            sync_entries: c.sync_entries.load(Ordering::Relaxed),
+            sync_bytes: c.sync_bytes.load(Ordering::Relaxed),
+            sync_full_bytes: c.sync_full_bytes.load(Ordering::Relaxed),
             workers_alive: state.alive_count(),
             workers_spawned: self.fleet.spawned,
             transport: self.fleet.config.transport,
@@ -1506,7 +1581,7 @@ impl RemoteEvaluator {
         let mut state = self.fleet.state.lock().expect("fleet state poisoned");
         // Respawn pass: buried workers whose backoff elapsed rejoin the
         // rotation before this cohort partitions.
-        self.fleet.maintain(&mut state);
+        self.fleet.maintain(&mut state, Some(&self.sink));
         let fleet_size = state.workers.len();
 
         // Partition by weighted shard onto alive workers; orphans (no
@@ -1593,7 +1668,7 @@ impl RemoteEvaluator {
         // *waits* for one: an empty rotation falls back in-process, and
         // the front is bit-identical either way.
         while let Some(slots) = requeue.pop() {
-            self.fleet.maintain(&mut state);
+            self.fleet.maintain(&mut state, Some(&self.sink));
             match state.assign(0) {
                 Some(w) => {
                     counters.requeues.add(1);
@@ -1964,6 +2039,42 @@ fn serve_session(
                 return Ok(WorkerExit::Shutdown);
             }
             Message::Heartbeat => continue,
+            Message::SyncRequest(req) => {
+                // Anti-entropy: answer from the process-lifetime memo
+                // cache (the bindings' spaces all live in `cache`) with
+                // only the entries the requester's digest proves
+                // missing, plus the accounting that makes the saving
+                // visible.
+                let mine = cache.snapshot();
+                let plan = plan_delta(&mine, &req.digest);
+                let delta_bytes = plan.delta.encode_binary().len() as u64;
+                let full_bytes = mine.encode_binary().len() as u64;
+                let summary = SyncResponse {
+                    id: req.id,
+                    matched_entries: plan.matched_entries,
+                    delta_entries: plan.delta.len() as u64,
+                    delta_bytes,
+                    full_bytes,
+                };
+                frame::send(output, &Message::SyncResponse(summary))
+                    .map_err(|e| format!("worker sync summary: {e}"))?;
+                let delta_len = plan.delta.len();
+                frame::send(
+                    output,
+                    &Message::SyncEntries(SyncEntries {
+                        id: req.id,
+                        delta: plan.delta,
+                    }),
+                )
+                .map_err(|e| format!("worker sync entries: {e}"))?;
+                log(
+                    req.id,
+                    &format!(
+                        "sync: {delta_len} delta entries ({delta_bytes} of {full_bytes} full bytes)"
+                    ),
+                );
+                continue;
+            }
             Message::Request(request) => request,
             _ => return Err("coordinator sent a non-request frame".to_owned()),
         };

@@ -324,6 +324,65 @@ proptest! {
         prop_assert!(plain.dominance.comparisons + plain.dominance.word_ops > 0);
     }
 
+    /// The persistent cache tier joins the matrix: a shared cache
+    /// warmed through a segment-store round-trip (forced compaction
+    /// included) and one warmed by digest sync both reproduce the
+    /// serial front bit-identically — with **zero** distinct
+    /// evaluations, since the donor run computed everything.
+    #[test]
+    fn store_and_sync_warmed_caches_reproduce_the_serial_front(
+        precision_idx in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let precision = ALL_PRECISIONS[precision_idx];
+        let spec = UserSpec::new(16384, precision).unwrap();
+        let baseline = explore(&spec, seed, PipelineOptions::serial_uncached());
+
+        let donor = Arc::new(SharedEvalCache::new());
+        let pipeline = |cache: &Arc<SharedEvalCache>| PipelineOptions {
+            threads: 4,
+            cache: true,
+            min_batch_per_worker: 1,
+            ..Default::default()
+        }
+        .with_shared_cache(Arc::clone(cache));
+        explore(&spec, seed, pipeline(&donor));
+
+        // Arm 1: the donor's snapshot through a segment store with a
+        // budget of one, so the round-trip includes a compaction.
+        let dir = std::env::temp_dir().join(format!(
+            "sega-pipeline-store-{}-{seed}-{precision_idx}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = sega_dcim::CacheStore::dir(&dir, 1).unwrap();
+        store.load().unwrap();
+        store.save(&donor.snapshot()).unwrap();
+        let loaded = sega_dcim::CacheStore::dir(&dir, 1)
+            .unwrap()
+            .load()
+            .unwrap()
+            .snapshot;
+        let via_store = Arc::new(SharedEvalCache::new());
+        via_store.load(&loaded).unwrap();
+        let run = explore(&spec, seed, pipeline(&via_store));
+        prop_assert_eq!(run.objective_matrix(), baseline.objective_matrix());
+        prop_assert_eq!(run.distinct_evaluations, 0, "store-warmed run must be estimator-free");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Arm 2: the donor's entries over the anti-entropy planner, as
+        // a rejoining peer would receive them.
+        let via_sync = Arc::new(SharedEvalCache::new());
+        let plan = sega_wire::sync::plan_delta(
+            &donor.snapshot(),
+            &sega_wire::sync::CacheDigest::of(&via_sync.snapshot()),
+        );
+        via_sync.load(&plan.delta).unwrap();
+        let run = explore(&spec, seed, pipeline(&via_sync));
+        prop_assert_eq!(run.objective_matrix(), baseline.objective_matrix());
+        prop_assert_eq!(run.distinct_evaluations, 0, "sync-warmed run must be estimator-free");
+    }
+
     /// The mixed-precision fan-out is bit-identical between its serial
     /// and concurrent forms, and its counters aggregate exactly.
     #[test]

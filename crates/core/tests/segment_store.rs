@@ -1,0 +1,322 @@
+//! Property tests of the persistent cache tier: the segment store and
+//! the fingerprint-keyed anti-entropy sync.
+//!
+//! Three laws anchor the tier:
+//!
+//! 1. **Compaction changes bytes, never facts** — however a history of
+//!    saves split the entries across segments, in whatever order and
+//!    with whatever duplication, `load(compact(segments))` equals
+//!    `load(segments)`.
+//! 2. **Torn tails recover** — truncating the trailing segment at *any*
+//!    byte offset downgrades it to one warning; every earlier segment's
+//!    facts survive.
+//! 3. **Sync converges** — `theirs ∪ plan_delta(mine, digest(theirs))
+//!    == theirs ∪ mine`, under reordered insertion histories and
+//!    repeated exchanges (a redialing peer), and a prefix-sharing peer
+//!    receives strictly fewer entries than a full snapshot.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use sega_dcim::{CacheStore, SharedEvalCache};
+use sega_wire::snapshot::{EntryRecord, GeometryRecord, KeyRecord, SpaceRecord};
+use sega_wire::sync::{plan_delta, CacheDigest};
+use sega_wire::Snapshot;
+
+const WSTORES: [u64; 3] = [8192, 16384, 32768];
+
+fn key(wstore: u64) -> KeyRecord {
+    KeyRecord {
+        tech_name: "tsmc28-calibrated".to_owned(),
+        node_bits: 28.0f64.to_bits(),
+        gate_area_bits: 0.18f64.to_bits(),
+        gate_delay_bits: 0.008f64.to_bits(),
+        gate_energy_bits: 0.4f64.to_bits(),
+        nominal_voltage_bits: 0.9f64.to_bits(),
+        voltage_bits: 0.9f64.to_bits(),
+        sparsity_bits: 0.1f64.to_bits(),
+        activity_bits: 0.1f64.to_bits(),
+        precision: "INT8".to_owned(),
+        wstore,
+    }
+}
+
+/// A canonical snapshot from `(space index, geometry id)` pairs —
+/// duplicates collapse under canonicalization exactly as they do in the
+/// live cache.
+fn snapshot_of(entries: &[(usize, u32)]) -> Snapshot {
+    let mut snapshot = Snapshot::default();
+    for &wstore in &WSTORES {
+        let geoms: HashSet<u32> = entries
+            .iter()
+            .filter(|(space, _)| WSTORES[*space % WSTORES.len()] == wstore)
+            .map(|&(_, geom)| geom)
+            .collect();
+        if geoms.is_empty() {
+            continue;
+        }
+        snapshot.spaces.push(SpaceRecord {
+            key: key(wstore),
+            entries: geoms
+                .into_iter()
+                .map(|geom| EntryRecord {
+                    geometry: GeometryRecord {
+                        log_h: geom,
+                        log_l: 0,
+                        k: 1,
+                    },
+                    objectives: [f64::from(geom), 1.0, 2.0, -3.0],
+                })
+                .collect(),
+        });
+    }
+    snapshot.canonicalize();
+    snapshot
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sega-segstore-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Replays a history of save points (each a batch run's final cache
+/// image) through a store at `dir`, returning the cumulative snapshot
+/// after each save that actually appended.
+fn replay(
+    dir: &PathBuf,
+    budget: usize,
+    history: &[Vec<(usize, u32)>],
+) -> (Vec<Snapshot>, CacheStore) {
+    let mut store = CacheStore::dir(dir, budget).unwrap();
+    store.load().unwrap();
+    let mut cumulative = Snapshot::default();
+    let mut checkpoints = Vec::new();
+    for point in history {
+        let before = store.stats().segments_appended;
+        cumulative.merge(&snapshot_of(point));
+        store.save(&cumulative).unwrap();
+        if store.stats().segments_appended > before {
+            checkpoints.push(cumulative.clone());
+        }
+    }
+    (checkpoints, store)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Law 1: whatever the split across save points, the duplication
+    /// between them, and the compaction budget, every store layout
+    /// loads the same facts — and force-compacting to one segment
+    /// afterwards changes nothing.
+    #[test]
+    fn compaction_preserves_every_fact(
+        history in prop::collection::vec(
+            prop::collection::vec((0usize..3, 0u32..24), 1..10),
+            1..6,
+        ),
+        budget in 1usize..4,
+    ) {
+        let expected: Snapshot = {
+            let flat: Vec<(usize, u32)> =
+                history.iter().flatten().copied().collect();
+            snapshot_of(&flat)
+        };
+
+        // Uncompacted reference: a budget no history here can exceed.
+        let loose_dir = tempdir("loose");
+        let (_, loose) = replay(&loose_dir, 64, &history);
+        prop_assert_eq!(loose.stats().compactions, 0);
+        let loose_loaded = CacheStore::dir(&loose_dir, 64)
+            .unwrap()
+            .load()
+            .unwrap();
+        prop_assert!(loose_loaded.warnings.is_empty());
+        prop_assert_eq!(&loose_loaded.snapshot, &expected);
+
+        // Tight budget: same history, compactions allowed to fire.
+        let tight_dir = tempdir("tight");
+        let (_, tight) = replay(&tight_dir, budget, &history);
+        prop_assert!(tight.stats().segments <= budget.max(1));
+        prop_assert_eq!(
+            &CacheStore::dir(&tight_dir, budget).unwrap().load().unwrap().snapshot,
+            &expected
+        );
+
+        // Force-compact the loose layout down to one segment: a fresh
+        // store re-saving what it just loaded must fold, not lose.
+        let mut squeeze = CacheStore::dir(&loose_dir, 1).unwrap();
+        let loaded = squeeze.load().unwrap().snapshot;
+        squeeze.save(&loaded).unwrap();
+        if loose.stats().segments_appended > 1 {
+            prop_assert_eq!(squeeze.stats().compactions, 1);
+            prop_assert_eq!(squeeze.stats().segments, 1);
+        }
+        prop_assert_eq!(
+            &CacheStore::dir(&loose_dir, 1).unwrap().load().unwrap().snapshot,
+            &expected
+        );
+
+        std::fs::remove_dir_all(&loose_dir).unwrap();
+        std::fs::remove_dir_all(&tight_dir).unwrap();
+    }
+
+    /// Law 2: a trailing segment torn at any byte offset is one
+    /// warning naming the file and offset, and every fact from the
+    /// earlier segments survives.
+    #[test]
+    fn torn_tail_recovers_at_every_truncation_offset(
+        history in prop::collection::vec(
+            prop::collection::vec((0usize..3, 0u32..24), 1..8),
+            2..5,
+        ),
+        cut in 0usize..100_000,
+    ) {
+        // Give every save point a unique forced entry so every point
+        // appends a segment (an empty delta appends nothing, which
+        // would make "the last segment" ambiguous below).
+        let history: Vec<Vec<(usize, u32)>> = history
+            .iter()
+            .enumerate()
+            .map(|(i, point)| {
+                let mut point = point.clone();
+                point.push((i % 3, 1000 + i as u32));
+                point
+            })
+            .collect();
+        let dir = tempdir("torn");
+        let (checkpoints, store) = replay(&dir, 64, &history);
+        prop_assert_eq!(checkpoints.len(), history.len());
+        let appended = store.stats().segments_appended;
+        let tail = dir.join(format!("seg-{:08}.seg", appended - 1));
+
+        let bytes = std::fs::read(&tail).unwrap();
+        std::fs::write(&tail, &bytes[..cut % bytes.len()]).unwrap();
+
+        let outcome = CacheStore::dir(&dir, 64).unwrap().load().unwrap();
+        prop_assert_eq!(outcome.warnings.len(), 1);
+        let warning = &outcome.warnings[0];
+        prop_assert!(warning.contains("offset"), "{}", warning);
+        prop_assert!(
+            warning.contains(&format!("seg-{:08}.seg", appended - 1)),
+            "{}",
+            warning
+        );
+        // Everything up to the second-to-last save point survives.
+        prop_assert_eq!(&outcome.snapshot, &checkpoints[checkpoints.len() - 2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Law 3: the sync law `theirs ∪ delta == theirs ∪ mine` holds for
+    /// arbitrary divergence (reordered histories collapse to the same
+    /// canonical snapshot, mid-order insertions merely shrink the
+    /// matched prefix), and a redial after convergence moves nothing.
+    #[test]
+    fn sync_converges_under_divergence_and_redial(
+        mine_entries in prop::collection::vec((0usize..3, 0u32..48), 0..40),
+        their_entries in prop::collection::vec((0usize..3, 0u32..48), 0..40),
+    ) {
+        let mine = snapshot_of(&mine_entries);
+        let mut theirs = snapshot_of(&their_entries);
+
+        let plan = plan_delta(&mine, &CacheDigest::of(&theirs));
+        prop_assert_eq!(plan.full_entries, mine.len() as u64);
+        prop_assert!(plan.matched_entries + plan.delta.len() as u64 >= mine.len() as u64);
+
+        let mut union = theirs.clone();
+        union.merge(&mine);
+        theirs.merge(&plan.delta);
+        prop_assert_eq!(&theirs, &union, "sync must reach the union");
+
+        // Redial: the requester now holds a superset of the responder,
+        // so a second exchange is a no-op however the digests land.
+        let again = plan_delta(&mine, &CacheDigest::of(&theirs));
+        let before = theirs.clone();
+        theirs.merge(&again.delta);
+        prop_assert_eq!(&theirs, &before, "a converged pair must stay converged");
+    }
+
+    /// The saving the tier exists for: a requester holding a canonical
+    /// prefix of the responder receives exactly the missing suffix —
+    /// entries synced shrink as the shared prefix grows, and an
+    /// identical pair exchanges nothing.
+    #[test]
+    fn prefix_sharing_peers_sync_only_the_suffix(
+        entries in prop::collection::vec((0usize..3, 0u32..48), 1..40),
+        keep_permille in 0u32..=1000,
+    ) {
+        let mine = snapshot_of(&entries);
+        let mut theirs = Snapshot::default();
+        for space in &mine.spaces {
+            let keep = (space.entries.len() as u64 * u64::from(keep_permille) / 1000) as usize;
+            if keep == 0 {
+                continue;
+            }
+            theirs.spaces.push(SpaceRecord {
+                key: space.key.clone(),
+                entries: space.entries[..keep].to_vec(),
+            });
+        }
+        theirs.canonicalize();
+
+        let plan = plan_delta(&mine, &CacheDigest::of(&theirs));
+        prop_assert_eq!(plan.matched_entries, theirs.len() as u64);
+        prop_assert_eq!(
+            plan.delta.len() as u64 + plan.matched_entries,
+            mine.len() as u64,
+            "a canonical-prefix peer gets exactly the suffix"
+        );
+        if theirs == mine {
+            prop_assert!(plan.delta.is_empty());
+        }
+    }
+}
+
+/// End to end through the live cache type: a cache warmed via a segment
+/// store round-trip (with a forced compaction) and a cache warmed via
+/// digest sync both reproduce the donor cache's snapshot byte for byte.
+#[test]
+fn store_and_sync_warm_starts_are_byte_identical() {
+    let donor = SharedEvalCache::new();
+    donor
+        .load(&snapshot_of(&[(0, 1), (0, 2), (1, 7), (2, 3), (2, 9)]))
+        .unwrap();
+    let image = donor.snapshot();
+
+    // Store round-trip, split across two saves, compacted to one segment.
+    let dir = tempdir("warm");
+    let mut store = CacheStore::dir(&dir, 1).unwrap();
+    store.load().unwrap();
+    store
+        .save(&{
+            let mut half = image.clone();
+            half.spaces.truncate(1);
+            half
+        })
+        .unwrap();
+    store.save(&image).unwrap();
+    assert!(store.stats().compactions >= 1, "{:?}", store.stats());
+    let via_store = SharedEvalCache::new();
+    via_store
+        .load(&CacheStore::dir(&dir, 1).unwrap().load().unwrap().snapshot)
+        .unwrap();
+    assert_eq!(via_store.snapshot().encode_binary(), image.encode_binary());
+
+    // Digest sync from empty: the delta is the whole image, and the
+    // synced cache is byte-identical to the donor.
+    let via_sync = SharedEvalCache::new();
+    let plan = plan_delta(&image, &CacheDigest::of(&via_sync.snapshot()));
+    assert_eq!(plan.matched_entries, 0);
+    via_sync.load(&plan.delta).unwrap();
+    assert_eq!(via_sync.snapshot().encode_binary(), image.encode_binary());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

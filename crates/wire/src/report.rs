@@ -37,6 +37,44 @@ pub struct ConfigRecord {
     pub speculation: Option<SpeculationRecord>,
     /// Remote-backend traffic counters; `None` for in-process arms.
     pub remote: Option<RemoteTrafficRecord>,
+    /// Persistent cache-store traffic; `None` for arms without a store.
+    pub cache: Option<CacheTrafficRecord>,
+}
+
+/// One arm's persistent cache-store bill: what the segment store read,
+/// wrote and compacted, and what the warm start bought. `hit_rate` is
+/// `cache_hits / evaluations` (0 when nothing was evaluated), so the
+/// warm-rerun arm can be CI-guarded at exactly 1.0.
+#[derive(Debug, Clone)]
+pub struct CacheTrafficRecord {
+    /// Fraction of evaluations answered from memory.
+    pub hit_rate: f64,
+    /// Entries the store supplied before the first evaluation.
+    pub preloaded_entries: usize,
+    /// Live segments after the run (1 for a single-file store).
+    pub segments: usize,
+    /// Delta segments the run's saves appended.
+    pub segments_appended: usize,
+    /// Compactions the run's saves performed.
+    pub compactions: usize,
+    /// Bytes the store read off disk.
+    pub bytes_read: u64,
+    /// Bytes the store wrote to disk.
+    pub bytes_written: u64,
+}
+
+impl CacheTrafficRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("hit_rate", Json::from(self.hit_rate)),
+            ("preloaded_entries", Json::from(self.preloaded_entries)),
+            ("segments", Json::from(self.segments)),
+            ("segments_appended", Json::from(self.segments_appended)),
+            ("compactions", Json::from(self.compactions)),
+            ("bytes_read", Json::from(self.bytes_read)),
+            ("bytes_written", Json::from(self.bytes_written)),
+        ])
+    }
 }
 
 /// The speculative loop's ledger: what breeding ahead of the in-flight
@@ -129,6 +167,9 @@ impl ConfigRecord {
         }
         if let Some(remote) = &self.remote {
             fields.push(("remote", remote.to_json()));
+        }
+        if let Some(cache) = &self.cache {
+            fields.push(("cache", cache.to_json()));
         }
         Json::obj(fields)
     }
@@ -387,6 +428,7 @@ mod tests {
                     cache_hits: 0,
                     speculation: None,
                     remote: None,
+                    cache: None,
                 },
                 ConfigRecord {
                     name: "remote_w3".to_owned(),
@@ -411,6 +453,15 @@ mod tests {
                         workers_spawned: 3,
                         capacities: vec![1, 2, 1],
                     }),
+                    cache: Some(CacheTrafficRecord {
+                        hit_rate: 0.95,
+                        preloaded_entries: 600,
+                        segments: 2,
+                        segments_appended: 1,
+                        compactions: 0,
+                        bytes_read: 2048,
+                        bytes_written: 512,
+                    }),
                 },
             ],
         };
@@ -432,6 +483,12 @@ mod tests {
         assert!(
             text.contains(r#""speculation":{"speculated":12,"confirmed":2,"rebred":10},"remote""#)
         );
+        // Arms without a persistent store carry no cache block; arms
+        // with one carry the store bill after the remote accounting.
+        assert!(!text.contains(r#""cache_hits":0,"cache""#));
+        assert!(text.contains(
+            r#""cache":{"hit_rate":0.95,"preloaded_entries":600,"segments":2,"segments_appended":1,"compactions":0,"bytes_read":2048,"bytes_written":512}"#
+        ));
         // The report is valid JSON by our own parser.
         Json::parse(&text).unwrap();
     }

@@ -1,0 +1,365 @@
+//! Fingerprint-keyed anti-entropy sync: prefix digests over the
+//! canonical entry ordering, and the delta planner built on them.
+//!
+//! Two peers that each hold a [`Snapshot`] converge by exchanging
+//! **digests** instead of entries: the requester sends a [`CacheDigest`]
+//! describing what it already holds (per key space: the key fingerprint,
+//! the entry count, and a ladder of prefix digests over the canonical
+//! entry ordering), and the responder answers with only the entries the
+//! digests prove missing ([`plan_delta`]). Because snapshots are always
+//! canonical (spaces sorted by key, entries sorted by geometry — see
+//! [`Snapshot::canonicalize`]) and grow by union
+//! ([`Snapshot::merge`]), two peers whose histories share a prefix
+//! produce **identical** prefix digests over that prefix, so the common
+//! warm case — a client or worker that merely fell behind — syncs just
+//! the unsynced suffix, near zero bytes when nothing changed.
+//!
+//! The planner only ever errs toward sending *more*: when an insertion
+//! landed in the middle of a peer's canonical order (so no long prefix
+//! matches), the matched prefix shrinks and the responder ships a larger
+//! suffix. Correctness never depends on the match being maximal — the
+//! receiver union-merges whatever arrives, and merging a superset is
+//! idempotent, so convergence holds under message duplication,
+//! reordering and redial. The law property tests enforce:
+//!
+//! ```text
+//! theirs ∪ plan_delta(mine, digest(theirs)) == theirs ∪ mine
+//! ```
+//!
+//! Digests hash [`EntryRecord::canonical_bytes`] with streaming FNV-1a
+//! ([`crate::snapshot::fnv1a64_continue`]), the same trivially
+//! reimplementable hash the key-space fingerprints use. The ladder holds
+//! digests at prefix lengths 1, 2, 4, … and the full count, so a digest
+//! is O(log n) words while still letting the responder find a long
+//! matched prefix.
+
+use crate::binary::{Reader, WireError, Writer};
+use crate::snapshot::{fnv1a64_continue, Snapshot, SpaceRecord};
+
+/// The FNV-1a offset basis — the empty-prefix digest every ladder
+/// starts from.
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Upper bound on digest cardinality a decoder will believe before
+/// allocating (spaces per digest, rungs per ladder).
+const MAX_DECODE_HINT: usize = 1 << 16;
+
+/// One key space's digest: enough for a responder holding the same
+/// space to prove which prefix of the canonical entry ordering both
+/// sides share, without seeing a single entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceDigest {
+    /// The space's key fingerprint ([`crate::snapshot::KeyRecord::fingerprint`]).
+    pub key_fingerprint: u64,
+    /// How many entries the sender holds in this space.
+    pub entry_count: u64,
+    /// Prefix digests at lengths 1, 2, 4, …, and `entry_count` (each
+    /// rung is the streaming FNV-1a over the first *k* entries'
+    /// canonical bytes). Empty only when `entry_count` is 0.
+    pub ladder: Vec<u64>,
+}
+
+/// The digest of a whole snapshot: one [`SpaceDigest`] per key space,
+/// in canonical (key) order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheDigest {
+    /// Per-space digests, ordered like the snapshot's spaces.
+    pub spaces: Vec<SpaceDigest>,
+}
+
+/// The prefix lengths a ladder carries for `n` entries: 1, 2, 4, …,
+/// plus `n` itself. Deduplicated and ascending.
+fn ladder_lengths(n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut k = 1usize;
+    while k < n {
+        out.push(k);
+        k *= 2;
+    }
+    if n > 0 {
+        out.push(n);
+    }
+    out
+}
+
+/// The streaming prefix digests of one space at the given lengths
+/// (which must be ascending). O(total entry bytes) regardless of how
+/// many rungs are requested.
+fn prefix_digests(space: &SpaceRecord, lengths: &[usize]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(lengths.len());
+    let mut hash = FNV_BASIS;
+    let mut next = lengths.iter().copied().peekable();
+    for (i, entry) in space.entries.iter().enumerate() {
+        hash = fnv1a64_continue(hash, &entry.canonical_bytes());
+        while next.peek() == Some(&(i + 1)) {
+            out.push(hash);
+            next.next();
+        }
+    }
+    out
+}
+
+impl CacheDigest {
+    /// Digests a canonical snapshot.
+    pub fn of(snapshot: &Snapshot) -> CacheDigest {
+        CacheDigest {
+            spaces: snapshot
+                .spaces
+                .iter()
+                .map(|space| {
+                    let lengths = ladder_lengths(space.entries.len());
+                    SpaceDigest {
+                        key_fingerprint: space.key.fingerprint(),
+                        entry_count: space.entries.len() as u64,
+                        ladder: prefix_digests(space, &lengths),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Total entries across all spaces the digest describes.
+    pub fn total_entries(&self) -> u64 {
+        self.spaces.iter().map(|s| s.entry_count).sum()
+    }
+
+    /// Appends the digest's wire image to `w` (space count, then per
+    /// space: key fingerprint, entry count, ladder length, rungs).
+    pub fn encode_into(&self, w: &mut Writer) {
+        w.put_u32(self.spaces.len() as u32);
+        for space in &self.spaces {
+            w.put_u64(space.key_fingerprint);
+            w.put_u64(space.entry_count);
+            w.put_u32(space.ladder.len() as u32);
+            for rung in &space.ladder {
+                w.put_u64(*rung);
+            }
+        }
+    }
+
+    /// Decodes a digest written by [`CacheDigest::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation.
+    pub fn decode_from(r: &mut Reader) -> Result<CacheDigest, WireError> {
+        let space_count = r.take_u32()? as usize;
+        let mut spaces = Vec::with_capacity(space_count.min(MAX_DECODE_HINT));
+        for _ in 0..space_count {
+            let key_fingerprint = r.take_u64()?;
+            let entry_count = r.take_u64()?;
+            let rungs = r.take_u32()? as usize;
+            let mut ladder = Vec::with_capacity(rungs.min(MAX_DECODE_HINT));
+            for _ in 0..rungs {
+                ladder.push(r.take_u64()?);
+            }
+            spaces.push(SpaceDigest {
+                key_fingerprint,
+                entry_count,
+                ladder,
+            });
+        }
+        Ok(CacheDigest { spaces })
+    }
+}
+
+/// What [`plan_delta`] decided: the entries to ship plus the accounting
+/// that makes the saving visible in reports.
+#[derive(Debug, Clone, Default)]
+pub struct SyncPlan {
+    /// The entries the requester's digest proves it is missing, as a
+    /// canonical mergeable snapshot.
+    pub delta: Snapshot,
+    /// Entries the digests proved both sides already share (skipped).
+    pub matched_entries: u64,
+    /// Total entries the responder holds — what a full-snapshot
+    /// exchange would have shipped.
+    pub full_entries: u64,
+}
+
+/// Plans the anti-entropy delta: everything in `mine` that `theirs`
+/// (described only by its digest) is missing.
+///
+/// Per space of `mine`: if the requester never saw the space, ship it
+/// whole; otherwise find the longest ladder rung whose prefix digest
+/// matches ours and ship only the suffix past it. A mid-order insertion
+/// on either side simply shortens the matched prefix — the receiver's
+/// union merge makes over-sending harmless, so the plan is always
+/// sufficient: `theirs ∪ delta == theirs ∪ mine`.
+pub fn plan_delta(mine: &Snapshot, theirs: &CacheDigest) -> SyncPlan {
+    let mut plan = SyncPlan {
+        full_entries: mine.len() as u64,
+        ..SyncPlan::default()
+    };
+    for space in &mine.spaces {
+        let fingerprint = space.key.fingerprint();
+        let matched = theirs
+            .spaces
+            .iter()
+            .find(|d| d.key_fingerprint == fingerprint)
+            .map_or(0, |digest| matched_prefix(space, digest));
+        plan.matched_entries += matched as u64;
+        if matched < space.entries.len() {
+            plan.delta.spaces.push(SpaceRecord {
+                key: space.key.clone(),
+                entries: space.entries[matched..].to_vec(),
+            });
+        }
+    }
+    plan.delta.canonicalize();
+    plan
+}
+
+/// The longest prefix of `space`'s canonical entries the digest proves
+/// the requester already holds.
+fn matched_prefix(space: &SpaceRecord, digest: &SpaceDigest) -> usize {
+    let lengths: Vec<usize> = ladder_lengths(digest.entry_count as usize)
+        .into_iter()
+        .filter(|&k| k <= space.entries.len())
+        .collect();
+    let ours = prefix_digests(space, &lengths);
+    lengths
+        .iter()
+        .zip(&ours)
+        .filter(|&(&k, rung)| digest.ladder.get(index_of(digest, k)) == Some(rung))
+        .map(|(&k, _)| k)
+        .max()
+        .unwrap_or(0)
+}
+
+/// The ladder slot holding the rung for prefix length `k` in a digest
+/// describing `entry_count` entries.
+fn index_of(digest: &SpaceDigest, k: usize) -> usize {
+    ladder_lengths(digest.entry_count as usize)
+        .iter()
+        .position(|&len| len == k)
+        .unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{EntryRecord, GeometryRecord, KeyRecord};
+
+    fn key(wstore: u64) -> KeyRecord {
+        KeyRecord {
+            tech_name: "tsmc28-calibrated".to_owned(),
+            node_bits: 28.0f64.to_bits(),
+            gate_area_bits: 0.18f64.to_bits(),
+            gate_delay_bits: 0.008f64.to_bits(),
+            gate_energy_bits: 0.4f64.to_bits(),
+            nominal_voltage_bits: 0.9f64.to_bits(),
+            voltage_bits: 0.9f64.to_bits(),
+            sparsity_bits: 0.1f64.to_bits(),
+            activity_bits: 0.1f64.to_bits(),
+            precision: "INT8".to_owned(),
+            wstore,
+        }
+    }
+
+    fn entry(log_h: u32, log_l: u32, k: u32) -> EntryRecord {
+        EntryRecord {
+            geometry: GeometryRecord { log_h, log_l, k },
+            objectives: [log_h as f64, log_l as f64, k as f64, -1.0],
+        }
+    }
+
+    fn snapshot(wstore: u64, entries: Vec<EntryRecord>) -> Snapshot {
+        let mut s = Snapshot {
+            spaces: vec![SpaceRecord {
+                key: key(wstore),
+                entries,
+            }],
+        };
+        s.canonicalize();
+        s
+    }
+
+    #[test]
+    fn ladder_lengths_are_powers_of_two_plus_total() {
+        assert_eq!(ladder_lengths(0), Vec::<usize>::new());
+        assert_eq!(ladder_lengths(1), vec![1]);
+        assert_eq!(ladder_lengths(2), vec![1, 2]);
+        assert_eq!(ladder_lengths(5), vec![1, 2, 4, 5]);
+        assert_eq!(ladder_lengths(8), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn identical_snapshots_plan_an_empty_delta() {
+        let s = snapshot(8192, (0..20).map(|i| entry(i, 0, 1)).collect());
+        let plan = plan_delta(&s, &CacheDigest::of(&s));
+        assert!(plan.delta.is_empty());
+        assert_eq!(plan.matched_entries, 20);
+        assert_eq!(plan.full_entries, 20);
+    }
+
+    #[test]
+    fn a_pure_suffix_gap_ships_only_the_suffix() {
+        // theirs = first 16 entries, mine = 20: the power-of-two rung at
+        // 16 matches, so exactly the 4-entry suffix ships.
+        let mine = snapshot(8192, (0..20).map(|i| entry(i, 0, 1)).collect());
+        let theirs = snapshot(8192, (0..16).map(|i| entry(i, 0, 1)).collect());
+        let plan = plan_delta(&mine, &CacheDigest::of(&theirs));
+        assert_eq!(plan.matched_entries, 16);
+        assert_eq!(plan.delta.len(), 4);
+    }
+
+    #[test]
+    fn a_mid_order_insertion_shrinks_the_match_but_stays_correct() {
+        // theirs holds geometry 10 that mine lacks → prefixes diverge at
+        // position 10; the matched rung falls back to 8 and mine ships
+        // its suffix past it. Union-merging still converges.
+        let mine = snapshot(
+            8192,
+            (0..20)
+                .filter(|&i| i != 10)
+                .map(|i| entry(i, 0, 1))
+                .collect(),
+        );
+        let theirs = snapshot(8192, (0..20).map(|i| entry(i, 0, 1)).collect());
+        let plan = plan_delta(&mine, &CacheDigest::of(&theirs));
+        assert_eq!(plan.matched_entries, 8);
+        let mut merged = theirs.clone();
+        merged.merge(&plan.delta);
+        let mut want = theirs.clone();
+        want.merge(&mine);
+        assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn an_unknown_space_ships_whole() {
+        let mine = snapshot(8192, (0..5).map(|i| entry(i, 0, 1)).collect());
+        let theirs = snapshot(4096, (0..5).map(|i| entry(i, 0, 1)).collect());
+        let plan = plan_delta(&mine, &CacheDigest::of(&theirs));
+        assert_eq!(plan.matched_entries, 0);
+        assert_eq!(plan.delta.len(), 5);
+    }
+
+    #[test]
+    fn digest_round_trips_through_the_wire() {
+        let s = snapshot(8192, (0..7).map(|i| entry(i, 0, 1)).collect());
+        let digest = CacheDigest::of(&s);
+        let mut w = Writer::with_header();
+        digest.encode_into(&mut w);
+        let bytes = w.finish();
+        let mut r = Reader::open(&bytes).unwrap();
+        let back = CacheDigest::decode_from(&mut r).unwrap();
+        assert!(r.is_at_end());
+        assert_eq!(back, digest);
+        assert_eq!(back.total_entries(), 7);
+    }
+
+    #[test]
+    fn digests_are_invariant_in_merge_order() {
+        // Canonical snapshots built from the same facts in any merge
+        // order digest identically — the property that makes prefix
+        // matching work across peers with different histories.
+        let a = snapshot(8192, (0..6).map(|i| entry(i, 0, 1)).collect());
+        let b = snapshot(8192, (6..12).map(|i| entry(i, 0, 1)).collect());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(CacheDigest::of(&ab), CacheDigest::of(&ba));
+    }
+}

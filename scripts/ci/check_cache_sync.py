@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Cache-sync guard: the persistent segment store + anti-entropy tier.
+
+Usage: check_cache_sync.py REFERENCE_JSON CLIENT1_JSON CLIENT2_JSON
+
+REFERENCE is the in-process batch report; CLIENT1 and CLIENT2 are the
+reports of two sequential `batch --connect` clients that ran the same
+job file against one `sega-dcim serve --cache-dir` daemon, sharing one
+client-side `--cache-dir` store. Asserts the cache tier's acceptance
+criteria:
+
+* both clients' fronts are **byte-identical** to the in-process
+  reference (the reports carry exact objective bit patterns) — neither
+  the segment store nor the sync changes an answer;
+* the first (cold) client computed real estimates and anti-entropy
+  pulled them into its local store (>= 1 exchange, > 0 entries synced);
+* the second client warm-started from the shared local store
+  (preloaded entries > 0) and ran **0** distinct evaluations;
+* the second client's sync moved **strictly fewer bytes than a full
+  snapshot** — the digests proved the store already held the entries,
+  so only the framing overhead crossed the wire;
+* both clients' accounting partitions exactly
+  (`evaluations == distinct_evaluations + cache_hits`) and agrees with
+  the reference on the total evaluation count.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def fronts(doc):
+    return [j["front"] for j in doc["jobs"]]
+
+
+def main() -> None:
+    reference_path, client1_path, client2_path = sys.argv[1], sys.argv[2], sys.argv[3]
+    reference = load(reference_path)
+    reference_fronts = fronts(reference)
+    reference_totals = reference["totals"]
+
+    for path in (client1_path, client2_path):
+        doc = load(path)
+        assert fronts(doc) == reference_fronts, (
+            f"{path}: fronts are not byte-identical to the reference"
+        )
+        totals = doc["totals"]
+        assert totals["evaluations"] == (
+            totals["distinct_evaluations"] + totals["cache_hits"]
+        ), f"{path}: accounting does not partition: {totals}"
+        assert totals["evaluations"] == reference_totals["evaluations"], (
+            f"{path}: the GA request stream must be store-invariant: "
+            f"{totals['evaluations']} != {reference_totals['evaluations']}"
+        )
+
+    cold = load(client1_path)
+    warm = load(client2_path)
+
+    assert cold["totals"]["distinct_evaluations"] > 0, (
+        f"{client1_path}: the cold client should have computed estimates: "
+        f"{cold['totals']}"
+    )
+    cold_sync = cold["cache"].get("sync")
+    assert cold_sync and cold_sync["exchanges"] >= 1, (
+        f"{client1_path}: a connected client with a store must sync: "
+        f"{cold['cache']}"
+    )
+    assert cold_sync["synced_entries"] > 0, (
+        f"{client1_path}: the cold client's sync should pull the daemon's "
+        f"fresh entries into the local store: {cold_sync}"
+    )
+
+    assert warm["cache"]["preloaded_entries"] > 0, (
+        f"{client2_path}: the second client must warm-start from the shared "
+        f"segment store: {warm['cache']}"
+    )
+    assert warm["totals"]["distinct_evaluations"] == 0, (
+        f"{client2_path}: a store-warmed repeat batch must be estimator-free: "
+        f"{warm['totals']}"
+    )
+    warm_sync = warm["cache"].get("sync")
+    assert warm_sync and warm_sync["exchanges"] >= 1, (
+        f"{client2_path}: the warm client must still digest-sync: "
+        f"{warm['cache']}"
+    )
+    assert warm_sync["bytes_synced"] < warm_sync["full_snapshot_bytes"], (
+        f"{client2_path}: anti-entropy must move fewer bytes than a full "
+        f"snapshot: {warm_sync}"
+    )
+    store = warm["cache"].get("store")
+    assert store and store["segments_loaded"] + store["segments_filtered"] > 0, (
+        f"{client2_path}: the warm client read no segments: {warm['cache']}"
+    )
+
+    print(
+        f"cache sync OK: fronts byte-identical, warm client 0 distinct "
+        f"({warm['cache']['preloaded_entries']} entries preloaded), sync moved "
+        f"{warm_sync['bytes_synced']} of {warm_sync['full_snapshot_bytes']} "
+        f"full-snapshot bytes over {warm_sync['exchanges']} exchange(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

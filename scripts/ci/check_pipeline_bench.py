@@ -21,7 +21,12 @@ uploading the artifact:
 * when the remote arms ran, they completed real round-trips on a healthy
   fleet (no deaths on an un-faulted run), name their transport, carry one
   negotiated capacity per worker, and satisfy the extended supervision
-  ledger `alive == spawned - deaths + respawns + rejoins`.
+  ledger `alive == spawned - deaths + respawns + rejoins`;
+* the segment-store arms exist and prove the persistent warm start: run 1
+  starts cold (0 preloaded entries) and appends segments, run 2 preloads
+  what run 1 saved, performs 0 distinct evaluations, reports hit_rate
+  exactly 1.0, and reads fewer bytes than run 1 wrote only if compaction
+  ran (otherwise exactly what was written).
 
 All counter-based: nothing here reads `wall_s`, so the guard is stable
 on the 1-CPU CI runner.
@@ -83,6 +88,28 @@ def main() -> None:
                 f"{c['name']}: {key} {c[key]} != synchronous reference "
                 f"{sync_ref[key]}"
             )
+
+    store1 = configs.get("segment_store_run1")
+    store2 = configs.get("segment_store_run2")
+    assert store1 and store2, f"missing segment_store arms in {sorted(configs)}"
+    c1, c2 = store1["cache"], store2["cache"]
+    assert c1["preloaded_entries"] == 0, (
+        f"run 1 must start from an empty store: {c1}"
+    )
+    assert c1["segments_appended"] >= 1 and c1["bytes_written"] > 0, (
+        f"run 1 must persist segments: {c1}"
+    )
+    assert store2["distinct_evaluations"] == 0, (
+        f"a warm segment store must be estimator-free: {store2}"
+    )
+    assert c2["preloaded_entries"] > 0, (
+        f"run 2 must warm-start from run 1's segments: {c2}"
+    )
+    assert c2["hit_rate"] == 1.0, f"warm run hit rate must be exactly 1.0: {c2}"
+    assert c2["bytes_read"] > 0, f"run 2 read nothing off disk: {c2}"
+    assert c2["segments_appended"] == 0, (
+        f"an estimator-free rerun has no delta to append: {c2}"
+    )
 
     remote_arms = [c for c in doc["configs"] if c.get("remote")]
     for c in remote_arms:
